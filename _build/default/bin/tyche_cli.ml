@@ -1,0 +1,324 @@
+(* tyche-cli: poke at a simulated Tyche machine from the command line.
+
+   Subcommands:
+     boot         boot a machine and print the chain-of-trust report
+     fig4         build the Fig. 4 deployment and print the region map
+     attest       create an enclave and print + verify its attestation
+     transitions  run a call/ret loop and print path statistics
+     loc          print the trusted-computing-base line counts *)
+
+open Cmdliner
+
+let firmware = "oem-firmware-2.1"
+let loader_blob = "grub-ish-loader-1.0"
+let monitor_image = "tyche-monitor-release-0.1"
+let page = Hw.Addr.page_size
+
+type world = {
+  machine : Hw.Machine.t;
+  tpm : Rot.Tpm.t;
+  report : Rot.Boot.report;
+  monitor : Tyche.Monitor.t;
+}
+
+let boot_world ~arch ~cores ~mem_mib =
+  let machine = Hw.Machine.create ~arch ~cores ~mem_size:(mem_mib * 1024 * 1024) () in
+  let rng = Crypto.Rng.create ~seed:2026L in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend =
+    match arch with
+    | Hw.Cpu.X86_64 -> Backend_x86.create machine ()
+    | Hw.Cpu.Riscv64 ->
+      Backend_riscv.create machine ~monitor_range:report.Rot.Boot.monitor_range ()
+  in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng
+      ~monitor_range:report.Rot.Boot.monitor_range
+  in
+  { machine; tpm; report; monitor }
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "%s" (Tyche.Monitor.error_to_string e)
+
+let ok_str = function Ok v -> v | Error e -> failwith e
+
+let os = Tyche.Domain.initial
+
+let os_memory_cap w =
+  let tree = Tyche.Monitor.tree w.monitor in
+  let size cap =
+    match Cap.Captree.resource tree cap with
+    | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.len r
+    | _ -> 0
+  in
+  match Tyche.Monitor.caps_of w.monitor os with
+  | [] -> failwith "no capabilities"
+  | caps ->
+    List.fold_left (fun best c -> if size c > size best then c else best) (List.hd caps) caps
+
+(* Common options *)
+
+let arch =
+  let parse = function
+    | "x86" | "x86_64" -> Ok Hw.Cpu.X86_64
+    | "riscv" | "riscv64" -> Ok Hw.Cpu.Riscv64
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S (x86|riscv)" s))
+  in
+  let print fmt = function
+    | Hw.Cpu.X86_64 -> Format.pp_print_string fmt "x86"
+    | Hw.Cpu.Riscv64 -> Format.pp_print_string fmt "riscv"
+  in
+  Arg.(value & opt (conv (parse, print)) Hw.Cpu.X86_64 & info [ "arch" ] ~docv:"ARCH"
+         ~doc:"Architecture to simulate: x86 (VT-x/EPT) or riscv (M-mode/PMP).")
+
+let cores =
+  Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Number of CPU cores.")
+
+let mem_mib =
+  Arg.(value & opt int 32 & info [ "mem" ] ~docv:"MIB" ~doc:"Physical memory in MiB.")
+
+(* boot *)
+
+let cmd_boot =
+  let run arch cores mem_mib =
+    let w = boot_world ~arch ~cores ~mem_mib in
+    Printf.printf "booted %s machine: %d cores, %d MiB\n"
+      (match arch with Hw.Cpu.X86_64 -> "x86_64" | Hw.Cpu.Riscv64 -> "riscv64")
+      cores mem_mib;
+    Printf.printf "monitor at %s\n"
+      (Format.asprintf "%a" Hw.Addr.Range.pp w.report.Rot.Boot.monitor_range);
+    Printf.printf "PCR  0 (firmware) = %s\n"
+      (Crypto.Sha256.to_hex (Rot.Tpm.read_pcr w.tpm 0));
+    Printf.printf "PCR  4 (loader)   = %s\n"
+      (Crypto.Sha256.to_hex (Rot.Tpm.read_pcr w.tpm 4));
+    Printf.printf "PCR 17 (monitor)  = %s\n"
+      (Crypto.Sha256.to_hex (Rot.Tpm.read_pcr w.tpm Rot.Tpm.drtm_pcr));
+    Printf.printf "PCR 18 (key bind) = %s\n"
+      (Crypto.Sha256.to_hex (Rot.Tpm.read_pcr w.tpm Tyche.Monitor.key_binding_pcr));
+    let golden = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image in
+    let all_match =
+      List.for_all
+        (fun (pcr, v) -> Crypto.Sha256.equal v (Rot.Tpm.read_pcr w.tpm pcr))
+        golden
+    in
+    Printf.printf "golden PCR values match: %b\n" all_match;
+    match Tyche.Invariants.check_all w.monitor with
+    | [] -> print_endline "system invariants: all hold"
+    | vs ->
+      List.iter
+        (fun v -> Format.printf "VIOLATION %a@." Tyche.Invariants.pp_violation v)
+        vs
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a measured machine and print the trust report.")
+    Term.(const run $ arch $ cores $ mem_mib)
+
+(* fig4 *)
+
+let cmd_fig4 =
+  let run arch =
+    let w = boot_world ~arch ~cores:2 ~mem_mib:32 in
+    let m = w.monitor in
+    let mk name base kind =
+      let d = ok (Tyche.Monitor.create_domain m ~caller:os ~name ~kind) in
+      let piece =
+        ok
+          (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+             ~subrange:(Hw.Addr.Range.make ~base ~len:page))
+      in
+      let _ =
+        ok
+          (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+             ~cleanup:Cap.Revocation.Zero)
+      in
+      d
+    in
+    let vm = mk "saas-vm" 0x400000 Tyche.Domain.Confidential_vm in
+    let engine = mk "crypto-engine" 0x401000 Tyche.Domain.Enclave in
+    let app = mk "saas-app" 0x402000 Tyche.Domain.Enclave in
+    let gpu = ok (Tyche.Monitor.create_domain m ~caller:os ~name:"gpu" ~kind:Tyche.Domain.Io_domain) in
+    (* vm<->engine and app<->gpu shared pages. *)
+    let share_from owner base to_ =
+      let cap =
+        List.find
+          (fun c ->
+            match Cap.Captree.resource (Tyche.Monitor.tree m) c with
+            | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.contains r base
+            | _ -> false)
+          (Tyche.Monitor.caps_of m owner)
+      in
+      ignore
+        (ok
+           (Tyche.Monitor.share m ~caller:owner ~cap ~to_ ~rights:Cap.Rights.rw
+              ~cleanup:Cap.Revocation.Zero ()))
+    in
+    share_from vm 0x400000 engine;
+    share_from app 0x402000 gpu;
+    let names =
+      [ (os, "os"); (vm, "saas-vm"); (engine, "crypto-engine"); (app, "saas-app");
+        (gpu, "gpu") ]
+    in
+    Printf.printf "%-24s %-5s %s\n" "physical region" "refs" "holders";
+    List.iter
+      (fun (seg, holders) ->
+        if Hw.Addr.Range.base seg >= 0x400000 && Hw.Addr.Range.base seg < 0x500000 then
+          Printf.printf "%-24s %-5d %s\n"
+            (Format.asprintf "%a" Hw.Addr.Range.pp seg)
+            (List.length holders)
+            (String.concat ", "
+               (List.map (fun d -> Option.value ~default:(string_of_int d) (List.assoc_opt d names)) holders)))
+      (Cap.Captree.region_map (Tyche.Monitor.tree m))
+  in
+  Cmd.v (Cmd.info "fig4" ~doc:"Build a small deployment and print the Fig. 4 region map.")
+    Term.(const run $ arch)
+
+(* attest *)
+
+let cmd_attest =
+  let regions =
+    Arg.(value & opt int 3 & info [ "regions" ] ~docv:"N" ~doc:"Memory regions to grant.")
+  in
+  let run arch regions =
+    let w = boot_world ~arch ~cores:2 ~mem_mib:32 in
+    let m = w.monitor in
+    let d = ok (Tyche.Monitor.create_domain m ~caller:os ~name:"cli-enclave" ~kind:Tyche.Domain.Enclave) in
+    for i = 0 to regions - 1 do
+      let base = 0x400000 + (i * 2 * page) in
+      let piece =
+        ok
+          (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+             ~subrange:(Hw.Addr.Range.make ~base ~len:page))
+      in
+      ignore
+        (ok
+           (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+              ~cleanup:Cap.Revocation.Zero_and_flush))
+    done;
+    ignore
+      (ok
+         (Tyche.Monitor.share m ~caller:os
+            ~cap:
+              (List.find
+                 (fun c ->
+                   Cap.Captree.resource (Tyche.Monitor.tree m) c
+                   = Some (Cap.Resource.Cpu_core 0))
+                 (Tyche.Monitor.caps_of m os))
+            ~to_:d ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ()));
+    ok (Tyche.Monitor.set_entry_point m ~caller:os ~domain:d 0x400000);
+    ok (Tyche.Monitor.mark_measured m ~caller:os ~domain:d
+          (Hw.Addr.Range.make ~base:0x400000 ~len:page));
+    ok (Tyche.Monitor.seal m ~caller:os ~domain:d);
+    let att = ok (Tyche.Monitor.attest m ~caller:os ~domain:d ~nonce:"cli") in
+    Format.printf "%a@." Tyche.Attestation.pp att;
+    Printf.printf "signature verifies under the monitor root: %b\n"
+      (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) att);
+    Printf.printf "boot quote verifies under the TPM root: %b\n"
+      (Rot.Tpm.Quote.verify ~root:(Rot.Tpm.endorsement_root w.tpm)
+         (Tyche.Monitor.boot_quote m ~nonce:"cli"))
+  in
+  Cmd.v (Cmd.info "attest" ~doc:"Create an enclave and print its signed attestation.")
+    Term.(const run $ arch $ regions)
+
+(* transitions *)
+
+let cmd_transitions =
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Call/ret pairs to run.") in
+  let run arch n =
+    let w = boot_world ~arch ~cores:2 ~mem_mib:32 in
+    let m = w.monitor in
+    let d = ok (Tyche.Monitor.create_domain m ~caller:os ~name:"hot" ~kind:Tyche.Domain.Enclave) in
+    let piece =
+      ok
+        (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+           ~subrange:(Hw.Addr.Range.make ~base:0x400000 ~len:page))
+    in
+    let _ =
+      ok
+        (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+           ~cleanup:Cap.Revocation.Zero)
+    in
+    let _ =
+      ok
+        (Tyche.Monitor.share m ~caller:os
+           ~cap:
+             (List.find
+                (fun c ->
+                  Cap.Captree.resource (Tyche.Monitor.tree m) c
+                  = Some (Cap.Resource.Cpu_core 0))
+                (Tyche.Monitor.caps_of m os))
+           ~to_:d ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ())
+    in
+    ok (Tyche.Monitor.set_entry_point m ~caller:os ~domain:d 0x400000);
+    ok (Tyche.Monitor.seal m ~caller:os ~domain:d);
+    Hw.Machine.reset_cycles w.machine;
+    let fast = ref 0 and trap = ref 0 in
+    for _ = 1 to n do
+      (match ok (Tyche.Monitor.call m ~core:0 ~target:d) with
+      | Tyche.Backend_intf.Fast_switch -> incr fast
+      | Tyche.Backend_intf.Trap_roundtrip -> incr trap);
+      (match ok (Tyche.Monitor.ret m ~core:0) with
+      | Tyche.Backend_intf.Fast_switch -> incr fast
+      | Tyche.Backend_intf.Trap_roundtrip -> incr trap)
+    done;
+    Printf.printf "%d call/ret pairs: %d fast-path, %d trap transitions\n" n !fast !trap;
+    Printf.printf "simulated cycles total: %d (%.1f per transition)\n"
+      (Hw.Machine.cycles w.machine)
+      (float_of_int (Hw.Machine.cycles w.machine) /. float_of_int (2 * n))
+  in
+  Cmd.v (Cmd.info "transitions" ~doc:"Measure domain-transition paths and costs.")
+    Term.(const run $ arch $ n)
+
+(* loc *)
+
+let cmd_loc =
+  let run () =
+    let count_loc dir =
+      let rec walk dir acc =
+        Array.fold_left
+          (fun acc entry ->
+            let path = Filename.concat dir entry in
+            if Sys.is_directory path then walk path acc
+            else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+            then begin
+              let ic = open_in path in
+              let lines = ref 0 in
+              (try
+                 while true do
+                   if String.trim (input_line ic) <> "" then incr lines
+                 done
+               with End_of_file -> ());
+              close_in ic;
+              acc + !lines
+            end
+            else acc)
+          acc (Sys.readdir dir)
+      in
+      if Sys.file_exists dir && Sys.is_directory dir then walk dir 0 else 0
+    in
+    let trusted = [ "lib/cap"; "lib/monitor"; "lib/backend_x86"; "lib/backend_riscv"; "lib/crypto" ] in
+    let total =
+      List.fold_left
+        (fun acc dir ->
+          let n = count_loc dir in
+          Printf.printf "%-20s %6d (trusted)\n" dir n;
+          acc + n)
+        0 trusted
+    in
+    Printf.printf "%-20s %6d  -> %s\n" "TRUSTED CORE" total
+      (if total < 10_000 then "< 10K LOC (claim C3 holds)" else ">= 10K LOC")
+  in
+  Cmd.v
+    (Cmd.info "loc" ~doc:"Count the trusted computing base (run from the repo root).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tyche-cli" ~version:"0.1"
+      ~doc:"Drive a simulated Tyche isolation monitor from the command line."
+  in
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_loc ]))
+
+let _ = ok_str

@@ -1,0 +1,1 @@
+examples/cloud_host.ml: Common Format Hw Image Kernel Libtyche List Option Printf Result String Tyche Verifier

@@ -1,0 +1,1 @@
+examples/common.ml: Backend_riscv Backend_x86 Cap Crypto Format Hw List Printf Rot String Tyche Verifier

@@ -1,0 +1,1 @@
+examples/driver_sandbox.ml: Cap Common Format Hw Image Kernel List Option Printf Result String Tyche

@@ -1,0 +1,1 @@
+examples/nested_enclaves.ml: Cap Common Format Hw Image Libtyche List Option Printf Result String Tyche

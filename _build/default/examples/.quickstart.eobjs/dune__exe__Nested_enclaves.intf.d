@@ -1,0 +1,1 @@
+examples/nested_enclaves.mli:

@@ -1,0 +1,1 @@
+examples/physical_attack.ml: Backend_x86 Common Crypto Hw Image Libtyche Printf Result Rot String Tyche

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Common Crypto Format Hw Image Libtyche List Printf Result Rot Tyche Verifier

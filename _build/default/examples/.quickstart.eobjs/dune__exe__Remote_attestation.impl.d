@@ -1,0 +1,1 @@
+examples/remote_attestation.ml: Bytes Common Distributed Hw Image Libtyche List Printf Result String Verifier

@@ -1,0 +1,1 @@
+examples/riscv_pmp.ml: Backend_riscv Cap Common Format Hw Image Libtyche List Printf Result Rot Tyche

@@ -1,0 +1,1 @@
+examples/saas_pipeline.ml: Cap Char Common Crypto Format Hw Image Libtyche List Option Printf Result String Tyche Verifier

@@ -1,0 +1,1 @@
+examples/saas_pipeline.mli:

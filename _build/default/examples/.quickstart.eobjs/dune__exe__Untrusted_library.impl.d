@@ -1,0 +1,1 @@
+examples/untrusted_library.ml: Baseline Common Format Hw Image Libtyche List Option Printf Result String Tyche

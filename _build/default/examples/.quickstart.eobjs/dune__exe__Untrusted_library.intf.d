@@ -1,0 +1,1 @@
+examples/untrusted_library.mli:

@@ -1,0 +1,96 @@
+(* A confidential cloud host (§4.2 "extending KVM with a Tyche backend"):
+   one untrusted hypervisor multiplexing tenant VMs it cannot read,
+   servicing their console and disk I/O through explicitly shared rings.
+
+   Run with: dune exec examples/cloud_host.exe *)
+
+open Common
+
+let page = Hw.Addr.page_size
+
+let tenant_image name =
+  let b = Image.Builder.create ~name in
+  let b =
+    Image.Builder.add_segment b ~name:".kernel" ~vaddr:0
+      ~data:(name ^ " kernel v1") ~perm:Hw.Perm.rx ~ring:0 ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".virtio" ~vaddr:page
+      ~data:(String.make 16 '\x00') ~perm:Hw.Perm.rw ~visibility:Image.Shared
+      ~measured:false ()
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let () =
+  step "Boot a 4-core host; the hypervisor runs as domain 0 on core 0";
+  let w = boot ~cores:4 ~mem_size:(64 * 1024 * 1024) () in
+  let alloc =
+    Kernel.Alloc.create (Hw.Addr.Range.make ~base:0x400000 ~len:(32 * 1024 * 1024))
+  in
+  let hv = Kernel.Hypervisor.create w.monitor ~alloc ~host_core:0 ~disk_size:(128 * 1024) in
+
+  step "Launch two tenant VMs on dedicated vCPU cores";
+  let tenant name core off =
+    ok_str
+      (Kernel.Hypervisor.launch hv ~name ~image:(tenant_image name)
+         ~ram_bytes:(8 * page) ~vcpu_cores:[ core ]
+         ~program:(fun ctx ->
+           (* Each tenant keeps a secret in RAM, journals to disk, and
+              logs to its console. *)
+           let base = Hw.Addr.Range.base ctx.Kernel.Hypervisor.ram in
+           (match ctx.Kernel.Hypervisor.write base (name ^ "-database-key") with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           (match ctx.Kernel.Hypervisor.disk_write ~off (name ^ " journal entry") with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           ctx.Kernel.Hypervisor.console (name ^ ": booted and serving");
+           `Halt))
+  in
+  let alice = tenant "alice" 1 0 in
+  let bob = tenant "bob" 2 4096 in
+  let quanta = Kernel.Hypervisor.run hv () in
+  say "both tenants ran to completion in %d quanta" quanta;
+  List.iter (say "console> %s") (Kernel.Hypervisor.console_output hv alice);
+  List.iter (say "console> %s") (Kernel.Hypervisor.console_output hv bob);
+  say "host-side disk holds alice's journal: %S"
+    (Kernel.Hypervisor.disk_contents hv ~off:0 ~len:19);
+
+  step "The host can schedule and serve tenants it cannot read";
+  (match Kernel.Hypervisor.host_reads_guest_ram hv alice with
+  | Error e -> say "hypervisor dereferences alice's RAM -> %s" e
+  | Ok () -> failwith "host read tenant RAM");
+  (match Kernel.Hypervisor.host_reads_guest_ram hv bob with
+  | Error e -> say "hypervisor dereferences bob's RAM   -> %s" e
+  | Ok () -> failwith "host read tenant RAM");
+
+  step "Each tenant verifies its own VM remotely";
+  let rv = reference_values w in
+  let check name vm image =
+    let domain = Option.get (Kernel.Hypervisor.vm_domain hv vm) in
+    let decision =
+      Verifier.attest_and_decide w.monitor rv ~nonce:(name ^ "-check")
+        ~domains:
+          [ ( domain,
+              [ Verifier.Policy.Sealed;
+                Verifier.Policy.Kind_is Tyche.Domain.Confidential_vm;
+                Verifier.Policy.Measurement_is
+                  (Libtyche.Confidential_vm.expected_measurement image) ] ) ]
+    in
+    say "%s's verifier says: %s" name (Format.asprintf "%a" Verifier.pp_decision decision)
+  in
+  check "alice" alice (tenant_image "alice");
+  check "bob" bob (tenant_image "bob");
+
+  step "Decommission alice; her RAM is scrubbed before bob could ever get it";
+  let alice_ram = Option.get (Kernel.Hypervisor.guest_ram hv alice) in
+  ok_str (Kernel.Hypervisor.destroy hv alice);
+  let b = ok (Tyche.Monitor.load w.monitor ~core:0 (Hw.Addr.Range.base alice_ram)) in
+  say "first byte of alice's old RAM, as reclaimed by the host: 0x%02x" b;
+  (match Tyche.Invariants.check_all w.monitor with
+  | [] -> say "all system invariants hold"
+  | vs ->
+    List.iter
+      (fun v -> say "VIOLATION: %s" (Format.asprintf "%a" Tyche.Invariants.pp_violation v))
+      vs);
+  Printf.printf "\ncloud_host: done\n"

@@ -1,0 +1,87 @@
+(* Shared example boilerplate: boot a measured machine on either
+   backend and provide small helpers for the walkthroughs. *)
+
+let firmware = "oem-firmware-2.1"
+let loader_blob = "grub-ish-loader-1.0"
+let monitor_image = "tyche-monitor-release-0.1"
+
+type world = {
+  machine : Hw.Machine.t;
+  tpm : Rot.Tpm.t;
+  boot_report : Rot.Boot.report;
+  backend : Tyche.Backend_intf.t;
+  monitor : Tyche.Monitor.t;
+}
+
+let boot ?(arch = Hw.Cpu.X86_64) ?(cores = 4) ?(mem_size = 32 * 1024 * 1024)
+    ?(devices = []) ?(seed = 2026L) () =
+  let machine = Hw.Machine.create ~arch ~cores ~mem_size () in
+  List.iter (Hw.Machine.attach_device machine) devices;
+  let rng = Crypto.Rng.create ~seed in
+  let tpm = Rot.Tpm.create rng in
+  let boot_report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend =
+    match arch with
+    | Hw.Cpu.X86_64 -> Backend_x86.create machine ()
+    | Hw.Cpu.Riscv64 ->
+      Backend_riscv.create machine ~monitor_range:boot_report.Rot.Boot.monitor_range ()
+  in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng
+      ~monitor_range:boot_report.Rot.Boot.monitor_range
+  in
+  { machine; tpm; boot_report; backend; monitor }
+
+let os = Tyche.Domain.initial
+
+let os_memory_cap w =
+  let tree = Tyche.Monitor.tree w.monitor in
+  let size cap =
+    match Cap.Captree.resource tree cap with
+    | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.len r
+    | _ -> 0
+  in
+  match Tyche.Monitor.caps_of w.monitor os with
+  | [] -> failwith "domain 0 holds no capabilities"
+  | caps ->
+    List.fold_left (fun best c -> if size c > size best then c else best) (List.hd caps) caps
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Tyche.Monitor.error_to_string e)
+
+let ok_str = function Ok v -> v | Error e -> failwith e
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
+let say fmt = Printf.printf ("   " ^^ fmt ^^ "\n")
+
+let reference_values w =
+  { Verifier.tpm_root = Rot.Tpm.endorsement_root w.tpm;
+    expected_pcrs = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image;
+    monitor_root = Tyche.Monitor.attestation_root w.monitor }
+
+(* Render the capability tree's memory view as the Fig. 4 table. *)
+let print_region_map ?(limit_to : Hw.Addr.Range.t option) monitor ~domain_names =
+  let tree = Tyche.Monitor.tree monitor in
+  let rows =
+    List.filter
+      (fun (seg, _) ->
+        match limit_to with
+        | Some window -> Hw.Addr.Range.overlaps seg window
+        | None -> true)
+      (Cap.Captree.region_map tree)
+  in
+  Printf.printf "   %-24s %-6s %s\n" "physical region" "refs" "holders";
+  List.iter
+    (fun (seg, holders) ->
+      let names =
+        List.map
+          (fun d -> try List.assoc d domain_names with Not_found -> Printf.sprintf "dom%d" d)
+          holders
+      in
+      Printf.printf "   %-24s %-6d %s\n"
+        (Format.asprintf "%a" Hw.Addr.Range.pp seg)
+        (List.length holders) (String.concat ", " names))
+    rows

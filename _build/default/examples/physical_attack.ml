@@ -1,0 +1,85 @@
+(* Physical attack resistance with multi-key memory encryption (§4.2):
+   the same machine with and without an MKTME controller, attacked by a
+   DIMM interposer that reads DRAM behind the CPU's back.
+
+   Run with: dune exec examples/physical_attack.exe *)
+
+open Common
+
+let page = Hw.Addr.page_size
+
+let secret_enclave w =
+  let b = Image.Builder.create ~name:"keyvault" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"vault code"
+      ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".keys" ~vaddr:page
+      ~data:"MASTER-KEY-0xDEADBEEF-SUPER-SECRET" ~perm:Hw.Perm.rw ~measured:false ()
+  in
+  let image = Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0)) in
+  ok_str
+    (Libtyche.Enclave.create w.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+       ~at:0x100000 ~image ())
+
+let contains_substring s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let () =
+  step "Machine WITHOUT memory encryption";
+  let w1 = boot () in
+  let _h1 = secret_enclave w1 in
+  (* The monitor stops the OS... *)
+  (match Tyche.Monitor.load w1.monitor ~core:0 (0x100000 + page) with
+  | Error _ -> say "software attack (OS read): blocked by the monitor"
+  | Ok _ -> failwith "monitor failed");
+  (* ...but an interposer reads DRAM directly: plaintext. *)
+  let dram =
+    Hw.Physmem.read w1.machine.Hw.Machine.mem
+      (Hw.Addr.Range.make ~base:(0x100000 + page) ~len:34)
+  in
+  say "physical attack (DIMM interposer): %S" dram;
+  say "  -> the secret is in the clear. Software isolation cannot help here.";
+
+  step "Machine WITH an MKTME controller handed to the backend";
+  let machine = Hw.Machine.create ~mem_size:(32 * 1024 * 1024) () in
+  let rng = Crypto.Rng.create ~seed:0x777L in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let controller = Hw.Mktme.create rng in
+  let backend = Backend_x86.create machine ~mktme:controller () in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng
+      ~monitor_range:report.Rot.Boot.monitor_range
+  in
+  let w2 = { machine; tpm; boot_report = report; backend; monitor } in
+  let h2 = secret_enclave w2 in
+  say "enclave #%d's pages keyed: key id %s" h2.Libtyche.Handle.domain
+    (match Hw.Mktme.keyid_of controller (0x100000 + page) with
+    | Some k -> string_of_int k
+    | None -> "NONE?!");
+  let snooped =
+    Hw.Mktme.snoop controller machine.Hw.Machine.mem
+      (Hw.Addr.Range.make ~base:(0x100000 + page) ~len:34)
+  in
+  say "interposer now captures: %d bytes of ciphertext" (String.length snooped);
+  say "  plaintext visible? %b" (contains_substring snooped "MASTER-KEY");
+  (* The CPU-side view is unchanged: the enclave still computes. *)
+  let _ = ok (Tyche.Monitor.call monitor ~core:0 ~target:h2.Libtyche.Handle.domain) in
+  say "enclave still reads its own key through the controller: %S"
+    (ok
+       (Tyche.Monitor.load_string monitor ~core:0
+          (Hw.Addr.Range.make ~base:(0x100000 + page) ~len:10)));
+  let _ = ok (Tyche.Monitor.ret monitor ~core:0) in
+  (* OS memory stays plaintext on the bus: encryption is per-domain. *)
+  ok (Tyche.Monitor.store_string monitor ~core:0 0x8000 "public scratch");
+  say "OS memory on the bus (unkeyed, as configured): %S"
+    (Hw.Mktme.snoop controller machine.Hw.Machine.mem
+       (Hw.Addr.Range.make ~base:0x8000 ~len:14));
+  Printf.printf "\nphysical_attack: done (protected bytes: %d)\n"
+    (Hw.Mktme.protected_bytes controller)

@@ -1,0 +1,115 @@
+(* The paper's opening motivation: "developers must either extend their
+   trust to thousands of unverified libraries or isolate them in
+   separate processes, with all associated overheads."
+
+   One buggy image-parsing library, linked two ways:
+   - the commodity way: same address space as the app — its wild write
+     silently corrupts the app's session keys;
+   - the Tyche way: a sandbox domain holding only its code and an
+     explicit exchange window — the same wild write faults, and the app
+     survives.
+
+   Run with: dune exec examples/untrusted_library.exe *)
+
+open Common
+
+let page = Hw.Addr.page_size
+
+(* The library: "parses" an image into a thumbnail. Version 0.9 has an
+   out-of-bounds write: given a hostile input it scribbles over whatever
+   sits at [app_keys]. [write] is however the library reaches memory in
+   each linking mode. *)
+let parse_image ~write ~window_base ~app_keys input =
+  let thumbnail = "thumb(" ^ String.sub input 0 (min 8 (String.length input)) ^ ")" in
+  let result = write window_base thumbnail in
+  if String.length input > 32 then
+    (* The bug: a length miscalculation turns into a wild write. *)
+    match write app_keys "OVERFLOW" with
+    | Ok () -> (result, "wild write LANDED")
+    | Error e -> (result, "wild write faulted: " ^ e)
+  else (result, "no overflow triggered")
+
+let library_image () =
+  let b = Image.Builder.create ~name:"libimage-0.9" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"jpeg parser (buggy)"
+      ~perm:Hw.Perm.rx ()
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let hostile_input = String.make 64 'A' (* long enough to trigger the bug *)
+
+let () =
+  step "An app with session keys at 0x200000 and a parsing buffer";
+  let w = boot () in
+  let m = w.monitor in
+  let app_keys = 0x200000 in
+  let window_base = 0x210000 in
+  ok (Tyche.Monitor.store_string m ~core:0 app_keys "app-session-keys");
+
+  step "Commodity linking: the library runs in the app's address space";
+  let write addr data =
+    Result.map_error Tyche.Monitor.error_to_string
+      (Tyche.Monitor.store_string m ~core:0 addr data)
+  in
+  let _, outcome = parse_image ~write ~window_base ~app_keys hostile_input in
+  say "%s" outcome;
+  say "app keys now: %S"
+    (ok (Tyche.Monitor.load_string m ~core:0 (Hw.Addr.Range.make ~base:app_keys ~len:16)));
+  ok (Tyche.Monitor.store_string m ~core:0 app_keys "app-session-keys");
+
+  step "Tyche linking: same library, sandboxed with one shared window";
+  let sandbox =
+    ok_str
+      (Libtyche.Loader.load m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x300000 ~image:(library_image ()) ~kind:Tyche.Domain.Sandbox ~seal:false ())
+  in
+  let sb = sandbox.Libtyche.Handle.domain in
+  let window = Hw.Addr.Range.make ~base:window_base ~len:page in
+  let window_holder =
+    Option.get (Libtyche.Loader.cap_containing m ~domain:os window)
+  in
+  let _ =
+    ok_str
+      (Libtyche.Sandbox.grant_window m ~caller:os ~sandbox ~memory_cap:window_holder
+         ~range:window ~writable:true)
+  in
+  ok (Tyche.Monitor.seal m ~caller:os ~domain:sb);
+  (* Enter the sandbox and run the same buggy code path. *)
+  let _ = ok (Tyche.Monitor.call m ~core:0 ~target:sb) in
+  let result, outcome = parse_image ~write ~window_base ~app_keys hostile_input in
+  let _ = ok (Tyche.Monitor.ret m ~core:0) in
+  say "%s" outcome;
+  (match result with
+  | Ok () -> say "legitimate output through the window still worked"
+  | Error e -> say "window write failed unexpectedly: %s" e);
+  say "app keys now: %S"
+    (ok (Tyche.Monitor.load_string m ~core:0 (Hw.Addr.Range.make ~base:app_keys ~len:16)));
+  say "thumbnail delivered: %S"
+    (ok (Tyche.Monitor.load_string m ~core:0 (Hw.Addr.Range.make ~base:window_base ~len:14)));
+
+  step "And the cost? One domain transition, not a process + IPC";
+  Hw.Machine.reset_cycles w.machine;
+  let _ = ok (Tyche.Monitor.call m ~core:0 ~target:sb) in
+  let _ = ok (Tyche.Monitor.ret m ~core:0) in
+  let tyche_cycles = Hw.Machine.cycles w.machine in
+  let c = Hw.Cycles.create () in
+  let procs = Baseline.Process_isolation.create ~counter:c ~mem_per_proc:(16 * page) in
+  let p_app = Baseline.Process_isolation.fork procs in
+  let p_lib = Baseline.Process_isolation.fork procs in
+  Hw.Cycles.reset c;
+  Baseline.Process_isolation.context_switch procs ~from_:p_app ~to_:p_lib;
+  Baseline.Process_isolation.send procs ~from_:p_app ~to_:p_lib hostile_input;
+  ignore (Baseline.Process_isolation.recv procs p_lib);
+  Baseline.Process_isolation.context_switch procs ~from_:p_lib ~to_:p_app;
+  let process_cycles = Hw.Cycles.read c in
+  say "sandbox call+ret:          %6d sim cycles" tyche_cycles;
+  say "process switch + pipe IPC: %6d sim cycles (%.1fx)" process_cycles
+    (float_of_int process_cycles /. float_of_int (max 1 tyche_cycles));
+  (match Tyche.Invariants.check_all m with
+  | [] -> say "all system invariants hold"
+  | vs ->
+    List.iter
+      (fun v -> say "VIOLATION: %s" (Format.asprintf "%a" Tyche.Invariants.pp_violation v))
+      vs);
+  Printf.printf "\nuntrusted_library: done\n"

@@ -1,0 +1,235 @@
+type alloc_strategy = Merge_adjacent | First_fit
+
+type state = {
+  machine : Hw.Machine.t;
+  monitor_range : Hw.Addr.Range.t;
+  strategy : alloc_strategy;
+  layouts : (Tyche.Domain.id, (Hw.Addr.Range.t * Hw.Perm.t) list ref) Hashtbl.t;
+  domain_devices : (Tyche.Domain.id, int list ref) Hashtbl.t;
+  core_domain : int array;
+  mutable transitions : int;
+  mutable pmp_writes : int;
+}
+
+let registry : (Tyche.Backend_intf.t * state) list ref = ref []
+
+let state_of backend =
+  match List.find_opt (fun (b, _) -> b == backend) !registry with
+  | Some (_, s) -> s
+  | None -> invalid_arg "Backend_riscv: not a backend created by this module"
+
+let usable_entries machine =
+  (* Entry 0 is locked over the monitor image on every hart. *)
+  Hw.Pmp.entry_count (Hw.Cpu.pmp machine.Hw.Machine.cores.(0)) - 1
+
+let layout_ref s domain =
+  match Hashtbl.find_opt s.layouts domain with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add s.layouts domain l;
+    l
+
+let devices_of s domain =
+  match Hashtbl.find_opt s.domain_devices domain with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add s.domain_devices domain l;
+    l
+
+(* Keep layouts sorted by base; Merge_adjacent folds touching ranges of
+   equal permission into a single PMP segment. *)
+let normalize strategy pieces =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Hw.Addr.Range.compare a b) pieces
+  in
+  match strategy with
+  | First_fit -> sorted
+  | Merge_adjacent ->
+    let rec fold = function
+      | (r1, p1) :: (r2, p2) :: rest
+        when Hw.Perm.equal p1 p2
+             && (Hw.Addr.Range.adjacent r1 r2 || Hw.Addr.Range.overlaps r1 r2) ->
+        fold ((Option.get (Hw.Addr.Range.merge r1 r2), p1) :: rest)
+      | x :: rest -> x :: fold rest
+      | [] -> []
+    in
+    fold sorted
+
+let layout_add s domain range perm =
+  let l = layout_ref s domain in
+  l := normalize s.strategy ((range, perm) :: !l)
+
+let layout_remove s domain range =
+  let l = layout_ref s domain in
+  l :=
+    normalize s.strategy
+      (List.concat_map
+         (fun (r, p) ->
+           List.map (fun piece -> (piece, p)) (Hw.Addr.Range.subtract r range))
+         !l)
+
+let reprogram s ~core domain =
+  let pmp = Hw.Cpu.pmp core in
+  let layout = !(layout_ref s domain) in
+  if List.length layout > usable_entries s.machine then
+    Error
+      (Printf.sprintf "domain %d needs %d PMP entries but only %d are usable" domain
+         (List.length layout) (usable_entries s.machine))
+  else begin
+    (* Clear every non-locked entry, then program the layout. *)
+    List.iter
+      (fun (i, _, _, locked) ->
+        if not locked then begin
+          Hw.Pmp.clear pmp ~index:i;
+          s.pmp_writes <- s.pmp_writes + 1
+        end)
+      (Hw.Pmp.entries pmp);
+    List.iter
+      (fun (range, perm) ->
+        match Hw.Pmp.find_free pmp with
+        | Some index ->
+          Hw.Pmp.set pmp ~index range perm ~locked:false;
+          s.pmp_writes <- s.pmp_writes + 1
+        | None -> assert false (* guarded by the budget check above *))
+      layout;
+    Ok ()
+  end
+
+let reprogram_running s domain =
+  Array.iteri
+    (fun core_id running ->
+      if running = domain then
+        match reprogram s ~core:(Hw.Machine.core s.machine core_id) domain with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Backend_riscv: " ^ msg))
+    s.core_domain
+
+let dma_perm perm = Hw.Perm.inter perm Hw.Perm.rw
+
+let apply_effect s = function
+  | Cap.Captree.Attach { domain; resource = Cap.Resource.Memory r; perm } ->
+    layout_add s domain r perm;
+    List.iter
+      (fun bdf -> Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf r (dma_perm perm))
+      !(devices_of s domain);
+    reprogram_running s domain;
+    Ok ()
+  | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
+    layout_remove s domain r;
+    List.iter
+      (fun bdf -> Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf r)
+      !(devices_of s domain);
+    reprogram_running s domain;
+    Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
+      ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter r;
+    Ok ()
+  | Cap.Captree.Attach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    let devices = devices_of s domain in
+    devices := bdf :: !devices;
+    List.iter
+      (fun (r, perm) ->
+        Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf r (dma_perm perm))
+      !(layout_ref s domain);
+    Ok ()
+  | Cap.Captree.Detach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    Hw.Iommu.revoke_all s.machine.Hw.Machine.iommu ~device:bdf;
+    Hw.Interrupt.revoke_device s.machine.Hw.Machine.interrupts ~device:bdf;
+    let devices = devices_of s domain in
+    devices := List.filter (fun d -> d <> bdf) !devices;
+    Ok ()
+  | Cap.Captree.Attach { resource = Cap.Resource.Cpu_core _; _ }
+  | Cap.Captree.Detach { resource = Cap.Resource.Cpu_core _; _ } ->
+    Ok ()
+
+let validate_attach s d resource =
+  match resource with
+  | Cap.Resource.Memory r ->
+    let domain = Tyche.Domain.id d in
+    let simulated = normalize s.strategy ((r, Hw.Perm.rwx) :: !(layout_ref s domain)) in
+    (* Permissions may differ from rwx, preventing some merges; count
+       conservatively with the actual perm when known is impossible
+       here, so recount with the pessimistic assumption too. *)
+    let worst = List.length !(layout_ref s domain) + 1 in
+    let best = List.length simulated in
+    let budget = usable_entries s.machine in
+    if min best worst > budget then
+      Error
+        (Printf.sprintf
+           "PMP layout for domain %d would need %d entries (budget %d): \
+            lay the domain out contiguously"
+           domain (min best worst) budget)
+    else Ok ()
+  | Cap.Resource.Cpu_core _ | Cap.Resource.Device _ -> Ok ()
+
+let mode_for d =
+  if Tyche.Domain.id d = Tyche.Domain.initial then Hw.Cpu.Riscv Hw.Cpu.S
+  else Hw.Cpu.Riscv Hw.Cpu.U
+
+let enter s ~core d =
+  let domain = Tyche.Domain.id d in
+  (match reprogram s ~core domain with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Backend_riscv: " ^ msg));
+  Hw.Cpu.set_asid core (Tyche.Domain.asid d);
+  Hw.Cpu.set_mode core (mode_for d);
+  s.core_domain.(Hw.Cpu.id core) <- domain
+
+let transition s ~core ~from_ ~to_ ~flush_microarch =
+  ignore from_;
+  let counter = s.machine.Hw.Machine.counter in
+  Hw.Cycles.charge counter Hw.Cycles.Cost.ecall_machine_mode;
+  if flush_microarch then Hw.Cache.flush_all s.machine.Hw.Machine.cache;
+  s.transitions <- s.transitions + 1;
+  enter s ~core to_;
+  (* PMP reprogramming always traps to M-mode: there is no exit-less
+     path on this backend, which is the cost the paper accepts for the
+     generality of running on PMP-only hardware. *)
+  Tyche.Backend_intf.Trap_roundtrip
+
+let domain_reaches s d range =
+  List.exists (fun (r, _) -> Hw.Addr.Range.overlaps r range)
+    !(layout_ref s (Tyche.Domain.id d))
+
+let create machine ~monitor_range ?(alloc_strategy = Merge_adjacent) () =
+  if machine.Hw.Machine.arch <> Hw.Cpu.Riscv64 then
+    invalid_arg "Backend_riscv.create: machine is not RISC-V";
+  let s =
+    { machine;
+      monitor_range;
+      strategy = alloc_strategy;
+      layouts = Hashtbl.create 16;
+      domain_devices = Hashtbl.create 16;
+      core_domain = Array.make (Array.length machine.Hw.Machine.cores) Tyche.Domain.initial;
+      transitions = 0;
+      pmp_writes = 0 }
+  in
+  (* Lock the monitor's image out of reach on every hart. *)
+  Array.iter
+    (fun core ->
+      Hw.Pmp.set (Hw.Cpu.pmp core) ~index:0 s.monitor_range Hw.Perm.none ~locked:true)
+    machine.Hw.Machine.cores;
+  let backend =
+    { Tyche.Backend_intf.backend_name = "riscv-pmp";
+      domain_created = (fun _ -> ());
+      domain_destroyed =
+        (fun d ->
+          let id = Tyche.Domain.id d in
+          Hashtbl.remove s.layouts id;
+          Hashtbl.remove s.domain_devices id);
+      apply_effect = (fun eff -> apply_effect s eff);
+      validate_attach = (fun d r -> validate_attach s d r);
+      transition =
+        (fun ~core ~from_ ~to_ ~flush_microarch ->
+          transition s ~core ~from_ ~to_ ~flush_microarch);
+      launch = (fun ~core d -> enter s ~core d);
+      domain_reaches = (fun d r -> domain_reaches s d r);
+      domain_encrypted = (fun _ -> false) }
+  in
+  registry := (backend, s) :: !registry;
+  backend
+
+let layout_of backend domain = !(layout_ref (state_of backend) domain)
+let transitions backend = (state_of backend).transitions
+let pmp_reprogram_writes backend = (state_of backend).pmp_writes

@@ -1,0 +1,263 @@
+type tlb_strategy = Full_shootdown | Asid_flush
+
+type state = {
+  machine : Hw.Machine.t;
+  tlb_strategy : tlb_strategy;
+  mktme : Hw.Mktme.t option;
+  keyids : (Tyche.Domain.id, Hw.Mktme.keyid) Hashtbl.t;
+  confidential : (Tyche.Domain.id, unit) Hashtbl.t;
+  mutable next_keyid : int;
+  epts : (Tyche.Domain.id, Hw.Ept.t) Hashtbl.t;
+  eptp_lists : (Tyche.Domain.id, Hw.Ept.Eptp_list.t) Hashtbl.t;
+  domain_mem : (Tyche.Domain.id, (Hw.Addr.Range.t * Hw.Perm.t) list ref) Hashtbl.t;
+  domain_devices : (Tyche.Domain.id, int list ref) Hashtbl.t;
+  mutable fast : int;
+  mutable trap : int;
+}
+
+(* Associates the opaque backend records handed to the monitor with
+   their internal state, for test/bench introspection. *)
+let registry : (Tyche.Backend_intf.t * state) list ref = ref []
+
+let state_of backend =
+  match List.find_opt (fun (b, _) -> b == backend) !registry with
+  | Some (_, s) -> s
+  | None -> invalid_arg "Backend_x86: not a backend created by this module"
+
+let mem_of s domain =
+  match Hashtbl.find_opt s.domain_mem domain with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add s.domain_mem domain l;
+    l
+
+let devices_of s domain =
+  match Hashtbl.find_opt s.domain_devices domain with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add s.domain_devices domain l;
+    l
+
+let dma_perm perm = Hw.Perm.inter perm Hw.Perm.rw
+
+(* MKTME: protect memory attached to a confidential domain under its
+   key; memory attached to anyone else reverts to plaintext-on-bus. *)
+let mktme_on_attach s domain range =
+  match s.mktme with
+  | None -> ()
+  | Some controller ->
+    if Hashtbl.mem s.confidential domain then begin
+      match Hashtbl.find_opt s.keyids domain with
+      | Some keyid -> Hw.Mktme.protect controller ~keyid range
+      | None ->
+        if s.next_keyid < Hw.Mktme.slots controller then begin
+          let keyid = s.next_keyid in
+          s.next_keyid <- keyid + 1;
+          Hashtbl.replace s.keyids domain keyid;
+          Hw.Mktme.protect controller ~keyid range
+        end
+        (* slots exhausted: the domain runs unencrypted, like real parts *)
+    end
+    else Hw.Mktme.unprotect controller range
+
+let mktme_on_detach s range =
+  match s.mktme with
+  | None -> ()
+  | Some controller -> Hw.Mktme.unprotect controller range
+
+let attach_memory s domain range perm =
+  match Hashtbl.find_opt s.epts domain with
+  | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
+  | Some ept ->
+    Hw.Ept.map_range ept ~gpa:(Hw.Addr.Range.base range) range perm;
+    mktme_on_attach s domain range;
+    let mem = mem_of s domain in
+    mem := (range, perm) :: !mem;
+    List.iter
+      (fun bdf -> Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf range (dma_perm perm))
+      !(devices_of s domain);
+    Ok ()
+
+let flush_tlb_after_detach s domain =
+  match s.tlb_strategy with
+  | Full_shootdown ->
+    let remote = Array.length s.machine.Hw.Machine.cores - 1 in
+    Hw.Tlb.shootdown s.machine.Hw.Machine.tlb ~remote_cores:remote
+  | Asid_flush -> Hw.Tlb.flush_asid s.machine.Hw.Machine.tlb ~asid:domain
+
+let detach_memory s domain range cleanup =
+  match Hashtbl.find_opt s.epts domain with
+  | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
+  | Some ept ->
+    let (_ : int) = Hw.Ept.unmap_hpa_range ept range in
+    mktme_on_detach s range;
+    flush_tlb_after_detach s domain;
+    List.iter
+      (fun bdf -> Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf range)
+      !(devices_of s domain);
+    let mem = mem_of s domain in
+    mem :=
+      List.concat_map
+        (fun (r, perm) ->
+          List.map (fun piece -> (piece, perm)) (Hw.Addr.Range.subtract r range))
+        !mem;
+    Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
+      ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter range;
+    Ok ()
+
+let attach_device s domain bdf =
+  let devices = devices_of s domain in
+  devices := bdf :: !devices;
+  List.iter
+    (fun (range, perm) ->
+      Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf range (dma_perm perm))
+    !(mem_of s domain);
+  Ok ()
+
+let detach_device s domain bdf =
+  Hw.Iommu.revoke_all s.machine.Hw.Machine.iommu ~device:bdf;
+  Hw.Interrupt.revoke_device s.machine.Hw.Machine.interrupts ~device:bdf;
+  let devices = devices_of s domain in
+  devices := List.filter (fun d -> d <> bdf) !devices;
+  Ok ()
+
+let apply_effect s = function
+  | Cap.Captree.Attach { domain; resource = Cap.Resource.Memory r; perm } ->
+    attach_memory s domain r perm
+  | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
+    detach_memory s domain r cleanup
+  | Cap.Captree.Attach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    attach_device s domain bdf
+  | Cap.Captree.Detach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    detach_device s domain bdf
+  | Cap.Captree.Attach { resource = Cap.Resource.Cpu_core _; _ }
+  | Cap.Captree.Detach { resource = Cap.Resource.Cpu_core _; _ } ->
+    (* Core eligibility is checked by the monitor at transition time. *)
+    Ok ()
+
+let validate_attach _domain resource =
+  match resource with
+  | Cap.Resource.Memory r ->
+    if Hw.Addr.Range.is_page_aligned r then Ok ()
+    else Error "EPT backend requires page-aligned memory ranges"
+  | Cap.Resource.Cpu_core _ | Cap.Resource.Device _ -> Ok ()
+
+let mode_for d =
+  match Tyche.Domain.kind d with
+  | Tyche.Domain.Os | Tyche.Domain.Confidential_vm ->
+    Hw.Cpu.X86 { ring = 0; vmx_root = false }
+  | Tyche.Domain.Sandbox | Tyche.Domain.Enclave | Tyche.Domain.Io_domain ->
+    Hw.Cpu.X86 { ring = 3; vmx_root = false }
+
+let enter s ~core d =
+  let id = Tyche.Domain.id d in
+  Hw.Cpu.set_active_ept core (Hashtbl.find_opt s.epts id);
+  Hw.Cpu.set_asid core (Tyche.Domain.asid d);
+  Hw.Cpu.set_mode core (mode_for d)
+
+let transition s ~core ~from_ ~to_ ~flush_microarch =
+  let counter = s.machine.Hw.Machine.counter in
+  let from_id = Tyche.Domain.id from_ and to_id = Tyche.Domain.id to_ in
+  let from_list = Hashtbl.find_opt s.eptp_lists from_id in
+  let to_ept = Hashtbl.find_opt s.epts to_id in
+  let fast_path_ready =
+    (not flush_microarch)
+    && (match from_list, to_ept with
+       | Some l, Some e -> Hw.Ept.Eptp_list.slot_of l e <> None
+       | _ -> false)
+  in
+  let path =
+    if fast_path_ready then begin
+      Hw.Cycles.charge counter Hw.Cycles.Cost.vmfunc;
+      s.fast <- s.fast + 1;
+      Tyche.Backend_intf.Fast_switch
+    end
+    else begin
+      Hw.Cycles.charge counter Hw.Cycles.Cost.vmcall_roundtrip;
+      s.trap <- s.trap + 1;
+      if flush_microarch then begin
+        Hw.Cache.flush_all s.machine.Hw.Machine.cache;
+        Hw.Tlb.flush_asid s.machine.Hw.Machine.tlb ~asid:from_id
+      end
+      else begin
+        (* First trap between this pair: the monitor pre-registers the
+           target EPT in the source's EPTP list so later transitions can
+           take the VMFUNC path (ablation a2: silently degrades to the
+           trap path forever once the 512-entry list is full). *)
+        match from_list, to_ept with
+        | Some l, Some e -> ignore (Hw.Ept.Eptp_list.register l e : int option)
+        | _ -> ()
+      end;
+      Tyche.Backend_intf.Trap_roundtrip
+    end
+  in
+  enter s ~core to_;
+  path
+
+let domain_reaches s d range =
+  match Hashtbl.find_opt s.epts (Tyche.Domain.id d) with
+  | Some ept -> Hw.Ept.reaches_hpa_range ept range
+  | None -> false
+
+let create machine ?(tlb_strategy = Full_shootdown) ?mktme () =
+  if machine.Hw.Machine.arch <> Hw.Cpu.X86_64 then
+    invalid_arg "Backend_x86.create: machine is not x86_64";
+  let s =
+    { machine;
+      tlb_strategy;
+      mktme;
+      keyids = Hashtbl.create 16;
+      confidential = Hashtbl.create 16;
+      next_keyid = 0;
+      epts = Hashtbl.create 16;
+      eptp_lists = Hashtbl.create 16;
+      domain_mem = Hashtbl.create 16;
+      domain_devices = Hashtbl.create 16;
+      fast = 0;
+      trap = 0 }
+  in
+  let backend =
+    { Tyche.Backend_intf.backend_name = "x86_64-vtx";
+      domain_created =
+        (fun d ->
+          let id = Tyche.Domain.id d in
+          (match Tyche.Domain.kind d with
+          | Tyche.Domain.Enclave | Tyche.Domain.Confidential_vm ->
+            Hashtbl.replace s.confidential id ()
+          | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain -> ());
+          Hashtbl.replace s.epts id (Hw.Ept.create ~counter:machine.Hw.Machine.counter);
+          Hashtbl.replace s.eptp_lists id (Hw.Ept.Eptp_list.create ()));
+      domain_destroyed =
+        (fun d ->
+          let id = Tyche.Domain.id d in
+          Hashtbl.remove s.epts id;
+          Hashtbl.remove s.eptp_lists id;
+          Hashtbl.remove s.domain_mem id;
+          Hashtbl.remove s.domain_devices id;
+          Hashtbl.remove s.confidential id;
+          Hashtbl.remove s.keyids id);
+      apply_effect = (fun eff -> apply_effect s eff);
+      validate_attach = (fun d r -> validate_attach d r);
+      transition =
+        (fun ~core ~from_ ~to_ ~flush_microarch ->
+          transition s ~core ~from_ ~to_ ~flush_microarch);
+      launch = (fun ~core d -> enter s ~core d);
+      domain_reaches = (fun d r -> domain_reaches s d r);
+      domain_encrypted =
+        (fun d -> s.mktme <> None && Hashtbl.mem s.keyids (Tyche.Domain.id d)) }
+  in
+  registry := (backend, s) :: !registry;
+  backend
+
+let ept_of backend domain = Hashtbl.find_opt (state_of backend).epts domain
+
+let eptp_registered backend ~from_ ~to_ =
+  let s = state_of backend in
+  match Hashtbl.find_opt s.eptp_lists from_, Hashtbl.find_opt s.epts to_ with
+  | Some l, Some e -> Hw.Ept.Eptp_list.slot_of l e <> None
+  | _ -> false
+
+let fast_transitions backend = (state_of backend).fast
+let trap_transitions backend = (state_of backend).trap

@@ -1,0 +1,1 @@
+lib/baseline/process_isolation.ml: Hw List Queue String

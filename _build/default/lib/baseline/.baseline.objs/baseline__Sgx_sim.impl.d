@@ -1,0 +1,1 @@
+lib/baseline/sgx_sim.ml: Crypto Hw Printf Result

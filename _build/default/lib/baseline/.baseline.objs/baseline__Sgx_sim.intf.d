@@ -1,0 +1,1 @@
+lib/baseline/sgx_sim.mli: Crypto Hw

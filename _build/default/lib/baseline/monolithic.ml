@@ -1,0 +1,39 @@
+type subject = int
+
+type t = {
+  mem : Hw.Physmem.t;
+  mutable allocations : (subject * Hw.Addr.Range.t) list;
+  mutable next_base : int;
+}
+
+let create ~mem_size =
+  { mem = Hw.Physmem.create ~size:mem_size; allocations = []; next_base = 0 }
+
+let app_alloc t subject ~bytes =
+  let len = Hw.Addr.align_up (max 1 bytes) in
+  let range = Hw.Addr.Range.make ~base:t.next_base ~len in
+  t.next_base <- t.next_base + len;
+  t.allocations <- (subject, range) :: t.allocations;
+  range
+
+let owns t subject addr =
+  List.exists
+    (fun (s, r) -> s = subject && Hw.Addr.Range.contains r addr)
+    t.allocations
+
+let app_store t subject addr v =
+  if owns t subject addr then Ok (Hw.Physmem.write_byte t.mem addr v)
+  else Error "segmentation fault"
+
+let app_load t subject addr =
+  if owns t subject addr then Ok (Hw.Physmem.read_byte t.mem addr)
+  else Error "segmentation fault"
+
+let kernel_remap _t ~target = ignore target
+
+let kernel_load t addr = Hw.Physmem.read_byte t.mem addr
+
+let self_report _t subject =
+  Printf.sprintf "subject %d is definitely isolated, trust me" subject
+
+let audit_trail _t = []

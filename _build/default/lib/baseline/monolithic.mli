@@ -1,0 +1,38 @@
+(** Baseline 3: a commodity system with the full monopoly on isolation
+    (§2.2) — the adversary model the monitor exists to break.
+
+    Privileged code here is both legislature and executive with no
+    judiciary: it can silently remap any memory, its "attestations" are
+    self-reported strings no third party can check, and nothing records
+    which subjects can reach which memory. The E12 attack suite runs the
+    same attacks against this model and against Tyche and tabulates who
+    detects/blocks what. *)
+
+type t
+type subject = int
+(** 0 is the privileged kernel; others are applications. *)
+
+val create : mem_size:int -> t
+
+val app_alloc : t -> subject -> bytes:int -> Hw.Addr.Range.t
+(** The kernel places an application's "private" memory. *)
+
+val app_store : t -> subject -> Hw.Addr.t -> int -> (unit, string) result
+val app_load : t -> subject -> Hw.Addr.t -> (int, string) result
+(** Applications are confined to their own allocations... *)
+
+val kernel_remap : t -> target:Hw.Addr.Range.t -> unit
+(** ...but the kernel can map anything into itself, silently. *)
+
+val kernel_load : t -> Hw.Addr.t -> int
+(** Never fails: after {!kernel_remap} (or even without it — ring 0
+    reads physical memory), the kernel reads anything. *)
+
+val self_report : t -> subject -> string
+(** What passes for attestation: an unsigned self-description. The
+    kernel can claim anything; there is no root of trust to contradict
+    it. *)
+
+val audit_trail : t -> string list
+(** Always empty — remappings leave no verifiable trace. Present so the
+    E12 table can print "no evidence" honestly. *)

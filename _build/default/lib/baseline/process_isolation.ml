@@ -1,0 +1,52 @@
+type proc = { pid : int; inbox : string Queue.t }
+
+type t = {
+  counter : Hw.Cycles.counter;
+  mem_per_proc : int;
+  mutable procs : proc list;
+  mutable next_pid : int;
+}
+
+let create ~counter ~mem_per_proc = { counter; mem_per_proc; procs = []; next_pid = 1 }
+
+let fork t =
+  Hw.Cycles.charge t.counter Hw.Cycles.Cost.process_fork;
+  (* Charge setting up the address space: one page-table entry per page
+     of the child's memory, modelled at EPT-map cost. *)
+  Hw.Cycles.charge t.counter
+    (t.mem_per_proc / Hw.Addr.page_size * Hw.Cycles.Cost.ept_map_page);
+  let p = { pid = t.next_pid; inbox = Queue.create () } in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- p :: t.procs;
+  p
+
+let kill t p = t.procs <- List.filter (fun q -> q.pid <> p.pid) t.procs
+
+let alive t = List.length t.procs
+
+let context_switch t ~from_ ~to_ =
+  ignore from_;
+  ignore to_;
+  Hw.Cycles.charge t.counter Hw.Cycles.Cost.process_context_switch
+
+let send t ~from_ ~to_ msg =
+  ignore from_;
+  Hw.Cycles.charge t.counter (2 * Hw.Cycles.Cost.syscall_roundtrip);
+  Hw.Cycles.charge t.counter (String.length msg * Hw.Cycles.Cost.pipe_byte_copy);
+  Queue.add msg to_.inbox
+
+let recv t p =
+  Hw.Cycles.charge t.counter Hw.Cycles.Cost.syscall_roundtrip;
+  match Queue.take_opt p.inbox with
+  | Some msg ->
+    Hw.Cycles.charge t.counter (String.length msg * Hw.Cycles.Cost.pipe_byte_copy);
+    Some msg
+  | None -> None
+
+let proc_read _t p ~target =
+  if p.pid = target.pid then Ok ()
+  else Error "segmentation fault: processes cannot read each other"
+
+let kernel_read _t ~target = ignore target
+
+let pid p = p.pid

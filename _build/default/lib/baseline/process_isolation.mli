@@ -1,0 +1,39 @@
+(** Baseline 1: commodity process-based compartmentalization.
+
+    The paper's §2.2 cost argument: isolating untrusted libraries in
+    separate processes pays for process creation, context switches and
+    copy-based IPC. This model charges those costs (lmbench-calibrated)
+    to the shared cycle counter so benches can compare them against
+    monitor domain operations on identical workloads. It also models the
+    trust asymmetry: the kernel (and any privileged code) can read every
+    process's memory — processes protect the kernel from users, never
+    the reverse. *)
+
+type t
+type proc
+
+val create : counter:Hw.Cycles.counter -> mem_per_proc:int -> t
+val fork : t -> proc
+(** Charges the process-creation cost. *)
+
+val kill : t -> proc -> unit
+val alive : t -> int
+
+val context_switch : t -> from_:proc -> to_:proc -> unit
+
+val send : t -> from_:proc -> to_:proc -> string -> unit
+(** Pipe-style IPC: two syscalls plus a kernel copy of every byte. The
+    message is buffered for {!recv}. *)
+
+val recv : t -> proc -> string option
+(** Dequeue the oldest pending message (one more syscall + user copy). *)
+
+val proc_read : t -> proc -> target:proc -> (unit, string) result
+(** A process reading another's memory fails (that much processes do
+    provide)... *)
+
+val kernel_read : t -> target:proc -> unit
+(** ...but privileged code always succeeds, with no attestable trace —
+    the monopoly the paper is about. *)
+
+val pid : proc -> int

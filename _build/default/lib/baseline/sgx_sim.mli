@@ -1,0 +1,55 @@
+(** Baseline 2: an SGX-style fixed enclave abstraction.
+
+    Models the three limitations §4.2 contrasts Tyche-enclaves against:
+    - enclaves see the *whole* untrusted host address space implicitly
+      ({!enclave_reads_host} always succeeds — the "accidental leakage"
+      risk), while the host cannot read enclave memory;
+    - one fixed abstraction level: {!create_enclave} from inside an
+      enclave fails ([`Nesting_unsupported]), and enclaves cannot share
+      pages with each other;
+    - a finite EPC: creation fails once the encrypted page cache is
+      exhausted.
+
+    Costs (ECREATE/EADD/EEXTEND/EINIT, EENTER/EEXIT) are charged to the
+    shared counter at published magnitudes. *)
+
+type t
+type enclave
+
+type error =
+  [ `Epc_exhausted
+  | `Nesting_unsupported
+  | `Sharing_unsupported
+  | `Destroyed ]
+
+val error_to_string : error -> string
+
+val create : counter:Hw.Cycles.counter -> epc_pages:int -> t
+(** A platform with the given encrypted-page-cache budget. *)
+
+val epc_free : t -> int
+
+val create_enclave :
+  t -> ?inside:enclave -> pages:int -> unit -> (enclave, error) result
+(** ECREATE + EADD/EEXTEND per page + EINIT. [?inside] marks the call
+    as coming from enclave context — always [`Nesting_unsupported]. *)
+
+val eenter : t -> enclave -> (unit, error) result
+val eexit : t -> enclave -> (unit, error) result
+
+val share_pages : t -> enclave -> enclave -> (unit, error) result
+(** Always [`Sharing_unsupported]: SGX enclaves have no grant/share. *)
+
+val enclave_reads_host : t -> enclave -> unit
+(** Implicit, unattested access to all host memory — succeeds. *)
+
+val host_reads_enclave : t -> enclave -> (unit, string) result
+(** Fails: the one protection SGX does give. *)
+
+val measurement : t -> enclave -> Crypto.Sha256.digest
+(** MRENCLAVE-style measurement accumulated during EADD/EEXTEND. *)
+
+val destroy : t -> enclave -> unit
+(** Return the EPC pages. *)
+
+val pages : enclave -> int

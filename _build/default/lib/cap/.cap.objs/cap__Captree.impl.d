@@ -1,0 +1,1 @@
+lib/cap/captree.ml: Array Format Fun Hashtbl Hw Int List Option Printf Resource Result Revocation Rights

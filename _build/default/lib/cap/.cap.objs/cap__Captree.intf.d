@@ -1,0 +1,1 @@
+lib/cap/captree.mli: Format Hw Resource Revocation Rights

@@ -1,0 +1,1 @@
+lib/cap/resource.ml: Format Hw Int

@@ -1,0 +1,1 @@
+lib/cap/resource.mli: Format Hw

@@ -1,0 +1,1 @@
+lib/cap/revocation.ml: Format Hw

@@ -1,0 +1,1 @@
+lib/cap/rights.ml: Format Hw

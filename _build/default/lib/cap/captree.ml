@@ -1,0 +1,474 @@
+type cap_id = int
+type domain_id = int
+
+type effect =
+  | Attach of { domain : domain_id; resource : Resource.t; perm : Hw.Perm.t }
+  | Detach of { domain : domain_id; resource : Resource.t; cleanup : Revocation.t }
+
+type error =
+  | No_such_capability of cap_id
+  | Capability_inactive of cap_id
+  | Rights_exceeded
+  | Sharing_denied
+  | Grant_denied
+  | Bad_subrange
+  | Overlapping_root
+
+let error_to_string = function
+  | No_such_capability id -> Printf.sprintf "no such capability: %d" id
+  | Capability_inactive id -> Printf.sprintf "capability %d is inactive" id
+  | Rights_exceeded -> "child rights exceed parent rights"
+  | Sharing_denied -> "capability is not shareable"
+  | Grant_denied -> "capability is not grantable"
+  | Bad_subrange -> "invalid subrange or split point"
+  | Overlapping_root -> "new root overlaps an existing root"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+type origin = Orig_root | Orig_shared | Orig_granted | Orig_split
+
+type state = Active | Inactive_granted | Inactive_split
+
+type node = {
+  id : cap_id;
+  resource : Resource.t;
+  node_rights : Rights.t;
+  owner : domain_id;
+  node_cleanup : Revocation.t;
+  parent : cap_id option;
+  origin : origin;
+  mutable children : cap_id list; (* creation order *)
+  mutable state : state;
+}
+
+type t = {
+  nodes : (cap_id, node) Hashtbl.t;
+  mutable roots : cap_id list;
+  mutable next_id : int;
+  (* Ablation a1: the Fig. 4 view is cached between mutations, making
+     refcount/holders queries cheap on a quiescent tree. Any mutation
+     invalidates it; [region_map] rebuilds on demand. *)
+  mutable region_cache : (Hw.Addr.Range.t * domain_id list) list option;
+  mutable region_cache_arr : (Hw.Addr.Range.t * domain_id list) array option;
+  mutable cold_queries : int; (* memory queries since the last mutation *)
+}
+
+let create () =
+  { nodes = Hashtbl.create 64; roots = []; next_id = 1; region_cache = None;
+    region_cache_arr = None; cold_queries = 0 }
+
+let invalidate t =
+  t.region_cache <- None;
+  t.region_cache_arr <- None;
+  t.cold_queries <- 0
+
+let ( let* ) = Result.bind
+
+let find t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> Ok n
+  | None -> Error (No_such_capability id)
+
+let find_active t id =
+  let* n = find t id in
+  if n.state = Active then Ok n else Error (Capability_inactive id)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let add_node t node =
+  invalidate t;
+  Hashtbl.replace t.nodes node.id node;
+  (match node.parent with
+  | Some pid ->
+    (* Prepend: O(1) per share. Nothing depends on child order (ids
+       give creation order where needed). *)
+    let p = Hashtbl.find t.nodes pid in
+    p.children <- node.id :: p.children
+  | None -> t.roots <- t.roots @ [ node.id ])
+
+let root t ~owner resource rights =
+  let overlapping =
+    List.exists
+      (fun rid -> Resource.overlaps (Hashtbl.find t.nodes rid).resource resource)
+      t.roots
+  in
+  if overlapping then Error Overlapping_root
+  else begin
+    let id = fresh_id t in
+    add_node t
+      { id; resource; node_rights = rights; owner; node_cleanup = Revocation.Keep;
+        parent = None; origin = Orig_root; children = []; state = Active };
+    Ok (id, [ Attach { domain = owner; resource; perm = rights.Rights.perm } ])
+  end
+
+let narrowed_resource node subrange =
+  match node.resource, subrange with
+  | _, None -> Ok node.resource
+  | Resource.Memory r, Some sub ->
+    if Hw.Addr.Range.includes ~outer:r ~inner:sub then Ok (Resource.Memory sub)
+    else Error Bad_subrange
+  | (Resource.Cpu_core _ | Resource.Device _), Some _ -> Error Bad_subrange
+
+let share t id ~to_ ~rights ~cleanup ?subrange () =
+  let* n = find_active t id in
+  if not n.node_rights.Rights.can_share then Error Sharing_denied
+  else if not (Rights.attenuates ~parent:n.node_rights ~child:rights) then
+    Error Rights_exceeded
+  else
+    let* resource = narrowed_resource n subrange in
+    let cid = fresh_id t in
+    add_node t
+      { id = cid; resource; node_rights = rights; owner = to_; node_cleanup = cleanup;
+        parent = Some id; origin = Orig_shared; children = []; state = Active };
+    Ok (cid, [ Attach { domain = to_; resource; perm = rights.Rights.perm } ])
+
+let grant t id ~to_ ~rights ~cleanup =
+  let* n = find_active t id in
+  if not n.node_rights.Rights.can_grant then Error Grant_denied
+  else if not (Rights.attenuates ~parent:n.node_rights ~child:rights) then
+    Error Rights_exceeded
+  else begin
+    let cid = fresh_id t in
+    invalidate t;
+    n.state <- Inactive_granted;
+    add_node t
+      { id = cid; resource = n.resource; node_rights = rights; owner = to_;
+        node_cleanup = cleanup; parent = Some id; origin = Orig_granted;
+        children = []; state = Active };
+    Ok
+      ( cid,
+        [ Detach { domain = n.owner; resource = n.resource; cleanup = Revocation.Keep };
+          Attach { domain = to_; resource = n.resource; perm = rights.Rights.perm } ] )
+  end
+
+let split t id ~at =
+  let* n = find_active t id in
+  match n.resource with
+  | Resource.Cpu_core _ | Resource.Device _ -> Error Bad_subrange
+  | Resource.Memory r -> (
+    match Hw.Addr.Range.split_at r at with
+    | None -> Error Bad_subrange
+    | Some (left, right) ->
+      invalidate t;
+      n.state <- Inactive_split;
+      let make range =
+        let cid = fresh_id t in
+        add_node t
+          { id = cid; resource = Resource.Memory range; node_rights = n.node_rights;
+            owner = n.owner; node_cleanup = n.node_cleanup; parent = Some id;
+            origin = Orig_split; children = []; state = Active };
+        cid
+      in
+      let l = make left in
+      let rg = make right in
+      (* Same owner, same permissions: no hardware change required. *)
+      Ok (l, rg, []))
+
+let carve t id ~subrange =
+  let* n = find_active t id in
+  match n.resource with
+  | Resource.Cpu_core _ | Resource.Device _ -> Error Bad_subrange
+  | Resource.Memory r ->
+    if not (Hw.Addr.Range.includes ~outer:r ~inner:subrange) then Error Bad_subrange
+    else if Hw.Addr.Range.equal r subrange then Ok (id, [])
+    else begin
+      (* Cut off the prefix (if any), then the suffix (if any). *)
+      let sub_base = Hw.Addr.Range.base subrange in
+      let sub_limit = Hw.Addr.Range.limit subrange in
+      let* mid_id, effects1 =
+        if sub_base > Hw.Addr.Range.base r then
+          let* _, right, eff = split t id ~at:sub_base in
+          Ok (right, eff)
+        else Ok (id, [])
+      in
+      let* mid = find t mid_id in
+      let mid_range =
+        match mid.resource with Resource.Memory r -> r | _ -> assert false
+      in
+      if sub_limit < Hw.Addr.Range.limit mid_range then
+        let* left, _, effects2 = split t mid_id ~at:sub_limit in
+        Ok (left, effects1 @ effects2)
+      else Ok (mid_id, effects1)
+    end
+
+(* Post-order collection of a subtree: children before parents, so
+   Detach effects never leave a window where a parent mapping has been
+   restored while children still hold the resource. *)
+let rec subtree_postorder t id acc =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> acc
+  | Some n ->
+    let acc = List.fold_left (fun acc c -> subtree_postorder t c acc) acc n.children in
+    n :: acc
+
+let remove_and_collect t node =
+  invalidate t;
+  let victims = List.rev (subtree_postorder t node.id []) in
+  let effects =
+    List.filter_map
+      (fun (v : node) ->
+        Hashtbl.remove t.nodes v.id;
+        if v.state = Active then
+          Some (Detach { domain = v.owner; resource = v.resource; cleanup = v.node_cleanup })
+        else None)
+      victims
+  in
+  (* Unlink from the parent, possibly reactivating it. *)
+  match node.parent with
+  | None ->
+    t.roots <- List.filter (fun r -> r <> node.id) t.roots;
+    effects
+  | Some pid -> (
+    match Hashtbl.find_opt t.nodes pid with
+    | None -> effects
+    | Some p ->
+      p.children <- List.filter (fun c -> c <> node.id) p.children;
+      if p.children = [] && p.state <> Active then begin
+        p.state <- Active;
+        effects
+        @ [ Attach
+              { domain = p.owner; resource = p.resource; perm = p.node_rights.Rights.perm } ]
+      end
+      else effects)
+
+let revoke t id =
+  let* n = find t id in
+  Ok (remove_and_collect t n)
+
+let revoke_children t id =
+  let* n = find t id in
+  let effects =
+    List.concat_map
+      (fun cid ->
+        match Hashtbl.find_opt t.nodes cid with
+        | Some c -> remove_and_collect t c
+        | None -> [])
+      (List.map Fun.id n.children)
+  in
+  Ok effects
+
+(* Inspection *)
+
+let owner t id = Option.map (fun n -> n.owner) (Hashtbl.find_opt t.nodes id)
+let resource t id = Option.map (fun n -> n.resource) (Hashtbl.find_opt t.nodes id)
+let rights t id = Option.map (fun n -> n.node_rights) (Hashtbl.find_opt t.nodes id)
+let cleanup t id = Option.map (fun n -> n.node_cleanup) (Hashtbl.find_opt t.nodes id)
+
+let is_active t id =
+  match Hashtbl.find_opt t.nodes id with Some n -> n.state = Active | None -> false
+
+let parent t id = Option.bind (Hashtbl.find_opt t.nodes id) (fun n -> n.parent)
+
+let children t id =
+  match Hashtbl.find_opt t.nodes id with Some n -> n.children | None -> []
+
+let caps_of_domain t domain =
+  Hashtbl.fold
+    (fun _ n acc -> if n.owner = domain && n.state = Active then n :: acc else acc)
+    t.nodes []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+  |> List.map (fun n -> n.id)
+
+let all_caps_of_domain t domain =
+  Hashtbl.fold (fun _ n acc -> if n.owner = domain then n :: acc else acc) t.nodes []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+  |> List.map (fun n -> n.id)
+
+let is_ancestor t ~ancestor id =
+  let rec walk current =
+    match Hashtbl.find_opt t.nodes current with
+    | None -> false
+    | Some n -> (
+      match n.parent with
+      | Some p -> p = ancestor || walk p
+      | None -> false)
+  in
+  walk id
+
+let node_count t = Hashtbl.length t.nodes
+
+(* Reference counting *)
+
+let active_overlapping t resource =
+  Hashtbl.fold
+    (fun _ n acc ->
+      if n.state = Active && Resource.overlaps n.resource resource then n :: acc else acc)
+    t.nodes []
+
+(* Sweep line over active memory capabilities: O(n log n) in the
+   number of caps, independent of address magnitudes. Events at each
+   range boundary adjust a per-owner counter; every boundary closes the
+   previous segment with the owners active inside it. *)
+let compute_region_map t =
+  let events = ref [] in
+  Hashtbl.iter
+    (fun _ n ->
+      match n.state, n.resource with
+      | Active, Resource.Memory r ->
+        events := (Hw.Addr.Range.base r, 1, n.owner)
+                  :: (Hw.Addr.Range.limit r, -1, n.owner) :: !events
+      | _ -> ())
+    t.nodes;
+  let events =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      !events
+  in
+  let counts : (domain_id, int) Hashtbl.t = Hashtbl.create 16 in
+  let owners () =
+    Hashtbl.fold (fun d c acc -> if c > 0 then d :: acc else acc) counts []
+    |> List.sort_uniq Int.compare
+  in
+  let segments = ref [] in
+  let emit lo hi =
+    if hi > lo then begin
+      match owners () with
+      | [] -> ()
+      | hs -> segments := (Hw.Addr.Range.of_bounds ~lo ~hi, hs) :: !segments
+    end
+  in
+  let rec sweep prev = function
+    | [] -> ()
+    | (pos, delta, owner) :: rest ->
+      if pos > prev then emit prev pos;
+      Hashtbl.replace counts owner
+        (Option.value ~default:0 (Hashtbl.find_opt counts owner) + delta);
+      sweep pos rest
+  in
+  (match events with
+  | [] -> ()
+  | (first, _, _) :: _ -> sweep first events);
+  (* Merge adjacent segments with identical holders. *)
+  let rec merge = function
+    | (r1, h1) :: (r2, h2) :: rest when h1 = h2 && Hw.Addr.Range.adjacent r1 r2 ->
+      merge ((Option.get (Hw.Addr.Range.merge r1 r2), h1) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge (List.rev !segments)
+
+let region_map t =
+  match t.region_cache with
+  | Some cached -> cached
+  | None ->
+    let computed = compute_region_map t in
+    t.region_cache <- Some computed;
+    t.region_cache_arr <- Some (Array.of_list computed);
+    computed
+
+
+let holders t resource =
+  (* Adaptive caching (ablation a1): right after a mutation, one-off
+     queries use the direct O(caps) scan; once queries repeat (an
+     attestation enumerating every region, a judiciary sweep), build the
+     sorted segment cache and answer in O(log segments). *)
+  (match resource, t.region_cache_arr with
+  | Resource.Memory _, None ->
+    t.cold_queries <- t.cold_queries + 1;
+    if t.cold_queries > 4 then ignore (region_map t)
+  | _ -> ());
+  match resource, t.region_cache_arr with
+  | Resource.Memory r, Some segments ->
+    (* Segments are disjoint and sorted: binary-search the first one
+       that could overlap, then walk right while overlap continues. *)
+    let n = Array.length segments in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let seg, _ = segments.(mid) in
+      if Hw.Addr.Range.limit seg <= Hw.Addr.Range.base r then lo := mid + 1
+      else hi := mid
+    done;
+    let acc = ref [] in
+    let i = ref !lo in
+    while
+      !i < n
+      &&
+      let seg, _ = segments.(!i) in
+      Hw.Addr.Range.base seg < Hw.Addr.Range.limit r
+    do
+      let seg, hs = segments.(!i) in
+      if Hw.Addr.Range.overlaps seg r then acc := hs :: !acc;
+      incr i
+    done;
+    List.concat !acc |> List.sort_uniq Int.compare
+  | _ ->
+    active_overlapping t resource
+    |> List.map (fun n -> n.owner)
+    |> List.sort_uniq Int.compare
+
+let refcount t resource = List.length (holders t resource)
+
+let exclusively_owned t ~domain resource =
+  match holders t resource with [ d ] -> d = domain | _ -> false
+
+(* Invariants *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let nodes = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes [] in
+  let rec first_error = function
+    | [] -> Ok ()
+    | n :: rest -> (
+      let parent_check =
+        match n.parent with
+        | None ->
+          if List.mem n.id t.roots then Ok ()
+          else fail "node %d has no parent but is not a root" n.id
+        | Some pid -> (
+          match Hashtbl.find_opt t.nodes pid with
+          | None -> fail "node %d has dangling parent %d" n.id pid
+          | Some p ->
+            if not (List.mem n.id p.children) then
+              fail "node %d missing from parent %d's children" n.id pid
+            else if not (Rights.attenuates ~parent:p.node_rights ~child:n.node_rights)
+            then fail "node %d rights exceed parent %d's" n.id pid
+            else begin
+              match p.resource, n.resource with
+              | Resource.Memory pr, Resource.Memory nr ->
+                if Hw.Addr.Range.includes ~outer:pr ~inner:nr then Ok ()
+                else fail "node %d range escapes parent %d" n.id pid
+              | pr, nr ->
+                if Resource.equal pr nr then Ok ()
+                else fail "node %d resource differs from parent %d" n.id pid
+            end)
+      in
+      match parent_check with
+      | Error _ as e -> e
+      | Ok () -> (
+        (* Split pieces under one parent must be pairwise disjoint. *)
+        let split_children =
+          List.filter_map
+            (fun cid ->
+              match Hashtbl.find_opt t.nodes cid with
+              | Some c when c.origin = Orig_split -> Resource.memory_range c.resource
+              | _ -> None)
+            n.children
+        in
+        let rec disjoint = function
+          | [] -> true
+          | r :: rest ->
+            List.for_all (fun r' -> not (Hw.Addr.Range.overlaps r r')) rest
+            && disjoint rest
+        in
+        if not (disjoint split_children) then
+          fail "split children of node %d overlap" n.id
+        else if n.state <> Active && n.children = [] then
+          fail "inactive node %d has no children" n.id
+        else
+          (* Acyclicity: walking up must reach a root within node_count steps. *)
+          let rec walk current steps =
+            if steps > Hashtbl.length t.nodes then
+              fail "parent cycle reachable from node %d" n.id
+            else
+              match Hashtbl.find_opt t.nodes current with
+              | None -> fail "dangling parent link from node %d" n.id
+              | Some m -> (
+                match m.parent with None -> Ok () | Some p -> walk p (steps + 1))
+          in
+          match walk n.id 0 with Error _ as e -> e | Ok () -> first_error rest))
+  in
+  first_error nodes

@@ -1,0 +1,143 @@
+(** The capability tree: Tyche's platform-independent core (§4.1).
+
+    Every resource a domain can touch is named by a capability node.
+    Nodes form a forest whose edges record *lineage*: sharing or granting
+    a resource creates a child node, so the delegator can always take the
+    resource back by revoking the subtree — even when domains share in
+    cycles (A shares to B who shares back to A), because the lineage is a
+    tree regardless of the ownership cycle, cascading revocation always
+    terminates.
+
+    This module is pure bookkeeping, the analogue of the paper's
+    "platform-independent capability model ... written in safe Rust and
+    meant to be formally verified": operations validate, mutate the tree,
+    and return the list of {!effect}s the platform backend must apply to
+    hardware. It never touches hardware itself.
+
+    Node states: a node is [`Active] (confers access) or [`Inactive]
+    (its resource has been granted away or split into children). Only
+    active nodes count for reference counts and enforcement. *)
+
+type t
+type cap_id = int
+type domain_id = int
+
+(** Hardware actions implied by a tree operation; the monitor feeds
+    these to the platform backend in order. *)
+type effect =
+  | Attach of { domain : domain_id; resource : Resource.t; perm : Hw.Perm.t }
+  | Detach of { domain : domain_id; resource : Resource.t; cleanup : Revocation.t }
+
+type error =
+  | No_such_capability of cap_id
+  | Capability_inactive of cap_id
+  | Rights_exceeded (** Child rights would exceed the parent's. *)
+  | Sharing_denied (** The capability lacks [can_share]. *)
+  | Grant_denied (** The capability lacks [can_grant]. *)
+  | Bad_subrange (** Subrange outside the capability, or on a non-memory
+                     resource, or a split point outside the range. *)
+  | Overlapping_root (** A new root would alias an existing root. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val create : unit -> t
+
+val root :
+  t -> owner:domain_id -> Resource.t -> Rights.t -> (cap_id * effect list, error) result
+(** Create a root capability (boot-time only: the monitor hands the
+    initial domain the whole machine this way). Roots must not overlap
+    one another. *)
+
+val share :
+  t ->
+  cap_id ->
+  to_:domain_id ->
+  rights:Rights.t ->
+  cleanup:Revocation.t ->
+  ?subrange:Hw.Addr.Range.t ->
+  unit ->
+  (cap_id * effect list, error) result
+(** Delegate access while keeping it: creates an active child owned by
+    [to_]; the parent stays active. [cleanup] runs when the child is
+    later revoked. [subrange] narrows a memory capability. *)
+
+val grant :
+  t ->
+  cap_id ->
+  to_:domain_id ->
+  rights:Rights.t ->
+  cleanup:Revocation.t ->
+  (cap_id * effect list, error) result
+(** Transfer exclusive control: creates an active child owned by [to_]
+    and deactivates the parent. Partial grants require an explicit
+    {!split} or {!carve} first, keeping move semantics unambiguous. *)
+
+val split :
+  t -> cap_id -> at:Hw.Addr.t -> (cap_id * cap_id * effect list, error) result
+(** Split a memory capability at an interior address into two children
+    owned by the same domain; the parent deactivates. No hardware effect
+    (ownership and permissions are unchanged). *)
+
+val carve :
+  t -> cap_id -> subrange:Hw.Addr.Range.t -> (cap_id * effect list, error) result
+(** Convenience: split (up to twice) so that a capability for exactly
+    [subrange] exists, and return it. *)
+
+val revoke : t -> cap_id -> (effect list, error) result
+(** Cascading revocation: remove this node and its entire subtree,
+    emitting a [Detach] (with each node's clean-up policy) for every
+    active node removed. If the parent was deactivated by a grant or
+    split and loses its last child, it reactivates (its owner regains
+    access, with an [Attach] effect). *)
+
+val revoke_children : t -> cap_id -> (effect list, error) result
+(** Revoke every delegation made from this capability, keeping it. *)
+
+(** {2 Inspection} *)
+
+val owner : t -> cap_id -> domain_id option
+val resource : t -> cap_id -> Resource.t option
+val rights : t -> cap_id -> Rights.t option
+val cleanup : t -> cap_id -> Revocation.t option
+val is_active : t -> cap_id -> bool
+val parent : t -> cap_id -> cap_id option
+val children : t -> cap_id -> cap_id list
+val caps_of_domain : t -> domain_id -> cap_id list
+(** Active capabilities owned by the domain, in creation order. *)
+
+val all_caps_of_domain : t -> domain_id -> cap_id list
+(** Every capability owned by the domain, including inactive ones whose
+    resource is currently granted away or split — what domain
+    destruction must revoke so delegations made *from* the domain
+    cascade too. *)
+
+val is_ancestor : t -> ancestor:cap_id -> cap_id -> bool
+val node_count : t -> int
+
+(** {2 Reference counting and the Fig. 4 view} *)
+
+val refcount : t -> Resource.t -> int
+(** Number of *distinct domains* holding an active capability that
+    overlaps the resource — the system-wide count of §3.1. *)
+
+val holders : t -> Resource.t -> domain_id list
+(** Sorted distinct domains with active access to the resource. *)
+
+val region_map : t -> (Hw.Addr.Range.t * domain_id list) list
+(** The Fig. 4 view: physical memory flattened into maximal disjoint
+    segments, each with the sorted list of domains that can access it
+    (adjacent segments with identical holders are merged). *)
+
+val exclusively_owned : t -> domain:domain_id -> Resource.t -> bool
+(** True when the domain holds the resource and nobody else overlaps it
+    (refcount 1) — the paper's condition for confidential memory. *)
+
+(** {2 Structural invariants (for tests and the judiciary)} *)
+
+val check_invariants : t -> (unit, string) result
+(** Verify: child resources are contained in their parent's; child
+    rights attenuate; split children partition their parent exactly;
+    inactive nodes have children or are roots whose resource moved;
+    the parent links are acyclic. Returns a description of the first
+    violation. *)

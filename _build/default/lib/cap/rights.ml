@@ -1,0 +1,19 @@
+type t = { perm : Hw.Perm.t; can_share : bool; can_grant : bool }
+
+let full = { perm = Hw.Perm.rwx; can_share = true; can_grant = true }
+let read_only = { perm = Hw.Perm.r; can_share = false; can_grant = false }
+let rw = { perm = Hw.Perm.rw; can_share = true; can_grant = false }
+let rx = { perm = Hw.Perm.rx; can_share = false; can_grant = false }
+let exclusive_use = { perm = Hw.Perm.rwx; can_share = false; can_grant = false }
+
+let attenuates ~parent ~child =
+  Hw.Perm.subsumes parent.perm child.perm
+  && (child.can_share <= parent.can_share)
+  && (child.can_grant <= parent.can_grant)
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "%a%s%s" Hw.Perm.pp t.perm
+    (if t.can_share then "+s" else "")
+    (if t.can_grant then "+g" else "")

@@ -1,0 +1,1 @@
+lib/crypto/ots.ml: Array Char Rng Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/ots.mli: Rng Sha256

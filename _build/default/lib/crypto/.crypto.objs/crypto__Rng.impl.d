@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Char Int64 Sha256 String

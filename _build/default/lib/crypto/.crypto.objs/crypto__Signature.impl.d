@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Array Buffer Format Int32 List Merkle Ots Sha256 String

@@ -1,0 +1,28 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.to_raw (Sha256.string key) else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.string (xor_with key 0x36 ^ msg) in
+  Sha256.string (xor_with key 0x5c ^ Sha256.to_raw inner)
+
+let verify ~key msg tag =
+  (* Compare via a fold over all bytes so the comparison shape does not
+     depend on where the first mismatch occurs. *)
+  let expected = Sha256.to_raw (mac ~key msg) and given = Sha256.to_raw tag in
+  let diff = ref 0 in
+  for i = 0 to 31 do
+    diff := !diff lor (Char.code expected.[i] lxor Char.code given.[i])
+  done;
+  !diff = 0
+
+let derive ~key ~label =
+  Sha256.to_raw (mac ~key ("\x01tyche-kdf\x00" ^ label))

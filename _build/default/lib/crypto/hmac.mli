@@ -1,0 +1,13 @@
+(** HMAC-SHA-256 (RFC 2104), used for keyed channel authentication between
+    domains and for deriving per-domain sealing keys. *)
+
+val mac : key:string -> string -> Sha256.digest
+(** [mac ~key msg] computes HMAC-SHA256(key, msg). Keys longer than the
+    64-byte block size are hashed first, per the RFC. *)
+
+val verify : key:string -> string -> Sha256.digest -> bool
+(** Constant-shape verification of a MAC. *)
+
+val derive : key:string -> label:string -> string
+(** [derive ~key ~label] derives a 32-byte subkey bound to [label]; used
+    for per-domain sealing keys (KDF in counter mode, single block). *)

@@ -1,0 +1,61 @@
+(* Standard binary Merkle tree with domain-separated leaf/node hashing.
+   Odd levels duplicate the last node (Bitcoin-style), which keeps proofs
+   simple; leaf prefixes prevent confusing an interior node for a leaf. *)
+
+let hash_leaf d = Sha256.string ("\x00" ^ Sha256.to_raw d)
+let hash_node l r = Sha256.string ("\x01" ^ Sha256.to_raw l ^ Sha256.to_raw r)
+
+type t = {
+  levels : Sha256.digest array array;
+  (* levels.(0) = hashed leaves, last level = [| root |] *)
+}
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: empty leaf list";
+  let level0 = Array.of_list (List.map hash_leaf leaves) in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init ((n + 1) / 2) (fun i ->
+            let l = level.(2 * i) in
+            let r = if (2 * i) + 1 < n then level.((2 * i) + 1) else l in
+            hash_node l r)
+      in
+      up (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (up [] level0) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+let leaf_count t = Array.length t.levels.(0)
+
+type proof = { leaf_index : int; path : Sha256.digest list }
+
+let prove t i =
+  if i < 0 || i >= leaf_count t then invalid_arg "Merkle.prove: index out of range";
+  let rec walk level idx acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let sibling_idx = if idx land 1 = 0 then idx + 1 else idx - 1 in
+      let sibling =
+        if sibling_idx < Array.length nodes then nodes.(sibling_idx) else nodes.(idx)
+      in
+      walk (level + 1) (idx / 2) (sibling :: acc)
+    end
+  in
+  { leaf_index = i; path = walk 0 i [] }
+
+let verify ~root:expected ~leaf proof =
+  let rec climb idx acc = function
+    | [] -> acc
+    | sibling :: rest ->
+      let acc =
+        if idx land 1 = 0 then hash_node acc sibling else hash_node sibling acc
+      in
+      climb (idx / 2) acc rest
+  in
+  let computed = climb proof.leaf_index (hash_leaf leaf) proof.path in
+  Sha256.equal computed expected

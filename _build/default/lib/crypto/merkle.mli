@@ -1,0 +1,27 @@
+(** Binary Merkle trees over SHA-256.
+
+    Used in two places: (1) the many-time signature scheme authenticates a
+    forest of one-time keys with a Merkle root, and (2) domain attestations
+    commit to the set of measured memory regions so a verifier can check a
+    single region's inclusion without the full list. *)
+
+type t
+
+val build : Sha256.digest list -> t
+(** Build a tree over the given leaves (hashed with a leaf prefix to
+    prevent second-preimage splicing). The leaf list must be non-empty.
+    @raise Invalid_argument on an empty list. *)
+
+val root : t -> Sha256.digest
+val leaf_count : t -> int
+
+type proof = { leaf_index : int; path : Sha256.digest list }
+(** Authentication path from a leaf to the root; [path] lists sibling
+    digests bottom-up. *)
+
+val prove : t -> int -> proof
+(** [prove t i] produces the inclusion proof for leaf [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val verify : root:Sha256.digest -> leaf:Sha256.digest -> proof -> bool
+(** Check an inclusion proof against a known root. *)

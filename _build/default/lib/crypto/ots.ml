@@ -1,0 +1,63 @@
+(* WOTS with w = 16: a 256-bit digest is cut into 64 4-bit chunks, plus a
+   3-chunk checksum, giving 67 hash chains of length 15. The secret key is
+   67 random 32-byte values; the public key is each value hashed 15 times;
+   a signature walks each chain to the chunk value, and verification
+   completes the walk and compares. *)
+
+let chain_count = 67 (* 64 message chunks + 3 checksum chunks *)
+let chain_length = 15
+
+type secret_key = string array
+type public_key = string array
+type signature = string array
+
+let hash_times s n =
+  let rec go s n = if n = 0 then s else go (Sha256.to_raw (Sha256.string s)) (n - 1) in
+  go s n
+
+let generate rng =
+  let sk = Array.init chain_count (fun _ -> Rng.bytes rng 32) in
+  let pk = Array.map (fun s -> hash_times s chain_length) sk in
+  (sk, pk)
+
+(* 4-bit chunks of the digest, most-significant nibble first, then a
+   base-16 checksum of (15 - chunk) values to prevent chain extension. *)
+let chunks_of_digest digest =
+  let raw = Sha256.to_raw digest in
+  let msg = Array.init 64 (fun i ->
+      let byte = Char.code raw.[i / 2] in
+      if i land 1 = 0 then byte lsr 4 else byte land 0xF)
+  in
+  let checksum = Array.fold_left (fun acc c -> acc + (chain_length - c)) 0 msg in
+  let cs = Array.init 3 (fun i -> (checksum lsr (4 * (2 - i))) land 0xF) in
+  Array.append msg cs
+
+let sign sk digest =
+  let chunks = chunks_of_digest digest in
+  Array.mapi (fun i c -> hash_times sk.(i) c) chunks
+
+let verify pk digest sg =
+  Array.length sg = chain_count
+  && begin
+    let chunks = chunks_of_digest digest in
+    let ok = ref true in
+    for i = 0 to chain_count - 1 do
+      let completed = hash_times sg.(i) (chain_length - chunks.(i)) in
+      if not (String.equal completed pk.(i)) then ok := false
+    done;
+    !ok
+  end
+
+let public_key_digest pk = Sha256.string (String.concat "" (Array.to_list pk))
+
+let join parts = String.concat "" (Array.to_list parts)
+
+let split s =
+  if String.length s <> chain_count * 32 then
+    invalid_arg "Ots: serialized key/signature must be 67*32 bytes";
+  Array.init chain_count (fun i -> String.sub s (i * 32) 32)
+
+let public_key_to_string = join
+let public_key_of_string = split
+let signature_to_string = join
+let signature_of_string = split

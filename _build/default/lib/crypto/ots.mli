@@ -1,0 +1,31 @@
+(** Winternitz one-time signatures (WOTS, w = 16) over SHA-256.
+
+    Hash-based signatures let the simulated TPM and the isolation monitor
+    sign attestations with nothing but the SHA-256 primitive built in this
+    repo — no bignum arithmetic, no external crypto. A key pair signs
+    exactly one message; {!Signature} lifts this to a many-time scheme. *)
+
+type secret_key
+type public_key
+type signature
+
+val generate : Rng.t -> secret_key * public_key
+(** Derive a fresh one-time key pair from the generator. *)
+
+val sign : secret_key -> Sha256.digest -> signature
+(** Sign a 32-byte message digest. Signing twice with the same key leaks
+    key material in a real deployment; callers must treat keys as
+    one-shot (enforced by {!Signature}). *)
+
+val verify : public_key -> Sha256.digest -> signature -> bool
+
+val public_key_digest : public_key -> Sha256.digest
+(** Compressed commitment to the public key (leaf value in the Merkle
+    many-time scheme). *)
+
+val public_key_to_string : public_key -> string
+val public_key_of_string : string -> public_key
+val signature_to_string : signature -> string
+val signature_of_string : string -> signature
+(** Serialization for embedding in attestation quotes.
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,36 @@
+(* SplitMix64: tiny, statistically solid for simulation purposes, and
+   trivially reproducible across runs. Not a CSPRNG — the security of the
+   signature scheme in this repo rests on SHA-256 preimage resistance over
+   secrets derived from seeds the tests control. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let of_string_seed s =
+  let d = Sha256.to_raw (Sha256.string s) in
+  let seed = ref 0L in
+  for i = 0 to 7 do
+    seed := Int64.logor (Int64.shift_left !seed 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  create ~seed:!seed
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Drop two bits so the value always fits OCaml's 63-bit int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (Int64.to_int (Int64.logand (next_int64 t) 0xFFL)))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t = create ~seed:(next_int64 t)

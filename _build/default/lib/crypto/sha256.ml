@@ -1,0 +1,166 @@
+(* SHA-256, FIPS 180-4. Implemented on int32 words with the standard
+   message schedule and compression function. The hot loop follows the
+   specification text closely so it can be audited against it. *)
+
+type digest = string (* exactly 32 bytes *)
+
+let digest_size = 32
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+module Ctx = struct
+  type t = {
+    h : int32 array;           (* 8 working-state words *)
+    block : Bytes.t;           (* 64-byte block buffer *)
+    mutable block_len : int;   (* bytes currently buffered *)
+    mutable total_len : int;   (* total message length in bytes *)
+    w : int32 array;           (* 64-entry message schedule, reused *)
+  }
+
+  let create () =
+    { h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      block = Bytes.create 64;
+      block_len = 0;
+      total_len = 0;
+      w = Array.make 64 0l }
+
+  let compress t =
+    let w = t.w in
+    for i = 0 to 15 do
+      w.(i) <- Bytes.get_int32_be t.block (i * 4)
+    done;
+    for i = 16 to 63 do
+      let s0 =
+        Int32.logxor
+          (Int32.logxor (rotr w.(i - 15) 7) (rotr w.(i - 15) 18))
+          (Int32.shift_right_logical w.(i - 15) 3)
+      and s1 =
+        Int32.logxor
+          (Int32.logxor (rotr w.(i - 2) 17) (rotr w.(i - 2) 19))
+          (Int32.shift_right_logical w.(i - 2) 10)
+      in
+      w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    done;
+    let a = ref t.h.(0) and b = ref t.h.(1) and c = ref t.h.(2)
+    and d = ref t.h.(3) and e = ref t.h.(4) and f = ref t.h.(5)
+    and g = ref t.h.(6) and h = ref t.h.(7) in
+    for i = 0 to 63 do
+      let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
+      let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+      let t1 = Int32.add (Int32.add (Int32.add !h s1) (Int32.add ch k.(i))) w.(i) in
+      let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
+      let maj =
+        Int32.logxor
+          (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
+          (Int32.logand !b !c)
+      in
+      let t2 = Int32.add s0 maj in
+      h := !g; g := !f; f := !e;
+      e := Int32.add !d t1;
+      d := !c; c := !b; b := !a;
+      a := Int32.add t1 t2
+    done;
+    t.h.(0) <- Int32.add t.h.(0) !a; t.h.(1) <- Int32.add t.h.(1) !b;
+    t.h.(2) <- Int32.add t.h.(2) !c; t.h.(3) <- Int32.add t.h.(3) !d;
+    t.h.(4) <- Int32.add t.h.(4) !e; t.h.(5) <- Int32.add t.h.(5) !f;
+    t.h.(6) <- Int32.add t.h.(6) !g; t.h.(7) <- Int32.add t.h.(7) !h
+
+  let feed_bytes t src ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length src then
+      invalid_arg "Sha256.Ctx.feed_bytes";
+    t.total_len <- t.total_len + len;
+    let pos = ref off and remaining = ref len in
+    while !remaining > 0 do
+      let take = min !remaining (64 - t.block_len) in
+      Bytes.blit src !pos t.block t.block_len take;
+      t.block_len <- t.block_len + take;
+      pos := !pos + take;
+      remaining := !remaining - take;
+      if t.block_len = 64 then begin
+        compress t;
+        t.block_len <- 0
+      end
+    done
+
+  let feed_string t s =
+    feed_bytes t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+  let fed_length t = t.total_len
+
+  let finalize t =
+    let bit_len = Int64.of_int (t.total_len * 8) in
+    (* Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length. *)
+    Bytes.set t.block t.block_len '\x80';
+    t.block_len <- t.block_len + 1;
+    if t.block_len > 56 then begin
+      Bytes.fill t.block t.block_len (64 - t.block_len) '\x00';
+      t.block_len <- 64;
+      compress t;
+      t.block_len <- 0
+    end;
+    Bytes.fill t.block t.block_len (56 - t.block_len) '\x00';
+    Bytes.set_int64_be t.block 56 bit_len;
+    t.block_len <- 64;
+    compress t;
+    let out = Bytes.create 32 in
+    for i = 0 to 7 do
+      Bytes.set_int32_be out (i * 4) t.h.(i)
+    done;
+    Bytes.unsafe_to_string out
+end
+
+let bytes b =
+  let ctx = Ctx.create () in
+  Ctx.feed_bytes ctx b ~off:0 ~len:(Bytes.length b);
+  Ctx.finalize ctx
+
+let string s =
+  let ctx = Ctx.create () in
+  Ctx.feed_string ctx s;
+  Ctx.finalize ctx
+
+let concat ds = string (String.concat "" ds)
+
+let to_raw d = d
+
+let of_raw s =
+  if String.length s <> 32 then invalid_arg "Sha256.of_raw: need 32 bytes";
+  s
+
+let to_hex d =
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let of_hex s =
+  if String.length s <> 64 then invalid_arg "Sha256.of_hex: need 64 hex chars";
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Sha256.of_hex: bad character"
+  in
+  String.init 32 (fun i ->
+      Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt d = Format.pp_print_string fmt (to_hex d)
+let zero = String.make 32 '\x00'

@@ -1,0 +1,59 @@
+(** From-scratch SHA-256 (FIPS 180-4).
+
+    This is the only hash used by the whole system: TPM PCR extension,
+    domain measurements, Merkle trees and the hash-based signature scheme
+    are all built on it. The implementation is pure OCaml and processes
+    arbitrary [string] / [Bytes.t] messages. *)
+
+type digest
+(** A 32-byte SHA-256 digest. Abstract to prevent confusion with raw
+    strings; use {!to_raw} / {!of_raw} at serialization boundaries. *)
+
+val digest_size : int
+(** Size of a digest in bytes (32). *)
+
+val string : string -> digest
+(** [string s] hashes the whole string [s]. *)
+
+val bytes : Bytes.t -> digest
+(** [bytes b] hashes the whole byte buffer [b]. *)
+
+val concat : digest list -> digest
+(** [concat ds] hashes the concatenation of the raw digests [ds]; used for
+    PCR-style folds and Merkle interior nodes. *)
+
+val to_raw : digest -> string
+(** Raw 32-byte big-endian representation. *)
+
+val of_raw : string -> digest
+(** Inverse of {!to_raw}.
+    @raise Invalid_argument if the input is not exactly 32 bytes. *)
+
+val to_hex : digest -> string
+(** Lowercase hexadecimal rendering (64 chars). *)
+
+val of_hex : string -> digest
+(** Parse a 64-char hex string.
+    @raise Invalid_argument on malformed input. *)
+
+val equal : digest -> digest -> bool
+val compare : digest -> digest -> int
+val pp : Format.formatter -> digest -> unit
+
+val zero : digest
+(** The all-zero digest, used as the initial value of measurement
+    registers (TPM PCR reset state). *)
+
+(** Incremental hashing interface, for streaming measurement of large
+    memory regions without copying them into one buffer. *)
+module Ctx : sig
+  type t
+
+  val create : unit -> t
+  val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+  val feed_string : t -> string -> unit
+  val finalize : t -> digest
+
+  val fed_length : t -> int
+  (** Total number of bytes fed so far. *)
+end

@@ -1,0 +1,70 @@
+type signer = {
+  keys : (Ots.secret_key * Ots.public_key) array;
+  tree : Merkle.t;
+  mutable next : int;
+}
+
+type signature = {
+  index : int;
+  ots_pk : Ots.public_key;
+  ots_sig : Ots.signature;
+  proof : Merkle.proof;
+}
+
+let pp_signature fmt s = Format.fprintf fmt "<sig ots-key=%d>" s.index
+
+let create ?(height = 6) rng =
+  if height < 0 || height > 16 then invalid_arg "Signature.create: height out of range";
+  let n = 1 lsl height in
+  let keys = Array.init n (fun _ -> Ots.generate rng) in
+  let leaves = Array.to_list (Array.map (fun (_, pk) -> Ots.public_key_digest pk) keys) in
+  { keys; tree = Merkle.build leaves; next = 0 }
+
+let public_root t = Merkle.root t.tree
+let remaining t = Array.length t.keys - t.next
+
+let sign t msg =
+  if t.next >= Array.length t.keys then failwith "Signature.sign: signer exhausted";
+  let index = t.next in
+  t.next <- index + 1;
+  let sk, pk = t.keys.(index) in
+  { index;
+    ots_pk = pk;
+    ots_sig = Ots.sign sk (Sha256.string msg);
+    proof = Merkle.prove t.tree index }
+
+let verify ~root msg sg =
+  Ots.verify sg.ots_pk (Sha256.string msg) sg.ots_sig
+  && Merkle.verify ~root ~leaf:(Ots.public_key_digest sg.ots_pk) sg.proof
+
+(* Wire format: index | proof length | proof digests | pk | sig, all
+   fixed-width fields, big-endian lengths. *)
+let signature_to_string sg =
+  let buf = Buffer.create 4500 in
+  Buffer.add_int32_be buf (Int32.of_int sg.index);
+  Buffer.add_int32_be buf (Int32.of_int sg.proof.Merkle.leaf_index);
+  Buffer.add_int32_be buf (Int32.of_int (List.length sg.proof.Merkle.path));
+  List.iter (fun d -> Buffer.add_string buf (Sha256.to_raw d)) sg.proof.Merkle.path;
+  Buffer.add_string buf (Ots.public_key_to_string sg.ots_pk);
+  Buffer.add_string buf (Ots.signature_to_string sg.ots_sig);
+  Buffer.contents buf
+
+let signature_of_string s =
+  let fail () = invalid_arg "Signature.signature_of_string: malformed" in
+  if String.length s < 12 then fail ();
+  let read_i32 off = Int32.to_int (String.get_int32_be s off) in
+  let index = read_i32 0 in
+  let leaf_index = read_i32 4 in
+  let path_len = read_i32 8 in
+  if path_len < 0 || path_len > 64 then fail ();
+  let key_bytes = 67 * 32 in
+  let expected = 12 + (path_len * 32) + (2 * key_bytes) in
+  if String.length s <> expected then fail ();
+  let path =
+    List.init path_len (fun i -> Sha256.of_raw (String.sub s (12 + (i * 32)) 32))
+  in
+  let pk_off = 12 + (path_len * 32) in
+  { index;
+    ots_pk = Ots.public_key_of_string (String.sub s pk_off key_bytes);
+    ots_sig = Ots.signature_of_string (String.sub s (pk_off + key_bytes) key_bytes);
+    proof = { Merkle.leaf_index; path } }

@@ -1,0 +1,36 @@
+(** Many-time signatures: a Merkle forest of Winternitz one-time keys
+    (an XMSS-style construction, without the BDS traversal optimisation).
+
+    This is the signing identity used by the simulated TPM endorsement key
+    and by the isolation monitor's attestation key. A signer is created
+    with a capacity of [2^height] signatures; each [sign] consumes one
+    one-time key and embeds its Merkle inclusion proof, so a verifier only
+    needs the 32-byte public root. *)
+
+type signer
+type signature
+
+val pp_signature : Format.formatter -> signature -> unit
+
+val create : ?height:int -> Rng.t -> signer
+(** [create ~height rng] builds a signer with [2^height] one-time keys
+    (default height 6 = 64 signatures — enough for the test scenarios;
+    key generation is O(2^height) hash chains). *)
+
+val public_root : signer -> Sha256.digest
+(** The verification key: the Merkle root over all one-time public keys. *)
+
+val remaining : signer -> int
+(** One-time keys not yet consumed. *)
+
+val sign : signer -> string -> signature
+(** Sign arbitrary bytes (hashed internally). Consumes one key.
+    @raise Failure if the signer is exhausted. *)
+
+val verify : root:Sha256.digest -> string -> signature -> bool
+(** Verify a signature against the 32-byte public root. *)
+
+val signature_to_string : signature -> string
+val signature_of_string : string -> signature
+(** Wire format for embedding signatures in quotes.
+    @raise Invalid_argument on malformed input. *)

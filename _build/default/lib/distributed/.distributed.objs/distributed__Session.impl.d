@@ -1,0 +1,1 @@
+lib/distributed/session.ml: Buffer Crypto Int32 Int64 List Network Printf Rot String Tyche Verifier

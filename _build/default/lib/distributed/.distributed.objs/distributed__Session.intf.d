@@ -1,0 +1,1 @@
+lib/distributed/session.mli: Network Rot Tyche Verifier

@@ -1,0 +1,49 @@
+type endpoint = string
+
+type t = {
+  queues : (endpoint, string Queue.t) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { queues = Hashtbl.create 8; total = 0 }
+
+let queue t ep =
+  match Hashtbl.find_opt t.queues ep with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.queues ep q;
+    q
+
+let send t ~from_ ~to_ msg =
+  ignore from_;
+  t.total <- t.total + 1;
+  Queue.add msg (queue t to_)
+
+let recv t ep = Queue.take_opt (queue t ep)
+
+let pending t ep = Queue.length (queue t ep)
+
+let eavesdrop t ep = List.of_seq (Queue.to_seq (queue t ep))
+
+let tamper_head t ep ~f =
+  let q = queue t ep in
+  match Queue.take_opt q with
+  | None -> false
+  | Some head ->
+    (* Rebuild the queue with the rewritten head in front. *)
+    let rest = Queue.create () in
+    Queue.transfer q rest;
+    Queue.add (f head) q;
+    Queue.transfer rest q;
+    true
+
+let drop_head t ep = Queue.take_opt (queue t ep) <> None
+
+let inject t ~to_ msg =
+  t.total <- t.total + 1;
+  Queue.add msg (queue t to_)
+
+let replay = inject
+
+let total_messages t = t.total

@@ -1,0 +1,37 @@
+(** An untrusted message network between machines.
+
+    Models the transport for §4.2's "RDMA support for Tyche-based TEEs
+    running on separate machines": datagrams between named endpoints,
+    delivered in order but through an adversary who can read, modify,
+    drop, duplicate and replay everything. Security must come from the
+    endpoints ({!Session}), never from here. *)
+
+type t
+type endpoint = string
+
+val create : unit -> t
+
+val send : t -> from_:endpoint -> to_:endpoint -> string -> unit
+val recv : t -> endpoint -> string option
+(** Dequeue the oldest pending datagram for the endpoint. *)
+
+val pending : t -> endpoint -> int
+
+(** {2 The adversary's console} *)
+
+val eavesdrop : t -> endpoint -> string list
+(** Copies of every datagram currently queued for the endpoint. *)
+
+val tamper_head : t -> endpoint -> f:(string -> string) -> bool
+(** Rewrite the next datagram the endpoint will receive; false if the
+    queue is empty. *)
+
+val drop_head : t -> endpoint -> bool
+val inject : t -> to_:endpoint -> string -> unit
+(** Forge a datagram out of thin air. *)
+
+val replay : t -> to_:endpoint -> string -> unit
+(** Re-enqueue a previously captured datagram. *)
+
+val total_messages : t -> int
+(** Messages ever sent (statistics). *)

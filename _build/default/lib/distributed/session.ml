@@ -1,0 +1,120 @@
+type evidence = {
+  quote : Rot.Tpm.Quote.t;
+  attestation : Tyche.Attestation.t;
+}
+
+let gather_evidence monitor ~domain ~nonce =
+  match Tyche.Monitor.attest monitor ~caller:Tyche.Domain.initial ~domain ~nonce with
+  | Error e -> Error (Tyche.Monitor.error_to_string e)
+  | Ok attestation -> Ok { quote = Tyche.Monitor.boot_quote monitor ~nonce; attestation }
+
+type party = {
+  name : Network.endpoint;
+  reference : Verifier.reference_values;
+  policy : Verifier.Policy.t;
+}
+
+let verify_party ~nonce (party, ev) =
+  let boot =
+    Verifier.Chain.verify_boot ~tpm_root:party.reference.Verifier.tpm_root
+      ~expected_pcrs:party.reference.Verifier.expected_pcrs
+      ~claimed_monitor_root:party.reference.Verifier.monitor_root ~nonce ev.quote
+  in
+  let tier2 =
+    Verifier.Chain.verify_domain ~monitor_root:party.reference.Verifier.monitor_root ~nonce
+      ev.attestation
+  in
+  let policy = Verifier.Policy.check party.policy ev.attestation in
+  List.filter_map
+    (fun r ->
+      match r with
+      | Ok () -> None
+      | Error msg -> Some (party.name ^ ": " ^ msg))
+    [ boot; tier2 ]
+  @
+  match policy with
+  | Ok () -> []
+  | Error msgs -> List.map (fun m -> party.name ^ ": " ^ m) msgs
+
+let establish ~nonce ~a ~b =
+  match verify_party ~nonce a @ verify_party ~nonce b with
+  | [] ->
+    let _, ev_a = a and _, ev_b = b in
+    let m_of ev =
+      match ev.attestation.Tyche.Attestation.measurement with
+      | Some m -> Crypto.Sha256.to_raw m
+      | None -> "unmeasured"
+    in
+    (* Bind the key to both identities and the freshness nonce. *)
+    let key =
+      Crypto.Hmac.derive ~key:(m_of ev_a ^ m_of ev_b) ~label:("session:" ^ nonce)
+    in
+    Ok (key, key)
+  | failures -> Error failures
+
+type link = {
+  net : Network.t;
+  local : Network.endpoint;
+  remote : Network.endpoint;
+  key : string;
+  mutable next_send : int;
+  mutable last_recv : int;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let connect net ~local ~remote ~key =
+  { net; local; remote; key; next_send = 1; last_recv = 0; sent = 0; received = 0 }
+
+let frame ~key ~seq payload =
+  let buf = Buffer.create (String.length payload + 44) in
+  Buffer.add_int64_be buf (Int64.of_int seq);
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  let mac =
+    Crypto.Hmac.mac ~key (Printf.sprintf "%d|%s" seq payload)
+  in
+  Buffer.add_string buf (Crypto.Sha256.to_raw mac);
+  Buffer.contents buf
+
+let parse_frame raw =
+  if String.length raw < 8 + 4 + 32 then Error "short frame"
+  else begin
+    let seq = Int64.to_int (String.get_int64_be raw 0) in
+    let len = Int32.to_int (String.get_int32_be raw 8) in
+    if len < 0 || 12 + len + 32 <> String.length raw then Error "bad frame length"
+    else begin
+      let payload = String.sub raw 12 len in
+      let mac = String.sub raw (12 + len) 32 in
+      Ok (seq, payload, mac)
+    end
+  end
+
+let send link payload =
+  let seq = link.next_send in
+  link.next_send <- seq + 1;
+  link.sent <- link.sent + 1;
+  Network.send link.net ~from_:link.local ~to_:link.remote (frame ~key:link.key ~seq payload)
+
+let recv link =
+  match Network.recv link.net link.local with
+  | None -> Error "no datagram pending"
+  | Some raw -> (
+    match parse_frame raw with
+    | Error e -> Error ("malformed frame: " ^ e)
+    | Ok (seq, payload, mac) ->
+      if
+        not
+          (Crypto.Hmac.verify ~key:link.key
+             (Printf.sprintf "%d|%s" seq payload)
+             (Crypto.Sha256.of_raw mac))
+      then Error "authentication failed (forged or tampered frame)"
+      else if seq <= link.last_recv then Error "stale sequence number (replay)"
+      else begin
+        link.last_recv <- seq;
+        link.received <- link.received + 1;
+        Ok payload
+      end)
+
+let sent link = link.sent
+let received link = link.received

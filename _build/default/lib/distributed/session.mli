@@ -1,0 +1,63 @@
+(** Attested cross-machine sessions between trust domains.
+
+    Implements §4.2's multi-machine exploration: "RDMA support for
+    Tyche-based TEEs running on separate machines" and "extend
+    attestation to multi-domain deployments with the insurance that all
+    communication paths are secured and attested".
+
+    Trust model: a broker (the customer of Fig. 2, or any party both
+    endpoints already trust) verifies *both* machines' boot chains and
+    *both* domains' attestations against its reference values and
+    policies. Only then does it provision a shared session key to each
+    side — through the machine-local attested path demonstrated in the
+    SaaS example, which this module abstracts as the successful return
+    of {!establish}. Datagrams then cross the untrusted {!Network} with
+    sequence numbers and HMACs: the adversary can drop or reorder (RDMA
+    semantics surface that as an error) but cannot forge, modify or
+    replay. *)
+
+(** What one endpoint submits to the broker. *)
+type evidence = {
+  quote : Rot.Tpm.Quote.t;
+  attestation : Tyche.Attestation.t;
+}
+
+val gather_evidence :
+  Tyche.Monitor.t -> domain:Tyche.Domain.id -> nonce:string -> (evidence, string) result
+(** Collected by the local (untrusted!) OS on each machine — nothing
+    here is trusted until the broker checks signatures. *)
+
+(** One side of the broker's verification requirements. *)
+type party = {
+  name : Network.endpoint;
+  reference : Verifier.reference_values;
+  policy : Verifier.Policy.t;
+}
+
+val establish :
+  nonce:string ->
+  a:party * evidence ->
+  b:party * evidence ->
+  (string * string, string list) result
+(** Verify both sides; on success return the two session-key copies
+    (they are equal; returned twice to mirror the two provisioning
+    messages). On failure, every reason. The key is derived from both
+    attestations' measurements and the nonce, so distinct deployments
+    get distinct keys. *)
+
+(** The secured link, once each side holds the session key. *)
+type link
+
+val connect :
+  Network.t -> local:Network.endpoint -> remote:Network.endpoint -> key:string -> link
+
+val send : link -> string -> unit
+(** Frame = sequence number, payload, HMAC(key, seq || payload). *)
+
+val recv : link -> (string, string) result
+(** Returns the next in-sequence authenticated payload. Fails (with a
+    reason) on: empty queue, bad MAC (forgery/tamper), or a sequence
+    number at or below the last accepted one (replay / re-injection). *)
+
+val sent : link -> int
+val received : link -> int

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Array Cache Ept Format Page_table Physmem Pmp Tlb

@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Addr Cache Cycles Ept Format Page_table Physmem Pmp Tlb

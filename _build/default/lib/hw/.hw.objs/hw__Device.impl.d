@@ -1,0 +1,1 @@
+lib/hw/device.ml: Addr Format Iommu List Physmem Printf String

@@ -1,0 +1,1 @@
+lib/hw/ept.ml: Addr Array Cycles Hashtbl Int List Perm

@@ -1,0 +1,1 @@
+lib/hw/ept.mli: Addr Cycles Perm

@@ -1,0 +1,1 @@
+lib/hw/interrupt.ml: Cycles Hashtbl List

@@ -1,0 +1,1 @@
+lib/hw/iommu.ml: Addr Cycles Hashtbl List Perm

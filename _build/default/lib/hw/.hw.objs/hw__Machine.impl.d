@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cache Cpu Cycles Device Interrupt Iommu List Physmem Tlb

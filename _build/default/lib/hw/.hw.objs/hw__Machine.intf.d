@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cache Cpu Cycles Device Interrupt Iommu Physmem Tlb

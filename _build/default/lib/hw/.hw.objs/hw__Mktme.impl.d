@@ -1,0 +1,1 @@
+lib/hw/mktme.ml: Addr Array Bytes Char Crypto List Physmem Printf String

@@ -1,0 +1,1 @@
+lib/hw/mktme.mli: Addr Crypto Physmem

@@ -1,0 +1,1 @@
+lib/hw/page_table.ml: Addr Cycles Hashtbl Int List Perm

@@ -1,0 +1,1 @@
+lib/hw/physmem.ml: Addr Bytes Char Crypto String

@@ -1,0 +1,1 @@
+lib/hw/pmp.ml: Addr Array Cycles List Perm

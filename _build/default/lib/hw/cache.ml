@@ -1,0 +1,27 @@
+type t = {
+  lines : (int, int) Hashtbl.t; (* line index -> last-toucher tag *)
+  counter : Cycles.counter;
+}
+
+let line_size = 64
+
+let create ~counter = { lines = Hashtbl.create 1024; counter }
+
+let touch t ~tag addr = Hashtbl.replace t.lines (addr / line_size) tag
+
+let resident_lines t = Hashtbl.length t.lines
+
+let lines_tagged t ~tag =
+  Hashtbl.fold (fun _ owner acc -> if owner = tag then acc + 1 else acc) t.lines 0
+
+let flush_range t range =
+  let first = Addr.Range.base range / line_size
+  and last = Addr.Range.last range / line_size in
+  for line = first to last do
+    Cycles.charge t.counter Cycles.Cost.cache_flush_line;
+    Hashtbl.remove t.lines line
+  done
+
+let flush_all t =
+  Cycles.charge t.counter Cycles.Cost.cache_flush_full;
+  Hashtbl.reset t.lines

@@ -1,0 +1,28 @@
+(** Cache-residency model for side-channel reasoning.
+
+    The paper lets domains pick revocation policies that "flush
+    micro-architectural state (caches) during a transition" (§4.1). To
+    make that policy testable, this model tracks which 64-byte lines are
+    resident and which security tag (domain id) last touched them. A
+    transition without a flush leaves the previous domain's lines
+    observable — the signal the side-channel tests look for. *)
+
+type t
+
+val line_size : int (** 64 bytes. *)
+
+val create : counter:Cycles.counter -> t
+
+val touch : t -> tag:int -> Addr.t -> unit
+(** Mark the line holding this address resident on behalf of [tag]. *)
+
+val resident_lines : t -> int
+val lines_tagged : t -> tag:int -> int
+(** Lines whose last toucher was [tag] — what a co-resident attacker
+    could probe. *)
+
+val flush_range : t -> Addr.Range.t -> unit
+(** CLFLUSH the lines of a range (cost per line). *)
+
+val flush_all : t -> unit
+(** WBINVD-style full flush. *)

@@ -1,0 +1,125 @@
+type arch = X86_64 | Riscv64
+
+type x86_mode = { ring : int; vmx_root : bool }
+type riscv_mode = M | S | U
+type mode = X86 of x86_mode | Riscv of riscv_mode
+
+type t = {
+  id : int;
+  arch : arch;
+  mutable mode : mode;
+  mutable active_ept : Ept.t option;
+  pmp : Pmp.t option;
+  mutable asid : int;
+  regs : int array;
+  mutable active_pt : Page_table.t option;
+}
+
+let create ~arch ~id ~counter =
+  let mode, pmp =
+    match arch with
+    | X86_64 -> (X86 { ring = 0; vmx_root = true }, None)
+    | Riscv64 -> (Riscv M, Some (Pmp.create ~counter ()))
+  in
+  { id; arch; mode; active_ept = None; pmp; asid = 0; regs = Array.make 16 0;
+    active_pt = None }
+
+let id t = t.id
+let arch t = t.arch
+let mode t = t.mode
+
+let set_mode t m =
+  match t.arch, m with
+  | X86_64, X86 { ring; _ } when ring >= 0 && ring <= 3 -> t.mode <- m
+  | Riscv64, Riscv _ -> t.mode <- m
+  | X86_64, X86 _ -> invalid_arg "Cpu.set_mode: ring out of range"
+  | X86_64, Riscv _ | Riscv64, X86 _ -> invalid_arg "Cpu.set_mode: wrong architecture"
+
+let pmp t =
+  match t.pmp with
+  | Some p -> p
+  | None -> invalid_arg "Cpu.pmp: x86 cores have no PMP file"
+
+let active_ept t = t.active_ept
+
+let set_active_ept t ept =
+  match t.arch with
+  | X86_64 -> t.active_ept <- ept
+  | Riscv64 -> invalid_arg "Cpu.set_active_ept: RISC-V cores have no EPT"
+
+let asid t = t.asid
+let set_asid t a = t.asid <- a
+
+let register_count = 16
+
+let check_reg i =
+  if i < 0 || i >= register_count then invalid_arg "Cpu: register index out of range"
+
+let get_reg t i =
+  check_reg i;
+  t.regs.(i)
+
+let set_reg t i v =
+  check_reg i;
+  t.regs.(i) <- v
+
+let save_regs t = Array.copy t.regs
+
+let load_regs t saved =
+  if Array.length saved <> register_count then invalid_arg "Cpu.load_regs: wrong size";
+  Array.blit saved 0 t.regs 0 register_count
+
+let clear_regs t = Array.fill t.regs 0 register_count 0
+
+let active_page_table t = t.active_pt
+let set_active_page_table t pt = t.active_pt <- pt
+
+let riscv_priv t = match t.mode with Riscv m -> m | X86 _ -> assert false
+
+let translate t addr access =
+  match t.arch with
+  | X86_64 -> begin
+    match t.mode, t.active_ept with
+    | X86 { vmx_root = true; _ }, _ -> addr (* monitor context: direct physical *)
+    | X86 _, Some ept -> Ept.translate ept ~gpa:addr ~access
+    | X86 _, None -> addr (* pre-virtualization boot: flat physical *)
+    | Riscv _, _ -> assert false
+  end
+  | Riscv64 ->
+    let mode = match riscv_priv t with M -> `M | S -> `S | U -> `U in
+    Pmp.check (pmp t) ~mode addr access;
+    addr
+
+let first_level t addr access =
+  match t.active_pt with
+  | None -> addr
+  | Some pt -> Page_table.translate pt ~vaddr:addr ~access
+
+let load t mem ~tlb ~cache addr =
+  let addr = first_level t addr `Read in
+  let hpa =
+    match Tlb.lookup tlb ~asid:t.asid ~gpa:addr with
+    | Some hpa when t.arch = X86_64 && t.active_ept <> None -> hpa
+    | _ ->
+      let hpa = translate t addr `Read in
+      if t.arch = X86_64 && t.active_ept <> None then
+        Tlb.fill tlb ~asid:t.asid ~gpa:addr ~hpa;
+      hpa
+  in
+  Cache.touch cache ~tag:t.asid hpa;
+  Physmem.read_byte mem hpa
+
+let store t mem ~tlb ~cache addr v =
+  let addr = first_level t addr `Write in
+  let hpa = translate t addr `Write in
+  if t.arch = X86_64 && t.active_ept <> None then
+    Tlb.fill tlb ~asid:t.asid ~gpa:addr ~hpa;
+  Cache.touch cache ~tag:t.asid hpa;
+  Physmem.write_byte mem hpa v
+
+let pp_mode fmt = function
+  | X86 { ring; vmx_root } ->
+    Format.fprintf fmt "x86:ring%d%s" ring (if vmx_root then "/vmx-root" else "")
+  | Riscv M -> Format.pp_print_string fmt "riscv:M"
+  | Riscv S -> Format.pp_print_string fmt "riscv:S"
+  | Riscv U -> Format.pp_print_string fmt "riscv:U"

@@ -1,0 +1,57 @@
+type kind = Gpu | Nic | Storage | Crypto_accel | Other of string
+
+let kind_to_string = function
+  | Gpu -> "gpu"
+  | Nic -> "nic"
+  | Storage -> "storage"
+  | Crypto_accel -> "crypto-accel"
+  | Other s -> s
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+type t = {
+  kind : kind;
+  bus : int;
+  dev : int;
+  fn : int;
+  vfs : t list;
+  parent : t option;
+}
+
+let pack_bdf ~bus ~dev ~fn = (bus lsl 8) lor (dev lsl 3) lor fn
+
+let rec make_vf parent i =
+  (* VFs conventionally appear at successive function numbers past the
+     physical function; we place them on the next device numbers to keep
+     BDFs unique without modelling ARI. *)
+  let dev = parent.dev + 1 + (i / 8) and fn = (parent.fn + 1 + i) mod 8 in
+  { kind = parent.kind; bus = parent.bus; dev; fn; vfs = []; parent = Some parent }
+
+and create ~kind ~bus ~dev ~fn ?(sriov_vfs = 0) () =
+  if bus < 0 || bus > 255 || dev < 0 || dev > 31 || fn < 0 || fn > 7 then
+    invalid_arg "Device.create: invalid BDF";
+  if sriov_vfs < 0 then invalid_arg "Device.create: negative VF count";
+  let rec t = { kind; bus; dev; fn; vfs; parent = None }
+  and vfs = List.init sriov_vfs (fun i -> make_vf { kind; bus; dev; fn; vfs = []; parent = None } i)
+  in
+  (* Re-link VFs to the final record so [parent] is physically equal. *)
+  { t with vfs = List.map (fun vf -> { vf with parent = Some t }) vfs }
+
+let kind t = t.kind
+let bdf t = pack_bdf ~bus:t.bus ~dev:t.dev ~fn:t.fn
+let bdf_string t = Printf.sprintf "%02x:%02x.%d" t.bus t.dev t.fn
+let virtual_functions t = t.vfs
+let is_virtual_function t = t.parent <> None
+let parent t = t.parent
+
+let dma_read t iommu mem range =
+  List.iter (fun page -> Iommu.check iommu ~device:(bdf t) page `Read) (Addr.Range.pages range);
+  Physmem.read mem range
+
+let dma_write t iommu mem addr data =
+  let range = Addr.Range.make ~base:addr ~len:(max 1 (String.length data)) in
+  List.iter (fun page -> Iommu.check iommu ~device:(bdf t) page `Write) (Addr.Range.pages range);
+  Physmem.write mem addr data
+
+let equal a b = bdf a = bdf b
+let pp fmt t = Format.fprintf fmt "%a@%s" pp_kind t.kind (bdf_string t)

@@ -1,0 +1,44 @@
+(** PCI devices.
+
+    A device is identified by its bus/device/function (BDF) triple and
+    performs DMA through the {!Iommu}. SR-IOV-capable devices expose
+    virtual functions, each with its own BDF — the mechanism the paper
+    mentions for partitioning a physical device among trust domains. *)
+
+type t
+
+type kind = Gpu | Nic | Storage | Crypto_accel | Other of string
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string
+
+val create :
+  kind:kind -> bus:int -> dev:int -> fn:int -> ?sriov_vfs:int -> unit -> t
+(** [sriov_vfs] is the number of virtual functions the device supports
+    (0 = no SR-IOV). @raise Invalid_argument on invalid BDF fields. *)
+
+val kind : t -> kind
+val bdf : t -> int
+(** Packed 16-bit BDF identifier, unique per function; this is the id
+    the {!Iommu} keys on. *)
+
+val bdf_string : t -> string
+(** Conventional "bb:dd.f" rendering. *)
+
+val virtual_functions : t -> t list
+(** The SR-IOV virtual functions (empty if not SR-IOV). Each VF is a
+    device in its own right with a distinct BDF. *)
+
+val is_virtual_function : t -> bool
+val parent : t -> t option
+(** Physical function of a VF. *)
+
+val dma_read : t -> Iommu.t -> Physmem.t -> Addr.Range.t -> string
+(** DMA a range out of host memory; every page is checked against the
+    IOMMU. @raise Iommu.Dma_fault when a window is missing. *)
+
+val dma_write : t -> Iommu.t -> Physmem.t -> Addr.t -> string -> unit
+(** DMA into host memory, IOMMU-checked. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

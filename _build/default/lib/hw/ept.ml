@@ -1,0 +1,118 @@
+type entry = { hpa : Addr.t; perm : Perm.t }
+
+type t = {
+  pages : (int, entry) Hashtbl.t; (* key: gpa page index *)
+  counter : Cycles.counter;
+  id : int;
+}
+
+exception Violation of { gpa : Addr.t; access : [ `Read | `Write | `Exec ] }
+
+let next_id = ref 0
+
+let create ~counter =
+  incr next_id;
+  { pages = Hashtbl.create 64; counter; id = !next_id }
+
+let page_index a = a / Addr.page_size
+
+let map_page t ~gpa ~hpa perm =
+  if not (Addr.is_page_aligned gpa && Addr.is_page_aligned hpa) then
+    invalid_arg "Ept.map_page: unaligned address";
+  Cycles.charge t.counter Cycles.Cost.ept_map_page;
+  Hashtbl.replace t.pages (page_index gpa) { hpa; perm }
+
+let map_range t ~gpa range perm =
+  if not (Addr.Range.is_page_aligned range) || not (Addr.is_page_aligned gpa) then
+    invalid_arg "Ept.map_range: unaligned range";
+  List.iteri
+    (fun i hpa -> map_page t ~gpa:(gpa + (i * Addr.page_size)) ~hpa perm)
+    (Addr.Range.pages range)
+
+let unmap_page t ~gpa =
+  Cycles.charge t.counter Cycles.Cost.ept_unmap_page;
+  Hashtbl.remove t.pages (page_index gpa)
+
+let unmap_hpa_range t range =
+  let victims =
+    Hashtbl.fold
+      (fun gpa_idx { hpa; _ } acc ->
+        if Addr.Range.contains range hpa then gpa_idx :: acc else acc)
+      t.pages []
+  in
+  List.iter
+    (fun gpa_idx ->
+      Cycles.charge t.counter Cycles.Cost.ept_unmap_page;
+      Hashtbl.remove t.pages gpa_idx)
+    victims;
+  List.length victims
+
+let translate t ~gpa ~access =
+  Cycles.charge t.counter Cycles.Cost.page_table_walk;
+  match Hashtbl.find_opt t.pages (page_index gpa) with
+  | None -> raise (Violation { gpa; access })
+  | Some { hpa; perm } ->
+    if Perm.allows perm access then hpa + (gpa land (Addr.page_size - 1))
+    else raise (Violation { gpa; access })
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let hpa_reachable t addr =
+  let page = Addr.align_down addr in
+  Hashtbl.fold
+    (fun _ { hpa; perm } acc -> if hpa = page then Perm.union acc perm else acc)
+    t.pages Perm.none
+
+let iter_mappings t f =
+  (* Sort so iteration order is deterministic for tests and attestation. *)
+  let entries =
+    Hashtbl.fold (fun gpa_idx e acc -> (gpa_idx, e) :: acc) t.pages []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (gpa_idx, { hpa; perm }) -> f ~gpa:(gpa_idx * Addr.page_size) ~hpa perm)
+    entries
+
+let reaches_hpa_range t range =
+  let hit = ref false in
+  Hashtbl.iter
+    (fun _ { hpa; _ } ->
+      if (not !hit)
+         && Addr.Range.overlaps range (Addr.Range.make ~base:hpa ~len:Addr.page_size)
+      then hit := true)
+    t.pages;
+  !hit
+
+module Eptp_list = struct
+  type ept = t
+  type nonrec t = { slots : ept option array; mutable used : int }
+
+  let max_entries = 512
+
+  let create () = { slots = Array.make max_entries None; used = 0 }
+
+  let slot_of t ept =
+    let rec find i =
+      if i >= t.used then None
+      else
+        match t.slots.(i) with
+        | Some e when e.id = ept.id -> Some i
+        | _ -> find (i + 1)
+    in
+    find 0
+
+  let register t ept =
+    match slot_of t ept with
+    | Some i -> Some i
+    | None ->
+      if t.used >= max_entries then None
+      else begin
+        let i = t.used in
+        t.slots.(i) <- Some ept;
+        t.used <- i + 1;
+        Some i
+      end
+
+  let get t i = if i < 0 || i >= t.used then None else t.slots.(i)
+  let count t = t.used
+end

@@ -1,0 +1,45 @@
+type t = {
+  routes : (int, int) Hashtbl.t; (* vector -> core *)
+  remap : (int * int, unit) Hashtbl.t; (* (device, vector) allowed *)
+  queue : (int, (int * int) list ref) Hashtbl.t; (* core -> pending *)
+  counter : Cycles.counter;
+}
+
+exception Blocked of { device : int; vector : int }
+
+let create ~counter =
+  { routes = Hashtbl.create 32;
+    remap = Hashtbl.create 32;
+    queue = Hashtbl.create 8;
+    counter }
+
+let route t ~vector ~core = Hashtbl.replace t.routes vector core
+
+let permit t ~device ~vector = Hashtbl.replace t.remap (device, vector) ()
+
+let revoke_device t ~device =
+  let victims =
+    Hashtbl.fold (fun (d, v) () acc -> if d = device then (d, v) :: acc else acc) t.remap []
+  in
+  List.iter (Hashtbl.remove t.remap) victims
+
+let post t ~device ~vector =
+  Cycles.charge t.counter Cycles.Cost.interrupt_remap_lookup;
+  if not (Hashtbl.mem t.remap (device, vector)) then raise (Blocked { device; vector });
+  let core = Hashtbl.find t.routes vector in
+  Cycles.charge t.counter Cycles.Cost.interrupt_delivery;
+  let q =
+    match Hashtbl.find_opt t.queue core with
+    | Some q -> q
+    | None ->
+      let q = ref [] in
+      Hashtbl.add t.queue core q;
+      q
+  in
+  q := (device, vector) :: !q;
+  core
+
+let pending t ~core =
+  match Hashtbl.find_opt t.queue core with Some q -> List.rev !q | None -> []
+
+let ack t ~core = Hashtbl.remove t.queue core

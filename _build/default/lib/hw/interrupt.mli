@@ -1,0 +1,32 @@
+(** Interrupt routing with remapping.
+
+    Models the interrupt-remapping table the paper points to for
+    "cross-domain interrupt routing" (§4.1): a device may only post the
+    vectors the table grants it, and each vector is steered to one core.
+    Unremapped interrupts from a device are blocked — preventing an
+    untrusted device from injecting into a confidential domain. *)
+
+type t
+
+exception Blocked of { device : int; vector : int }
+
+val create : counter:Cycles.counter -> t
+
+val route : t -> vector:int -> core:int -> unit
+(** Steer a vector to a core. *)
+
+val permit : t -> device:int -> vector:int -> unit
+(** Allow the device to raise the vector (remapping-table entry). *)
+
+val revoke_device : t -> device:int -> unit
+
+val post : t -> device:int -> vector:int -> int
+(** Deliver an interrupt; returns the target core id.
+    @raise Blocked if the device is not permitted to raise the vector.
+    @raise Not_found if the vector has no route. *)
+
+val pending : t -> core:int -> (int * int) list
+(** Delivered (device, vector) pairs not yet acknowledged on the core. *)
+
+val ack : t -> core:int -> unit
+(** Acknowledge (clear) the core's pending interrupts. *)

@@ -1,0 +1,51 @@
+type t = {
+  table : (int, (Addr.Range.t * Perm.t) list ref) Hashtbl.t;
+  counter : Cycles.counter;
+}
+
+exception Dma_fault of { device : int; addr : Addr.t }
+
+let create ~counter = { table = Hashtbl.create 16; counter }
+
+let slot t device =
+  match Hashtbl.find_opt t.table device with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.table device l;
+    l
+
+let grant t ~device range perm =
+  Cycles.charge t.counter Cycles.Cost.iommu_table_update;
+  let l = slot t device in
+  l := (range, perm) :: !l
+
+let revoke_range t ~device range =
+  Cycles.charge t.counter Cycles.Cost.iommu_table_update;
+  let l = slot t device in
+  l :=
+    List.concat_map
+      (fun (w, perm) ->
+        List.map (fun piece -> (piece, perm)) (Addr.Range.subtract w range))
+      !l
+
+let revoke_all t ~device =
+  Cycles.charge t.counter Cycles.Cost.iommu_table_update;
+  Hashtbl.remove t.table device
+
+let check t ~device addr access =
+  let windows = match Hashtbl.find_opt t.table device with Some l -> !l | None -> [] in
+  let allowed =
+    List.exists
+      (fun (w, perm) ->
+        Addr.Range.contains w addr
+        && Perm.allows perm (access :> [ `Read | `Write | `Exec ]))
+      windows
+  in
+  if not allowed then raise (Dma_fault { device; addr })
+
+let windows t ~device =
+  match Hashtbl.find_opt t.table device with Some l -> !l | None -> []
+
+let device_reaches t ~device range =
+  List.exists (fun (w, _) -> Addr.Range.overlaps w range) (windows t ~device)

@@ -1,0 +1,28 @@
+(** I/O MMU: per-device DMA windows into physical memory.
+
+    Devices can only read/write host memory through windows programmed
+    here; an unprogrammed device has no DMA access at all (the safe
+    default the monitor relies on to build I/O trust domains such as the
+    GPU in the paper's Fig. 2/3 scenario). *)
+
+type t
+
+exception Dma_fault of { device : int; addr : Addr.t }
+
+val create : counter:Cycles.counter -> t
+
+val grant : t -> device:int -> Addr.Range.t -> Perm.t -> unit
+(** Add a DMA window for the device. *)
+
+val revoke_range : t -> device:int -> Addr.Range.t -> unit
+(** Remove any part of the device's windows intersecting the range
+    (splitting windows when needed). *)
+
+val revoke_all : t -> device:int -> unit
+
+val check : t -> device:int -> Addr.t -> [ `Read | `Write ] -> unit
+(** @raise Dma_fault if the access is outside every window. *)
+
+val windows : t -> device:int -> (Addr.Range.t * Perm.t) list
+val device_reaches : t -> device:int -> Addr.Range.t -> bool
+(** Whether any window of the device overlaps the range. *)

@@ -1,0 +1,89 @@
+type keyid = int
+
+type t = {
+  keys : string array; (* 32-byte slot keys *)
+  mutable ranges : (Addr.Range.t * keyid) list;
+}
+
+let create ?(slots = 64) rng =
+  if slots <= 0 then invalid_arg "Mktme.create: need at least one slot";
+  { keys = Array.init slots (fun _ -> Crypto.Rng.bytes rng 32); ranges = [] }
+
+let slots t = Array.length t.keys
+
+let check_keyid t keyid =
+  if keyid < 0 || keyid >= slots t then invalid_arg "Mktme: key id out of range"
+
+let protect t ~keyid range =
+  check_keyid t keyid;
+  (* Later protections shadow earlier ones on overlap; keep it simple by
+     carving the overlap out of existing entries first. *)
+  t.ranges <-
+    (range, keyid)
+    :: List.concat_map
+         (fun (r, k) -> List.map (fun piece -> (piece, k)) (Addr.Range.subtract r range))
+         t.ranges
+
+let unprotect t range =
+  t.ranges <-
+    List.concat_map
+      (fun (r, k) -> List.map (fun piece -> (piece, k)) (Addr.Range.subtract r range))
+      t.ranges
+
+let keyid_of t addr =
+  List.find_map (fun (r, k) -> if Addr.Range.contains r addr then Some k else None) t.ranges
+
+let protected_bytes t =
+  List.fold_left (fun acc (r, _) -> acc + Addr.Range.len r) 0 t.ranges
+
+(* Counter-mode keystream: the 32 bytes covering absolute addresses
+   [32k, 32k+32) are HMAC(key, k) — deterministic, position-bound, and
+   unrecoverable without the key. Blocks are derived once and applied to
+   every byte they cover. *)
+let block_stream key block = Crypto.Hmac.derive ~key ~label:(Printf.sprintf "ctr:%d" block)
+
+let xor_with_keystream key ~base s =
+  let out = Bytes.of_string s in
+  let n = Bytes.length out in
+  let i = ref 0 in
+  while !i < n do
+    let addr = base + !i in
+    let block = addr / 32 in
+    let stream = block_stream key block in
+    let upto = min n (!i + (32 - (addr mod 32))) in
+    for j = !i to upto - 1 do
+      Bytes.set out j
+        (Char.chr (Char.code (Bytes.get out j) lxor Char.code stream.[(base + j) mod 32]))
+    done;
+    i := upto
+  done;
+  Bytes.unsafe_to_string out
+
+let snoop t mem range =
+  let base = Addr.Range.base range in
+  let plain = Physmem.read mem range in
+  (* Encrypt each maximal keyed run with its block keystream; copy the
+     unkeyed bytes through. *)
+  let out = Bytes.of_string plain in
+  let n = Bytes.length out in
+  let i = ref 0 in
+  while !i < n do
+    let addr = base + !i in
+    match keyid_of t addr with
+    | None -> incr i
+    | Some keyid ->
+      (* Extend the run while the key id stays the same. *)
+      let j = ref !i in
+      while !j < n && keyid_of t (base + !j) = Some keyid do
+        incr j
+      done;
+      let run = Bytes.sub_string out !i (!j - !i) in
+      Bytes.blit_string (xor_with_keystream t.keys.(keyid) ~base:addr run) 0 out !i
+        (!j - !i);
+      i := !j
+  done;
+  Bytes.unsafe_to_string out
+
+let decrypt_with_key t ~keyid ~base image =
+  check_keyid t keyid;
+  xor_with_keystream t.keys.(keyid) ~base image

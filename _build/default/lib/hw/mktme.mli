@@ -1,0 +1,48 @@
+(** Multi-key total memory encryption (MKTME / SEV-style), §4.2's
+    "building physical attack resistance with multi-key memory
+    encryption technologies".
+
+    The CPU-side view of memory is unchanged (the memory controller
+    encrypts/decrypts transparently for access-checked reads), so
+    {!Physmem} keeps holding plaintext. What this module models is the
+    *physical attacker*: {!snoop} returns the bytes a DIMM interposer
+    would capture on the bus — the keystream-encrypted image for ranges
+    protected by a key id, the raw plaintext for everything else.
+
+    Keys live in the memory controller and are indexed by small key ids;
+    the monitor's backend assigns one key id per confidential domain and
+    programs protected ranges on attach/detach. *)
+
+type t
+
+type keyid = int
+
+val create : ?slots:int -> Crypto.Rng.t -> t
+(** A controller with [slots] key slots (default 64, as in early MKTME
+    parts). Each slot gets a fresh random key. *)
+
+val slots : t -> int
+
+val protect : t -> keyid:keyid -> Addr.Range.t -> unit
+(** Mark a range as encrypted under the key id.
+    @raise Invalid_argument if the key id is out of range. *)
+
+val unprotect : t -> Addr.Range.t -> unit
+(** Remove protection from any part of existing protected ranges that
+    intersects the range. *)
+
+val keyid_of : t -> Addr.t -> keyid option
+(** Which key covers this address, if any. *)
+
+val protected_bytes : t -> int
+
+val snoop : t -> Physmem.t -> Addr.Range.t -> string
+(** The physical attacker's view of the range: ciphertext where
+    protected, plaintext elsewhere. Deterministic per (key, address) so
+    an attacker CAN see *when a block changes* (MKTME has no freshness),
+    but never the plaintext. *)
+
+val decrypt_with_key : t -> keyid:keyid -> base:Addr.t -> string -> string
+(** What someone holding the slot's key could do with a snooped image —
+    used by tests to prove the ciphertext is exactly keystream-XOR and
+    carries full information only with the key. *)

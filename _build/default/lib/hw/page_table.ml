@@ -1,0 +1,42 @@
+type entry = { paddr : Addr.t; perm : Perm.t }
+
+type t = { pages : (int, entry) Hashtbl.t; counter : Cycles.counter }
+
+exception Fault of { vaddr : Addr.t; access : [ `Read | `Write | `Exec ] }
+
+let create ~counter = { pages = Hashtbl.create 32; counter }
+
+let page_index a = a / Addr.page_size
+
+let map_page t ~vaddr ~paddr perm =
+  if not (Addr.is_page_aligned vaddr && Addr.is_page_aligned paddr) then
+    invalid_arg "Page_table.map_page: unaligned address";
+  Hashtbl.replace t.pages (page_index vaddr) { paddr; perm }
+
+let map_range t ~vaddr range perm =
+  if not (Addr.Range.is_page_aligned range) || not (Addr.is_page_aligned vaddr) then
+    invalid_arg "Page_table.map_range: unaligned range";
+  List.iteri
+    (fun i paddr -> map_page t ~vaddr:(vaddr + (i * Addr.page_size)) ~paddr perm)
+    (Addr.Range.pages range)
+
+let unmap_page t ~vaddr = Hashtbl.remove t.pages (page_index vaddr)
+
+let translate t ~vaddr ~access =
+  Cycles.charge t.counter Cycles.Cost.page_table_walk;
+  match Hashtbl.find_opt t.pages (page_index vaddr) with
+  | None -> raise (Fault { vaddr; access })
+  | Some { paddr; perm } ->
+    if Perm.allows perm access then paddr + (vaddr land (Addr.page_size - 1))
+    else raise (Fault { vaddr; access })
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let iter t f =
+  let entries =
+    Hashtbl.fold (fun idx e acc -> (idx, e) :: acc) t.pages []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (idx, { paddr; perm }) -> f ~vaddr:(idx * Addr.page_size) ~paddr perm)
+    entries

@@ -1,0 +1,29 @@
+(** First-level (guest) page tables: virtual to (guest-)physical.
+
+    This is protection *inside* a domain — exactly the layer the paper's
+    monitor refuses to know about (§3.1: the monitor enforces the
+    domain's boundary "without considering how protection is further
+    implemented inside the domain itself"). The OS builds one of these
+    per process and points the core at it; the monitor's EPT/PMP checks
+    then apply on top, so a process access translates
+    vaddr -> (this table) -> guest-physical -> (EPT/PMP) -> host-physical. *)
+
+type t
+
+exception Fault of { vaddr : Addr.t; access : [ `Read | `Write | `Exec ] }
+
+val create : counter:Cycles.counter -> t
+
+val map_page : t -> vaddr:Addr.t -> paddr:Addr.t -> Perm.t -> unit
+(** Map one 4 KiB page. @raise Invalid_argument on unaligned inputs. *)
+
+val map_range : t -> vaddr:Addr.t -> Addr.Range.t -> Perm.t -> unit
+(** Map a contiguous physical range starting at [vaddr]. *)
+
+val unmap_page : t -> vaddr:Addr.t -> unit
+
+val translate : t -> vaddr:Addr.t -> access:[ `Read | `Write | `Exec ] -> Addr.t
+(** @raise Fault on a missing mapping or insufficient permission. *)
+
+val mapped_pages : t -> int
+val iter : t -> (vaddr:Addr.t -> paddr:Addr.t -> Perm.t -> unit) -> unit

@@ -1,0 +1,28 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let r = { read = true; write = false; exec = false }
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let subsumes a b =
+  (b.read <= a.read) && (b.write <= a.write) && (b.exec <= a.exec)
+
+let union a b = { read = a.read || b.read; write = a.write || b.write; exec = a.exec || b.exec }
+let inter a b = { read = a.read && b.read; write = a.write && b.write; exec = a.exec && b.exec }
+
+let allows t = function
+  | `Read -> t.read
+  | `Write -> t.write
+  | `Exec -> t.exec
+
+let equal a b = a = b
+
+let to_string t =
+  Printf.sprintf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.exec then 'x' else '-')
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,22 @@
+(** Hardware access permissions (read / write / execute), shared by the
+    EPT, PMP and IOMMU models. *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] is true when every access allowed by [b] is allowed
+    by [a]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val allows : t -> [ `Read | `Write | `Exec ] -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Compact "rwx" / "r--" rendering. *)

@@ -1,0 +1,48 @@
+type t = { mem : Bytes.t }
+
+exception Bus_error of Addr.t
+
+let create ~size =
+  if size <= 0 || not (Addr.is_page_aligned size) then
+    invalid_arg "Physmem.create: size must be positive and page-aligned";
+  { mem = Bytes.make size '\x00' }
+
+let size t = Bytes.length t.mem
+let full_range t = Addr.Range.make ~base:0 ~len:(size t)
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > size t then raise (Bus_error addr)
+
+let read_byte t a =
+  check t a 1;
+  Char.code (Bytes.get t.mem a)
+
+let write_byte t a v =
+  check t a 1;
+  Bytes.set t.mem a (Char.chr (v land 0xFF))
+
+let read t r =
+  check t (Addr.Range.base r) (Addr.Range.len r);
+  Bytes.sub_string t.mem (Addr.Range.base r) (Addr.Range.len r)
+
+let write t a s =
+  check t a (String.length s);
+  Bytes.blit_string s 0 t.mem a (String.length s)
+
+let zero_range t r =
+  check t (Addr.Range.base r) (Addr.Range.len r);
+  Bytes.fill t.mem (Addr.Range.base r) (Addr.Range.len r) '\x00'
+
+let measure t r =
+  check t (Addr.Range.base r) (Addr.Range.len r);
+  let ctx = Crypto.Sha256.Ctx.create () in
+  Crypto.Sha256.Ctx.feed_bytes ctx t.mem ~off:(Addr.Range.base r) ~len:(Addr.Range.len r);
+  Crypto.Sha256.Ctx.finalize ctx
+
+let blit t ~src ~dst =
+  let len = Addr.Range.len src in
+  check t (Addr.Range.base src) len;
+  check t dst len;
+  let dst_range = Addr.Range.make ~base:dst ~len in
+  if Addr.Range.overlaps src dst_range then invalid_arg "Physmem.blit: overlapping ranges";
+  Bytes.blit t.mem (Addr.Range.base src) t.mem dst len

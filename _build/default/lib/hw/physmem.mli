@@ -1,0 +1,32 @@
+(** Simulated physical memory: a flat byte array addressed by {!Addr.t}.
+
+    This module performs no access control — it is the raw DRAM. All
+    protection is enforced above it: CPU accesses go through {!Ept} or
+    {!Pmp} checks, device DMA goes through {!Iommu}. Reading or writing
+    outside the populated range raises, modelling a machine-check. *)
+
+type t
+
+exception Bus_error of Addr.t
+(** Raised on access outside physical memory (hardware machine-check). *)
+
+val create : size:int -> t
+(** [create ~size] makes [size] bytes of zeroed physical memory.
+    @raise Invalid_argument if size is not page-aligned or non-positive. *)
+
+val size : t -> int
+val full_range : t -> Addr.Range.t
+
+val read_byte : t -> Addr.t -> int
+val write_byte : t -> Addr.t -> int -> unit
+val read : t -> Addr.Range.t -> string
+val write : t -> Addr.t -> string -> unit
+
+val zero_range : t -> Addr.Range.t -> unit
+(** Clear a range; the revocation "zeroing" clean-up policy uses this. *)
+
+val measure : t -> Addr.Range.t -> Crypto.Sha256.digest
+(** Hash the current content of a range (attestation measurement). *)
+
+val blit : t -> src:Addr.Range.t -> dst:Addr.t -> unit
+(** Copy [src] to [dst] (used by the loader). Ranges may not overlap. *)

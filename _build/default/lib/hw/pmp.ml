@@ -1,0 +1,87 @@
+type access = [ `Read | `Write | `Exec ]
+
+type entry = { range : Addr.Range.t; perm : Perm.t; locked : bool }
+
+type t = { slots : entry option array; counter : Cycles.counter }
+
+exception Fault of { addr : Addr.t; access : access }
+
+let create ?(entries = 16) ~counter () =
+  if entries <= 0 then invalid_arg "Pmp.create: entries must be positive";
+  { slots = Array.make entries None; counter }
+
+let entry_count t = Array.length t.slots
+
+let free_entries t =
+  Array.fold_left (fun acc e -> if e = None then acc + 1 else acc) 0 t.slots
+
+let set t ~index range perm ~locked =
+  if index < 0 || index >= entry_count t then invalid_arg "Pmp.set: index out of range";
+  (match t.slots.(index) with
+  | Some { locked = true; _ } -> invalid_arg "Pmp.set: entry is locked"
+  | _ -> ());
+  Cycles.charge t.counter Cycles.Cost.pmp_entry_write;
+  t.slots.(index) <- Some { range; perm; locked }
+
+let clear t ~index =
+  if index < 0 || index >= entry_count t then invalid_arg "Pmp.clear: index out of range";
+  (match t.slots.(index) with
+  | Some { locked = true; _ } -> invalid_arg "Pmp.clear: entry is locked"
+  | _ -> ());
+  Cycles.charge t.counter Cycles.Cost.pmp_entry_write;
+  t.slots.(index) <- None
+
+let find_free t =
+  let rec go i =
+    if i >= entry_count t then None
+    else if t.slots.(i) = None then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let matching_entry t addr =
+  let rec go i =
+    if i >= entry_count t then None
+    else
+      match t.slots.(i) with
+      | Some e when Addr.Range.contains e.range addr -> Some e
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let check t ~mode addr access =
+  match matching_entry t addr, mode with
+  | None, `M -> () (* M-mode has default access when no entry matches *)
+  | None, (`S | `U) -> raise (Fault { addr; access })
+  | Some e, `M when not e.locked -> ()
+  | Some e, _ ->
+    if not (Perm.allows e.perm access) then raise (Fault { addr; access })
+
+let allows_range t ~mode range access =
+  (* The decisive entry can only change at entry boundaries, so probing
+     the range endpoints plus every entry boundary inside it suffices. *)
+  let probes =
+    Addr.Range.base range :: Addr.Range.last range
+    :: Array.fold_left
+         (fun acc slot ->
+           match slot with
+           | None -> acc
+           | Some e ->
+             let add acc a = if Addr.Range.contains range a then a :: acc else acc in
+             add (add acc (Addr.Range.base e.range)) (Addr.Range.limit e.range))
+         [] t.slots
+  in
+  List.for_all
+    (fun addr -> match check t ~mode addr access with () -> true | exception Fault _ -> false)
+    probes
+
+let entries t =
+  let acc = ref [] in
+  for i = entry_count t - 1 downto 0 do
+    match t.slots.(i) with
+    | Some e -> acc := (i, e.range, e.perm, e.locked) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let reset t = Array.fill t.slots 0 (entry_count t) None

@@ -1,0 +1,46 @@
+(** RISC-V Physical Memory Protection (PMP) unit.
+
+    A per-hart file of a small, fixed number of entries (16 by default,
+    as on most shipping cores) each guarding one physical range. Entries
+    are priority-ordered: the lowest-numbered matching entry decides an
+    access. S/U-mode accesses with no matching entry are denied; M-mode
+    accesses are allowed unless a matching entry is locked.
+
+    The scarcity of entries is the crux of the paper's RISC-V claim (C8):
+    the monitor must lay trust domains out contiguously and validate
+    layouts so each domain fits in the available entries. *)
+
+type t
+
+type access = [ `Read | `Write | `Exec ]
+
+exception Fault of { addr : Addr.t; access : access }
+
+val create : ?entries:int -> counter:Cycles.counter -> unit -> t
+(** @raise Invalid_argument if [entries] is not positive. *)
+
+val entry_count : t -> int
+val free_entries : t -> int
+
+val set : t -> index:int -> Addr.Range.t -> Perm.t -> locked:bool -> unit
+(** Program entry [index]. @raise Invalid_argument if out of range or if
+    the entry is locked (locked entries are immutable until reset). *)
+
+val clear : t -> index:int -> unit
+(** @raise Invalid_argument if the entry is locked. *)
+
+val find_free : t -> int option
+(** Lowest-numbered unprogrammed entry. *)
+
+val check : t -> mode:[ `M | `S | `U ] -> Addr.t -> access -> unit
+(** Check one access; raises {!Fault} when denied. *)
+
+val allows_range : t -> mode:[ `M | `S | `U ] -> Addr.Range.t -> access -> bool
+(** Whether every address of the range passes {!check}. Checks the
+    decisive entry at each entry boundary rather than each byte. *)
+
+val entries : t -> (int * Addr.Range.t * Perm.t * bool) list
+(** Programmed entries as [(index, range, perm, locked)], index order. *)
+
+val reset : t -> unit
+(** Power-cycle: clears all entries including locked ones. *)

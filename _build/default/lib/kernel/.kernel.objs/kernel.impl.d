@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Alloc Array Cap Driver Hw Hypervisor Image Libtyche List Option Printf Process Result String Tyche

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Alloc Driver Hw Hypervisor Image Process Tyche

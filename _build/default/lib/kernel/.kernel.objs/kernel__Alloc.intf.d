@@ -1,0 +1,1 @@
+lib/kernel/alloc.mli: Hw

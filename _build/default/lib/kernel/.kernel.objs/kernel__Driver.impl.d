@@ -1,0 +1,1 @@
+lib/kernel/driver.ml: Alloc Cap Format Hw Image Libtyche List Option Printf Result String Tyche

@@ -1,0 +1,1 @@
+lib/kernel/driver.mli: Alloc Format Hw Image Tyche

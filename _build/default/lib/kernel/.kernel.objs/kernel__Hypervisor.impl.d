@@ -1,0 +1,1 @@
+lib/kernel/hypervisor.ml: Alloc Bytes Char Format Hw Image Int32 Int64 Libtyche List Option Printf Result String Tyche

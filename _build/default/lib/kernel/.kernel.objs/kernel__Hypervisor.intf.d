@@ -1,0 +1,1 @@
+lib/kernel/hypervisor.mli: Alloc Format Hw Image Tyche

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Format Hw Image Libtyche Tyche

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Format Hw Image Libtyche Tyche

@@ -1,0 +1,58 @@
+type t = {
+  managed : Hw.Addr.Range.t;
+  mutable free_list : Hw.Addr.Range.t list; (* sorted by base, disjoint *)
+}
+
+let create range =
+  if not (Hw.Addr.Range.is_page_aligned range) then
+    invalid_arg "Alloc.create: range must be page-aligned";
+  { managed = range; free_list = [ range ] }
+
+let round_up bytes = Hw.Addr.align_up (max 1 bytes)
+
+let take_from t range piece =
+  t.free_list <-
+    List.concat_map
+      (fun r -> if Hw.Addr.Range.equal r range then Hw.Addr.Range.subtract r piece else [ r ])
+      t.free_list
+
+let alloc_aligned t ~bytes ~align =
+  if align <= 0 || align land (align - 1) <> 0 || align mod Hw.Addr.page_size <> 0 then
+    invalid_arg "Alloc.alloc_aligned: align must be a power-of-two multiple of the page size";
+  let len = round_up bytes in
+  let fits r =
+    let base = (Hw.Addr.Range.base r + align - 1) / align * align in
+    if base + len <= Hw.Addr.Range.limit r then Some (r, Hw.Addr.Range.make ~base ~len)
+    else None
+  in
+  match List.find_map fits t.free_list with
+  | Some (host, piece) ->
+    take_from t host piece;
+    Some piece
+  | None -> None
+
+let alloc t ~bytes = alloc_aligned t ~bytes ~align:Hw.Addr.page_size
+
+let free t range =
+  if not (Hw.Addr.Range.includes ~outer:t.managed ~inner:range) then
+    invalid_arg "Alloc.free: range outside managed memory";
+  if List.exists (Hw.Addr.Range.overlaps range) t.free_list then
+    invalid_arg "Alloc.free: double free";
+  let merged =
+    List.sort Hw.Addr.Range.compare (range :: t.free_list)
+    |> List.fold_left
+         (fun acc r ->
+           match acc with
+           | prev :: rest when Hw.Addr.Range.adjacent prev r ->
+             Option.get (Hw.Addr.Range.merge prev r) :: rest
+           | _ -> r :: acc)
+         []
+    |> List.rev
+  in
+  t.free_list <- merged
+
+let free_bytes t = List.fold_left (fun acc r -> acc + Hw.Addr.Range.len r) 0 t.free_list
+
+let largest_free t = List.fold_left (fun acc r -> max acc (Hw.Addr.Range.len r)) 0 t.free_list
+
+let fragments t = List.length t.free_list

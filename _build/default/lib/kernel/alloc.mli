@@ -1,0 +1,29 @@
+(** First-fit physical page allocator.
+
+    The kernel — not the monitor — decides placement (§3.5: the monitor
+    "does not choose resources to allocate to a domain, but rather
+    validates allocation"). This allocator manages the OS's free
+    physical memory; when the kernel spawns a domain it allocates here,
+    then asks the monitor to carve and delegate. *)
+
+type t
+
+val create : Hw.Addr.Range.t -> t
+(** Manage the given range (page-aligned). *)
+
+val alloc : t -> bytes:int -> Hw.Addr.Range.t option
+(** First-fit allocation, rounded up to whole pages. *)
+
+val alloc_aligned : t -> bytes:int -> align:int -> Hw.Addr.Range.t option
+(** Allocation whose base is a multiple of [align] (a power of two
+    multiple of the page size). *)
+
+val free : t -> Hw.Addr.Range.t -> unit
+(** Return a range; adjacent free ranges coalesce.
+    @raise Invalid_argument if the range overlaps free memory (double
+    free) or lies outside the managed range. *)
+
+val free_bytes : t -> int
+val largest_free : t -> int
+val fragments : t -> int
+(** Number of free extents (fragmentation metric). *)

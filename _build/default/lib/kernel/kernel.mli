@@ -1,0 +1,56 @@
+(** The miniature commodity OS running as domain 0.
+
+    This kernel plays the role Linux plays in the paper's prototype: it
+    owns (almost) all resources, allocates them, schedules processes and
+    drives devices — while the monitor, below it, validates every
+    delegation and can take nothing it says on faith. The kernel gets no
+    isolation authority the monitor doesn't check.
+
+    Submodules re-exported here: {!Alloc}, {!Process}, {!Driver},
+    {!Hypervisor}. *)
+
+module Alloc = Alloc
+module Process = Process
+module Driver = Driver
+module Hypervisor = Hypervisor
+
+type t
+
+val boot : Tyche.Monitor.t -> core:int -> heap:Hw.Addr.Range.t -> (t, string) result
+(** Initialize the kernel on [core] with [heap] as its managed memory
+    (must lie inside domain 0's capabilities). *)
+
+val monitor : t -> Tyche.Monitor.t
+val allocator : t -> Alloc.t
+val core : t -> int
+val console : t -> string list
+(** Messages processes logged via [sys_log], oldest first. *)
+
+(** {2 Processes} *)
+
+val spawn :
+  t -> ?core:int -> name:string -> arena_bytes:int -> program:Process.program ->
+  unit -> (Process.pid, string) result
+(** [core] pins the process to a CPU (default: the kernel's boot core).
+    Domain 0 holds every core at boot, so any core the machine has is
+    schedulable; processes on different cores run in the same
+    round-robin loop but under their own per-core page tables. *)
+
+val process_state : t -> Process.pid -> Process.state option
+
+val run : t -> ?max_quanta:int -> unit -> int
+(** Round-robin schedule until every process exits (or the quantum
+    budget runs out); each switch between distinct processes charges the
+    commodity context-switch cost. Returns quanta consumed. *)
+
+val kill : t -> Process.pid -> (unit, string) result
+(** Mark a process exited and reclaim its arena. *)
+
+(** {2 Drivers} *)
+
+val attach_driver :
+  t -> device:Hw.Device.t -> ?sandboxed_with:Image.t -> unit ->
+  (Driver.t, string) result
+(** Attach a device driver; pass a driver image to sandbox it. *)
+
+val detach_driver : t -> Driver.t -> (unit, string) result

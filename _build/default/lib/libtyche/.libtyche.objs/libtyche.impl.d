@@ -1,0 +1,1 @@
+lib/libtyche/libtyche.ml: Channel Confidential_vm Enclave Handle Loader Sandbox

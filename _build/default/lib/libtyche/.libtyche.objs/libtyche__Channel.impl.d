@@ -1,0 +1,1 @@
+lib/libtyche/channel.ml: Bytes Cap Crypto Hw Int Int32 List Printf Result String Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/channel.mli: Cap Hw Tyche

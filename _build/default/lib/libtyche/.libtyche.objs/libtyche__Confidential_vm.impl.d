@@ -1,0 +1,1 @@
+lib/libtyche/confidential_vm.ml: Cap Handle Hw Image Loader Result String Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/confidential_vm.mli: Cap Crypto Handle Hw Image Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/enclave.ml: Handle Loader Result Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/enclave.mli: Cap Crypto Handle Hw Image Tyche

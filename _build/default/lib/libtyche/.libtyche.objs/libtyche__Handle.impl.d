@@ -1,0 +1,1 @@
+lib/libtyche/handle.ml: Cap Format Hw Image List Option Tyche

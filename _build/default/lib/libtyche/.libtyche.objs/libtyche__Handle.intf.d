@@ -1,0 +1,1 @@
+lib/libtyche/handle.mli: Cap Format Hw Image Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/loader.ml: Cap Crypto Handle Hw Image List Option Printf Result String Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/loader.mli: Cap Crypto Handle Hw Image Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/sandbox.ml: Cap Handle Image List Loader Result Tyche

@@ -1,0 +1,1 @@
+lib/libtyche/sandbox.mli: Cap Handle Hw Image Tyche

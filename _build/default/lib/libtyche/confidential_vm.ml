@@ -1,0 +1,52 @@
+let monitor_err r = Result.map_error Tyche.Monitor.error_to_string r
+let ( let* ) = Result.bind
+
+type t = {
+  handle : Handle.t;
+  ram : Hw.Addr.Range.t;
+  ram_cap : Cap.Captree.cap_id;
+}
+
+let create monitor ~caller ~core ~memory_cap ~at ~image ~ram_bytes ?cores () =
+  if ram_bytes <= 0 || ram_bytes land (Hw.Addr.page_size - 1) <> 0 then
+    Error "ram_bytes must be a positive multiple of the page size"
+  else begin
+    let* handle =
+      Loader.load monitor ~caller ~core ~memory_cap ~at ~image
+        ~kind:Tyche.Domain.Confidential_vm ?cores ~seal:false ()
+    in
+    let ram = Hw.Addr.Range.make ~base:(at + Image.size image) ~len:ram_bytes in
+    let* ram_piece =
+      match Loader.cap_containing monitor ~domain:caller ram with
+      | Some cap -> monitor_err (Tyche.Monitor.carve monitor ~caller ~cap ~subrange:ram)
+      | None -> Error "caller holds no capability covering the requested guest RAM"
+    in
+    (* Guests expect zeroed RAM (memory may hold a previous owner's
+       data when its revocation policy was [Keep]); the grant below also
+       installs a zeroing policy so teardown scrubs it. *)
+    let* () =
+      monitor_err
+        (Tyche.Monitor.store_string monitor ~core (Hw.Addr.Range.base ram)
+           (String.make ram_bytes '\x00'))
+    in
+    let* ram_cap =
+      monitor_err
+        (Tyche.Monitor.grant monitor ~caller ~cap:ram_piece ~to_:handle.Handle.domain
+           ~rights:Cap.Rights.full ~cleanup:Cap.Revocation.Zero_and_flush)
+    in
+    let* () =
+      monitor_err (Tyche.Monitor.seal monitor ~caller ~domain:handle.Handle.domain)
+    in
+    Ok { handle; ram; ram_cap }
+  end
+
+let enter monitor ~core t =
+  monitor_err (Tyche.Monitor.call monitor ~core ~target:t.handle.Handle.domain)
+
+let exit_guest monitor ~core = monitor_err (Tyche.Monitor.ret monitor ~core)
+
+let destroy monitor ~caller t =
+  monitor_err (Tyche.Monitor.destroy_domain monitor ~caller ~domain:t.handle.Handle.domain)
+
+let expected_measurement image =
+  Loader.offline_measurement ~image ~kind:Tyche.Domain.Confidential_vm ()

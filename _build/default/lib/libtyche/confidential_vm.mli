@@ -1,0 +1,40 @@
+(** Confidential virtual machines (§4.2).
+
+    The same loader, scaled up: a kernel image plus a block of guest RAM,
+    all granted exclusively, several cores, flush-on-transition on. The
+    hosting hypervisor (domain 0) keeps only what the manifest marks
+    [Shared] — typically a virtio-style ring — and the guest's
+    attestation proves exactly that to a remote tenant. *)
+
+type t = {
+  handle : Handle.t;
+  ram : Hw.Addr.Range.t; (** Guest RAM beyond the image segments. *)
+  ram_cap : Cap.Captree.cap_id; (** Held by the guest. *)
+}
+
+val create :
+  Tyche.Monitor.t ->
+  caller:Tyche.Domain.id ->
+  core:int ->
+  memory_cap:Cap.Captree.cap_id ->
+  at:Hw.Addr.t ->
+  image:Image.t ->
+  ram_bytes:int ->
+  ?cores:int list ->
+  unit ->
+  (t, string) result
+(** Load the guest image at [at], grant [ram_bytes] of zeroed RAM
+    immediately after it, share the given cores, and seal. *)
+
+val enter :
+  Tyche.Monitor.t -> core:int -> t ->
+  (Tyche.Backend_intf.transition_path, string) result
+
+val exit_guest :
+  Tyche.Monitor.t -> core:int ->
+  (Tyche.Backend_intf.transition_path, string) result
+
+val destroy :
+  Tyche.Monitor.t -> caller:Tyche.Domain.id -> t -> (unit, string) result
+
+val expected_measurement : Image.t -> Crypto.Sha256.digest

@@ -1,0 +1,17 @@
+let create monitor ~caller ~core ~memory_cap ~at ~image ?cores () =
+  Loader.load monitor ~caller ~core ~memory_cap ~at ~image ~kind:Tyche.Domain.Enclave
+    ?cores ()
+
+let call monitor ~core handle =
+  Result.map_error Tyche.Monitor.error_to_string
+    (Tyche.Monitor.call monitor ~core ~target:handle.Handle.domain)
+
+let return_from monitor ~core =
+  Result.map_error Tyche.Monitor.error_to_string (Tyche.Monitor.ret monitor ~core)
+
+let destroy monitor ~caller handle =
+  Result.map_error Tyche.Monitor.error_to_string
+    (Tyche.Monitor.destroy_domain monitor ~caller ~domain:handle.Handle.domain)
+
+let expected_measurement image =
+  Loader.offline_measurement ~image ~kind:Tyche.Domain.Enclave ()

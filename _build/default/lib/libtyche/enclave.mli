@@ -1,0 +1,44 @@
+(** Tyche-enclaves (§4.2).
+
+    Built entirely on the monitor's isolation API, with the three
+    advantages the paper claims over SGX enclaves:
+    - untrusted memory must be *explicitly* shared (confidential is the
+      default; nothing of the creator's address space leaks in);
+    - load addresses are free, so any number of enclaves coexist and
+      an image's measurement is position-independent;
+    - enclaves nest and share: an enclave can run this same code to
+      spawn nested enclaves from its own exclusively-owned pages, and
+      open {!Channel}s with them. *)
+
+val create :
+  Tyche.Monitor.t ->
+  caller:Tyche.Domain.id ->
+  core:int ->
+  memory_cap:Cap.Captree.cap_id ->
+  at:Hw.Addr.t ->
+  image:Image.t ->
+  ?cores:int list ->
+  unit ->
+  (Handle.t, string) result
+(** Load and seal an enclave. All [Confidential] segments are granted
+    exclusively; transitions flush micro-architectural state. Works the
+    same whether [caller] is the OS or another (even sealed) enclave —
+    that is the nesting story. *)
+
+val call :
+  Tyche.Monitor.t -> core:int -> Handle.t ->
+  (Tyche.Backend_intf.transition_path, string) result
+(** Enter the enclave on [core] (an ECALL without any SGX fixed
+    machinery — just a mediated domain transition). *)
+
+val return_from :
+  Tyche.Monitor.t -> core:int ->
+  (Tyche.Backend_intf.transition_path, string) result
+
+val destroy :
+  Tyche.Monitor.t -> caller:Tyche.Domain.id -> Handle.t -> (unit, string) result
+(** Revoke and delete the enclave; its confidential memory is zeroed
+    and cache-flushed by the revocation policies installed at load. *)
+
+val expected_measurement : Image.t -> Crypto.Sha256.digest
+(** Offline hash for verifying this enclave's attestation. *)

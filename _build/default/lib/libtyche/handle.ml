@@ -1,0 +1,21 @@
+type t = {
+  domain : Tyche.Domain.id;
+  base : Hw.Addr.t;
+  image : Image.t;
+  segment_caps : (string * Cap.Captree.cap_id) list;
+  cores : int list;
+}
+
+let segment_cap t name = List.assoc_opt name t.segment_caps
+
+let segment_range t name =
+  Option.map
+    (fun seg -> Image.segment_range seg ~at:t.base)
+    (Image.find_segment t.image name)
+
+let entry t = t.base + t.image.Image.entry
+
+let pp fmt t =
+  Format.fprintf fmt "<domain#%d %s at 0x%x, %d segments>" t.domain
+    t.image.Image.image_name t.base
+    (List.length t.segment_caps)

@@ -1,0 +1,19 @@
+(** Handle to a domain created through libtyche's loader. *)
+
+type t = {
+  domain : Tyche.Domain.id;
+  base : Hw.Addr.t; (** Physical load base. *)
+  image : Image.t;
+  segment_caps : (string * Cap.Captree.cap_id) list;
+  (** Capability created for each segment, by segment name: owned by the
+      new domain (confidential segments) or by it with the creator
+      keeping the parent (shared segments). *)
+  cores : int list; (** Cores the domain may run on. *)
+}
+
+val segment_cap : t -> string -> Cap.Captree.cap_id option
+val segment_range : t -> string -> Hw.Addr.Range.t option
+(** Physical range of a named segment as loaded. *)
+
+val entry : t -> Hw.Addr.t
+val pp : Format.formatter -> t -> unit

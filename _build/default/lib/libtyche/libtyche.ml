@@ -1,0 +1,23 @@
+(** libtyche: higher-level isolation abstractions over the monitor's
+    unified API (§4.2).
+
+    The monitor only knows trust domains tied to resources; everything
+    programmers actually want — sandboxes, enclaves, confidential VMs,
+    channels — is library code running *inside* domains, with no special
+    privilege. This module re-exports the pieces:
+
+    - {!Loader}: manifest-driven loading of {!Image.t} binaries.
+    - {!Handle}: what a loaded domain looks like to its creator.
+    - {!Sandbox}: compartments the creator distrusts but can inspect.
+    - {!Enclave}: compartments that distrust their creator; nestable.
+    - {!Confidential_vm}: whole guests with private RAM.
+    - {!Channel}: attestably-private shared-memory links. *)
+
+module Loader = Loader
+module Handle = Handle
+module Sandbox = Sandbox
+module Enclave = Enclave
+module Confidential_vm = Confidential_vm
+module Channel = Channel
+
+let offline_measurement = Loader.offline_measurement

@@ -1,0 +1,140 @@
+let ( let* ) = Result.bind
+
+let monitor_err r = Result.map_error Tyche.Monitor.error_to_string r
+
+(* The caller's active capability whose memory range contains [range];
+   carving changes which capability covers an address, so the loader
+   re-finds it before every carve. *)
+let cap_containing monitor ~domain range =
+  let tree = Tyche.Monitor.tree monitor in
+  List.find_opt
+    (fun cap ->
+      match Cap.Captree.resource tree cap with
+      | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.includes ~outer:r ~inner:range
+      | _ -> false)
+    (Tyche.Monitor.caps_of monitor domain)
+
+let core_cap monitor ~domain core_id =
+  let tree = Tyche.Monitor.tree monitor in
+  List.find_opt
+    (fun cap ->
+      Cap.Captree.resource tree cap = Some (Cap.Resource.Cpu_core core_id))
+    (Tyche.Monitor.caps_of monitor domain)
+
+let padded_content seg =
+  let len = Hw.Addr.align_up (max 1 (String.length seg.Image.data)) in
+  seg.Image.data ^ String.make (len - String.length seg.Image.data) '\x00'
+
+let default_flush kind =
+  match kind with
+  | Tyche.Domain.Enclave | Tyche.Domain.Confidential_vm -> true
+  | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain -> false
+
+let load monitor ~caller ~core ~memory_cap ~at ~image ~kind ?cores ?flush_on_transition
+    ?(seal = true) () =
+  let* () = Image.validate image in
+  if not (Hw.Addr.is_page_aligned at) then Error "load base must be page-aligned"
+  else if Tyche.Monitor.current_domain monitor ~core <> caller then
+    Error "caller is not the domain currently running on the given core"
+  else begin
+    let flush = Option.value flush_on_transition ~default:(default_flush kind) in
+    let cores = Option.value cores ~default:[ core ] in
+    let footprint = Hw.Addr.Range.make ~base:at ~len:(Image.size image) in
+    let tree = Tyche.Monitor.tree monitor in
+    let* () =
+      match Cap.Captree.resource tree memory_cap with
+      | Some (Cap.Resource.Memory r) when Hw.Addr.Range.includes ~outer:r ~inner:footprint ->
+        if Cap.Captree.owner tree memory_cap = Some caller then Ok ()
+        else Error "memory capability is not owned by the caller"
+      | Some (Cap.Resource.Memory _) ->
+        Error "memory capability does not cover the image footprint"
+      | _ -> Error "memory capability is not a memory capability"
+    in
+    let* domain =
+      monitor_err
+        (Tyche.Monitor.create_domain monitor ~caller ~name:image.Image.image_name ~kind)
+    in
+    (* Carve, write, and delegate each segment. *)
+    let rec load_segments acc = function
+      | [] -> Ok (List.rev acc)
+      | seg :: rest ->
+        let range = Image.segment_range seg ~at in
+        let* holder =
+          match cap_containing monitor ~domain:caller range with
+          | Some c -> Ok c
+          | None -> Error ("no caller capability covers segment " ^ seg.Image.seg_name)
+        in
+        let* piece =
+          monitor_err (Tyche.Monitor.carve monitor ~caller ~cap:holder ~subrange:range)
+        in
+        let* () =
+          monitor_err
+            (Tyche.Monitor.store_string monitor ~core (Hw.Addr.Range.base range)
+               (padded_content seg))
+        in
+        let* delegated =
+          match seg.Image.visibility with
+          | Image.Confidential ->
+            monitor_err
+              (Tyche.Monitor.grant monitor ~caller ~cap:piece ~to_:domain
+                 ~rights:
+                   { Cap.Rights.perm = seg.Image.perm; can_share = true; can_grant = true }
+                 ~cleanup:Cap.Revocation.Zero_and_flush)
+          | Image.Shared ->
+            monitor_err
+              (Tyche.Monitor.share monitor ~caller ~cap:piece ~to_:domain
+                 ~rights:
+                   { Cap.Rights.perm = seg.Image.perm; can_share = false; can_grant = false }
+                 ~cleanup:Cap.Revocation.Keep ())
+        in
+        let* () =
+          if seg.Image.measured then
+            monitor_err (Tyche.Monitor.mark_measured monitor ~caller ~domain range)
+          else Ok ()
+        in
+        load_segments ((seg.Image.seg_name, delegated) :: acc) rest
+    in
+    let* segment_caps = load_segments [] image.Image.segments in
+    (* Give the new domain its cores. *)
+    let rec share_cores = function
+      | [] -> Ok ()
+      | c :: rest ->
+        let* cap =
+          match core_cap monitor ~domain:caller c with
+          | Some cap -> Ok cap
+          | None -> Error (Printf.sprintf "caller holds no capability for core %d" c)
+        in
+        (* can_share stays true so the new domain can pass the core on
+           to nested domains it spawns (§4.2). *)
+        let* _ =
+          monitor_err
+            (Tyche.Monitor.share monitor ~caller ~cap ~to_:domain
+               ~rights:{ Cap.Rights.perm = Hw.Perm.rwx; can_share = true; can_grant = false }
+               ~cleanup:Cap.Revocation.Keep ())
+        in
+        share_cores rest
+    in
+    let* () = share_cores cores in
+    let* () =
+      monitor_err
+        (Tyche.Monitor.set_entry_point monitor ~caller ~domain (at + image.Image.entry))
+    in
+    let* () = monitor_err (Tyche.Monitor.set_flush_policy monitor ~caller ~domain flush) in
+    let* () =
+      if seal then monitor_err (Tyche.Monitor.seal monitor ~caller ~domain) else Ok ()
+    in
+    Ok { Handle.domain; base = at; image; segment_caps; cores }
+  end
+
+let offline_measurement ~image ~kind ?flush_on_transition () =
+  let flush = Option.value flush_on_transition ~default:(default_flush kind) in
+  let ranges =
+    List.filter_map
+      (fun seg ->
+        if seg.Image.measured then
+          Some (Image.segment_range seg ~at:0, Crypto.Sha256.string (padded_content seg))
+        else None)
+      image.Image.segments
+  in
+  Tyche.Measure.domain_digest ~kind ~entry_point:image.Image.entry
+    ~flush_on_transition:flush ~ranges

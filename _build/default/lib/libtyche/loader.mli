@@ -1,0 +1,54 @@
+(** The manifest-driven domain loader (§4.2).
+
+    "The library loads an ELF binary as a domain using a manifest that
+    describes which segments should run in which privilege ring, whether
+    they are shared or confidential, and if their content is part of the
+    attestation or not."
+
+    The loader runs *as the calling domain*: it writes segment contents
+    through the caller's own hardware-checked memory accesses on [core],
+    carves per-segment capabilities out of [memory_cap], delegates them
+    to the new domain (grant for confidential segments, share for shared
+    ones), marks measured ranges, and seals. It has no special authority
+    — anything it does, the caller could do by hand through the monitor
+    API. *)
+
+val load :
+  Tyche.Monitor.t ->
+  caller:Tyche.Domain.id ->
+  core:int ->
+  memory_cap:Cap.Captree.cap_id ->
+  at:Hw.Addr.t ->
+  image:Image.t ->
+  kind:Tyche.Domain.kind ->
+  ?cores:int list ->
+  ?flush_on_transition:bool ->
+  ?seal:bool ->
+  unit ->
+  (Handle.t, string) result
+(** Load [image] at physical address [at] (page-aligned) as a new
+    domain. [memory_cap] must be a capability owned by [caller] whose
+    range covers the image footprint. [cores] (default [[core]]) are
+    shared with the new domain so it can be scheduled. [seal] defaults
+    to true; pass false to keep configuring the domain (e.g. to attach
+    extra RAM to a confidential VM) and call
+    {!Tyche.Monitor.seal} yourself. *)
+
+val cap_containing :
+  Tyche.Monitor.t ->
+  domain:Tyche.Domain.id ->
+  Hw.Addr.Range.t ->
+  Cap.Captree.cap_id option
+(** The domain's active memory capability whose range contains the given
+    range, if any. Carves invalidate previous capabilities, so callers
+    re-find the holder before each carve. *)
+
+val offline_measurement :
+  image:Image.t ->
+  kind:Tyche.Domain.kind ->
+  ?flush_on_transition:bool ->
+  unit ->
+  Crypto.Sha256.digest
+(** The measurement a correctly loaded, sealed domain of this image must
+    have — computed without any machine (the paper's "binary's hash
+    offline"). A verifier compares this against the attestation. *)

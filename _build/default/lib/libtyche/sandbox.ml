@@ -1,0 +1,30 @@
+let monitor_err r = Result.map_error Tyche.Monitor.error_to_string r
+let ( let* ) = Result.bind
+
+let create monitor ~caller ~core ~memory_cap ~at ~image ?cores () =
+  let shared_image =
+    { image with
+      Image.segments =
+        List.map
+          (fun s -> { s with Image.visibility = Image.Shared })
+          image.Image.segments }
+  in
+  Loader.load monitor ~caller ~core ~memory_cap ~at ~image:shared_image
+    ~kind:Tyche.Domain.Sandbox ?cores ()
+
+let call monitor ~core handle =
+  monitor_err (Tyche.Monitor.call monitor ~core ~target:handle.Handle.domain)
+
+let return_from monitor ~core = monitor_err (Tyche.Monitor.ret monitor ~core)
+
+let grant_window monitor ~caller ~sandbox ~memory_cap ~range ~writable =
+  let* piece =
+    monitor_err (Tyche.Monitor.carve monitor ~caller ~cap:memory_cap ~subrange:range)
+  in
+  monitor_err
+    (Tyche.Monitor.share monitor ~caller ~cap:piece ~to_:sandbox.Handle.domain
+       ~rights:(if writable then Cap.Rights.rw else Cap.Rights.read_only)
+       ~cleanup:Cap.Revocation.Keep ())
+
+let destroy monitor ~caller handle =
+  monitor_err (Tyche.Monitor.destroy_domain monitor ~caller ~domain:handle.Handle.domain)

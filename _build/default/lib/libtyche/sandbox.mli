@@ -1,0 +1,46 @@
+(** Sandboxes: compartments the *creator* distrusts (§4.2).
+
+    The trust relation is the inverse of an enclave's: the creator keeps
+    full visibility into the sandbox (segments are shared, not granted),
+    while the sandbox can touch nothing beyond what the manifest gave
+    it. This is the "untrusted library" / "untrusted driver" shape: the
+    same loader and the same monitor API produce both abstractions,
+    which is the paper's unification point. *)
+
+val create :
+  Tyche.Monitor.t ->
+  caller:Tyche.Domain.id ->
+  core:int ->
+  memory_cap:Cap.Captree.cap_id ->
+  at:Hw.Addr.t ->
+  image:Image.t ->
+  ?cores:int list ->
+  unit ->
+  (Handle.t, string) result
+(** Load a sandbox: every segment's visibility is forced to [Shared]
+    so the creator retains access, and transitions do not flush (the
+    creator does not fear the sandbox observing it — it created it). *)
+
+val call :
+  Tyche.Monitor.t -> core:int -> Handle.t ->
+  (Tyche.Backend_intf.transition_path, string) result
+
+val return_from :
+  Tyche.Monitor.t -> core:int ->
+  (Tyche.Backend_intf.transition_path, string) result
+
+val grant_window :
+  Tyche.Monitor.t ->
+  caller:Tyche.Domain.id ->
+  sandbox:Handle.t ->
+  memory_cap:Cap.Captree.cap_id ->
+  range:Hw.Addr.Range.t ->
+  writable:bool ->
+  (Cap.Captree.cap_id, string) result
+(** Share an extra data window with a sandbox after creation is not
+    possible once sealed — so this carves and shares *before* you seal
+    with [?seal:false] loading; with the default sealed loading it
+    fails, demonstrating the sealing guarantee. *)
+
+val destroy :
+  Tyche.Monitor.t -> caller:Tyche.Domain.id -> Handle.t -> (unit, string) result

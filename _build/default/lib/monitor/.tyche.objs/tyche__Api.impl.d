@@ -1,0 +1,1 @@
+lib/monitor/api.ml: Attestation Backend_intf Buffer Cap Char Domain Format Hw Int64 List Monitor Printf Result String

@@ -1,0 +1,1 @@
+lib/monitor/api.mli: Attestation Backend_intf Cap Domain Format Hw Monitor

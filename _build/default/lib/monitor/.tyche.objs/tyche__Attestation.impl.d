@@ -1,0 +1,1 @@
+lib/monitor/attestation.ml: Buffer Crypto Domain Format Hw Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/monitor/attestation.mli: Crypto Domain Format Hw

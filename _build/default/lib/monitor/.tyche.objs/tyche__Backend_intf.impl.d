@@ -1,0 +1,1 @@
+lib/monitor/backend_intf.ml: Cap Domain Format Hw

@@ -1,0 +1,1 @@
+lib/monitor/backend_intf.mli: Cap Domain Format Hw

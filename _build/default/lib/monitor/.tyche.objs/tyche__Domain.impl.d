@@ -1,0 +1,1 @@
+lib/monitor/domain.ml: Crypto Format Hw List

@@ -1,0 +1,1 @@
+lib/monitor/domain.mli: Crypto Format Hw

@@ -1,0 +1,1 @@
+lib/monitor/invariants.ml: Backend_intf Cap Domain Format Hw List Monitor Printf

@@ -1,0 +1,1 @@
+lib/monitor/invariants.mli: Format Monitor

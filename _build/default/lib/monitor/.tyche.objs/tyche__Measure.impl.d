@@ -1,0 +1,1 @@
+lib/monitor/measure.ml: Buffer Crypto Domain Hw Int64 List

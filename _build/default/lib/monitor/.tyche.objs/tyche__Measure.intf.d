@@ -1,0 +1,1 @@
+lib/monitor/measure.mli: Crypto Domain Hw

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Array Attestation Backend_intf Cap Char Crypto Domain Format Hashtbl Hw Int List Logs Measure Printf Result Rot String

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Attestation Backend_intf Cap Crypto Domain Format Hw Rot

@@ -1,0 +1,230 @@
+type region_report = {
+  range : Hw.Addr.Range.t;
+  perm : Hw.Perm.t;
+  refcount : int;
+  holders : Domain.id list;
+  measured : bool;
+}
+
+type t = {
+  domain : Domain.id;
+  domain_name : string;
+  kind : Domain.kind;
+  sealed : bool;
+  measurement : Crypto.Sha256.digest option;
+  regions : region_report list;
+  cores : (int * int) list;
+  devices : (int * int) list;
+  memory_encrypted : bool;
+  nonce : string;
+  signature : Crypto.Signature.signature;
+}
+
+let payload_of ~domain ~domain_name ~kind ~sealed ~measurement ~regions ~cores ~devices
+    ~memory_encrypted ~nonce =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "tyche-attestation-v1\x00";
+  Buffer.add_int32_be buf (Int32.of_int domain);
+  Buffer.add_string buf domain_name;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf (Domain.kind_to_string kind);
+  Buffer.add_char buf '\x00';
+  Buffer.add_char buf (if sealed then '\x01' else '\x00');
+  Buffer.add_string buf
+    (match measurement with
+    | Some m -> Crypto.Sha256.to_raw m
+    | None -> String.make 32 '\xff');
+  Buffer.add_int32_be buf (Int32.of_int (List.length regions));
+  List.iter
+    (fun r ->
+      Buffer.add_int64_be buf (Int64.of_int (Hw.Addr.Range.base r.range));
+      Buffer.add_int64_be buf (Int64.of_int (Hw.Addr.Range.len r.range));
+      Buffer.add_string buf (Hw.Perm.to_string r.perm);
+      Buffer.add_int32_be buf (Int32.of_int r.refcount);
+      List.iter (fun h -> Buffer.add_int32_be buf (Int32.of_int h)) r.holders;
+      Buffer.add_char buf (if r.measured then '\x01' else '\x00'))
+    regions;
+  let add_pairs pairs =
+    Buffer.add_int32_be buf (Int32.of_int (List.length pairs));
+    List.iter
+      (fun (a, b) ->
+        Buffer.add_int32_be buf (Int32.of_int a);
+        Buffer.add_int32_be buf (Int32.of_int b))
+      pairs
+  in
+  add_pairs cores;
+  add_pairs devices;
+  Buffer.add_char buf (if memory_encrypted then '\x01' else '\x00');
+  Buffer.add_string buf nonce;
+  Buffer.contents buf
+
+let payload t =
+  payload_of ~domain:t.domain ~domain_name:t.domain_name ~kind:t.kind ~sealed:t.sealed
+    ~measurement:t.measurement ~regions:t.regions ~cores:t.cores ~devices:t.devices
+    ~memory_encrypted:t.memory_encrypted ~nonce:t.nonce
+
+let canonical_regions regions =
+  List.sort (fun a b -> Hw.Addr.Range.compare a.range b.range) regions
+
+let sign ~signer ~domain ~regions ~cores ~devices ~memory_encrypted ~nonce =
+  let regions = canonical_regions regions in
+  let cores = List.sort compare cores and devices = List.sort compare devices in
+  let did = Domain.id domain in
+  let body =
+    payload_of ~domain:did ~domain_name:(Domain.name domain) ~kind:(Domain.kind domain)
+      ~sealed:(Domain.is_sealed domain) ~measurement:(Domain.measurement domain)
+      ~regions ~cores ~devices ~memory_encrypted ~nonce
+  in
+  { domain = did;
+    domain_name = Domain.name domain;
+    kind = Domain.kind domain;
+    sealed = Domain.is_sealed domain;
+    measurement = Domain.measurement domain;
+    regions;
+    cores;
+    devices;
+    memory_encrypted;
+    nonce;
+    signature = Crypto.Signature.sign signer body }
+
+let verify ~monitor_root t =
+  Crypto.Signature.verify ~root:monitor_root (payload t) t.signature
+
+(* Wire format: u32 payload length | payload | u32 signature length |
+   signature. The payload is parsed back field-by-field (it was designed
+   to be canonical, so re-serializing a parsed report reproduces the
+   signed bytes exactly). *)
+
+let to_wire t =
+  let body = payload t in
+  let sg = Crypto.Signature.signature_to_string t.signature in
+  let buf = Buffer.create (String.length body + String.length sg + 8) in
+  Buffer.add_int32_be buf (Int32.of_int (String.length body));
+  Buffer.add_string buf body;
+  Buffer.add_int32_be buf (Int32.of_int (String.length sg));
+  Buffer.add_string buf sg;
+  Buffer.contents buf
+
+let of_wire wire =
+  let exception Bad of string in
+  let fail msg = raise (Bad msg) in
+  try
+    if String.length wire < 8 then fail "truncated envelope";
+    let body_len = Int32.to_int (String.get_int32_be wire 0) in
+    if body_len < 0 || 4 + body_len + 4 > String.length wire then fail "bad payload length";
+    let body = String.sub wire 4 body_len in
+    let sig_len = Int32.to_int (String.get_int32_be wire (4 + body_len)) in
+    if sig_len < 0 || 8 + body_len + sig_len <> String.length wire then
+      fail "bad signature length";
+    let signature =
+      try Crypto.Signature.signature_of_string (String.sub wire (8 + body_len) sig_len)
+      with Invalid_argument m -> fail m
+    in
+    (* Parse the payload. *)
+    let pos = ref 0 in
+    let take n =
+      if !pos + n > String.length body then fail "truncated payload";
+      let s = String.sub body !pos n in
+      pos := !pos + n;
+      s
+    in
+    let u32 () = Int32.to_int (String.get_int32_be (take 4) 0) in
+    let u64 () = Int64.to_int (String.get_int64_be (take 8) 0) in
+    let until_nul () =
+      match String.index_from_opt body !pos '\x00' with
+      | None -> fail "unterminated string"
+      | Some stop ->
+        let s = String.sub body !pos (stop - !pos) in
+        pos := stop + 1;
+        s
+    in
+    if take 21 <> "tyche-attestation-v1\x00" then fail "bad magic";
+    let domain = u32 () in
+    let domain_name = until_nul () in
+    let kind =
+      match until_nul () with
+      | "os" -> Domain.Os
+      | "sandbox" -> Domain.Sandbox
+      | "enclave" -> Domain.Enclave
+      | "confidential-vm" -> Domain.Confidential_vm
+      | "io-domain" -> Domain.Io_domain
+      | k -> fail ("unknown kind " ^ k)
+    in
+    let sealed =
+      match (take 1).[0] with '\x00' -> false | '\x01' -> true | _ -> fail "bad flag"
+    in
+    let measurement =
+      let raw = take 32 in
+      if raw = String.make 32 '\xff' then None else Some (Crypto.Sha256.of_raw raw)
+    in
+    let nregions = u32 () in
+    if nregions < 0 || nregions > 65536 then fail "unreasonable region count";
+    let regions =
+      List.init nregions (fun _ ->
+          let base = u64 () in
+          let len = u64 () in
+          if len <= 0 then fail "empty region";
+          let perm_s = take 3 in
+          let perm =
+            { Hw.Perm.read = perm_s.[0] = 'r'; write = perm_s.[1] = 'w';
+              exec = perm_s.[2] = 'x' }
+          in
+          let refcount = u32 () in
+          if refcount < 0 || refcount > 65536 then fail "unreasonable refcount";
+          let holders = List.init refcount (fun _ -> u32 ()) in
+          let measured =
+            match (take 1).[0] with
+            | '\x00' -> false
+            | '\x01' -> true
+            | _ -> fail "bad measured flag"
+          in
+          { range = Hw.Addr.Range.make ~base ~len; perm; refcount; holders; measured })
+    in
+    let pairs () =
+      let n = u32 () in
+      if n < 0 || n > 65536 then fail "unreasonable pair count";
+      List.init n (fun _ ->
+          let a = u32 () in
+          let b = u32 () in
+          (a, b))
+    in
+    let cores = pairs () in
+    let devices = pairs () in
+    let memory_encrypted =
+      match (take 1).[0] with
+      | '\x00' -> false
+      | '\x01' -> true
+      | _ -> fail "bad encryption flag"
+    in
+    let nonce = String.sub body !pos (String.length body - !pos) in
+    Ok
+      { domain; domain_name; kind; sealed; measurement; regions; cores; devices;
+        memory_encrypted; nonce; signature }
+  with
+  | Bad msg -> Error ("Attestation.of_wire: " ^ msg)
+  | Invalid_argument msg -> Error ("Attestation.of_wire: " ^ msg)
+
+let exclusive_regions t = List.filter (fun r -> r.refcount = 1) t.regions
+
+let shared_with t other = List.filter (fun r -> List.mem other r.holders) t.regions
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>attestation for domain#%d (%s, %a%s)@," t.domain t.domain_name
+    Domain.pp_kind t.kind
+    (if t.sealed then ", sealed" else "");
+  (match t.measurement with
+  | Some m -> Format.fprintf fmt "measurement: %a@," Crypto.Sha256.pp m
+  | None -> Format.fprintf fmt "measurement: <unsealed>@,");
+  Format.fprintf fmt "memory encryption: %s@,"
+    (if t.memory_encrypted then "private key (MKTME)" else "none");
+  Format.fprintf fmt "regions:@,";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %a %a refs=%d holders=[%s]%s@," Hw.Addr.Range.pp r.range
+        Hw.Perm.pp r.perm r.refcount
+        (String.concat ";" (List.map string_of_int r.holders))
+        (if r.measured then " measured" else ""))
+    t.regions;
+  List.iter (fun (c, n) -> Format.fprintf fmt "  core#%d refs=%d@," c n) t.cores;
+  List.iter (fun (d, n) -> Format.fprintf fmt "  dev#%04x refs=%d@," d n) t.devices;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,71 @@
+(** Domain attestations: tier two of the attestation protocol (§3.4).
+
+    Tier one is the TPM quote over the boot PCRs ({!Rot.Tpm.Quote}),
+    which convinces a verifier that a specific monitor controls the
+    machine and binds the monitor's attestation key. Tier two — this
+    module — is a monitor-signed report that enumerates one domain's
+    physical resources, their reference counts and the seal-time
+    measurement, making sharing and communication paths explicit so a
+    remote party can verify controlled sharing (refcount 1 = exclusive,
+    refcount 2 = pairwise channel). *)
+
+type region_report = {
+  range : Hw.Addr.Range.t;
+  perm : Hw.Perm.t;
+  refcount : int; (** Distinct domains that can reach the region. *)
+  holders : Domain.id list; (** Who they are, sorted. *)
+  measured : bool; (** Included in the seal-time measurement. *)
+}
+
+type t = {
+  domain : Domain.id;
+  domain_name : string;
+  kind : Domain.kind;
+  sealed : bool;
+  measurement : Crypto.Sha256.digest option; (** Seal-time measurement. *)
+  regions : region_report list;
+  cores : (int * int) list; (** (core id, refcount). *)
+  devices : (int * int) list; (** (packed BDF, refcount). *)
+  memory_encrypted : bool;
+      (** The platform holds this domain's memory under a private
+          encryption key (MKTME/SEV-style physical-attack resistance). *)
+  nonce : string; (** Verifier-supplied freshness. *)
+  signature : Crypto.Signature.signature;
+}
+
+val payload : t -> string
+(** The canonical byte serialization the signature covers. Deterministic:
+    regions are reported in address order, cores and devices in id
+    order. *)
+
+val sign :
+  signer:Crypto.Signature.signer ->
+  domain:Domain.t ->
+  regions:region_report list ->
+  cores:(int * int) list ->
+  devices:(int * int) list ->
+  memory_encrypted:bool ->
+  nonce:string ->
+  t
+
+val verify : monitor_root:Crypto.Sha256.digest -> t -> bool
+(** Check the monitor's signature over the report. *)
+
+val to_wire : t -> string
+(** Self-contained byte encoding (payload + signature), suitable for
+    shipping to a remote verifier over an untrusted network. *)
+
+val of_wire : string -> (t, string) result
+(** Total parser for {!to_wire}'s format. Any reconstruction error —
+    truncation, inconsistent refcounts vs holder lists, malformed
+    signature — is reported rather than raised; a parsed report still
+    carries its signature, so {!verify} decides trust. *)
+
+val exclusive_regions : t -> region_report list
+(** Regions with refcount 1 — confidential memory candidates. *)
+
+val shared_with : t -> Domain.id -> region_report list
+(** Regions this attestation shows as reachable by the given domain. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the report as the Fig. 4-style table. *)

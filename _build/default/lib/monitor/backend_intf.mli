@@ -1,0 +1,46 @@
+(** Platform-backend interface (§3.3, §4).
+
+    Tyche separates the platform-independent capability model from a
+    platform-specific backend that programs real access-control hardware.
+    A backend is a record of operations the monitor invokes:
+    capability-tree {!Cap.Captree.effect}s to apply, domain lifecycle
+    notifications, and domain transitions. The two implementations are
+    {!Backend_x86} (VT-x: per-domain EPTs, VMFUNC fast path, IOMMU) and
+    {!Backend_riscv} (M-mode: per-hart PMP programming). *)
+
+type transition_path =
+  | Fast_switch (** Exit-less switch (VMFUNC EPTP switch on x86). *)
+  | Trap_roundtrip (** Through the monitor (VMCALL / ecall). *)
+
+val pp_transition_path : Format.formatter -> transition_path -> unit
+
+type t = {
+  backend_name : string;
+  domain_created : Domain.t -> unit;
+  (** Allocate per-domain enforcement state (an EPT, a PMP layout). *)
+  domain_destroyed : Domain.t -> unit;
+  apply_effect : Cap.Captree.effect -> (unit, string) result;
+  (** Make hardware match a capability-tree change. [Detach] must leave
+      the resource unreachable (including TLB shootdown) and run the
+      clean-up policy. *)
+  validate_attach : Domain.t -> Cap.Resource.t -> (unit, string) result;
+  (** Pre-flight check before the monitor mutates the tree: the PMP
+      backend rejects layouts that exceed the entry budget (C8); the
+      EPT backend accepts anything page-aligned. *)
+  transition :
+    core:Hw.Cpu.t -> from_:Domain.t -> to_:Domain.t -> flush_microarch:bool ->
+    transition_path;
+  (** Switch the core's translation context between domains, charging
+      the simulated hardware cost; returns which path was taken. *)
+  launch : core:Hw.Cpu.t -> Domain.t -> unit;
+  (** Boot-time entry of the initial domain on a core (no from-context,
+      no cost accounting). *)
+  domain_reaches : Domain.t -> Hw.Addr.Range.t -> bool;
+  (** Ground truth from the hardware's point of view: can this domain
+      currently access any byte of the range? The judiciary compares
+      this against the capability tree. *)
+  domain_encrypted : Domain.t -> bool;
+  (** Whether the domain's confidential memory currently sits under a
+      private memory-encryption key (MKTME/SEV-style) — the physical-
+      attack posture attestations expose to remote verifiers. *)
+}

@@ -1,0 +1,61 @@
+(** Trust domains (§3.1): the monitor's only abstraction.
+
+    A trust domain is an identity plus a set of access rights to physical
+    resources, held as capabilities in the {!Cap.Captree}. Domains are
+    orthogonal to privilege: a domain can be a whole VM, a process
+    sub-compartment, a kernel driver or an I/O device context.
+
+    A domain can be [sealed]: its resource configuration is frozen — no
+    new capabilities may be attached and nothing it holds may be shared
+    further with it. Sealing fixes the entry point and takes the initial
+    measurement, making the domain attestable. *)
+
+type id = int
+
+val initial : id
+(** Domain 0: the initial domain (the commodity OS/hypervisor). *)
+
+type kind =
+  | Os (** The initial domain. *)
+  | Sandbox (** Restricted compartment trusted less than its creator. *)
+  | Enclave (** Confidential compartment distrusting its creator. *)
+  | Confidential_vm
+  | Io_domain (** A device-backed domain (e.g. the paper's GPU). *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string
+
+type t
+
+val make : id:id -> name:string -> kind:kind -> created_by:id option -> t
+val id : t -> id
+val name : t -> string
+val kind : t -> kind
+val created_by : t -> id option
+
+val asid : t -> int
+(** Hardware address-space tag (equals the domain id). *)
+
+val is_sealed : t -> bool
+val entry_point : t -> Hw.Addr.t option
+val set_entry_point : t -> Hw.Addr.t -> (unit, string) result
+(** Fails once sealed. *)
+
+val measured_ranges : t -> Hw.Addr.Range.t list
+val add_measured_range : t -> Hw.Addr.Range.t -> (unit, string) result
+(** Mark a range for inclusion in the seal-time measurement. Fails once
+    sealed. *)
+
+val flush_on_transition : t -> bool
+val set_flush_on_transition : t -> bool -> unit
+(** Side-channel policy: flush micro-architectural state when control
+    leaves this domain (§4.1). *)
+
+val seal : t -> measurement:Crypto.Sha256.digest -> (unit, string) result
+(** Freeze the configuration. Fails if already sealed or if no entry
+    point is set. *)
+
+val measurement : t -> Crypto.Sha256.digest option
+(** The seal-time measurement; [None] until sealed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+type violation = { rule : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.rule v.detail
+
+let v rule fmt = Printf.ksprintf (fun detail -> { rule; detail }) fmt
+
+let check_tree m =
+  match Cap.Captree.check_invariants (Monitor.tree m) with
+  | Ok () -> []
+  | Error detail -> [ { rule = "tree-structure"; detail } ]
+
+let domain_ranges m domain =
+  List.filter_map
+    (fun cap ->
+      match Cap.Captree.resource (Monitor.tree m) cap with
+      | Some (Cap.Resource.Memory r) -> Some r
+      | _ -> None)
+    (Cap.Captree.caps_of_domain (Monitor.tree m) domain)
+
+let check_hardware_matches_tree m =
+  let backend = Monitor.backend m in
+  let tree = Monitor.tree m in
+  let segments = Cap.Captree.region_map tree in
+  List.concat_map
+    (fun d ->
+      let id = Domain.id d in
+      let held = domain_ranges m id in
+      List.filter_map
+        (fun (seg, holders) ->
+          let tree_says = List.mem id holders in
+          let hw_says = backend.Backend_intf.domain_reaches d seg in
+          if tree_says && not hw_says then
+            Some (v "hw-matches-tree" "domain %d lost access to %s" id
+                    (Format.asprintf "%a" Hw.Addr.Range.pp seg))
+          else if hw_says && not tree_says then
+            Some (v "hw-matches-tree" "domain %d reaches %s without a capability" id
+                    (Format.asprintf "%a" Hw.Addr.Range.pp seg))
+          else None)
+        segments
+      @
+      (* Held ranges that fell out of the region map entirely. *)
+      List.filter_map
+        (fun r ->
+          if backend.Backend_intf.domain_reaches d r then None
+          else
+            Some (v "hw-matches-tree" "domain %d holds %s but hardware blocks it" id
+                    (Format.asprintf "%a" Hw.Addr.Range.pp r)))
+        held)
+    (Monitor.domains m)
+
+let check_sealed_unextended m =
+  let tree = Monitor.tree m in
+  List.concat_map
+    (fun d ->
+      if not (Domain.is_sealed d) then []
+      else begin
+        let id = Domain.id d in
+        List.concat_map
+          (fun range ->
+            let res = Cap.Resource.Memory range in
+            let holders = Cap.Captree.holders tree res in
+            (* Once the region has been revoked from the sealed domain,
+               it is no longer "in use" and the guarantee lapses. *)
+            if not (List.mem id holders) then []
+            else
+            List.filter_map
+              (fun h ->
+                if h = id then None
+                else begin
+                  (* A foreign holder is legitimate in two cases: its
+                     access descends from a capability the sealed domain
+                     owns (the sealed domain delegated it out), or the
+                     sealed domain's own capability descends from one the
+                     holder owns (the holder shared it *in* before
+                     sealing and naturally kept access). Anything else
+                     means the region was re-exposed behind the sealed
+                     domain's back. *)
+                  let rec chain_owned_by who c =
+                    (match Cap.Captree.owner tree c with
+                    | Some o -> o = who
+                    | None -> false)
+                    ||
+                    match Cap.Captree.parent tree c with
+                    | Some p -> chain_owned_by who p
+                    | None -> false
+                  in
+                  let caps_overlapping domain =
+                    List.filter
+                      (fun cap ->
+                        match Cap.Captree.resource tree cap with
+                        | Some r -> Cap.Resource.overlaps r res
+                        | None -> false)
+                      (Cap.Captree.caps_of_domain tree domain)
+                  in
+                  let delegated_out =
+                    List.exists
+                      (fun cap ->
+                        match Cap.Captree.parent tree cap with
+                        | Some p -> chain_owned_by id p
+                        | None -> false)
+                      (caps_overlapping h)
+                  in
+                  let shared_in =
+                    List.exists
+                      (fun cap ->
+                        match Cap.Captree.parent tree cap with
+                        | Some p -> chain_owned_by h p
+                        | None -> false)
+                      (caps_overlapping id)
+                  in
+                  if delegated_out || shared_in then None
+                  else
+                    Some (v "sealed-unextended"
+                            "sealed domain %d's measured region %s reachable by %d"
+                            id (Format.asprintf "%a" Hw.Addr.Range.pp range) h)
+                end)
+              holders)
+          (Domain.measured_ranges d)
+      end)
+    (Monitor.domains m)
+
+let check_no_stale_tlb m =
+  let machine = Monitor.machine m in
+  let tree = Monitor.tree m in
+  List.filter_map
+    (fun (asid, gpa, hpa) ->
+      (* ASIDs equal domain ids in this system. *)
+      let page = Hw.Addr.Range.make ~base:hpa ~len:Hw.Addr.page_size in
+      let holders = Cap.Captree.holders tree (Cap.Resource.Memory page) in
+      if List.mem asid holders then None
+      else
+        Some (v "no-stale-tlb" "ASID %d still translates gpa 0x%x to revoked hpa 0x%x"
+                asid gpa hpa))
+    (Hw.Tlb.all_entries machine.Hw.Machine.tlb)
+
+let check_refcounts m =
+  let tree = Monitor.tree m in
+  List.filter_map
+    (fun (seg, holders) ->
+      let rc = Cap.Captree.refcount tree (Cap.Resource.Memory seg) in
+      if rc = List.length holders then None
+      else
+        Some (v "refcount" "segment %s: refcount %d but %d holders"
+                (Format.asprintf "%a" Hw.Addr.Range.pp seg) rc (List.length holders)))
+    (Cap.Captree.region_map tree)
+
+let check_all m =
+  check_tree m @ check_hardware_matches_tree m @ check_sealed_unextended m
+  @ check_no_stale_tlb m @ check_refcounts m

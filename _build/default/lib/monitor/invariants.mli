@@ -1,0 +1,39 @@
+(** System-wide invariant checking: the judiciary's local arm (§3.4).
+
+    The verifier trusts the monitor because its implementation is meant
+    to be inspected and verified; these checks are the executable form of
+    the properties a verification effort would prove. Tests run them
+    after every scenario, and the malicious-OS suite (E12) shows they
+    catch violations a commodity system would silently allow. *)
+
+type violation = {
+  rule : string; (** Short rule identifier, e.g. "hw-matches-tree". *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_all : Monitor.t -> violation list
+(** Run every invariant; empty list = clean system. *)
+
+val check_tree : Monitor.t -> violation list
+(** The capability tree's own structural invariants. *)
+
+val check_hardware_matches_tree : Monitor.t -> violation list
+(** For every domain and every byte of the Fig. 4 region map: the
+    backend reaches a range iff the tree says the domain holds it.
+    Catches both leaks (hardware maps more than the tree granted) and
+    lost access. *)
+
+val check_sealed_unextended : Monitor.t -> violation list
+(** Sealed domains' measured regions must still be exclusively theirs
+    (refcount 1) unless they shared them out themselves — i.e. every
+    holder must be a tree descendant of the sealed domain's capability. *)
+
+val check_no_stale_tlb : Monitor.t -> violation list
+(** No TLB entry translates into memory its ASID's domain no longer
+    holds — revocations must have shot down stale translations. *)
+
+val check_refcounts : Monitor.t -> violation list
+(** The region map's holder sets are consistent with per-resource
+    refcounts (the eager/recomputed agreement of ablation a1). *)

@@ -1,0 +1,22 @@
+let domain_digest ~kind ~entry_point ~flush_on_transition ~ranges =
+  let ranges =
+    List.sort (fun (a, _) (b, _) -> Hw.Addr.Range.compare a b) ranges
+  in
+  let origin =
+    match ranges with
+    | (r, _) :: _ -> Hw.Addr.Range.base r
+    | [] -> 0
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "tyche-domain-measurement-v1\x00";
+  Buffer.add_string buf (Domain.kind_to_string kind);
+  Buffer.add_char buf '\x00';
+  Buffer.add_int64_be buf (Int64.of_int (entry_point - origin));
+  Buffer.add_char buf (if flush_on_transition then '\x01' else '\x00');
+  List.iter
+    (fun (r, content_digest) ->
+      Buffer.add_int64_be buf (Int64.of_int (Hw.Addr.Range.base r - origin));
+      Buffer.add_int64_be buf (Int64.of_int (Hw.Addr.Range.len r));
+      Buffer.add_string buf (Crypto.Sha256.to_raw content_digest))
+    ranges;
+  Crypto.Sha256.string (Buffer.contents buf)

@@ -1,0 +1,19 @@
+(** Canonical domain-measurement computation.
+
+    Shared by the monitor (at seal time, over loaded memory) and by
+    libtyche's *offline* hash of a binary image (§4.2: "generating a
+    binary's hash offline to be compared with the attestation provided by
+    Tyche"). Both sides must byte-for-byte agree, so the preimage format
+    lives in exactly one place: here. *)
+
+val domain_digest :
+  kind:Domain.kind ->
+  entry_point:Hw.Addr.t ->
+  flush_on_transition:bool ->
+  ranges:(Hw.Addr.Range.t * Crypto.Sha256.digest) list ->
+  Crypto.Sha256.digest
+(** [ranges] pairs each measured region with the digest of its content;
+    regions are folded in address order regardless of input order. The
+    entry point and region bases are measured *relative to the lowest
+    measured base*, so the same image loaded at a different physical
+    address yields the same measurement (virtual-address reuse, §4.2). *)

@@ -1,0 +1,482 @@
+let src = Logs.Src.create "tyche.monitor" ~doc:"Tyche isolation monitor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type error =
+  | Cap_error of Cap.Captree.error
+  | Unknown_domain of Domain.id
+  | Denied of string
+  | Backend_refused of string
+  | Bad_transition of string
+  | Domain_config of string
+
+let error_to_string = function
+  | Cap_error e -> "capability error: " ^ Cap.Captree.error_to_string e
+  | Unknown_domain id -> Printf.sprintf "unknown domain %d" id
+  | Denied s -> "denied: " ^ s
+  | Backend_refused s -> "backend refused: " ^ s
+  | Bad_transition s -> "bad transition: " ^ s
+  | Domain_config s -> "domain configuration: " ^ s
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+type t = {
+  machine : Hw.Machine.t;
+  tree : Cap.Captree.t;
+  backend : Backend_intf.t;
+  tpm : Rot.Tpm.t;
+  signer : Crypto.Signature.signer;
+  domains : (Domain.id, Domain.t) Hashtbl.t;
+  mutable next_domain : Domain.id;
+  current : Domain.id array; (* per-core running domain *)
+  stacks : Domain.id list array; (* per-core return stacks *)
+  reg_contexts : (Domain.id * int, int array) Hashtbl.t; (* (domain, core) *)
+  mutable transitions : int;
+}
+
+let key_binding_pcr = 18
+
+let ( let* ) = Result.bind
+
+let machine t = t.machine
+let tree t = t.tree
+let backend t = t.backend
+let attestation_root t = Crypto.Signature.public_root t.signer
+let transition_count t = t.transitions
+
+let find_domain t id = Hashtbl.find_opt t.domains id
+
+let domains t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.domains []
+  |> List.sort (fun a b -> Int.compare (Domain.id a) (Domain.id b))
+
+let get_domain t id =
+  match find_domain t id with Some d -> Ok d | None -> Error (Unknown_domain id)
+
+let apply_effects t effects =
+  List.iter
+    (fun eff ->
+      match t.backend.Backend_intf.apply_effect eff with
+      | Ok () -> ()
+      | Error msg ->
+        (* Effects were validated up front; a failure here is a monitor
+           bug, which the prototype surfaces loudly rather than hiding. *)
+        Log.err (fun m -> m "backend effect failed: %s" msg);
+        invalid_arg ("Monitor: backend effect failed: " ^ msg))
+    effects
+
+let cap_result t = function
+  | Ok (value, effects) ->
+    apply_effects t effects;
+    Ok value
+  | Error e -> Error (Cap_error e)
+
+let boot ?(signer_height = 6) machine ~backend ~tpm ~rng ~monitor_range =
+  let signer = Crypto.Signature.create ~height:signer_height rng in
+  (* Bind the monitor's attestation key into the TPM so the tier-one
+     quote certifies the tier-two signer (two-tier protocol, §3.4). *)
+  Rot.Tpm.extend tpm ~pcr:key_binding_pcr (Crypto.Signature.public_root signer);
+  let t =
+    { machine;
+      tree = Cap.Captree.create ();
+      backend;
+      tpm;
+      signer;
+      domains = Hashtbl.create 16;
+      next_domain = Domain.initial + 1;
+      current = Array.make (Array.length machine.Hw.Machine.cores) Domain.initial;
+      stacks = Array.make (Array.length machine.Hw.Machine.cores) [];
+      reg_contexts = Hashtbl.create 16;
+      transitions = 0 }
+  in
+  let os = Domain.make ~id:Domain.initial ~name:"os" ~kind:Domain.Os ~created_by:None in
+  Hashtbl.replace t.domains Domain.initial os;
+  backend.Backend_intf.domain_created os;
+  (* Endow domain 0 with the whole machine minus the monitor's memory. *)
+  let free_memory =
+    Hw.Addr.Range.subtract (Hw.Physmem.full_range machine.Hw.Machine.mem) monitor_range
+  in
+  let add_root resource =
+    match Cap.Captree.root t.tree ~owner:Domain.initial resource Cap.Rights.full with
+    | Ok (_, effects) -> apply_effects t effects
+    | Error e -> invalid_arg ("Monitor.boot: " ^ Cap.Captree.error_to_string e)
+  in
+  List.iter (fun r -> add_root (Cap.Resource.Memory r)) free_memory;
+  Array.iteri (fun i _ -> add_root (Cap.Resource.Cpu_core i)) machine.Hw.Machine.cores;
+  List.iter
+    (fun d -> add_root (Cap.Resource.Device (Hw.Device.bdf d)))
+    machine.Hw.Machine.devices;
+  Array.iter (fun core -> backend.Backend_intf.launch ~core os) machine.Hw.Machine.cores;
+  Log.info (fun m -> m "monitor booted: %d memory roots, %d cores, %d devices"
+    (List.length free_memory)
+    (Array.length machine.Hw.Machine.cores)
+    (List.length machine.Hw.Machine.devices));
+  t
+
+(* Domain lifecycle *)
+
+let create_domain t ~caller ~name ~kind =
+  let* _ = get_domain t caller in
+  let id = t.next_domain in
+  t.next_domain <- id + 1;
+  let d = Domain.make ~id ~name ~kind ~created_by:(Some caller) in
+  Hashtbl.replace t.domains id d;
+  t.backend.Backend_intf.domain_created d;
+  Log.debug (fun m -> m "created %a by domain#%d" Domain.pp d caller);
+  Ok id
+
+let creator_or_self ~caller ~domain d =
+  if caller = domain || Domain.created_by d = Some caller then Ok ()
+  else Error (Denied "only the domain or its creator may configure it")
+
+let set_entry_point t ~caller ~domain addr =
+  let* d = get_domain t domain in
+  let* () = creator_or_self ~caller ~domain d in
+  Result.map_error (fun e -> Domain_config e) (Domain.set_entry_point d addr)
+
+let set_flush_policy t ~caller ~domain flush =
+  let* d = get_domain t domain in
+  let* () = creator_or_self ~caller ~domain d in
+  if Domain.is_sealed d then Error (Domain_config "domain is sealed")
+  else begin
+    Domain.set_flush_on_transition d flush;
+    Ok ()
+  end
+
+let domain_holds_range t ~domain range =
+  List.exists
+    (fun cap ->
+      match Cap.Captree.resource t.tree cap with
+      | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.includes ~outer:r ~inner:range
+      | _ -> false)
+    (Cap.Captree.caps_of_domain t.tree domain)
+
+let mark_measured t ~caller ~domain range =
+  let* d = get_domain t domain in
+  let* () = creator_or_self ~caller ~domain d in
+  if not (domain_holds_range t ~domain range) then
+    Error (Denied "measured range not held by the domain")
+  else Result.map_error (fun e -> Domain_config e) (Domain.add_measured_range d range)
+
+let seal t ~caller ~domain =
+  let* d = get_domain t domain in
+  let* () = creator_or_self ~caller ~domain d in
+  match Domain.entry_point d with
+  | None -> Error (Domain_config "cannot seal a domain without an entry point")
+  | Some entry ->
+    let ranges =
+      List.map
+        (fun r ->
+          let pages = (Hw.Addr.Range.len r + Hw.Addr.page_size - 1) / Hw.Addr.page_size in
+          Hw.Cycles.charge t.machine.Hw.Machine.counter
+            (pages * Hw.Cycles.Cost.measurement_per_page);
+          (r, Hw.Physmem.measure t.machine.Hw.Machine.mem r))
+        (Domain.measured_ranges d)
+    in
+    let digest =
+      Measure.domain_digest ~kind:(Domain.kind d) ~entry_point:entry
+        ~flush_on_transition:(Domain.flush_on_transition d) ~ranges
+    in
+    Result.map_error (fun e -> Domain_config e) (Domain.seal d ~measurement:digest)
+
+let running_on_some_core t domain =
+  Array.exists (fun d -> d = domain) t.current
+  || Array.exists (List.mem domain) t.stacks
+
+let destroy_domain t ~caller ~domain =
+  let* d = get_domain t domain in
+  if domain = Domain.initial then Error (Denied "domain 0 cannot be destroyed")
+  else if Domain.created_by d <> Some caller then
+    Error (Denied "only the creator may destroy a domain")
+  else if running_on_some_core t domain then
+    Error (Denied "domain is running or on a return stack")
+  else begin
+    let rec revoke_all () =
+      (* Inactive capabilities too: delegations the domain made from
+         granted-away pieces must cascade with it. *)
+      match Cap.Captree.all_caps_of_domain t.tree domain with
+      | [] -> Ok ()
+      | cap :: _ ->
+        let* () = cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)) in
+        revoke_all ()
+    in
+    let* () = revoke_all () in
+    t.backend.Backend_intf.domain_destroyed d;
+    Hashtbl.remove t.domains domain;
+    Ok ()
+  end
+
+(* Capability operations *)
+
+let caps_of t domain = Cap.Captree.caps_of_domain t.tree domain
+
+let owned_by t ~caller cap =
+  match Cap.Captree.owner t.tree cap with
+  | Some o when o = caller -> Ok ()
+  | Some _ -> Error (Denied "caller does not own this capability")
+  | None -> Error (Cap_error (Cap.Captree.No_such_capability cap))
+
+let attach_target t ~caller ~to_ ~resource =
+  let* target = get_domain t to_ in
+  (* Sealing freezes the domain's *memory* footprint (its identity and
+     confidentiality surface). Cores and devices stay dynamically
+     delegable — scheduling and hot-plug are runtime decisions — and
+     remain fully visible in attestation refcounts. *)
+  if Domain.is_sealed target && to_ <> caller && Cap.Resource.is_memory resource then
+    Error (Denied "target domain is sealed: its memory cannot be extended")
+  else Ok target
+
+let validate_attach t target resource =
+  Result.map_error
+    (fun msg -> Backend_refused msg)
+    (t.backend.Backend_intf.validate_attach target resource)
+
+let share t ~caller ~cap ~to_ ~rights ~cleanup ?subrange () =
+  let* () = owned_by t ~caller cap in
+  let* resource =
+    match Cap.Captree.resource t.tree cap, subrange with
+    | Some (Cap.Resource.Memory _), Some sub -> Ok (Cap.Resource.Memory sub)
+    | Some r, None -> Ok r
+    | Some _, Some _ -> Error (Cap_error Cap.Captree.Bad_subrange)
+    | None, _ -> Error (Cap_error (Cap.Captree.No_such_capability cap))
+  in
+  let* target = attach_target t ~caller ~to_ ~resource in
+  let* () = validate_attach t target resource in
+  cap_result t (Cap.Captree.share t.tree cap ~to_ ~rights ~cleanup ?subrange ())
+
+let grant t ~caller ~cap ~to_ ~rights ~cleanup =
+  let* () = owned_by t ~caller cap in
+  let* resource =
+    match Cap.Captree.resource t.tree cap with
+    | Some r -> Ok r
+    | None -> Error (Cap_error (Cap.Captree.No_such_capability cap))
+  in
+  let* target = attach_target t ~caller ~to_ ~resource in
+  let* () = validate_attach t target resource in
+  cap_result t (Cap.Captree.grant t.tree cap ~to_ ~rights ~cleanup)
+
+let split t ~caller ~cap ~at =
+  let* () = owned_by t ~caller cap in
+  match Cap.Captree.split t.tree cap ~at with
+  | Ok (l, r, effects) ->
+    apply_effects t effects;
+    Ok (l, r)
+  | Error e -> Error (Cap_error e)
+
+let carve t ~caller ~cap ~subrange =
+  let* () = owned_by t ~caller cap in
+  cap_result t (Cap.Captree.carve t.tree cap ~subrange)
+
+let may_revoke t ~caller cap =
+  let rec walk id =
+    match Cap.Captree.owner t.tree id with
+    | Some o when o = caller -> true
+    | _ -> (
+      match Cap.Captree.parent t.tree id with Some p -> walk p | None -> false)
+  in
+  if walk cap then Ok ()
+  else Error (Denied "caller owns neither the capability nor an ancestor")
+
+let revoke t ~caller ~cap =
+  let* () = may_revoke t ~caller cap in
+  cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap))
+
+(* Transitions *)
+
+let check_core t core =
+  if core < 0 || core >= Array.length t.current then
+    Error (Bad_transition (Printf.sprintf "no such core: %d" core))
+  else Ok ()
+
+let current_domain t ~core = t.current.(core)
+
+let call_depth t ~core = List.length t.stacks.(core)
+
+let holds_core t domain core =
+  List.mem domain (Cap.Captree.holders t.tree (Cap.Resource.Cpu_core core))
+
+let do_transition t ~core ~from_ ~to_ =
+  let flush = Domain.flush_on_transition from_ || Domain.flush_on_transition to_ in
+  let cpu = Hw.Machine.core t.machine core in
+  (* Context-switch the register file: the outgoing domain's registers
+     are saved (its VMCS/trap frame), and the incoming domain resumes
+     its own — or a zeroed file on first entry, so no register content
+     ever leaks across a domain boundary. *)
+  Hashtbl.replace t.reg_contexts (Domain.id from_, core) (Hw.Cpu.save_regs cpu);
+  (match Hashtbl.find_opt t.reg_contexts (Domain.id to_, core) with
+  | Some saved -> Hw.Cpu.load_regs cpu saved
+  | None -> Hw.Cpu.clear_regs cpu);
+  let path = t.backend.Backend_intf.transition ~core:cpu ~from_ ~to_ ~flush_microarch:flush in
+  t.transitions <- t.transitions + 1;
+  path
+
+let call t ~core ~target =
+  let* () = check_core t core in
+  let from_id = t.current.(core) in
+  let* from_ = get_domain t from_id in
+  let* to_ = get_domain t target in
+  if target = from_id then Error (Bad_transition "domain is already running here")
+  else if not (Domain.is_sealed to_) && target <> Domain.initial then
+    Error (Bad_transition "target domain is not sealed")
+  else if Domain.entry_point to_ = None && target <> Domain.initial then
+    Error (Bad_transition "target domain has no entry point")
+  else if not (holds_core t target core) then
+    Error (Bad_transition "target domain holds no capability for this core")
+  else begin
+    let path = do_transition t ~core ~from_ ~to_ in
+    t.stacks.(core) <- from_id :: t.stacks.(core);
+    t.current.(core) <- target;
+    Ok path
+  end
+
+let ret t ~core =
+  let* () = check_core t core in
+  (* A stack entry whose core capability was revoked while it was
+     suspended must not be resumed: skip it (the scheduling-guarantee
+     rule applies to returns, not just fresh calls). *)
+  let rec pop = function
+    | [] -> Error (Bad_transition "no return target holds this core")
+    | prev :: rest when not (holds_core t prev core) -> pop rest
+    | prev :: rest -> Ok (prev, rest)
+  in
+  let* prev, rest = pop t.stacks.(core) in
+  let* from_ = get_domain t t.current.(core) in
+  let* to_ = get_domain t prev in
+  let path = do_transition t ~core ~from_ ~to_ in
+  t.stacks.(core) <- rest;
+  t.current.(core) <- prev;
+  Ok path
+
+let timer_tick t ~core =
+  let* () = check_core t core in
+  let running = t.current.(core) in
+  if holds_core t running core then Ok running
+  else begin
+    (* The squatter lost its core capability: evict. Prefer the unique
+       exclusive holder; fall back to domain 0 when it holds the core. *)
+    let holders = Cap.Captree.holders t.tree (Cap.Resource.Cpu_core core) in
+    let* heir =
+      match holders with
+      | [ d ] -> Ok d
+      | ds when List.mem Domain.initial ds -> Ok Domain.initial
+      | [] -> Error (Bad_transition "no domain holds this core")
+      | d :: _ -> Ok d
+    in
+    let* from_ = get_domain t running in
+    let* to_ = get_domain t heir in
+    let _path = do_transition t ~core ~from_ ~to_ in
+    t.stacks.(core) <- [];
+    t.current.(core) <- heir;
+    Log.info (fun m -> m "timer evicted domain#%d from core %d for domain#%d" running core heir);
+    Ok heir
+  end
+
+let route_interrupt t ~caller ~device ~vector ~core =
+  let* () = check_core t core in
+  let holds resource =
+    List.mem caller (Cap.Captree.holders t.tree resource)
+  in
+  if not (holds (Cap.Resource.Device device)) then
+    Error (Denied "caller holds no capability for the device")
+  else if not (holds (Cap.Resource.Cpu_core core)) then
+    Error (Denied "caller holds no capability for the target core")
+  else begin
+    let ic = t.machine.Hw.Machine.interrupts in
+    Hw.Interrupt.permit ic ~device ~vector;
+    Hw.Interrupt.route ic ~vector ~core;
+    Ok ()
+  end
+
+(* Register access for the domain currently on a core. *)
+
+let get_reg t ~core i =
+  let* () = check_core t core in
+  match Hw.Cpu.get_reg (Hw.Machine.core t.machine core) i with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (Denied msg)
+
+let set_reg t ~core i v =
+  let* () = check_core t core in
+  match Hw.Cpu.set_reg (Hw.Machine.core t.machine core) i v with
+  | () -> Ok ()
+  | exception Invalid_argument msg -> Error (Denied msg)
+
+(* Domain-context memory access *)
+
+let guarded_access t ~core f =
+  let* () = check_core t core in
+  let cpu = Hw.Machine.core t.machine core in
+  match f cpu with
+  | v -> Ok v
+  | exception Hw.Ept.Violation { gpa; _ } ->
+    Error (Denied (Printf.sprintf "EPT violation at 0x%x" gpa))
+  | exception Hw.Pmp.Fault { addr; _ } ->
+    Error (Denied (Printf.sprintf "PMP fault at 0x%x" addr))
+  | exception Hw.Page_table.Fault { vaddr; _ } ->
+    Error (Denied (Printf.sprintf "page fault at 0x%x" vaddr))
+  | exception Hw.Physmem.Bus_error addr ->
+    Error (Denied (Printf.sprintf "bus error at 0x%x" addr))
+
+let load t ~core addr =
+  guarded_access t ~core (fun cpu ->
+      Hw.Cpu.load cpu t.machine.Hw.Machine.mem ~tlb:t.machine.Hw.Machine.tlb
+        ~cache:t.machine.Hw.Machine.cache addr)
+
+let store t ~core addr v =
+  guarded_access t ~core (fun cpu ->
+      Hw.Cpu.store cpu t.machine.Hw.Machine.mem ~tlb:t.machine.Hw.Machine.tlb
+        ~cache:t.machine.Hw.Machine.cache addr v)
+
+let load_string t ~core range =
+  guarded_access t ~core (fun cpu ->
+      String.init (Hw.Addr.Range.len range) (fun i ->
+          Char.chr
+            (Hw.Cpu.load cpu t.machine.Hw.Machine.mem ~tlb:t.machine.Hw.Machine.tlb
+               ~cache:t.machine.Hw.Machine.cache
+               (Hw.Addr.Range.base range + i))))
+
+let store_string t ~core addr s =
+  guarded_access t ~core (fun cpu ->
+      String.iteri
+        (fun i c ->
+          Hw.Cpu.store cpu t.machine.Hw.Machine.mem ~tlb:t.machine.Hw.Machine.tlb
+            ~cache:t.machine.Hw.Machine.cache (addr + i) (Char.code c))
+        s)
+
+(* Attestation *)
+
+let attest t ~caller ~domain ~nonce =
+  let* _ = get_domain t caller in
+  let* d = get_domain t domain in
+  let measured_ranges = Domain.measured_ranges d in
+  let regions, cores, devices =
+    List.fold_left
+      (fun (regions, cores, devices) cap ->
+        match Cap.Captree.resource t.tree cap, Cap.Captree.rights t.tree cap with
+        | Some (Cap.Resource.Memory r as res), Some rights ->
+          let report =
+            { Attestation.range = r;
+              perm = rights.Cap.Rights.perm;
+              refcount = Cap.Captree.refcount t.tree res;
+              holders = Cap.Captree.holders t.tree res;
+              measured =
+                List.exists
+                  (fun m -> Hw.Addr.Range.includes ~outer:m ~inner:r
+                            || Hw.Addr.Range.includes ~outer:r ~inner:m)
+                  measured_ranges }
+          in
+          (report :: regions, cores, devices)
+        | Some (Cap.Resource.Cpu_core c as res), Some _ ->
+          (regions, (c, Cap.Captree.refcount t.tree res) :: cores, devices)
+        | Some (Cap.Resource.Device dev as res), Some _ ->
+          (regions, cores, (dev, Cap.Captree.refcount t.tree res) :: devices)
+        | _ -> (regions, cores, devices))
+      ([], [], [])
+      (Cap.Captree.caps_of_domain t.tree domain)
+  in
+  Ok
+    (Attestation.sign ~signer:t.signer ~domain:d ~regions ~cores ~devices
+       ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
+
+let boot_quote t ~nonce =
+  Rot.Tpm.Quote.generate t.tpm ~pcrs:[ 0; 4; Rot.Tpm.drtm_pcr; key_binding_pcr ] ~nonce

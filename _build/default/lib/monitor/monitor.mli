@@ -1,0 +1,211 @@
+(** The isolation monitor: the executive branch (§3).
+
+    The monitor owns the capability tree, validates every operation, and
+    drives the platform backend so hardware always reflects the tree. It
+    is deliberately *not* a resource manager: it never chooses which
+    resources a domain gets — it only validates sharing, granting and
+    revocation requested by the software running in domains (§3.5).
+
+    Every API entry point takes a [caller] domain id, modelling the
+    VMCALL/ecall channel: the hardware tells the monitor which domain
+    trapped in, and authorization is decided from the capability tree,
+    never from privilege. *)
+
+type t
+
+type error =
+  | Cap_error of Cap.Captree.error
+  | Unknown_domain of Domain.id
+  | Denied of string (** Caller lacks the authority for the operation. *)
+  | Backend_refused of string (** Layout/enforcement validation failed. *)
+  | Bad_transition of string
+  | Domain_config of string (** Sealing/entry-point state errors. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** {2 Boot} *)
+
+val boot :
+  ?signer_height:int ->
+  Hw.Machine.t ->
+  backend:Backend_intf.t ->
+  tpm:Rot.Tpm.t ->
+  rng:Crypto.Rng.t ->
+  monitor_range:Hw.Addr.Range.t ->
+  t
+(** Take control of a freshly measured-booted machine: generate the
+    monitor's attestation key (capacity [2^signer_height] attestations,
+    default 64) and bind it into the TPM (PCR 18), create domain 0 (the
+    OS) and endow it with every resource except the monitor's own
+    memory, and mark every core as running domain 0. *)
+
+val machine : t -> Hw.Machine.t
+val tree : t -> Cap.Captree.t
+val backend : t -> Backend_intf.t
+val attestation_root : t -> Crypto.Sha256.digest
+(** The monitor's public attestation key (verifiers obtain it via the
+    TPM quote binding, see {!boot_quote}). *)
+
+val key_binding_pcr : int
+(** PCR 18: extended at boot with the monitor's attestation root. *)
+
+(** {2 Domain lifecycle} *)
+
+val create_domain :
+  t -> caller:Domain.id -> name:string -> kind:Domain.kind -> (Domain.id, error) result
+(** Any domain may create child domains (the separation-of-powers point:
+    isolation policy is not a privileged operation). *)
+
+val find_domain : t -> Domain.id -> Domain.t option
+val domains : t -> Domain.t list
+
+val set_entry_point :
+  t -> caller:Domain.id -> domain:Domain.id -> Hw.Addr.t -> (unit, error) result
+(** Creator or the domain itself, before sealing. *)
+
+val set_flush_policy :
+  t -> caller:Domain.id -> domain:Domain.id -> bool -> (unit, error) result
+
+val mark_measured :
+  t -> caller:Domain.id -> domain:Domain.id -> Hw.Addr.Range.t -> (unit, error) result
+(** Declare that a range counts toward the domain's measurement. The
+    range must already be held by the domain. *)
+
+val seal : t -> caller:Domain.id -> domain:Domain.id -> (unit, error) result
+(** Freeze the domain: measure its measured ranges (current memory
+    content), fix the entry point, and refuse any future capability
+    attachment to it. Creator or self only. *)
+
+val destroy_domain :
+  t -> caller:Domain.id -> domain:Domain.id -> (unit, error) result
+(** Revoke every capability the domain holds (running clean-up policies)
+    and delete it. Creator only; domain 0 is indestructible. *)
+
+(** {2 Capability operations (the legislative interface)} *)
+
+val caps_of : t -> Domain.id -> Cap.Captree.cap_id list
+
+val share :
+  t ->
+  caller:Domain.id ->
+  cap:Cap.Captree.cap_id ->
+  to_:Domain.id ->
+  rights:Cap.Rights.t ->
+  cleanup:Cap.Revocation.t ->
+  ?subrange:Hw.Addr.Range.t ->
+  unit ->
+  (Cap.Captree.cap_id, error) result
+(** Caller must own the capability; the target must exist and — for
+    memory resources — be unsealed (sealing freezes a domain's memory
+    footprint; core and device delegation stays dynamic and refcount-
+    visible); the backend must accept the resulting layout. *)
+
+val grant :
+  t ->
+  caller:Domain.id ->
+  cap:Cap.Captree.cap_id ->
+  to_:Domain.id ->
+  rights:Cap.Rights.t ->
+  cleanup:Cap.Revocation.t ->
+  (Cap.Captree.cap_id, error) result
+
+val split :
+  t -> caller:Domain.id -> cap:Cap.Captree.cap_id -> at:Hw.Addr.t ->
+  (Cap.Captree.cap_id * Cap.Captree.cap_id, error) result
+
+val carve :
+  t -> caller:Domain.id -> cap:Cap.Captree.cap_id -> subrange:Hw.Addr.Range.t ->
+  (Cap.Captree.cap_id, error) result
+
+val revoke :
+  t -> caller:Domain.id -> cap:Cap.Captree.cap_id -> (unit, error) result
+(** Cascading revocation of the capability's whole subtree. The caller
+    must own the capability or an ancestor of it; clean-up policies run
+    before anything is reattached. *)
+
+(** {2 Transitions (mediated control transfers, §3.1)} *)
+
+val current_domain : t -> core:int -> Domain.id
+
+val call :
+  t -> core:int -> target:Domain.id -> (Backend_intf.transition_path, error) result
+(** Transfer control of [core] from its current domain to [target]'s
+    entry point. Requires: target sealed, target holds a capability for
+    the core. The caller is pushed on the core's return stack. If either
+    side requests micro-architectural flushing, the slow path is forced
+    and caches are flushed. *)
+
+val ret : t -> core:int -> (Backend_intf.transition_path, error) result
+(** Return to the domain that performed the matching {!call}. Stack
+    entries that no longer hold a capability for the core (revoked while
+    suspended) are skipped — a revoked domain cannot be resumed through
+    a stale return path. *)
+
+val call_depth : t -> core:int -> int
+
+(** {2 Scheduling guarantees and interrupt routing (§4.1 extensions)}
+
+    The paper explores extending capabilities "to provide scheduling
+    guarantees, cross-domain interrupt routing, and expose denial of
+    service attacks". Here: core capabilities double as scheduling
+    rights (the timer evicts squatters that no longer hold the core),
+    and interrupt routes are only programmable by a domain holding both
+    the device and the target core. *)
+
+val timer_tick : t -> core:int -> (Domain.id, error) result
+(** The per-core timer interrupt, handled by the monitor. If the
+    domain currently running on [core] still holds a capability for it,
+    nothing changes. If not — its core capability was revoked or granted
+    away — the monitor evicts it: the return stack is cleared and
+    control transfers to the domain holding the core exclusively (or to
+    domain 0 if holders are ambiguous and it holds the core). Returns
+    the domain now running. This is what turns an exclusively-held core
+    capability into a *guarantee* rather than a convention. *)
+
+val route_interrupt :
+  t ->
+  caller:Domain.id ->
+  device:int ->
+  vector:int ->
+  core:int ->
+  (unit, error) result
+(** Program the interrupt-remapping fabric so [device] may raise
+    [vector], steered to [core]. The caller must hold active
+    capabilities for both the device and the core — interrupt routing is
+    a resource delegation like any other, not a privileged operation.
+    Revoking the device capability tears its routes down (backends call
+    {!Hw.Interrupt.revoke_device} on device detach). *)
+
+(** {2 Domain-context memory access}
+
+    These model instructions executed by the current domain on a core;
+    the hardware (EPT or PMP) checks them, which is how tests observe
+    enforcement rather than trusting the bookkeeping. *)
+
+val get_reg : t -> core:int -> int -> (int, error) result
+val set_reg : t -> core:int -> int -> int -> (unit, error) result
+(** General-purpose registers of the domain currently on the core. The
+    monitor context-switches the register file on every transition and
+    zeroes it on a domain's first entry, so register contents never leak
+    across domains (tested in the E12 suite). *)
+
+val load : t -> core:int -> Hw.Addr.t -> (int, error) result
+val store : t -> core:int -> Hw.Addr.t -> int -> (unit, error) result
+val load_string : t -> core:int -> Hw.Addr.Range.t -> (string, error) result
+val store_string : t -> core:int -> Hw.Addr.t -> string -> (unit, error) result
+
+(** {2 Attestation (the judiciary interface, §3.4)} *)
+
+val attest :
+  t -> caller:Domain.id -> domain:Domain.id -> nonce:string ->
+  (Attestation.t, error) result
+(** Produce the signed tier-two report for a domain. Any domain (and
+    the remote verifier, through one) may request it. *)
+
+val boot_quote : t -> nonce:string -> Rot.Tpm.Quote.t
+(** Tier one: TPM quote over PCRs 0, 4, 17 and {!key_binding_pcr},
+    proving which monitor booted and which attestation key it holds. *)
+
+val transition_count : t -> int
+(** Total mediated transitions since boot (statistics). *)

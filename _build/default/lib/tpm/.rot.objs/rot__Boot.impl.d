@@ -1,0 +1,1 @@
+lib/tpm/boot.ml: Array Crypto Hw String Tpm

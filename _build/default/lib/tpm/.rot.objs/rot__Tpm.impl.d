@@ -1,0 +1,1 @@
+lib/tpm/tpm.ml: Array Buffer Crypto Int Int32 List String

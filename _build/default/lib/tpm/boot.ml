@@ -1,0 +1,49 @@
+type report = {
+  firmware_measurement : Crypto.Sha256.digest;
+  loader_measurement : Crypto.Sha256.digest;
+  monitor_measurement : Crypto.Sha256.digest;
+  monitor_range : Hw.Addr.Range.t;
+}
+
+let firmware_pcr = 0
+let loader_pcr = 4
+
+let fold_drtm measured =
+  Crypto.Sha256.concat [ Crypto.Sha256.string "tyche-drtm-reset"; measured ]
+
+let measured_boot tpm (machine : Hw.Machine.t) ~firmware ~loader ~monitor_image =
+  let fw_m = Crypto.Sha256.string firmware in
+  let ld_m = Crypto.Sha256.string loader in
+  Tpm.extend tpm ~pcr:firmware_pcr fw_m;
+  Tpm.extend tpm ~pcr:loader_pcr ld_m;
+  (* Place the monitor at the top of physical memory, page-aligned. *)
+  let img_len = Hw.Addr.align_up (max 1 (String.length monitor_image)) in
+  let mem_size = Hw.Physmem.size machine.mem in
+  if img_len >= mem_size then invalid_arg "Boot.measured_boot: monitor image too large";
+  let base = mem_size - img_len in
+  Hw.Physmem.write machine.mem base monitor_image;
+  let monitor_range = Hw.Addr.Range.make ~base ~len:img_len in
+  let mon_m = Hw.Physmem.measure machine.mem monitor_range in
+  Tpm.dynamic_launch tpm ~measured:mon_m;
+  (* Leave every core at the highest privilege, monitor in control. *)
+  Array.iter
+    (fun core ->
+      match Hw.Cpu.arch core with
+      | Hw.Cpu.X86_64 -> Hw.Cpu.set_mode core (Hw.Cpu.X86 { ring = 0; vmx_root = true })
+      | Hw.Cpu.Riscv64 -> Hw.Cpu.set_mode core (Hw.Cpu.Riscv Hw.Cpu.M))
+    machine.cores;
+  { firmware_measurement = fw_m;
+    loader_measurement = ld_m;
+    monitor_measurement = mon_m;
+    monitor_range }
+
+let expected_pcrs ~firmware ~loader ~monitor_image =
+  (* Mirror the extend arithmetic exactly: PCR := H(zero || m) for the
+     static PCRs, and the DRTM fold for PCR 17. The monitor image is
+     measured as loaded, i.e. zero-padded to a page boundary. *)
+  let ext m = Crypto.Sha256.concat [ Crypto.Sha256.zero; m ] in
+  let img_len = Hw.Addr.align_up (max 1 (String.length monitor_image)) in
+  let padded = monitor_image ^ String.make (img_len - String.length monitor_image) '\x00' in
+  [ (firmware_pcr, ext (Crypto.Sha256.string firmware));
+    (loader_pcr, ext (Crypto.Sha256.string loader));
+    (Tpm.drtm_pcr, fold_drtm (Crypto.Sha256.string padded)) ]

@@ -1,0 +1,37 @@
+(** Measured boot: loads the isolation monitor onto the machine and
+    records the chain of trust in the TPM.
+
+    Reproduces §3.4's first requirement: "a hardware root of trust ...
+    measures the machine's boot-process and provides a signed
+    remotely-verifiable attestation that the machine is under the
+    complete control of a specific monitor implementation."
+
+    The boot sequence: firmware is measured into PCR 0, the boot loader
+    into PCR 4, then a TXT-style dynamic launch measures the monitor
+    image into PCR 17 and transfers control at the highest privilege
+    (VMX-root / machine mode). *)
+
+type report = {
+  firmware_measurement : Crypto.Sha256.digest;
+  loader_measurement : Crypto.Sha256.digest;
+  monitor_measurement : Crypto.Sha256.digest;
+  monitor_range : Hw.Addr.Range.t; (** Where the monitor sits in memory. *)
+}
+
+val measured_boot :
+  Tpm.t ->
+  Hw.Machine.t ->
+  firmware:string ->
+  loader:string ->
+  monitor_image:string ->
+  report
+(** Write the monitor image at the top of physical memory, measure each
+    boot stage into its PCR, perform the dynamic launch, and leave every
+    core in its most-privileged mode with the monitor in control.
+    @raise Invalid_argument if the image does not fit in memory. *)
+
+val expected_pcrs :
+  firmware:string -> loader:string -> monitor_image:string ->
+  (int * Crypto.Sha256.digest) list
+(** The golden PCR values (0, 4, 17) a verifier should expect for these
+    exact boot components — computed offline, without a machine. *)

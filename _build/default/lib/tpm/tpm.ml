@@ -1,0 +1,66 @@
+type t = {
+  pcrs : Crypto.Sha256.digest array;
+  signer : Crypto.Signature.signer;
+}
+
+let pcr_count = 24
+let drtm_pcr = 17
+
+let create ?(signer_height = 6) rng =
+  { pcrs = Array.make pcr_count Crypto.Sha256.zero;
+    signer = Crypto.Signature.create ~height:signer_height rng }
+
+let endorsement_root t = Crypto.Signature.public_root t.signer
+
+let check_index i =
+  if i < 0 || i >= pcr_count then invalid_arg "Tpm: PCR index out of range"
+
+let read_pcr t i =
+  check_index i;
+  t.pcrs.(i)
+
+let extend t ~pcr m =
+  check_index pcr;
+  t.pcrs.(pcr) <- Crypto.Sha256.concat [ t.pcrs.(pcr); m ]
+
+let dynamic_launch t ~measured =
+  (* Late launch: the CPU resets the DRTM PCR to a distinguished value
+     and extends it with the launched code, so the resulting PCR value
+     can only be reached through this instruction. *)
+  t.pcrs.(drtm_pcr) <- Crypto.Sha256.string "tyche-drtm-reset";
+  extend t ~pcr:drtm_pcr measured
+
+module Quote = struct
+  type nonrec tpm = t
+
+  type t = {
+    pcr_values : (int * Crypto.Sha256.digest) list;
+    nonce : string;
+    signature : Crypto.Signature.signature;
+  }
+
+  let payload pcr_values nonce =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "tpm-quote-v1\x00";
+    Buffer.add_int32_be buf (Int32.of_int (List.length pcr_values));
+    List.iter
+      (fun (i, d) ->
+        Buffer.add_int32_be buf (Int32.of_int i);
+        Buffer.add_string buf (Crypto.Sha256.to_raw d))
+      pcr_values;
+    Buffer.add_int32_be buf (Int32.of_int (String.length nonce));
+    Buffer.add_string buf nonce;
+    Buffer.contents buf
+
+  let generate (tpm : tpm) ~pcrs ~nonce =
+    let pcr_values =
+      List.map (fun i -> (i, read_pcr tpm i)) (List.sort_uniq Int.compare pcrs)
+    in
+    { pcr_values;
+      nonce;
+      signature = Crypto.Signature.sign tpm.signer (payload pcr_values nonce) }
+
+  let signed_payload q = payload q.pcr_values q.nonce
+
+  let verify ~root q = Crypto.Signature.verify ~root (signed_payload q) q.signature
+end

@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Chain Crypto Format List Policy Printf Topology Tyche

@@ -1,0 +1,1 @@
+lib/verifier/verifier.mli: Chain Crypto Format Policy Rot Topology Tyche

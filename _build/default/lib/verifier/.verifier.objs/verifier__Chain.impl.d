@@ -1,0 +1,1 @@
+lib/verifier/chain.ml: Crypto List Printf Result Rot String Tyche

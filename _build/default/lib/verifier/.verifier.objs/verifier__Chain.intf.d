@@ -1,0 +1,1 @@
+lib/verifier/chain.mli: Crypto Rot Tyche

@@ -1,0 +1,1 @@
+lib/verifier/policy.ml: Crypto Format Hw List Printf String Tyche

@@ -1,0 +1,1 @@
+lib/verifier/policy.mli: Crypto Format Hw Tyche

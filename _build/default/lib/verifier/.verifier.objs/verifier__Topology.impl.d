@@ -1,0 +1,1 @@
+lib/verifier/topology.ml: Crypto Format Hw Int List Option Printf Tyche

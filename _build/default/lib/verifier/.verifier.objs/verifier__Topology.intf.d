@@ -1,0 +1,1 @@
+lib/verifier/topology.mli: Crypto Tyche

@@ -1,0 +1,121 @@
+type node = { label : string; measurement : Crypto.Sha256.digest }
+
+type edge = string * string
+
+type t = {
+  nodes : node list;
+  edges : edge list; (* normalized: (min, max) lexicographically *)
+  allow_outside : Tyche.Domain.id list;
+}
+
+let normalize (a, b) = if a <= b then (a, b) else (b, a)
+
+let declare ~nodes ~edges ?(allow_outside = []) () =
+  let labels = List.map (fun n -> n.label) nodes in
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    Error "duplicate node labels"
+  else begin
+    let bad =
+      List.find_opt
+        (fun (a, b) -> a = b || (not (List.mem a labels)) || not (List.mem b labels))
+        edges
+    in
+    match bad with
+    | Some (a, b) -> Error (Printf.sprintf "invalid edge %s--%s" a b)
+    | None ->
+      Ok { nodes; edges = List.sort_uniq compare (List.map normalize edges); allow_outside }
+  end
+
+let edges_of_attestations bindings =
+  let id_to_label =
+    List.map (fun (label, att) -> (att.Tyche.Attestation.domain, label)) bindings
+  in
+  List.concat_map
+    (fun (label, att) ->
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun holder ->
+              if holder = att.Tyche.Attestation.domain then None
+              else
+                match List.assoc_opt holder id_to_label with
+                | Some other -> Some (normalize (label, other))
+                | None -> None)
+            r.Tyche.Attestation.holders)
+        att.Tyche.Attestation.regions)
+    bindings
+  |> List.sort_uniq compare
+
+let verify t ~bindings =
+  let fail fmt = Printf.ksprintf (fun s -> [ s ]) fmt in
+  let id_of label =
+    Option.map (fun (_, att) -> att.Tyche.Attestation.domain)
+      (List.find_opt (fun (l, _) -> l = label) bindings)
+  in
+  (* 1. Every declared node is bound, sealed and correctly measured. *)
+  let node_failures =
+    List.concat_map
+      (fun node ->
+        match List.assoc_opt node.label bindings with
+        | None -> fail "node %s: no attestation bound" node.label
+        | Some att ->
+          (if att.Tyche.Attestation.sealed then []
+           else fail "node %s: domain is not sealed" node.label)
+          @
+          (match att.Tyche.Attestation.measurement with
+          | Some m when Crypto.Sha256.equal m node.measurement -> []
+          | Some _ -> fail "node %s: measurement mismatch" node.label
+          | None -> fail "node %s: no measurement" node.label))
+      t.nodes
+  in
+  (* 2. Every declared edge is backed by a region held by exactly the
+     two endpoints. *)
+  let edge_failures =
+    List.concat_map
+      (fun (a, b) ->
+        match id_of a, id_of b, List.assoc_opt a bindings with
+        | Some ida, Some idb, Some att_a ->
+          let backing =
+            List.exists
+              (fun r ->
+                r.Tyche.Attestation.holders = List.sort_uniq Int.compare [ ida; idb ])
+              att_a.Tyche.Attestation.regions
+          in
+          if backing then []
+          else fail "edge %s--%s: no region shared by exactly the two endpoints" a b
+        | _ -> fail "edge %s--%s: endpoint not bound" a b)
+      t.edges
+  in
+  (* 3. No undeclared communication path: every holder of every region
+     is the node itself, an edge partner, or explicitly allowed. *)
+  let path_failures =
+    List.concat_map
+      (fun (label, att) ->
+        let partners =
+          List.filter_map
+            (fun (a, b) ->
+              if a = label then id_of b else if b = label then id_of a else None)
+            t.edges
+        in
+        List.concat_map
+          (fun r ->
+            List.filter_map
+              (fun holder ->
+                if
+                  holder = att.Tyche.Attestation.domain
+                  || List.mem holder partners
+                  || List.mem holder t.allow_outside
+                then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "node %s: undeclared communication path to domain %d via %s" label
+                       holder
+                       (Format.asprintf "%a" Hw.Addr.Range.pp r.Tyche.Attestation.range)))
+              r.Tyche.Attestation.holders)
+          att.Tyche.Attestation.regions)
+      bindings
+  in
+  match node_failures @ edge_failures @ path_failures with
+  | [] -> Ok ()
+  | failures -> Error failures

@@ -1,0 +1,44 @@
+(** Multi-domain deployment verification (§4.2): "extend attestation to
+    multi-domain deployments with the insurance that all communication
+    paths are secured and attested".
+
+    A {!t} declares the deployment a verifier expects: named nodes (each
+    pinned to a measurement) and the exact set of shared-memory edges
+    between them. {!verify} checks a set of signed attestations against
+    it: every node present, sealed and correctly measured; every
+    declared edge backed by a region whose holders are exactly its two
+    endpoints; and — the part that catches backdoors — *no undeclared
+    sharing anywhere*: any region reachable by a domain outside the
+    declared edge set fails the deployment. *)
+
+type node = {
+  label : string; (** e.g. "frontend", "crypto-engine". *)
+  measurement : Crypto.Sha256.digest; (** libtyche offline hash. *)
+}
+
+type edge = string * string
+(** Unordered pair of node labels that must share (exactly) one or more
+    regions. *)
+
+type t
+
+val declare :
+  nodes:node list -> edges:edge list -> ?allow_outside:Tyche.Domain.id list -> unit ->
+  (t, string) result
+(** Build a topology. [allow_outside] lists foreign domain ids (e.g. a
+    GPU IO domain or domain 0 for a declared untrusted mailbox) that may
+    appear as holders without failing the check — default none. Fails on
+    edges naming unknown labels or self-loops. *)
+
+val verify :
+  t -> bindings:(string * Tyche.Attestation.t) list -> (unit, string list) result
+(** [bindings] pairs each node label with that domain's (already
+    signature-checked) attestation. Returns every violation:
+    missing/unsealed/mismeasured nodes, declared edges with no backing
+    region, and undeclared communication paths. *)
+
+val edges_of_attestations :
+  (string * Tyche.Attestation.t) list -> (string * string) list
+(** The sharing graph the attestations actually exhibit, as label
+    pairs — handy for error messages and for discovering what to
+    declare. *)

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Cap Format Gen Hw List QCheck QCheck_alcotest String Testkit Tyche

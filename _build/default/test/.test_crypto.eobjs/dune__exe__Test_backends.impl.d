@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Backend_riscv Backend_x86 Cap Hw List Rot Testkit Tyche

@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Cap Captree Hw List Option Printf QCheck QCheck_alcotest Resource Result Revocation Rights String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Crypto Fun Gen Hmac List Merkle Ots Printf QCheck QCheck_alcotest Rng Sha256 Signature String

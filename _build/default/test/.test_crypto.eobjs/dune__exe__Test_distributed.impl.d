@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Bytes Crypto Distributed Libtyche List Rot String Testkit Tyche Verifier

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Bytes Cap Char Crypto Distributed Gen Hw Libtyche List Option QCheck QCheck_alcotest Result Rot String Testkit Tyche Verifier

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Backend_x86 Cap Crypto Hw List Rot String Testkit Tyche Verifier

@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Array Cache Cpu Crypto Cycles Device Ept Format Hw Interrupt Iommu List Machine Perm Physmem Pmp QCheck QCheck_alcotest String Tlb

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Crypto Hw Image Kernel Libtyche Option Result String Testkit Tyche

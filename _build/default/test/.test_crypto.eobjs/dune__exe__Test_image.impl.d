@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Bytes Hw Image List Option Printf QCheck QCheck_alcotest String Testkit

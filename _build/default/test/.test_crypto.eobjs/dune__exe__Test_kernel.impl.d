@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Cap Hw Image Kernel List Option Printf Result Rot String Testkit Tyche

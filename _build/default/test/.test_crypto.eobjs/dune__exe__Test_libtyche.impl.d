@@ -1,0 +1,1 @@
+test/test_libtyche.ml: Alcotest Cap Char Crypto Hw Image Libtyche List Option Printf QCheck QCheck_alcotest Result String Testkit Tyche

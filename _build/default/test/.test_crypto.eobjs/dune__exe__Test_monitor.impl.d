@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Cap Crypto Hw List Printf Rot String Testkit Tyche

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Backend_x86 Cap Crypto Format Hw Image Libtyche List Option Result Rot String Testkit Tyche Verifier

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Backend_x86 Cap Crypto Format Hw Libtyche List Option Result Rot String Testkit Tyche Verifier

@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Backend_riscv Backend_x86 Cap Char Crypto Format Hw Image List Result Rot String Tyche

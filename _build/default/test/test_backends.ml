@@ -1,0 +1,269 @@
+(* Backend-specific tests: EPT/VMFUNC behaviour on x86, PMP entry
+   budgets and layout validation on RISC-V, and the TLB-strategy and
+   allocation-strategy ablations. *)
+
+open Testkit
+
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+let page = Hw.Addr.page_size
+
+(* Build a sealed domain with [n_pages] of memory at [base] and core 0. *)
+let make_domain w ~name ~base ~n_pages =
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name ~kind:Tyche.Domain.Enclave) in
+  let sub = range ~base ~len:(n_pages * page) in
+  let piece = get_ok (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w) ~subrange:sub) in
+  let _ =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+         ~cleanup:Cap.Revocation.Zero)
+  in
+  let _ =
+    get_ok
+      (Tyche.Monitor.share m ~caller:os ~cap:(os_core_cap w 0) ~to_:d
+         ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ())
+  in
+  get_ok (Tyche.Monitor.set_entry_point m ~caller:os ~domain:d base);
+  get_ok (Tyche.Monitor.seal m ~caller:os ~domain:d);
+  d
+
+let test_x86_ept_per_domain () =
+  let w = boot_x86 () in
+  let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:2 in
+  (match Backend_x86.ept_of w.backend d with
+  | Some ept -> Alcotest.(check int) "domain EPT has 2 pages" 2 (Hw.Ept.mapped_pages ept)
+  | None -> Alcotest.fail "no EPT for domain");
+  match Backend_x86.ept_of w.backend os with
+  | Some ept ->
+    Alcotest.(check bool) "os EPT no longer maps the granted range" false
+      (Hw.Ept.reaches_hpa_range ept (range ~base:0x10000 ~len:(2 * page)))
+  | None -> Alcotest.fail "no EPT for OS"
+
+let test_x86_unaligned_rejected () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"d" ~kind:Tyche.Domain.Sandbox) in
+  match
+    Tyche.Monitor.share m ~caller:os ~cap:(os_memory_cap w) ~to_:d ~rights:Cap.Rights.rw
+      ~cleanup:Cap.Revocation.Keep ~subrange:(range ~base:0x10010 ~len:100) ()
+  with
+  | Error (Tyche.Monitor.Backend_refused msg) ->
+    Alcotest.(check bool) "mentions alignment" true (contains_substring msg "aligned")
+  | Error e -> Alcotest.failf "wrong error: %s" (Tyche.Monitor.error_to_string e)
+  | Ok _ -> Alcotest.fail "unaligned share accepted by EPT backend"
+
+let test_x86_eptp_registration () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:1 in
+  Alcotest.(check bool) "not registered before first call" false
+    (Backend_x86.eptp_registered w.backend ~from_:os ~to_:d);
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  Alcotest.(check bool) "registered after first trap" true
+    (Backend_x86.eptp_registered w.backend ~from_:os ~to_:d);
+  let _ = get_ok (Tyche.Monitor.ret m ~core:0) in
+  Alcotest.(check int) "counted traps" 2 (Backend_x86.trap_transitions w.backend);
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  Alcotest.(check int) "counted fast" 1 (Backend_x86.fast_transitions w.backend)
+
+let test_x86_transition_cycle_costs () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:1 in
+  Hw.Machine.reset_cycles w.machine;
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  let trap_cost = Hw.Machine.cycles w.machine in
+  Alcotest.(check int) "trap = vmcall" Hw.Cycles.Cost.vmcall_roundtrip trap_cost;
+  let _ = get_ok (Tyche.Monitor.ret m ~core:0) in
+  Hw.Machine.reset_cycles w.machine;
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  let fast_cost = Hw.Machine.cycles w.machine in
+  Alcotest.(check int) "fast = vmfunc" Hw.Cycles.Cost.vmfunc fast_cost;
+  Alcotest.(check bool) "paper ratio: ~10x" true (trap_cost / fast_cost >= 5)
+
+let test_x86_tlb_strategies () =
+  (* Full shootdown pays IPIs; ASID flush doesn't. *)
+  let cost_of strategy =
+    let w = boot_x86 ~tlb_strategy:strategy () in
+    let m = w.monitor in
+    let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:4 in
+    let cap = List.hd (Tyche.Monitor.caps_of m d) in
+    Hw.Machine.reset_cycles w.machine;
+    get_ok (Tyche.Monitor.revoke m ~caller:os ~cap);
+    Hw.Machine.cycles w.machine
+  in
+  let full = cost_of Backend_x86.Full_shootdown in
+  let asid = cost_of Backend_x86.Asid_flush in
+  Alcotest.(check bool) "shootdown costlier than asid flush" true (full > asid)
+
+let test_x86_iommu_follows_memory () =
+  let gpu = Hw.Device.create ~kind:Hw.Device.Gpu ~bus:3 ~dev:0 ~fn:0 () in
+  let w = boot_x86 ~devices:[ gpu ] () in
+  let m = w.monitor in
+  let machine = w.machine in
+  (* At boot the device belongs to the OS: DMA into OS memory works. *)
+  Hw.Device.dma_write gpu machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x7000 "ok";
+  (* Move the device to an IO domain holding only one page. *)
+  let io = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"gpu" ~kind:Tyche.Domain.Io_domain) in
+  let piece =
+    get_ok (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+              ~subrange:(range ~base:0x10000 ~len:page))
+  in
+  let _ =
+    get_ok (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:io ~rights:Cap.Rights.full
+              ~cleanup:Cap.Revocation.Zero)
+  in
+  let dev_cap =
+    List.find
+      (fun c ->
+        Cap.Captree.resource (Tyche.Monitor.tree m) c
+        = Some (Cap.Resource.Device (Hw.Device.bdf gpu)))
+      (Tyche.Monitor.caps_of m os)
+  in
+  let _ =
+    get_ok (Tyche.Monitor.grant m ~caller:os ~cap:dev_cap ~to_:io
+              ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep)
+  in
+  (* Now DMA is confined to the IO domain's page. *)
+  Hw.Device.dma_write gpu machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x10000 "in";
+  Alcotest.check_raises "DMA outside blocked"
+    (Hw.Iommu.Dma_fault { device = Hw.Device.bdf gpu; addr = 0x7000 })
+    (fun () ->
+      Hw.Device.dma_write gpu machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x7000 "out")
+
+let test_riscv_entry_budget () =
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let budget = Backend_riscv.usable_entries w.machine in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"greedy" ~kind:Tyche.Domain.Sandbox) in
+  (* Share discontiguous single pages until the budget runs out. Every
+     other page, so ranges never merge. *)
+  let shared = ref 0 in
+  (try
+     for i = 0 to budget + 4 do
+       let base = 0x100000 + (i * 2 * page) in
+       match
+         Tyche.Monitor.share m ~caller:os ~cap:(os_memory_cap w) ~to_:d
+           ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+           ~subrange:(range ~base ~len:page) ()
+       with
+       | Ok _ -> incr shared
+       | Error (Tyche.Monitor.Backend_refused _) -> raise Exit
+       | Error e -> Alcotest.failf "unexpected: %s" (Tyche.Monitor.error_to_string e)
+     done;
+     Alcotest.fail "PMP budget never enforced"
+   with Exit -> ());
+  Alcotest.(check int) "admitted exactly the budget" budget !shared
+
+let test_riscv_merging_extends_budget () =
+  (* With Merge_adjacent, contiguous pages collapse into one entry, so
+     a contiguous domain can hold far more pages than entries. *)
+  let w = boot_riscv ~alloc_strategy:Backend_riscv.Merge_adjacent () in
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"contig" ~kind:Tyche.Domain.Sandbox) in
+  for i = 0 to 63 do
+    let base = 0x100000 + (i * page) in
+    let _ =
+      get_ok
+        (Tyche.Monitor.share m ~caller:os ~cap:(os_memory_cap w) ~to_:d
+           ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+           ~subrange:(range ~base ~len:page) ())
+    in
+    ()
+  done;
+  Alcotest.(check int) "64 contiguous pages = 1 PMP segment" 1
+    (List.length (Backend_riscv.layout_of w.backend d));
+  (* First_fit, by contrast, burns an entry per share. *)
+  let w2 = boot_riscv ~alloc_strategy:Backend_riscv.First_fit () in
+  let m2 = w2.monitor in
+  let d2 = get_ok (Tyche.Monitor.create_domain m2 ~caller:os ~name:"frag" ~kind:Tyche.Domain.Sandbox) in
+  let budget = Backend_riscv.usable_entries w2.machine in
+  let shared = ref 0 in
+  (try
+     for i = 0 to 63 do
+       let base = 0x100000 + (i * page) in
+       match
+         Tyche.Monitor.share m2 ~caller:os ~cap:(os_memory_cap w2) ~to_:d2
+           ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+           ~subrange:(range ~base ~len:page) ()
+       with
+       | Ok _ -> incr shared
+       | Error _ -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "first-fit exhausts at the budget" true (!shared <= budget)
+
+let test_riscv_monitor_locked () =
+  let w = boot_riscv () in
+  let mon_base = Hw.Addr.Range.base w.boot_report.Rot.Boot.monitor_range in
+  expect_error (Tyche.Monitor.load w.monitor ~core:0 mon_base);
+  expect_error (Tyche.Monitor.store w.monitor ~core:0 mon_base 1)
+
+let test_riscv_transition_reprograms_pmp () =
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:1 in
+  let writes_before = Backend_riscv.pmp_reprogram_writes w.backend in
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  Alcotest.(check bool) "transition rewrote PMP entries" true
+    (Backend_riscv.pmp_reprogram_writes w.backend > writes_before);
+  (* While the enclave runs, the OS's memory is not reachable on core 0. *)
+  expect_error (Tyche.Monitor.load m ~core:0 0x4000);
+  (* But the OS still runs undisturbed on core 1. *)
+  get_ok (Tyche.Monitor.store m ~core:1 0x4000 5);
+  Alcotest.(check int) "core 1 unaffected" 5 (get_ok (Tyche.Monitor.load m ~core:1 0x4000));
+  let _ = get_ok (Tyche.Monitor.ret m ~core:0) in
+  Alcotest.(check int) "transitions counted" 2 (Backend_riscv.transitions w.backend)
+
+let test_riscv_subpage_granularity () =
+  (* PMP segments are byte-granular (TOR), unlike 4 KiB EPT pages: the
+     PMP backend accepts a 64-byte share the EPT backend refuses. *)
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"tiny" ~kind:Tyche.Domain.Sandbox) in
+  let sliver = range ~base:0x10040 ~len:64 in
+  let _ =
+    get_ok
+      (Tyche.Monitor.share m ~caller:os ~cap:(os_memory_cap w) ~to_:d
+         ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep ~subrange:sliver ())
+  in
+  Alcotest.(check int) "sub-page region attached" 2
+    (Cap.Captree.refcount (Tyche.Monitor.tree m) (Cap.Resource.Memory sliver));
+  (* Same request on x86: backend refusal. *)
+  let wx = boot_x86 () in
+  let dx = get_ok (Tyche.Monitor.create_domain wx.monitor ~caller:os ~name:"tiny" ~kind:Tyche.Domain.Sandbox) in
+  match
+    Tyche.Monitor.share wx.monitor ~caller:os ~cap:(os_memory_cap wx) ~to_:dx
+      ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep ~subrange:sliver ()
+  with
+  | Error (Tyche.Monitor.Backend_refused _) -> ()
+  | _ -> Alcotest.fail "EPT backend accepted a sub-page range"
+
+let test_riscv_ecall_cost () =
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let d = make_domain w ~name:"d" ~base:0x10000 ~n_pages:1 in
+  Hw.Machine.reset_cycles w.machine;
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  let cost = Hw.Machine.cycles w.machine in
+  Alcotest.(check bool) "cost = ecall + pmp writes" true
+    (cost >= Hw.Cycles.Cost.ecall_machine_mode
+     && cost < Hw.Cycles.Cost.ecall_machine_mode + (32 * Hw.Cycles.Cost.pmp_entry_write))
+
+let () =
+  Alcotest.run "backends"
+    [ ( "x86-vtx",
+        [ Alcotest.test_case "per-domain EPT" `Quick test_x86_ept_per_domain;
+          Alcotest.test_case "unaligned rejected" `Quick test_x86_unaligned_rejected;
+          Alcotest.test_case "eptp registration" `Quick test_x86_eptp_registration;
+          Alcotest.test_case "transition cycle costs" `Quick test_x86_transition_cycle_costs;
+          Alcotest.test_case "tlb strategy ablation" `Quick test_x86_tlb_strategies;
+          Alcotest.test_case "iommu follows memory" `Quick test_x86_iommu_follows_memory ] );
+      ( "riscv-pmp",
+        [ Alcotest.test_case "entry budget enforced" `Quick test_riscv_entry_budget;
+          Alcotest.test_case "merging ablation" `Quick test_riscv_merging_extends_budget;
+          Alcotest.test_case "monitor locked" `Quick test_riscv_monitor_locked;
+          Alcotest.test_case "transition reprograms PMP" `Quick
+            test_riscv_transition_reprograms_pmp;
+          Alcotest.test_case "ecall cost" `Quick test_riscv_ecall_cost;
+          Alcotest.test_case "sub-page granularity" `Quick test_riscv_subpage_granularity ] ) ]

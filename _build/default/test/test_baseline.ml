@@ -1,0 +1,134 @@
+(* Baseline models: commodity processes, SGX-style enclaves and the
+   monolithic no-judiciary system. These tests pin down the *contrast*
+   behaviours the benches rely on. *)
+
+let counter () = Hw.Cycles.create ()
+
+let test_process_costs () =
+  let c = counter () in
+  let sys = Baseline.Process_isolation.create ~counter:c ~mem_per_proc:(16 * 4096) in
+  Hw.Cycles.reset c;
+  let p1 = Baseline.Process_isolation.fork sys in
+  let fork_cost = Hw.Cycles.read c in
+  Alcotest.(check bool) "fork charges creation + page tables" true
+    (fork_cost >= Hw.Cycles.Cost.process_fork);
+  let p2 = Baseline.Process_isolation.fork sys in
+  Hw.Cycles.reset c;
+  Baseline.Process_isolation.context_switch sys ~from_:p1 ~to_:p2;
+  Alcotest.(check int) "context switch cost" Hw.Cycles.Cost.process_context_switch
+    (Hw.Cycles.read c);
+  (* Process switch is ~20x a VMFUNC domain switch: the paper's overhead
+     argument for library isolation via processes. *)
+  Alcotest.(check bool) "process switch >> vmfunc" true
+    (Hw.Cycles.Cost.process_context_switch / Hw.Cycles.Cost.vmfunc > 10)
+
+let test_process_ipc () =
+  let c = counter () in
+  let sys = Baseline.Process_isolation.create ~counter:c ~mem_per_proc:4096 in
+  let p1 = Baseline.Process_isolation.fork sys in
+  let p2 = Baseline.Process_isolation.fork sys in
+  Hw.Cycles.reset c;
+  Baseline.Process_isolation.send sys ~from_:p1 ~to_:p2 (String.make 1000 'x');
+  let send_cost = Hw.Cycles.read c in
+  Alcotest.(check bool) "copy cost scales with size" true
+    (send_cost >= 1000 * Hw.Cycles.Cost.pipe_byte_copy);
+  Alcotest.(check (option string)) "message delivered" (Some (String.make 1000 'x'))
+    (Baseline.Process_isolation.recv sys p2);
+  Alcotest.(check (option string)) "queue drained" None
+    (Baseline.Process_isolation.recv sys p2)
+
+let test_process_trust_asymmetry () =
+  let c = counter () in
+  let sys = Baseline.Process_isolation.create ~counter:c ~mem_per_proc:4096 in
+  let p1 = Baseline.Process_isolation.fork sys in
+  let p2 = Baseline.Process_isolation.fork sys in
+  (match Baseline.Process_isolation.proc_read sys p1 ~target:p2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "process read another process");
+  (* The kernel reads anything, silently. *)
+  Baseline.Process_isolation.kernel_read sys ~target:p1;
+  Baseline.Process_isolation.kill sys p1;
+  Alcotest.(check int) "alive count" 1 (Baseline.Process_isolation.alive sys)
+
+let test_sgx_lifecycle_and_costs () =
+  let c = counter () in
+  let sgx = Baseline.Sgx_sim.create ~counter:c ~epc_pages:64 in
+  Hw.Cycles.reset c;
+  let e =
+    match Baseline.Sgx_sim.create_enclave sgx ~pages:16 () with
+    | Ok e -> e
+    | Error err -> Alcotest.failf "create failed: %s" (Baseline.Sgx_sim.error_to_string err)
+  in
+  let create_cost = Hw.Cycles.read c in
+  Alcotest.(check bool) "creation dominated by EADD" true
+    (create_cost >= 16 * Hw.Cycles.Cost.sgx_eadd_page);
+  Alcotest.(check int) "epc accounted" 48 (Baseline.Sgx_sim.epc_free sgx);
+  Hw.Cycles.reset c;
+  (match Baseline.Sgx_sim.eenter sgx e with Ok () -> () | Error _ -> Alcotest.fail "eenter");
+  (match Baseline.Sgx_sim.eexit sgx e with Ok () -> () | Error _ -> Alcotest.fail "eexit");
+  Alcotest.(check int) "transition cost"
+    (Hw.Cycles.Cost.sgx_eenter + Hw.Cycles.Cost.sgx_eexit)
+    (Hw.Cycles.read c);
+  Baseline.Sgx_sim.destroy sgx e;
+  Alcotest.(check int) "epc returned" 64 (Baseline.Sgx_sim.epc_free sgx);
+  match Baseline.Sgx_sim.eenter sgx e with
+  | Error `Destroyed -> ()
+  | _ -> Alcotest.fail "entered a destroyed enclave"
+
+let test_sgx_limits () =
+  let c = counter () in
+  let sgx = Baseline.Sgx_sim.create ~counter:c ~epc_pages:32 in
+  let e1 = Result.get_ok (Baseline.Sgx_sim.create_enclave sgx ~pages:20 ()) in
+  (* EPC exhaustion. *)
+  (match Baseline.Sgx_sim.create_enclave sgx ~pages:20 () with
+  | Error `Epc_exhausted -> ()
+  | _ -> Alcotest.fail "EPC not enforced");
+  (* No nesting: the contrast with Tyche's E7. *)
+  (match Baseline.Sgx_sim.create_enclave sgx ~inside:e1 ~pages:1 () with
+  | Error `Nesting_unsupported -> ()
+  | _ -> Alcotest.fail "SGX-sim allowed nesting");
+  (* No sharing between enclaves. *)
+  let e2 = Result.get_ok (Baseline.Sgx_sim.create_enclave sgx ~pages:4 ()) in
+  (match Baseline.Sgx_sim.share_pages sgx e1 e2 with
+  | Error `Sharing_unsupported -> ()
+  | _ -> Alcotest.fail "SGX-sim allowed sharing");
+  (* The leakage asymmetry: enclave reads host, host cannot read enclave. *)
+  Baseline.Sgx_sim.enclave_reads_host sgx e1;
+  (match Baseline.Sgx_sim.host_reads_enclave sgx e1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "host read EPC");
+  Alcotest.(check bool) "measurements distinct" false
+    (Crypto.Sha256.equal (Baseline.Sgx_sim.measurement sgx e1) (Baseline.Sgx_sim.measurement sgx e2))
+
+let test_monolithic_monopoly () =
+  let sys = Baseline.Monolithic.create ~mem_size:(1024 * 1024) in
+  let app = 1 in
+  let arena = Baseline.Monolithic.app_alloc sys app ~bytes:4096 in
+  let secret_addr = Hw.Addr.Range.base arena in
+  (match Baseline.Monolithic.app_store sys app secret_addr 42 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Another app is blocked... *)
+  (match Baseline.Monolithic.app_load sys 2 secret_addr with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-app read succeeded");
+  (* ...but the kernel reads the "private" secret with no trace. *)
+  Baseline.Monolithic.kernel_remap sys ~target:arena;
+  Alcotest.(check int) "kernel reads the secret" 42
+    (Baseline.Monolithic.kernel_load sys secret_addr);
+  Alcotest.(check (list string)) "no audit trail" [] (Baseline.Monolithic.audit_trail sys);
+  (* And its attestation is an unverifiable self-report. *)
+  Alcotest.(check bool) "self-report is not evidence" true
+    (String.length (Baseline.Monolithic.self_report sys app) > 0)
+
+let () =
+  Alcotest.run "baseline"
+    [ ( "process-isolation",
+        [ Alcotest.test_case "creation/switch costs" `Quick test_process_costs;
+          Alcotest.test_case "ipc copies" `Quick test_process_ipc;
+          Alcotest.test_case "trust asymmetry" `Quick test_process_trust_asymmetry ] );
+      ( "sgx-sim",
+        [ Alcotest.test_case "lifecycle + costs" `Quick test_sgx_lifecycle_and_costs;
+          Alcotest.test_case "limits (EPC/nesting/sharing)" `Quick test_sgx_limits ] );
+      ( "monolithic",
+        [ Alcotest.test_case "monopoly on isolation" `Quick test_monolithic_monopoly ] ) ]

@@ -1,0 +1,391 @@
+(* Tests for the capability tree: lineage, attenuation, reference
+   counts, cascading revocation (including circular sharing), and the
+   Fig. 4 region map. *)
+
+open Cap
+
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+let mem ~base ~len = Resource.Memory (range ~base ~len)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "capability error: %s" (Captree.error_to_string e)
+
+let expect_err expected = function
+  | Error e when e = expected -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Captree.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* The domain's active cap whose range contains [r]. *)
+let holding t domain r =
+  List.find
+    (fun cap ->
+      match Captree.resource t cap with
+      | Some (Resource.Memory outer) -> Hw.Addr.Range.includes ~outer ~inner:r
+      | _ -> false)
+    (Captree.caps_of_domain t domain)
+
+let fresh_with_root ?(owner = 0) ?(len = 0x100000) () =
+  let t = Captree.create () in
+  let root, _ = ok (Captree.root t ~owner (mem ~base:0 ~len) Rights.full) in
+  (t, root)
+
+let test_root_overlap () =
+  let t = Captree.create () in
+  let _ = ok (Captree.root t ~owner:0 (mem ~base:0 ~len:0x1000) Rights.full) in
+  expect_err Captree.Overlapping_root
+    (Captree.root t ~owner:1 (mem ~base:0x800 ~len:0x1000) Rights.full);
+  let _ = ok (Captree.root t ~owner:1 (mem ~base:0x1000 ~len:0x1000) Rights.full) in
+  let _ = ok (Captree.root t ~owner:0 (Resource.Cpu_core 0) Rights.full) in
+  expect_err Captree.Overlapping_root
+    (Captree.root t ~owner:1 (Resource.Cpu_core 0) Rights.full)
+
+let test_share_basics () =
+  let t, root = fresh_with_root () in
+  let child, effects =
+    ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Zero ())
+  in
+  Alcotest.(check int) "one attach effect" 1 (List.length effects);
+  Alcotest.(check (option int)) "child owner" (Some 1) (Captree.owner t child);
+  Alcotest.(check bool) "parent still active" true (Captree.is_active t root);
+  Alcotest.(check bool) "child active" true (Captree.is_active t child);
+  Alcotest.(check (option int)) "lineage" (Some root) (Captree.parent t child);
+  Alcotest.(check int) "refcount 2" 2 (Captree.refcount t (mem ~base:0 ~len:0x1000))
+
+let test_share_subrange () =
+  let t, root = fresh_with_root () in
+  let sub = range ~base:0x2000 ~len:0x1000 in
+  let child, _ =
+    ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ~subrange:sub ())
+  in
+  Alcotest.(check bool) "narrowed resource" true
+    (Captree.resource t child = Some (Resource.Memory sub));
+  expect_err Captree.Bad_subrange
+    (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep
+       ~subrange:(range ~base:0xfffff000 ~len:0x2000) ())
+
+let test_rights_attenuation () =
+  let t, root = fresh_with_root () in
+  let weak, _ =
+    ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ())
+  in
+  expect_err Captree.Grant_denied
+    (Captree.grant t weak ~to_:2 ~rights:Rights.read_only ~cleanup:Revocation.Keep);
+  expect_err Captree.Rights_exceeded
+    (Captree.share t weak ~to_:2 ~rights:Rights.full ~cleanup:Revocation.Keep ());
+  let weaker, _ =
+    ok (Captree.share t weak ~to_:2 ~rights:Rights.read_only ~cleanup:Revocation.Keep ())
+  in
+  expect_err Captree.Sharing_denied
+    (Captree.share t weaker ~to_:3 ~rights:Rights.read_only ~cleanup:Revocation.Keep ())
+
+let test_grant_moves () =
+  let t, root = fresh_with_root () in
+  let child, effects =
+    ok (Captree.grant t root ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero)
+  in
+  Alcotest.(check int) "detach+attach" 2 (List.length effects);
+  Alcotest.(check bool) "parent inactive" false (Captree.is_active t root);
+  Alcotest.(check int) "refcount stays 1" 1 (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  Alcotest.(check (list int)) "holder is grantee" [ 1 ]
+    (Captree.holders t (mem ~base:0 ~len:0x1000));
+  expect_err (Captree.Capability_inactive root)
+    (Captree.share t root ~to_:2 ~rights:Rights.rw ~cleanup:Revocation.Keep ());
+  ignore child
+
+let test_split_and_carve () =
+  let t, root = fresh_with_root ~len:0x10000 () in
+  let l, r, effects = ok (Captree.split t root ~at:0x4000) in
+  Alcotest.(check int) "split has no hw effects" 0 (List.length effects);
+  Alcotest.(check bool) "parent inactive" false (Captree.is_active t root);
+  Alcotest.(check bool) "pieces active" true (Captree.is_active t l && Captree.is_active t r);
+  Alcotest.(check bool) "left range" true
+    (Captree.resource t l = Some (mem ~base:0 ~len:0x4000));
+  expect_err Captree.Bad_subrange (Captree.split t l ~at:0x4000);
+  let sub = range ~base:0x8000 ~len:0x2000 in
+  let piece, _ = ok (Captree.carve t r ~subrange:sub) in
+  Alcotest.(check bool) "carved exactly" true
+    (Captree.resource t piece = Some (Resource.Memory sub));
+  Alcotest.(check int) "still exclusive" 1 (Captree.refcount t (Resource.Memory sub));
+  let same, _ = ok (Captree.carve t piece ~subrange:sub) in
+  Alcotest.(check int) "identity carve" piece same
+
+let test_revoke_cascade () =
+  let t, root = fresh_with_root () in
+  let a, _ = ok (Captree.share t root ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  let b, _ = ok (Captree.share t a ~to_:2 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  let c, _ = ok (Captree.share t b ~to_:3 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  Alcotest.(check int) "refcount 4" 4 (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  let effects = ok (Captree.revoke t a) in
+  Alcotest.(check int) "three detaches" 3
+    (List.length (List.filter (function Captree.Detach _ -> true | _ -> false) effects));
+  Alcotest.(check bool) "subtree gone" true
+    ((not (Captree.is_active t a)) && (not (Captree.is_active t b))
+     && not (Captree.is_active t c));
+  Alcotest.(check int) "refcount back to 1" 1 (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  Alcotest.(check bool) "root still active" true (Captree.is_active t root)
+
+let test_revoke_reactivates_granted_parent () =
+  let t, root = fresh_with_root () in
+  let child, _ = ok (Captree.grant t root ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero) in
+  let effects = ok (Captree.revoke t child) in
+  Alcotest.(check bool) "parent reactivated" true (Captree.is_active t root);
+  let reattach =
+    List.filter (function Captree.Attach { domain = 0; _ } -> true | _ -> false) effects
+  in
+  Alcotest.(check int) "owner reattached" 1 (List.length reattach);
+  Alcotest.(check (list int)) "holder restored" [ 0 ]
+    (Captree.holders t (mem ~base:0 ~len:0x1000))
+
+let test_revoke_split_children () =
+  let t, root = fresh_with_root ~len:0x2000 () in
+  let l, r, _ = ok (Captree.split t root ~at:0x1000) in
+  let _ = ok (Captree.revoke t l) in
+  Alcotest.(check bool) "parent still inactive" false (Captree.is_active t root);
+  Alcotest.(check int) "left range unowned" 0 (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  let _ = ok (Captree.revoke t r) in
+  Alcotest.(check bool) "parent reassembled" true (Captree.is_active t root);
+  Alcotest.(check int) "whole range owned again" 1
+    (Captree.refcount t (mem ~base:0 ~len:0x2000))
+
+let test_revoke_children_keeps_cap () =
+  let t, root = fresh_with_root () in
+  let _ = ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ()) in
+  let _ = ok (Captree.share t root ~to_:2 ~rights:Rights.rw ~cleanup:Revocation.Keep ()) in
+  let effects = ok (Captree.revoke_children t root) in
+  Alcotest.(check int) "both children detached" 2 (List.length effects);
+  Alcotest.(check bool) "cap kept" true (Captree.is_active t root);
+  Alcotest.(check int) "exclusive again" 1 (Captree.refcount t (mem ~base:0 ~len:0x1000))
+
+let test_circular_sharing_revocation () =
+  let t, root = fresh_with_root ~owner:0 () in
+  let a = root in
+  let b1, _ = ok (Captree.share t a ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  let a2, _ = ok (Captree.share t b1 ~to_:0 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  let b2, _ = ok (Captree.share t a2 ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  Alcotest.(check int) "two domains, refcount 2" 2
+    (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  let effects = ok (Captree.revoke t b1) in
+  Alcotest.(check int) "cycle fully revoked" 3
+    (List.length (List.filter (function Captree.Detach _ -> true | _ -> false) effects));
+  Alcotest.(check bool) "only root remains" true
+    (Captree.is_active t a && (not (Captree.is_active t b2)) && not (Captree.is_active t a2));
+  Alcotest.(check int) "exclusive" 1 (Captree.refcount t (mem ~base:0 ~len:0x1000));
+  Alcotest.(check bool) "tree invariants hold" true (Captree.check_invariants t = Ok ())
+
+let test_fig4_region_map () =
+  (* Reproduce Fig. 4's shape. Domains: 0=OS (driver), 1=SaaS VM,
+     2=crypto engine, 3=SaaS app, 4=GPU. *)
+  let t = Captree.create () in
+  let page = 0x1000 in
+  let root, _ = ok (Captree.root t ~owner:0 (mem ~base:0 ~len:(8 * page)) Rights.full) in
+  let vm_part, _ = ok (Captree.carve t root ~subrange:(range ~base:page ~len:(7 * page))) in
+  let vm, _ = ok (Captree.grant t vm_part ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero) in
+  (* VM grants page 1 to the crypto engine. *)
+  let ce_piece, _ = ok (Captree.carve t vm ~subrange:(range ~base:page ~len:page)) in
+  let _ =
+    ok (Captree.grant t ce_piece ~to_:2 ~rights:Rights.full ~cleanup:Revocation.Zero_and_flush)
+  in
+  (* VM shares page 3 with the crypto engine. *)
+  let vm_cap = holding t 1 (range ~base:(3 * page) ~len:page) in
+  let share_piece, _ = ok (Captree.carve t vm_cap ~subrange:(range ~base:(3 * page) ~len:page)) in
+  let _ = ok (Captree.share t share_piece ~to_:2 ~rights:Rights.rw ~cleanup:Revocation.Zero ()) in
+  (* VM grants pages 4-5 to the SaaS app. *)
+  let vm_cap2 = holding t 1 (range ~base:(4 * page) ~len:(2 * page)) in
+  let app_piece, _ =
+    ok (Captree.carve t vm_cap2 ~subrange:(range ~base:(4 * page) ~len:(2 * page)))
+  in
+  let app, _ = ok (Captree.grant t app_piece ~to_:3 ~rights:Rights.full ~cleanup:Revocation.Zero) in
+  (* App shares page 5 with the GPU. *)
+  let gpu_piece, _ = ok (Captree.carve t app ~subrange:(range ~base:(5 * page) ~len:page)) in
+  let _ = ok (Captree.share t gpu_piece ~to_:4 ~rights:Rights.rw ~cleanup:Revocation.Zero ()) in
+  let expected =
+    [ (0, [ 0 ]); (1, [ 2 ]); (2, [ 1 ]); (3, [ 1; 2 ]); (4, [ 3 ]); (5, [ 3; 4 ]);
+      (6, [ 1 ]); (7, [ 1 ]) ]
+  in
+  let map = Captree.region_map t in
+  List.iter
+    (fun (pg, holders) ->
+      match List.find_opt (fun (r, _) -> Hw.Addr.Range.contains r (pg * page)) map with
+      | Some (_, hs) ->
+        Alcotest.(check (list int)) (Printf.sprintf "page %d holders" pg) holders hs
+      | None -> Alcotest.failf "page %d not in region map" pg)
+    expected;
+  List.iter
+    (fun (pg, expected_rc) ->
+      Alcotest.(check int)
+        (Printf.sprintf "page %d refcount" pg)
+        expected_rc
+        (Captree.refcount t (mem ~base:(pg * page) ~len:page)))
+    [ (0, 1); (1, 1); (2, 1); (3, 2); (4, 1); (5, 2) ];
+  Alcotest.(check bool) "invariants" true (Captree.check_invariants t = Ok ());
+  Alcotest.(check bool) "crypto engine page exclusive" true
+    (Captree.exclusively_owned t ~domain:2 (mem ~base:page ~len:page));
+  Alcotest.(check bool) "shared page not exclusive" false
+    (Captree.exclusively_owned t ~domain:1 (mem ~base:(3 * page) ~len:page))
+
+let test_region_map_merging () =
+  let t, root = fresh_with_root ~len:0x4000 () in
+  let _l, r, _ = ok (Captree.split t root ~at:0x1000) in
+  let _ = ok (Captree.split t r ~at:0x2000) in
+  match Captree.region_map t with
+  | [ (seg, holders) ] ->
+    Alcotest.(check int) "merged back to one segment" 0x4000 (Hw.Addr.Range.len seg);
+    Alcotest.(check (list int)) "one holder" [ 0 ] holders
+  | segs -> Alcotest.failf "expected 1 merged segment, got %d" (List.length segs)
+
+let test_caps_of_domain_ordering () =
+  let t, root = fresh_with_root () in
+  let c1, _ = ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ()) in
+  let c2, _ = ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ()) in
+  Alcotest.(check (list int)) "creation order" [ c1; c2 ] (Captree.caps_of_domain t 1)
+
+let test_is_ancestor () =
+  let t, root = fresh_with_root () in
+  let a, _ = ok (Captree.share t root ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Keep ()) in
+  let b, _ = ok (Captree.share t a ~to_:2 ~rights:Rights.full ~cleanup:Revocation.Keep ()) in
+  Alcotest.(check bool) "root ancestor of b" true (Captree.is_ancestor t ~ancestor:root b);
+  Alcotest.(check bool) "a ancestor of b" true (Captree.is_ancestor t ~ancestor:a b);
+  Alcotest.(check bool) "b not ancestor of a" false (Captree.is_ancestor t ~ancestor:b a);
+  Alcotest.(check bool) "not own ancestor" false (Captree.is_ancestor t ~ancestor:b b)
+
+let test_device_and_core_caps () =
+  let t = Captree.create () in
+  let core_root, _ = ok (Captree.root t ~owner:0 (Resource.Cpu_core 1) Rights.full) in
+  let dev_root, _ = ok (Captree.root t ~owner:0 (Resource.Device 0x310) Rights.full) in
+  expect_err Captree.Bad_subrange (Captree.split t core_root ~at:1);
+  expect_err Captree.Bad_subrange
+    (Captree.share t dev_root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep
+       ~subrange:(range ~base:0 ~len:1) ());
+  let shared, _ =
+    ok (Captree.share t core_root ~to_:1 ~rights:Rights.exclusive_use ~cleanup:Revocation.Keep ())
+  in
+  Alcotest.(check int) "core refcount" 2 (Captree.refcount t (Resource.Cpu_core 1));
+  let _ = ok (Captree.revoke t shared) in
+  Alcotest.(check int) "core refcount restored" 1 (Captree.refcount t (Resource.Cpu_core 1))
+
+(* Property: random interleavings of operations keep invariants and
+   refcount consistency. *)
+
+type op = Share of int * int | Grant of int * int | Split of int | Revoke of int
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun c d -> Share (c, d)) (0 -- 40) (0 -- 5));
+        (2, map2 (fun c d -> Grant (c, d)) (0 -- 40) (0 -- 5));
+        (2, map (fun c -> Split c) (0 -- 40));
+        (2, map (fun c -> Revoke c) (0 -- 40)) ])
+
+let print_op = function
+  | Share (c, d) -> Printf.sprintf "Share(%d->%d)" c d
+  | Grant (c, d) -> Printf.sprintf "Grant(%d->%d)" c d
+  | Split c -> Printf.sprintf "Split(%d)" c
+  | Revoke c -> Printf.sprintf "Revoke(%d)" c
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map print_op l))
+    QCheck.Gen.(list_size (0 -- 60) gen_op)
+
+let run_ops ops =
+  let t = Captree.create () in
+  let root, _ =
+    Result.get_ok (Captree.root t ~owner:0 (mem ~base:0 ~len:0x100000) Rights.full)
+  in
+  let caps = ref [ root ] in
+  let pick i = List.nth !caps (i mod List.length !caps) in
+  List.iter
+    (fun op ->
+      match op with
+      | Share (c, d) -> (
+        match
+          Captree.share t (pick c) ~to_:d ~rights:Rights.full ~cleanup:Revocation.Zero ()
+        with
+        | Ok (id, _) -> caps := id :: !caps
+        | Error _ -> ())
+      | Grant (c, d) -> (
+        match Captree.grant t (pick c) ~to_:d ~rights:Rights.full ~cleanup:Revocation.Zero with
+        | Ok (id, _) -> caps := id :: !caps
+        | Error _ -> ())
+      | Split c -> (
+        let cap = pick c in
+        match Captree.resource t cap with
+        | Some (Resource.Memory r) when Hw.Addr.Range.len r >= 2 -> (
+          let at = Hw.Addr.Range.base r + (Hw.Addr.Range.len r / 2) in
+          match Captree.split t cap ~at with
+          | Ok (l, rg, _) -> caps := l :: rg :: !caps
+          | Error _ -> ())
+        | _ -> ())
+      | Revoke c -> ignore (Captree.revoke t (pick c)))
+    ops;
+  t
+
+let prop_invariants_hold =
+  QCheck.Test.make ~name:"captree: invariants hold under random ops" ~count:200 arb_ops
+    (fun ops -> Captree.check_invariants (run_ops ops) = Ok ())
+
+let prop_refcount_consistent =
+  QCheck.Test.make ~name:"captree: refcount equals region-map holders" ~count:100 arb_ops
+    (fun ops ->
+      let t = run_ops ops in
+      List.for_all
+        (fun (seg, holders) -> Captree.refcount t (Resource.Memory seg) = List.length holders)
+        (Captree.region_map t))
+
+let prop_region_map_disjoint =
+  QCheck.Test.make ~name:"captree: region map segments are disjoint and sorted" ~count:100
+    arb_ops
+    (fun ops ->
+      let t = run_ops ops in
+      let rec check = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          Hw.Addr.Range.limit a <= Hw.Addr.Range.base b && check rest
+        | _ -> true
+      in
+      check (Captree.region_map t))
+
+let prop_revoke_all_restores_root =
+  QCheck.Test.make ~name:"captree: revoking every root child restores exclusivity"
+    ~count:100 arb_ops
+    (fun ops ->
+      let t = run_ops ops in
+      let rec find_root id =
+        match Captree.parent t id with Some p -> find_root p | None -> id
+      in
+      match Captree.caps_of_domain t 0 with
+      | [] -> true (* domain 0 may have granted everything away *)
+      | c :: _ ->
+        let root = find_root c in
+        (match Captree.revoke_children t root with Ok _ -> () | Error _ -> ());
+        Captree.is_active t root
+        && Captree.check_invariants t = Ok ()
+        && Captree.refcount t (Option.get (Captree.resource t root)) = 1)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cap"
+    [ ( "structure",
+        [ Alcotest.test_case "root overlap" `Quick test_root_overlap;
+          Alcotest.test_case "share basics" `Quick test_share_basics;
+          Alcotest.test_case "share subrange" `Quick test_share_subrange;
+          Alcotest.test_case "rights attenuation" `Quick test_rights_attenuation;
+          Alcotest.test_case "grant moves" `Quick test_grant_moves;
+          Alcotest.test_case "split + carve" `Quick test_split_and_carve;
+          Alcotest.test_case "cores + devices" `Quick test_device_and_core_caps;
+          Alcotest.test_case "caps_of_domain order" `Quick test_caps_of_domain_ordering;
+          Alcotest.test_case "is_ancestor" `Quick test_is_ancestor ] );
+      ( "revocation",
+        [ Alcotest.test_case "cascade" `Quick test_revoke_cascade;
+          Alcotest.test_case "grant reactivation" `Quick test_revoke_reactivates_granted_parent;
+          Alcotest.test_case "split children" `Quick test_revoke_split_children;
+          Alcotest.test_case "revoke_children" `Quick test_revoke_children_keeps_cap;
+          Alcotest.test_case "circular sharing" `Quick test_circular_sharing_revocation ] );
+      ( "refcounts",
+        [ Alcotest.test_case "Fig. 4 region map" `Quick test_fig4_region_map;
+          Alcotest.test_case "region map merging" `Quick test_region_map_merging ] );
+      ( "properties",
+        [ qt prop_invariants_hold;
+          qt prop_refcount_consistent;
+          qt prop_region_map_disjoint;
+          qt prop_revoke_all_restores_root ] ) ]

@@ -1,0 +1,290 @@
+(* Unit and property tests for the from-scratch crypto substrate. *)
+
+open Crypto
+
+let hex = Sha256.to_hex
+
+let check_hex msg expected digest = Alcotest.(check string) msg expected (hex digest)
+
+(* NIST / well-known SHA-256 vectors. *)
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.string "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.string "abc");
+  check_hex "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.string (String.make 1_000_000 'a'))
+
+let test_sha256_block_boundaries () =
+  (* Lengths around the 64-byte block and 56-byte padding boundary. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let whole = Sha256.string s in
+      let ctx = Sha256.Ctx.create () in
+      String.iter (fun c -> Sha256.Ctx.feed_string ctx (String.make 1 c)) s;
+      Alcotest.(check bool)
+        (Printf.sprintf "len %d: bytewise == one-shot" n)
+        true
+        (Sha256.equal whole (Sha256.Ctx.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 1000 ]
+
+let test_sha256_ctx_length () =
+  let ctx = Sha256.Ctx.create () in
+  Sha256.Ctx.feed_string ctx "hello";
+  Sha256.Ctx.feed_string ctx " world";
+  Alcotest.(check int) "fed length" 11 (Sha256.Ctx.fed_length ctx)
+
+let test_sha256_hex_roundtrip () =
+  let d = Sha256.string "roundtrip" in
+  Alcotest.(check bool) "of_hex . to_hex" true (Sha256.equal d (Sha256.of_hex (hex d)));
+  Alcotest.(check bool) "of_raw . to_raw" true
+    (Sha256.equal d (Sha256.of_raw (Sha256.to_raw d)))
+
+let test_sha256_bad_parse () =
+  Alcotest.check_raises "short raw" (Invalid_argument "Sha256.of_raw: need 32 bytes")
+    (fun () -> ignore (Sha256.of_raw "short"));
+  Alcotest.check_raises "bad hex char"
+    (Invalid_argument "Sha256.of_hex: bad character") (fun () ->
+      ignore (Sha256.of_hex (String.make 64 'z')))
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test cases 1, 2 and 7. *)
+  let case1 =
+    Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"
+  in
+  check_hex "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" case1;
+  let case2 = Hmac.mac ~key:"Jefe" "what do ya want for nothing?" in
+  check_hex "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" case2;
+  let case7 =
+    Hmac.mac ~key:(String.make 131 '\xaa')
+      "This is a test using a larger than block-size key and a larger than \
+       block-size data. The key needs to be hashed before being used by the \
+       HMAC algorithm."
+  in
+  check_hex "case 7 (long key)"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2" case7
+
+let test_hmac_verify () =
+  let tag = Hmac.mac ~key:"k" "msg" in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key:"k" "msg" tag);
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify ~key:"k" "msh" tag);
+  Alcotest.(check bool) "rejects wrong key" false (Hmac.verify ~key:"j" "msg" tag)
+
+let test_hmac_derive () =
+  let a = Hmac.derive ~key:"master" ~label:"a" in
+  let b = Hmac.derive ~key:"master" ~label:"b" in
+  Alcotest.(check int) "32 bytes" 32 (String.length a);
+  Alcotest.(check bool) "labels separate" false (String.equal a b);
+  Alcotest.(check string) "deterministic" a (Hmac.derive ~key:"master" ~label:"a")
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create ~seed:8L in
+  Alcotest.(check bool) "different seed diverges" false
+    (Rng.next_int64 (Rng.create ~seed:7L) = Rng.next_int64 c)
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_split () =
+  let parent = Rng.create ~seed:9L in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child independent" false
+    (Rng.next_int64 child = Rng.next_int64 parent)
+
+let test_merkle_basic () =
+  let leaves = List.init 7 (fun i -> Sha256.string (string_of_int i)) in
+  let t = Merkle.build leaves in
+  Alcotest.(check int) "leaf count" 7 (Merkle.leaf_count t);
+  List.iteri
+    (fun i leaf ->
+      let proof = Merkle.prove t i in
+      Alcotest.(check bool) (Printf.sprintf "leaf %d verifies" i) true
+        (Merkle.verify ~root:(Merkle.root t) ~leaf proof))
+    leaves
+
+let test_merkle_single_leaf () =
+  let leaf = Sha256.string "only" in
+  let t = Merkle.build [ leaf ] in
+  Alcotest.(check bool) "single leaf" true
+    (Merkle.verify ~root:(Merkle.root t) ~leaf (Merkle.prove t 0))
+
+let test_merkle_tamper () =
+  let leaves = List.init 4 (fun i -> Sha256.string (string_of_int i)) in
+  let t = Merkle.build leaves in
+  let proof = Merkle.prove t 2 in
+  Alcotest.(check bool) "wrong leaf rejected" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:(Sha256.string "evil") proof);
+  let wrong_index = { proof with Merkle.leaf_index = 1 } in
+  Alcotest.(check bool) "wrong index rejected" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:(Sha256.string "2") wrong_index)
+
+let test_merkle_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Merkle.build: empty leaf list")
+    (fun () -> ignore (Merkle.build []));
+  let t = Merkle.build [ Sha256.string "x" ] in
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Merkle.prove: index out of range") (fun () ->
+      ignore (Merkle.prove t 1))
+
+let test_ots_sign_verify () =
+  let rng = Rng.create ~seed:11L in
+  let sk, pk = Ots.generate rng in
+  let msg = Sha256.string "attestation payload" in
+  let sg = Ots.sign sk msg in
+  Alcotest.(check bool) "verifies" true (Ots.verify pk msg sg);
+  Alcotest.(check bool) "wrong message rejected" false
+    (Ots.verify pk (Sha256.string "other") sg)
+
+let test_ots_serialization () =
+  let rng = Rng.create ~seed:12L in
+  let sk, pk = Ots.generate rng in
+  let msg = Sha256.string "m" in
+  let sg = Ots.sign sk msg in
+  let pk' = Ots.public_key_of_string (Ots.public_key_to_string pk) in
+  let sg' = Ots.signature_of_string (Ots.signature_to_string sg) in
+  Alcotest.(check bool) "roundtrip verifies" true (Ots.verify pk' msg sg');
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Ots: serialized key/signature must be 67*32 bytes") (fun () ->
+      ignore (Ots.public_key_of_string "short"))
+
+let test_ots_cross_key () =
+  let rng = Rng.create ~seed:13L in
+  let sk1, _pk1 = Ots.generate rng in
+  let _sk2, pk2 = Ots.generate rng in
+  let msg = Sha256.string "m" in
+  Alcotest.(check bool) "foreign key rejected" false (Ots.verify pk2 msg (Ots.sign sk1 msg))
+
+let test_signature_many () =
+  let rng = Rng.create ~seed:14L in
+  let signer = Signature.create ~height:3 rng in
+  let root = Signature.public_root signer in
+  Alcotest.(check int) "capacity" 8 (Signature.remaining signer);
+  for i = 1 to 8 do
+    let msg = Printf.sprintf "message %d" i in
+    let sg = Signature.sign signer msg in
+    Alcotest.(check bool) (Printf.sprintf "sig %d verifies" i) true
+      (Signature.verify ~root msg sg);
+    Alcotest.(check bool) (Printf.sprintf "sig %d wrong msg" i) false
+      (Signature.verify ~root "tampered" sg)
+  done;
+  Alcotest.(check int) "exhausted" 0 (Signature.remaining signer);
+  Alcotest.check_raises "exhaustion" (Failure "Signature.sign: signer exhausted")
+    (fun () -> ignore (Signature.sign signer "one too many"))
+
+let test_signature_serialization () =
+  let rng = Rng.create ~seed:15L in
+  let signer = Signature.create ~height:2 rng in
+  let root = Signature.public_root signer in
+  let sg = Signature.sign signer "wire" in
+  let sg' = Signature.signature_of_string (Signature.signature_to_string sg) in
+  Alcotest.(check bool) "roundtrip verifies" true (Signature.verify ~root "wire" sg');
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Signature.signature_of_string: malformed") (fun () ->
+      ignore
+        (Signature.signature_of_string
+           (String.sub (Signature.signature_to_string sg) 0 40)))
+
+let test_signature_cross_signer () =
+  let rng = Rng.create ~seed:16L in
+  let s1 = Signature.create ~height:2 rng in
+  let s2 = Signature.create ~height:2 rng in
+  let sg = Signature.sign s1 "m" in
+  Alcotest.(check bool) "other root rejects" false
+    (Signature.verify ~root:(Signature.public_root s2) "m" sg)
+
+(* Property tests *)
+
+let prop_sha256_chunking =
+  QCheck.Test.make ~name:"sha256: arbitrary chunking equals one-shot" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 500)) (list_of_size Gen.(0 -- 10) small_nat))
+    (fun (s, cuts) ->
+      let ctx = Sha256.Ctx.create () in
+      let rec feed s cuts =
+        match cuts with
+        | [] -> Sha256.Ctx.feed_string ctx s
+        | c :: rest ->
+          let c = min c (String.length s) in
+          Sha256.Ctx.feed_string ctx (String.sub s 0 c);
+          feed (String.sub s c (String.length s - c)) rest
+      in
+      feed s cuts;
+      Sha256.equal (Sha256.Ctx.finalize ctx) (Sha256.string s))
+
+let prop_merkle_all_leaves =
+  QCheck.Test.make ~name:"merkle: every leaf of any tree verifies" ~count:50
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let leaves = List.init n (fun i -> Sha256.string (string_of_int i)) in
+      let t = Merkle.build leaves in
+      List.for_all
+        (fun i ->
+          Merkle.verify ~root:(Merkle.root t)
+            ~leaf:(List.nth leaves i) (Merkle.prove t i))
+        (List.init n Fun.id))
+
+let prop_merkle_distinct_roots =
+  QCheck.Test.make ~name:"merkle: changing one leaf changes the root" ~count:50
+    QCheck.(pair (int_range 1 32) small_nat)
+    (fun (n, k) ->
+      let leaves = List.init n (fun i -> Sha256.string (string_of_int i)) in
+      let k = k mod n in
+      let leaves' =
+        List.mapi (fun i l -> if i = k then Sha256.string "mutated" else l) leaves
+      in
+      not (Sha256.equal (Merkle.root (Merkle.build leaves)) (Merkle.root (Merkle.build leaves'))))
+
+let prop_hmac_key_separation =
+  QCheck.Test.make ~name:"hmac: distinct keys give distinct tags" ~count:100
+    QCheck.(pair (string_of_size Gen.(1 -- 50)) (string_of_size Gen.(0 -- 100)))
+    (fun (key, msg) ->
+      not (Sha256.equal (Hmac.mac ~key msg) (Hmac.mac ~key:(key ^ "x") msg)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries;
+          Alcotest.test_case "ctx length" `Quick test_sha256_ctx_length;
+          Alcotest.test_case "hex roundtrip" `Quick test_sha256_hex_roundtrip;
+          Alcotest.test_case "bad parse" `Quick test_sha256_bad_parse;
+          qt prop_sha256_chunking ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "derive" `Quick test_hmac_derive;
+          qt prop_hmac_key_separation ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split ] );
+      ( "merkle",
+        [ Alcotest.test_case "basic proofs" `Quick test_merkle_basic;
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "tamper rejected" `Quick test_merkle_tamper;
+          Alcotest.test_case "errors" `Quick test_merkle_errors;
+          qt prop_merkle_all_leaves;
+          qt prop_merkle_distinct_roots ] );
+      ( "ots",
+        [ Alcotest.test_case "sign/verify" `Quick test_ots_sign_verify;
+          Alcotest.test_case "serialization" `Quick test_ots_serialization;
+          Alcotest.test_case "cross key" `Quick test_ots_cross_key ] );
+      ( "signature",
+        [ Alcotest.test_case "many-time + exhaustion" `Quick test_signature_many;
+          Alcotest.test_case "serialization" `Quick test_signature_serialization;
+          Alcotest.test_case "cross signer" `Quick test_signature_cross_signer ] ) ]

@@ -1,0 +1,235 @@
+(* Cross-machine attested sessions: the network adversary model and the
+   broker-mediated establishment (§4.2 multi-machine exploration). *)
+
+open Testkit
+
+
+(* Two independent machines, each with one enclave. *)
+let two_machines () =
+  let wa = boot_x86 ~seed:0xAAL () in
+  let wb = boot_x86 ~seed:0xBBL () in
+  let image = tiny_image ~shared_page:false () in
+  let ea =
+    get_ok_str
+      (Libtyche.Enclave.create wa.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap wa)
+         ~at:0x40000 ~image ())
+  in
+  let eb =
+    get_ok_str
+      (Libtyche.Enclave.create wb.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap wb)
+         ~at:0x40000 ~image ())
+  in
+  (wa, ea, wb, eb)
+
+let reference w =
+  { Verifier.tpm_root = Rot.Tpm.endorsement_root w.tpm;
+    expected_pcrs = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image;
+    monitor_root = Tyche.Monitor.attestation_root w.monitor }
+
+let party name w =
+  { Distributed.Session.name;
+    reference = reference w;
+    policy =
+      [ Verifier.Policy.Sealed;
+        Verifier.Policy.Measurement_is
+          (Libtyche.Enclave.expected_measurement (tiny_image ~shared_page:false ())) ] }
+
+let established () =
+  let wa, ea, wb, eb = two_machines () in
+  let nonce = "session-42" in
+  let ev_a =
+    get_ok_str
+      (Distributed.Session.gather_evidence wa.monitor ~domain:ea.Libtyche.Handle.domain ~nonce)
+  in
+  let ev_b =
+    get_ok_str
+      (Distributed.Session.gather_evidence wb.monitor ~domain:eb.Libtyche.Handle.domain ~nonce)
+  in
+  match
+    Distributed.Session.establish ~nonce ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b)
+  with
+  | Ok (ka, kb) -> (ka, kb)
+  | Error msgs -> Alcotest.failf "establish failed: %s" (String.concat "; " msgs)
+
+(* --- network --- *)
+
+let test_network_basics () =
+  let net = Distributed.Network.create () in
+  Distributed.Network.send net ~from_:"a" ~to_:"b" "one";
+  Distributed.Network.send net ~from_:"a" ~to_:"b" "two";
+  Alcotest.(check int) "pending" 2 (Distributed.Network.pending net "b");
+  Alcotest.(check (list string)) "eavesdrop copies" [ "one"; "two" ]
+    (Distributed.Network.eavesdrop net "b");
+  Alcotest.(check (option string)) "fifo" (Some "one") (Distributed.Network.recv net "b");
+  Alcotest.(check bool) "drop" true (Distributed.Network.drop_head net "b");
+  Alcotest.(check (option string)) "empty" None (Distributed.Network.recv net "b");
+  Distributed.Network.inject net ~to_:"b" "forged";
+  Alcotest.(check (option string)) "injection arrives" (Some "forged")
+    (Distributed.Network.recv net "b");
+  Alcotest.(check int) "stats" 3 (Distributed.Network.total_messages net)
+
+let test_network_tamper () =
+  let net = Distributed.Network.create () in
+  Distributed.Network.send net ~from_:"a" ~to_:"b" "payload";
+  Distributed.Network.send net ~from_:"a" ~to_:"b" "second";
+  Alcotest.(check bool) "tampered" true
+    (Distributed.Network.tamper_head net "b" ~f:(fun _ -> "evil"));
+  Alcotest.(check (option string)) "head rewritten" (Some "evil")
+    (Distributed.Network.recv net "b");
+  Alcotest.(check (option string)) "order kept" (Some "second")
+    (Distributed.Network.recv net "b")
+
+(* --- establishment --- *)
+
+let test_establish_ok () =
+  let ka, kb = established () in
+  Alcotest.(check string) "both sides share the key" ka kb;
+  Alcotest.(check int) "32-byte key" 32 (String.length ka)
+
+let test_establish_rejects_wrong_binary () =
+  let wa, ea, wb, eb = two_machines () in
+  let nonce = "n" in
+  let ev_a =
+    get_ok_str
+      (Distributed.Session.gather_evidence wa.monitor ~domain:ea.Libtyche.Handle.domain ~nonce)
+  in
+  let ev_b =
+    get_ok_str
+      (Distributed.Session.gather_evidence wb.monitor ~domain:eb.Libtyche.Handle.domain ~nonce)
+  in
+  let bad_party =
+    { (party "beta" wb) with
+      Distributed.Session.policy =
+        [ Verifier.Policy.Measurement_is (Crypto.Sha256.string "some other binary") ] }
+  in
+  match
+    Distributed.Session.establish ~nonce ~a:(party "alpha" wa, ev_a) ~b:(bad_party, ev_b)
+  with
+  | Error msgs ->
+    Alcotest.(check bool) "beta blamed" true
+      (List.exists (fun m -> contains_substring m "beta") msgs)
+  | Ok _ -> Alcotest.fail "wrong binary keyed"
+
+let test_establish_rejects_cross_machine_evidence () =
+  (* Evidence from machine A presented as machine B's: the TPM roots
+     and monitor keys do not match B's reference values. *)
+  let wa, ea, _wb, _eb = two_machines () in
+  let nonce = "n" in
+  let ev_a =
+    get_ok_str
+      (Distributed.Session.gather_evidence wa.monitor ~domain:ea.Libtyche.Handle.domain ~nonce)
+  in
+  let impostor = { (party "beta" wa) with Distributed.Session.reference = reference (boot_x86 ~seed:0xCCL ()) } in
+  match
+    Distributed.Session.establish ~nonce ~a:(party "alpha" wa, ev_a) ~b:(impostor, ev_a)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-machine evidence accepted"
+
+let test_keys_differ_across_nonces () =
+  let wa, ea, wb, eb = two_machines () in
+  let key_for nonce =
+    let ev_a =
+      get_ok_str
+        (Distributed.Session.gather_evidence wa.monitor ~domain:ea.Libtyche.Handle.domain ~nonce)
+    in
+    let ev_b =
+      get_ok_str
+        (Distributed.Session.gather_evidence wb.monitor ~domain:eb.Libtyche.Handle.domain ~nonce)
+    in
+    match
+      Distributed.Session.establish ~nonce ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b)
+    with
+    | Ok (k, _) -> k
+    | Error msgs -> Alcotest.failf "establish: %s" (String.concat ";" msgs)
+  in
+  Alcotest.(check bool) "fresh nonce, fresh key" false (key_for "s1" = key_for "s2")
+
+(* --- the secured link --- *)
+
+let linked () =
+  let key, _ = established () in
+  let net = Distributed.Network.create () in
+  let a = Distributed.Session.connect net ~local:"alpha" ~remote:"beta" ~key in
+  let b = Distributed.Session.connect net ~local:"beta" ~remote:"alpha" ~key in
+  (net, a, b)
+
+let test_link_roundtrip () =
+  let _, a, b = linked () in
+  Distributed.Session.send a "rdma write #1";
+  Distributed.Session.send a "rdma write #2";
+  Alcotest.(check string) "in order 1" "rdma write #1"
+    (get_ok_str (Distributed.Session.recv b));
+  Alcotest.(check string) "in order 2" "rdma write #2"
+    (get_ok_str (Distributed.Session.recv b));
+  Distributed.Session.send b "completion";
+  Alcotest.(check string) "reverse direction" "completion"
+    (get_ok_str (Distributed.Session.recv a));
+  Alcotest.(check int) "counters" 2 (Distributed.Session.sent a);
+  Alcotest.(check int) "counters" 2 (Distributed.Session.received b)
+
+let test_link_detects_tampering () =
+  let net, a, b = linked () in
+  Distributed.Session.send a "important";
+  let tampered =
+    Distributed.Network.tamper_head net "beta" ~f:(fun raw ->
+        let bytes = Bytes.of_string raw in
+        Bytes.set bytes 13 'X';
+        Bytes.to_string bytes)
+  in
+  Alcotest.(check bool) "tampered on the wire" true tampered;
+  (match Distributed.Session.recv b with
+  | Error e -> Alcotest.(check bool) "auth failure" true (contains_substring e "authentication")
+  | Ok _ -> Alcotest.fail "tampered frame accepted")
+
+let test_link_detects_replay () =
+  let net, a, b = linked () in
+  Distributed.Session.send a "pay $100";
+  let captured = List.hd (Distributed.Network.eavesdrop net "beta") in
+  Alcotest.(check string) "delivered once" "pay $100" (get_ok_str (Distributed.Session.recv b));
+  Distributed.Network.replay net ~to_:"beta" captured;
+  (match Distributed.Session.recv b with
+  | Error e -> Alcotest.(check bool) "replay named" true (contains_substring e "replay")
+  | Ok _ -> Alcotest.fail "replayed frame accepted")
+
+let test_link_rejects_forgery () =
+  let net, _a, b = linked () in
+  Distributed.Network.inject net ~to_:"beta" (String.make 60 '\x00');
+  (match Distributed.Session.recv b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged frame accepted");
+  (* A forger who knows the format but not the key also fails. *)
+  let forger =
+    Distributed.Session.connect net ~local:"evil" ~remote:"beta"
+      ~key:(String.make 32 'k')
+  in
+  Distributed.Session.send forger "trusted message, honest";
+  match Distributed.Session.recv b with
+  | Error e -> Alcotest.(check bool) "wrong key fails" true (contains_substring e "authentication")
+  | Ok _ -> Alcotest.fail "wrong-key frame accepted"
+
+let test_link_eavesdropper_sees_no_key_material () =
+  let net, a, _b = linked () in
+  Distributed.Session.send a "hello";
+  let frames = Distributed.Network.eavesdrop net "beta" in
+  (* Payload is visible (integrity-only link, like plain RDMA with MACs);
+     what must NOT leak is anything that verifies other messages. *)
+  Alcotest.(check int) "one frame" 1 (List.length frames)
+
+let () =
+  Alcotest.run "distributed"
+    [ ( "network",
+        [ Alcotest.test_case "basics" `Quick test_network_basics;
+          Alcotest.test_case "tamper" `Quick test_network_tamper ] );
+      ( "establish",
+        [ Alcotest.test_case "ok" `Quick test_establish_ok;
+          Alcotest.test_case "wrong binary rejected" `Quick test_establish_rejects_wrong_binary;
+          Alcotest.test_case "cross-machine evidence rejected" `Quick
+            test_establish_rejects_cross_machine_evidence;
+          Alcotest.test_case "keys differ across nonces" `Quick test_keys_differ_across_nonces ] );
+      ( "link",
+        [ Alcotest.test_case "roundtrip" `Quick test_link_roundtrip;
+          Alcotest.test_case "tamper detected" `Quick test_link_detects_tampering;
+          Alcotest.test_case "replay detected" `Quick test_link_detects_replay;
+          Alcotest.test_case "forgery rejected" `Quick test_link_rejects_forgery;
+          Alcotest.test_case "eavesdropper" `Quick test_link_eavesdropper_sees_no_key_material ] ) ]

@@ -1,0 +1,332 @@
+(* §4.1/§4.2 extension features: scheduling guarantees via core
+   capabilities, capability-gated interrupt routing, and MKTME physical
+   attack resistance. *)
+
+open Testkit
+
+let page = Hw.Addr.page_size
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+
+(* An enclave with its own page and a capability for [cores]. *)
+let enclave_on_cores w ~cores ~base =
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"e" ~kind:Tyche.Domain.Enclave) in
+  let piece =
+    get_ok
+      (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+         ~subrange:(range ~base ~len:page))
+  in
+  let _ =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+         ~cleanup:Cap.Revocation.Zero)
+  in
+  List.iter
+    (fun c ->
+      ignore
+        (get_ok
+           (Tyche.Monitor.share m ~caller:os ~cap:(os_core_cap w c) ~to_:d
+              ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ())))
+    cores;
+  get_ok (Tyche.Monitor.set_entry_point m ~caller:os ~domain:d base);
+  get_ok (Tyche.Monitor.seal m ~caller:os ~domain:d);
+  d
+
+(* --- scheduling guarantees --- *)
+
+let test_tick_noop_while_holding () =
+  let w = boot_x86 () in
+  (* Domain 0 holds every core: ticks change nothing. *)
+  Alcotest.(check int) "os keeps the core" os
+    (get_ok (Tyche.Monitor.timer_tick w.monitor ~core:0))
+
+let test_tick_evicts_squatter () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 1 ] ~base:0x40000 in
+  (* The OS *grants* core 1 away: exclusive scheduling right for d. *)
+  let core_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c = Some (Cap.Resource.Cpu_core 1))
+      (Tyche.Monitor.caps_of m os)
+  in
+  let _ =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:core_cap ~to_:d
+         ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep)
+  in
+  Alcotest.(check int) "core 1 refcount 1 (exposed in attestations)" 1
+    (Cap.Captree.refcount (Tyche.Monitor.tree m) (Cap.Resource.Cpu_core 1));
+  (* The OS is still sitting on core 1 — a squatter now. *)
+  Alcotest.(check int) "os still current pre-tick" os (Tyche.Monitor.current_domain m ~core:1);
+  let now = get_ok (Tyche.Monitor.timer_tick m ~core:1) in
+  Alcotest.(check int) "tick hands the core to its owner" d now;
+  Alcotest.(check int) "current updated" d (Tyche.Monitor.current_domain m ~core:1);
+  (* And the OS can no longer be scheduled there: it holds no cap. *)
+  (match Tyche.Monitor.call m ~core:1 ~target:os with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "OS re-entered a core it does not hold");
+  check_no_violations m
+
+let test_tick_after_revocation_returns_core () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  (* The OS revokes the enclave's core share mid-run (it owns the
+     parent), then the next tick evicts the enclave. *)
+  let d_core_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c = Some (Cap.Resource.Cpu_core 0))
+      (Tyche.Monitor.caps_of m d)
+  in
+  get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:d_core_cap);
+  Alcotest.(check int) "enclave evicted to os" os (get_ok (Tyche.Monitor.timer_tick m ~core:0));
+  Alcotest.(check int) "stack cleared" 0 (Tyche.Monitor.call_depth m ~core:0)
+
+let test_ret_skips_revoked_holder () =
+  (* OS -> A -> B; while B runs, the OS revokes A's core share. B's
+     return must skip A (it cannot be resumed on a core it lost) and
+     land back in the OS. *)
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let a = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  let b = enclave_on_cores w ~cores:[ 0 ] ~base:0x50000 in
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:a) in
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:b) in
+  let a_core_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c = Some (Cap.Resource.Cpu_core 0))
+      (Tyche.Monitor.caps_of m a)
+  in
+  get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:a_core_cap);
+  let _ = get_ok (Tyche.Monitor.ret m ~core:0) in
+  Alcotest.(check int) "skipped the revoked caller" os
+    (Tyche.Monitor.current_domain m ~core:0);
+  Alcotest.(check int) "stack fully unwound" 0 (Tyche.Monitor.call_depth m ~core:0)
+
+(* --- interrupt routing --- *)
+
+let test_route_requires_both_caps () =
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w = boot_x86 ~devices:[ nic ] () in
+  let m = w.monitor in
+  let bdf = Hw.Device.bdf nic in
+  let d = enclave_on_cores w ~cores:[ 1 ] ~base:0x40000 in
+  (* d holds core 1 but not the device: denied. *)
+  (match Tyche.Monitor.route_interrupt m ~caller:d ~device:bdf ~vector:40 ~core:1 with
+  | Error (Tyche.Monitor.Denied msg) ->
+    Alcotest.(check bool) "device named" true (contains_substring msg "device")
+  | _ -> Alcotest.fail "routed without the device capability");
+  (* The OS holds the device but routing to core 1... it still holds core 1
+     (shared), so it may. Then grant the device to d and let d route. *)
+  get_ok (Tyche.Monitor.route_interrupt m ~caller:os ~device:bdf ~vector:40 ~core:1);
+  let dev_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c = Some (Cap.Resource.Device bdf))
+      (Tyche.Monitor.caps_of m os)
+  in
+  let _ =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:dev_cap ~to_:d
+         ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep)
+  in
+  get_ok (Tyche.Monitor.route_interrupt m ~caller:d ~device:bdf ~vector:41 ~core:1);
+  (* The device can now post vector 41 to core 1. *)
+  Alcotest.(check int) "delivered" 1
+    (Hw.Interrupt.post w.machine.Hw.Machine.interrupts ~device:bdf ~vector:41);
+  (* The OS, holding neither device nor... it still holds core 1 but not
+     the device anymore: denied. *)
+  (match Tyche.Monitor.route_interrupt m ~caller:os ~device:bdf ~vector:42 ~core:1 with
+  | Error (Tyche.Monitor.Denied _) -> ()
+  | _ -> Alcotest.fail "OS routed a device it granted away")
+
+let test_route_torn_down_with_device () =
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w = boot_x86 ~devices:[ nic ] () in
+  let m = w.monitor in
+  let bdf = Hw.Device.bdf nic in
+  let d = enclave_on_cores w ~cores:[ 1 ] ~base:0x40000 in
+  let dev_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c = Some (Cap.Resource.Device bdf))
+      (Tyche.Monitor.caps_of m os)
+  in
+  let granted =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:dev_cap ~to_:d
+         ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep)
+  in
+  get_ok (Tyche.Monitor.route_interrupt m ~caller:d ~device:bdf ~vector:50 ~core:1);
+  Alcotest.(check int) "route live" 1
+    (Hw.Interrupt.post w.machine.Hw.Machine.interrupts ~device:bdf ~vector:50);
+  (* Revoking the device capability severs its interrupt permissions. *)
+  get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:granted);
+  Alcotest.check_raises "route torn down"
+    (Hw.Interrupt.Blocked { device = bdf; vector = 50 })
+    (fun () -> ignore (Hw.Interrupt.post w.machine.Hw.Machine.interrupts ~device:bdf ~vector:50))
+
+(* --- MKTME --- *)
+
+let mktme_world () =
+  let machine = Hw.Machine.create ~mem_size:(16 * 1024 * 1024) () in
+  let rng = Crypto.Rng.create ~seed:0xAEL in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let controller = Hw.Mktme.create rng in
+  let backend = Backend_x86.create machine ~mktme:controller () in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng ~monitor_range:report.Rot.Boot.monitor_range
+  in
+  let w =
+    { machine; tpm; rng; boot_report = report; backend; monitor }
+  in
+  (w, controller)
+
+let test_mktme_snoop_sees_ciphertext () =
+  let w, controller = mktme_world () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  (* The enclave writes a secret. *)
+  let _ = get_ok (Tyche.Monitor.call m ~core:0 ~target:d) in
+  get_ok (Tyche.Monitor.store_string m ~core:0 0x40000 "TOP-SECRET-BYTES");
+  let _ = get_ok (Tyche.Monitor.ret m ~core:0) in
+  (* A DIMM interposer snoops the bus. *)
+  let snooped =
+    Hw.Mktme.snoop controller w.machine.Hw.Machine.mem (range ~base:0x40000 ~len:16)
+  in
+  Alcotest.(check bool) "ciphertext, not plaintext" false (snooped = "TOP-SECRET-BYTES");
+  (* Un-keyed OS memory is plaintext on the bus (the contrast). *)
+  get_ok (Tyche.Monitor.store_string m ~core:0 0x8000 "os data");
+  Alcotest.(check string) "unprotected memory snoops as plaintext" "os data"
+    (Hw.Mktme.snoop controller w.machine.Hw.Machine.mem (range ~base:0x8000 ~len:7));
+  (* With the slot key the image decrypts — proving it's key-bound. *)
+  match Hw.Mktme.keyid_of controller 0x40000 with
+  | None -> Alcotest.fail "enclave memory not keyed"
+  | Some keyid ->
+    Alcotest.(check string) "decrypts with the key" "TOP-SECRET-BYTES"
+      (Hw.Mktme.decrypt_with_key controller ~keyid ~base:0x40000 snooped)
+
+let test_mktme_distinct_keys_per_domain () =
+  let w, controller = mktme_world () in
+  let d1 = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  let d2 = enclave_on_cores w ~cores:[ 0 ] ~base:0x50000 in
+  ignore d1;
+  ignore d2;
+  match Hw.Mktme.keyid_of controller 0x40000, Hw.Mktme.keyid_of controller 0x50000 with
+  | Some k1, Some k2 -> Alcotest.(check bool) "distinct key ids" true (k1 <> k2)
+  | _ -> Alcotest.fail "confidential memory not keyed"
+
+let test_mktme_revocation_unprotects () =
+  let w, controller = mktme_world () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  Alcotest.(check bool) "protected while granted" true
+    (Hw.Mktme.keyid_of controller 0x40000 <> None);
+  let mem_cap =
+    List.find
+      (fun c ->
+        match Cap.Captree.resource (Tyche.Monitor.tree m) c with
+        | Some (Cap.Resource.Memory _) -> true
+        | _ -> false)
+      (Tyche.Monitor.caps_of m d)
+  in
+  get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:mem_cap);
+  Alcotest.(check (option int)) "unprotected after revocation" None
+    (Hw.Mktme.keyid_of controller 0x40000)
+
+let test_mktme_shared_page_reverts () =
+  let w, controller = mktme_world () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  (* The enclave shares its page out to the OS: cross-domain sharing
+     cannot stay under the enclave's private key. *)
+  let mem_cap =
+    List.find
+      (fun c ->
+        match Cap.Captree.resource (Tyche.Monitor.tree m) c with
+        | Some (Cap.Resource.Memory _) -> true
+        | _ -> false)
+      (Tyche.Monitor.caps_of m d)
+  in
+  let _ =
+    get_ok
+      (Tyche.Monitor.share m ~caller:d ~cap:mem_cap ~to_:os ~rights:Cap.Rights.rw
+         ~cleanup:Cap.Revocation.Keep ())
+  in
+  Alcotest.(check (option int)) "shared page no longer keyed" None
+    (Hw.Mktme.keyid_of controller 0x40000)
+
+let test_mktme_unit_model () =
+  let rng = Crypto.Rng.create ~seed:1L in
+  let controller = Hw.Mktme.create ~slots:4 rng in
+  let mem = Hw.Physmem.create ~size:(64 * 1024) in
+  Hw.Physmem.write mem 0x1000 "hello";
+  Hw.Mktme.protect controller ~keyid:2 (range ~base:0x1000 ~len:0x1000);
+  Alcotest.(check int) "protected bytes" 0x1000 (Hw.Mktme.protected_bytes controller);
+  let snooped = Hw.Mktme.snoop controller mem (range ~base:0x1000 ~len:5) in
+  Alcotest.(check bool) "encrypted" false (snooped = "hello");
+  (* Deterministic per (key, address): same snoop twice. *)
+  Alcotest.(check string) "deterministic" snooped
+    (Hw.Mktme.snoop controller mem (range ~base:0x1000 ~len:5));
+  (* Overlapping re-protection shadows. *)
+  Hw.Mktme.protect controller ~keyid:3 (range ~base:0x1000 ~len:0x800);
+  Alcotest.(check (option int)) "shadowed" (Some 3) (Hw.Mktme.keyid_of controller 0x1200);
+  Alcotest.(check (option int)) "tail keeps old key" (Some 2)
+    (Hw.Mktme.keyid_of controller 0x1900);
+  Hw.Mktme.unprotect controller (range ~base:0x1000 ~len:0x1000);
+  Alcotest.(check int) "all unprotected" 0 (Hw.Mktme.protected_bytes controller);
+  Alcotest.check_raises "bad keyid" (Invalid_argument "Mktme: key id out of range")
+    (fun () -> Hw.Mktme.protect controller ~keyid:9 (range ~base:0 ~len:16))
+
+let test_mktme_attested_posture () =
+  (* The attestation states whether memory sits under a private key, and
+     a verifier can require it — SEV-SNP-style physical-attack policy. *)
+  let w, _controller = mktme_world () in
+  let m = w.monitor in
+  let d = enclave_on_cores w ~cores:[ 0 ] ~base:0x40000 in
+  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:d ~nonce:"n") in
+  Alcotest.(check bool) "posture reported" true att.Tyche.Attestation.memory_encrypted;
+  (match Verifier.Policy.check [ Verifier.Policy.Memory_encrypted ] att with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "policy failed: %s" (String.concat ";" msgs));
+  (* On a machine without a controller, the same policy fails. *)
+  let w2 = boot_x86 () in
+  let d2 = get_ok (Tyche.Monitor.create_domain w2.monitor ~caller:os ~name:"plain" ~kind:Tyche.Domain.Enclave) in
+  let att2 = get_ok (Tyche.Monitor.attest w2.monitor ~caller:os ~domain:d2 ~nonce:"n") in
+  Alcotest.(check bool) "no posture without controller" false
+    att2.Tyche.Attestation.memory_encrypted;
+  (match Verifier.Policy.check [ Verifier.Policy.Memory_encrypted ] att2 with
+  | Error msgs ->
+    Alcotest.(check bool) "policy names encryption" true
+      (List.exists (fun s -> contains_substring s "encryption") msgs)
+  | Ok () -> Alcotest.fail "unencrypted platform passed the policy");
+  (* And the posture bit is signed: flipping it breaks verification. *)
+  let forged = { att2 with Tyche.Attestation.memory_encrypted = true } in
+  Alcotest.(check bool) "posture forgery detected" false
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root w2.monitor) forged)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "scheduling",
+        [ Alcotest.test_case "tick no-op while holding" `Quick test_tick_noop_while_holding;
+          Alcotest.test_case "tick evicts squatter" `Quick test_tick_evicts_squatter;
+          Alcotest.test_case "tick after revocation" `Quick
+            test_tick_after_revocation_returns_core;
+          Alcotest.test_case "ret skips revoked holder" `Quick
+            test_ret_skips_revoked_holder ] );
+      ( "interrupts",
+        [ Alcotest.test_case "routing needs both caps" `Quick test_route_requires_both_caps;
+          Alcotest.test_case "routes die with the device" `Quick
+            test_route_torn_down_with_device ] );
+      ( "mktme",
+        [ Alcotest.test_case "unit model" `Quick test_mktme_unit_model;
+          Alcotest.test_case "snoop sees ciphertext" `Quick test_mktme_snoop_sees_ciphertext;
+          Alcotest.test_case "distinct keys per domain" `Quick
+            test_mktme_distinct_keys_per_domain;
+          Alcotest.test_case "revocation unprotects" `Quick test_mktme_revocation_unprotects;
+          Alcotest.test_case "shared page reverts" `Quick test_mktme_shared_page_reverts;
+          Alcotest.test_case "attested posture + policy" `Quick
+            test_mktme_attested_posture ] ) ]

@@ -1,0 +1,217 @@
+(* The KVM-with-Tyche-backend hypervisor: confidential VMs whose host
+   services I/O through rings it can see, over RAM it cannot. *)
+
+open Testkit
+
+let page = Hw.Addr.page_size
+
+let guest_image ?(name = "guest") () =
+  let b = Image.Builder.create ~name in
+  let b =
+    Image.Builder.add_segment b ~name:".kernel" ~vaddr:0 ~data:"guest kernel"
+      ~perm:Hw.Perm.rx ~ring:0 ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".virtio" ~vaddr:page
+      ~data:(String.make 16 '\x00') ~perm:Hw.Perm.rw ~visibility:Image.Shared
+      ~measured:false ()
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let fresh_hypervisor ?(mem_size = 32 * 1024 * 1024) () =
+  let w = boot_x86 ~cores:4 ~mem_size () in
+  let alloc = Kernel.Alloc.create (Hw.Addr.Range.make ~base:0x400000 ~len:(16 * 1024 * 1024)) in
+  let hv = Kernel.Hypervisor.create w.monitor ~alloc ~host_core:0 ~disk_size:(64 * 1024) in
+  (w, alloc, hv)
+
+let launch_simple ?(vcpu_cores = [ 1 ]) ?(ram_bytes = 4 * page) hv program =
+  Kernel.Hypervisor.launch hv ~name:"vm" ~image:(guest_image ()) ~ram_bytes ~vcpu_cores
+    ~program
+
+let test_launch_validation () =
+  let _, _, hv = fresh_hypervisor () in
+  (* vCPU on the host core is rejected. *)
+  (match launch_simple ~vcpu_cores:[ 0 ] hv (fun _ -> `Halt) with
+  | Error e -> Alcotest.(check bool) "host core named" true (contains_substring e "host core")
+  | Ok _ -> Alcotest.fail "host-core vCPU accepted");
+  (* Image without a ring is rejected. *)
+  let no_ring =
+    let b = Image.Builder.create ~name:"noring" in
+    let b = Image.Builder.add_segment b ~name:".kernel" ~vaddr:0 ~data:"g" ~perm:Hw.Perm.rx () in
+    Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+  in
+  (match
+     Kernel.Hypervisor.launch hv ~name:"x" ~image:no_ring ~ram_bytes:page ~vcpu_cores:[ 1 ]
+       ~program:(fun _ -> `Halt)
+   with
+  | Error e -> Alcotest.(check bool) "ring named" true (contains_substring e ".virtio")
+  | Ok _ -> Alcotest.fail "ringless image accepted")
+
+let test_guest_runs_and_halts () =
+  let w, _, hv = fresh_hypervisor () in
+  let steps = ref 0 in
+  let vm =
+    get_ok_str
+      (launch_simple hv (fun ctx ->
+           incr steps;
+           (* Guest computes in its private RAM. *)
+           let base = Hw.Addr.Range.base ctx.Kernel.Hypervisor.ram in
+           (match ctx.Kernel.Hypervisor.write base "guest state" with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           (match ctx.Kernel.Hypervisor.read base 11 with
+           | Ok "guest state" -> ()
+           | Ok other -> failwith other
+           | Error e -> failwith e);
+           if !steps >= 3 then `Halt else `Yield))
+  in
+  let quanta = Kernel.Hypervisor.run hv () in
+  Alcotest.(check int) "ran three quanta" 3 quanta;
+  Alcotest.(check (option unit)) "halted"
+    (Some ())
+    (match Kernel.Hypervisor.state hv vm with
+    | Some Kernel.Hypervisor.Halted -> Some ()
+    | _ -> None);
+  check_no_violations w.monitor
+
+let test_console_through_ring () =
+  let _, _, hv = fresh_hypervisor () in
+  let vm =
+    get_ok_str
+      (launch_simple hv (fun ctx ->
+           ctx.Kernel.Hypervisor.console "hello from the guest";
+           ctx.Kernel.Hypervisor.console "second line";
+           `Halt))
+  in
+  let _ = Kernel.Hypervisor.run hv () in
+  Alcotest.(check (list string)) "console collected"
+    [ "hello from the guest"; "second line" ]
+    (Kernel.Hypervisor.console_output hv vm)
+
+let test_disk_roundtrip () =
+  let _, _, hv = fresh_hypervisor () in
+  let readback = ref "" in
+  let vm =
+    get_ok_str
+      (launch_simple hv (fun ctx ->
+           (match ctx.Kernel.Hypervisor.disk_write ~off:512 "persistent payload" with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           (match ctx.Kernel.Hypervisor.disk_read ~off:512 ~len:18 with
+           | Ok data -> readback := data
+           | Error e -> failwith e);
+           `Halt))
+  in
+  ignore vm;
+  let _ = Kernel.Hypervisor.run hv () in
+  Alcotest.(check string) "guest read back its block" "persistent payload" !readback;
+  Alcotest.(check string) "host-side disk holds it" "persistent payload"
+    (Kernel.Hypervisor.disk_contents hv ~off:512 ~len:18)
+
+let test_host_cannot_read_guest_ram () =
+  let w, _, hv = fresh_hypervisor () in
+  let vm =
+    get_ok_str
+      (launch_simple hv (fun ctx ->
+           let base = Hw.Addr.Range.base ctx.Kernel.Hypervisor.ram in
+           (match ctx.Kernel.Hypervisor.write base "vm secret" with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           `Halt))
+  in
+  let _ = Kernel.Hypervisor.run hv () in
+  (match Kernel.Hypervisor.host_reads_guest_ram hv vm with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "hypervisor read guest RAM");
+  check_no_violations w.monitor
+
+let test_two_vms_isolated () =
+  let w, _, hv = fresh_hypervisor () in
+  let ram2 = ref None in
+  let cross_error = ref None in
+  let vm1 =
+    get_ok_str
+      (launch_simple ~vcpu_cores:[ 1 ] hv (fun ctx ->
+           ctx.Kernel.Hypervisor.console "vm1 alive";
+           (* Try to read the *other* VM's RAM from inside vm1: the
+              monitor must fault it even though both are guests. *)
+           (match !ram2 with
+           | Some r -> (
+             match
+               Tyche.Monitor.load w.monitor ~core:1 (Hw.Addr.Range.base r)
+             with
+             | Error e -> cross_error := Some (Tyche.Monitor.error_to_string e)
+             | Ok _ -> cross_error := Some "READ SUCCEEDED")
+           | None -> ());
+           `Halt))
+  in
+  let vm2 =
+    get_ok_str
+      (launch_simple ~vcpu_cores:[ 2 ] hv (fun ctx ->
+           ctx.Kernel.Hypervisor.console "vm2 alive";
+           `Halt))
+  in
+  ram2 := Kernel.Hypervisor.guest_ram hv vm2;
+  let _ = Kernel.Hypervisor.run hv () in
+  Alcotest.(check (list string)) "vm1 console" [ "vm1 alive" ]
+    (Kernel.Hypervisor.console_output hv vm1);
+  Alcotest.(check (list string)) "vm2 console" [ "vm2 alive" ]
+    (Kernel.Hypervisor.console_output hv vm2);
+  (match !cross_error with
+  | Some msg when not (contains_substring msg "SUCCEEDED") -> ()
+  | Some msg -> Alcotest.failf "cross-VM isolation broken: %s" msg
+  | None -> Alcotest.fail "cross-VM probe never ran");
+  check_no_violations w.monitor
+
+let test_destroy_scrubs_and_reclaims () =
+  let w, alloc, hv = fresh_hypervisor () in
+  let secret_addr = ref 0 in
+  let vm =
+    get_ok_str
+      (launch_simple hv (fun ctx ->
+           let base = Hw.Addr.Range.base ctx.Kernel.Hypervisor.ram in
+           secret_addr := base;
+           (match ctx.Kernel.Hypervisor.write base "decommission me" with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           `Halt))
+  in
+  let _ = Kernel.Hypervisor.run hv () in
+  let free_before = Kernel.Alloc.free_bytes alloc in
+  get_ok_str (Kernel.Hypervisor.destroy hv vm);
+  Alcotest.(check bool) "memory reclaimed" true (Kernel.Alloc.free_bytes alloc > free_before);
+  (* The freed RAM is zeroed (revocation policy), so the next tenant
+     cannot dumpster-dive. *)
+  Alcotest.(check int) "scrubbed" 0 (get_ok (Tyche.Monitor.load w.monitor ~core:0 !secret_addr));
+  Alcotest.(check (option unit)) "vm gone" None
+    (Option.map ignore (Kernel.Hypervisor.state hv vm));
+  check_no_violations w.monitor
+
+let test_guest_attestable () =
+  (* A remote tenant can verify the guest like any domain. *)
+  let w, _, hv = fresh_hypervisor () in
+  let vm = get_ok_str (launch_simple hv (fun _ -> `Halt)) in
+  let domain = Option.get (Kernel.Hypervisor.vm_domain hv vm) in
+  let att = get_ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain ~nonce:"tenant") in
+  Alcotest.(check bool) "verifies" true
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root w.monitor) att);
+  Alcotest.(check bool) "measured as the expected guest" true
+    (match att.Tyche.Attestation.measurement with
+    | Some m ->
+      Crypto.Sha256.equal m (Libtyche.Confidential_vm.expected_measurement (guest_image ()))
+    | None -> false)
+
+let () =
+  Alcotest.run "hypervisor"
+    [ ( "lifecycle",
+        [ Alcotest.test_case "launch validation" `Quick test_launch_validation;
+          Alcotest.test_case "run + halt" `Quick test_guest_runs_and_halts;
+          Alcotest.test_case "destroy scrubs + reclaims" `Quick
+            test_destroy_scrubs_and_reclaims ] );
+      ( "virtio",
+        [ Alcotest.test_case "console ring" `Quick test_console_through_ring;
+          Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip ] );
+      ( "confidentiality",
+        [ Alcotest.test_case "host blocked from RAM" `Quick test_host_cannot_read_guest_ram;
+          Alcotest.test_case "vm-to-vm isolation" `Quick test_two_vms_isolated;
+          Alcotest.test_case "guest attestable" `Quick test_guest_attestable ] ) ]

@@ -1,0 +1,145 @@
+(* TELF image format tests: builder validation, serialization
+   round-trips, and robustness of the parser against corrupt input. *)
+
+let build_ok b =
+  match Image.Builder.finish b with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "builder failed: %s" e
+
+let simple_image () =
+  let b = Image.Builder.create ~name:"simple" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"code!" ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".data" ~vaddr:4096 ~data:"data" ~perm:Hw.Perm.rw
+      ~visibility:Image.Shared ~measured:true ~ring:0 ()
+  in
+  build_ok (Image.Builder.set_entry b 0)
+
+let test_builder_defaults () =
+  let img = simple_image () in
+  let text = Option.get (Image.find_segment img ".text") in
+  Alcotest.(check bool) "exec segments measured by default" true text.Image.measured;
+  Alcotest.(check int) "default ring 3" 3 text.Image.ring;
+  Alcotest.(check bool) "default confidential" true (text.Image.visibility = Image.Confidential);
+  let data = Option.get (Image.find_segment img ".data") in
+  Alcotest.(check int) "explicit ring 0" 0 data.Image.ring;
+  Alcotest.(check bool) "explicit shared" true (data.Image.visibility = Image.Shared)
+
+let test_size_and_ranges () =
+  let img = simple_image () in
+  Alcotest.(check int) "size spans both pages" 8192 (Image.size img);
+  let text = Option.get (Image.find_segment img ".text") in
+  let r = Image.segment_range text ~at:0x40000 in
+  Alcotest.(check int) "placed base" 0x40000 (Hw.Addr.Range.base r);
+  Alcotest.(check int) "page-padded len" 4096 (Hw.Addr.Range.len r)
+
+let expect_invalid b msg_part =
+  match Image.Builder.finish b with
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentions %S (got %S)" msg_part e)
+      true
+      (Testkit.contains_substring e msg_part)
+  | Ok _ -> Alcotest.fail "expected builder failure"
+
+let test_builder_validation () =
+  (* No segments. *)
+  expect_invalid (Image.Builder.create ~name:"empty") "no segments";
+  (* Unaligned vaddr. *)
+  let b = Image.Builder.create ~name:"x" in
+  let b = Image.Builder.add_segment b ~name:"s" ~vaddr:100 ~data:"d" ~perm:Hw.Perm.rx () in
+  expect_invalid b "page-aligned";
+  (* Overlapping segments. *)
+  let b = Image.Builder.create ~name:"x" in
+  let b =
+    Image.Builder.add_segment b ~name:"a" ~vaddr:0 ~data:(String.make 5000 'a')
+      ~perm:Hw.Perm.rx ()
+  in
+  let b = Image.Builder.add_segment b ~name:"b" ~vaddr:4096 ~data:"b" ~perm:Hw.Perm.rw () in
+  expect_invalid b "overlap";
+  (* Entry outside executable segment. *)
+  let b = Image.Builder.create ~name:"x" in
+  let b = Image.Builder.add_segment b ~name:"d" ~vaddr:0 ~data:"d" ~perm:Hw.Perm.rw () in
+  expect_invalid b "entry point";
+  (* Bad ring. *)
+  let b = Image.Builder.create ~name:"x" in
+  let b = Image.Builder.add_segment b ~name:"t" ~vaddr:0 ~data:"t" ~perm:Hw.Perm.rx ~ring:2 () in
+  expect_invalid b "ring"
+
+let test_serialization_roundtrip () =
+  let img = simple_image () in
+  let bytes = Image.to_bytes img in
+  match Image.of_bytes bytes with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok img' ->
+    Alcotest.(check string) "name" img.Image.image_name img'.Image.image_name;
+    Alcotest.(check int) "entry" img.Image.entry img'.Image.entry;
+    Alcotest.(check int) "segments" (List.length img.Image.segments)
+      (List.length img'.Image.segments);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "seg name" a.Image.seg_name b.Image.seg_name;
+        Alcotest.(check int) "vaddr" a.Image.vaddr b.Image.vaddr;
+        Alcotest.(check string) "data" a.Image.data b.Image.data;
+        Alcotest.(check bool) "perm" true (Hw.Perm.equal a.Image.perm b.Image.perm);
+        Alcotest.(check int) "ring" a.Image.ring b.Image.ring;
+        Alcotest.(check bool) "visibility" true (a.Image.visibility = b.Image.visibility);
+        Alcotest.(check bool) "measured" true (a.Image.measured = b.Image.measured))
+      img.Image.segments img'.Image.segments
+
+let test_parse_corrupt () =
+  let img = simple_image () in
+  let bytes = Image.to_bytes img in
+  let expect_fail s =
+    match Image.of_bytes s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "corrupt image parsed"
+  in
+  expect_fail "";
+  expect_fail "TEL";
+  expect_fail ("XELF" ^ String.sub bytes 4 (String.length bytes - 4));
+  expect_fail (String.sub bytes 0 (String.length bytes - 3));
+  (* Flip the version field. *)
+  let b = Bytes.of_string bytes in
+  Bytes.set_int32_be b 4 99l;
+  expect_fail (Bytes.to_string b)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"image: serialize/parse roundtrip" ~count:100
+    QCheck.(
+      pair (string_of_size QCheck.Gen.(1 -- 20))
+        (list_of_size QCheck.Gen.(1 -- 6) (pair (string_of_size QCheck.Gen.(0 -- 200)) bool)))
+    (fun (name, segs) ->
+      QCheck.assume (name <> "");
+      let b = Image.Builder.create ~name in
+      let b, _ =
+        List.fold_left
+          (fun (b, i) (data, shared) ->
+            ( Image.Builder.add_segment b
+                ~name:(Printf.sprintf "seg%d" i)
+                ~vaddr:(i * 4096) ~data
+                ~perm:(if i = 0 then Hw.Perm.rx else Hw.Perm.rw)
+                ~visibility:(if shared then Image.Shared else Image.Confidential)
+                (),
+              i + 1 ))
+          (b, 0) segs
+      in
+      match Image.Builder.finish b with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok img -> (
+        match Image.of_bytes (Image.to_bytes img) with
+        | Ok img' -> img = img'
+        | Error _ -> false))
+
+let () =
+  Alcotest.run "image"
+    [ ( "builder",
+        [ Alcotest.test_case "defaults" `Quick test_builder_defaults;
+          Alcotest.test_case "size + placement" `Quick test_size_and_ranges;
+          Alcotest.test_case "validation" `Quick test_builder_validation ] );
+      ( "wire",
+        [ Alcotest.test_case "roundtrip" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "corrupt inputs" `Quick test_parse_corrupt;
+          QCheck_alcotest.to_alcotest prop_roundtrip ] ) ]

@@ -1,0 +1,343 @@
+(* Mini-OS tests: allocator, scheduler, process sub-compartments, and
+   driver sandboxing (E11). *)
+
+open Testkit
+
+let page = Hw.Addr.page_size
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+
+let boot_kernel ?devices () =
+  let w = boot_x86 ?devices () in
+  let heap = range ~base:0x100000 ~len:(4 * 1024 * 1024) in
+  let k = get_ok_str (Kernel.boot w.monitor ~core:0 ~heap) in
+  (w, k)
+
+(* Allocator *)
+
+let test_alloc_first_fit () =
+  let a = Kernel.Alloc.create (range ~base:0x1000 ~len:(16 * page)) in
+  let r1 = Option.get (Kernel.Alloc.alloc a ~bytes:(2 * page)) in
+  let r2 = Option.get (Kernel.Alloc.alloc a ~bytes:page) in
+  Alcotest.(check int) "sequential placement" (Hw.Addr.Range.limit r1) (Hw.Addr.Range.base r2);
+  Kernel.Alloc.free a r1;
+  (* First fit reuses the hole. *)
+  let r3 = Option.get (Kernel.Alloc.alloc a ~bytes:page) in
+  Alcotest.(check int) "hole reused" (Hw.Addr.Range.base r1) (Hw.Addr.Range.base r3)
+
+let test_alloc_rounding_and_exhaustion () =
+  let a = Kernel.Alloc.create (range ~base:0 ~len:(4 * page)) in
+  let r = Option.get (Kernel.Alloc.alloc a ~bytes:1) in
+  Alcotest.(check int) "rounded to page" page (Hw.Addr.Range.len r);
+  Alcotest.(check bool) "over-ask fails" true (Kernel.Alloc.alloc a ~bytes:(8 * page) = None);
+  let _ = Option.get (Kernel.Alloc.alloc a ~bytes:(3 * page)) in
+  Alcotest.(check bool) "exhausted" true (Kernel.Alloc.alloc a ~bytes:page = None);
+  Alcotest.(check int) "free_bytes zero" 0 (Kernel.Alloc.free_bytes a)
+
+let test_alloc_aligned () =
+  let a = Kernel.Alloc.create (range ~base:page ~len:(64 * page)) in
+  let _ = Option.get (Kernel.Alloc.alloc a ~bytes:page) in
+  let r = Option.get (Kernel.Alloc.alloc_aligned a ~bytes:page ~align:(16 * page)) in
+  Alcotest.(check int) "aligned base" 0 (Hw.Addr.Range.base r mod (16 * page));
+  Alcotest.check_raises "bad align"
+    (Invalid_argument
+       "Alloc.alloc_aligned: align must be a power-of-two multiple of the page size")
+    (fun () -> ignore (Kernel.Alloc.alloc_aligned a ~bytes:1 ~align:3))
+
+let test_alloc_coalescing () =
+  let a = Kernel.Alloc.create (range ~base:0 ~len:(8 * page)) in
+  let r1 = Option.get (Kernel.Alloc.alloc a ~bytes:(2 * page)) in
+  let r2 = Option.get (Kernel.Alloc.alloc a ~bytes:(2 * page)) in
+  let r3 = Option.get (Kernel.Alloc.alloc a ~bytes:(4 * page)) in
+  Kernel.Alloc.free a r1;
+  Kernel.Alloc.free a r3;
+  Alcotest.(check int) "two fragments" 2 (Kernel.Alloc.fragments a);
+  Kernel.Alloc.free a r2;
+  Alcotest.(check int) "coalesced to one" 1 (Kernel.Alloc.fragments a);
+  Alcotest.(check int) "all free" (8 * page) (Kernel.Alloc.largest_free a);
+  Alcotest.check_raises "double free" (Invalid_argument "Alloc.free: double free")
+    (fun () -> Kernel.Alloc.free a r2)
+
+(* Processes and scheduling *)
+
+let test_spawn_and_run () =
+  let _, k = boot_kernel () in
+  let steps = ref [] in
+  let prog tag quanta _ctx =
+    steps := tag :: !steps;
+    if List.length (List.filter (( = ) tag) !steps) >= quanta then `Done 0 else `Yield
+  in
+  let _p1 = get_ok_str (Kernel.spawn k ~name:"a" ~arena_bytes:page ~program:(prog "a" 2) ()) in
+  let _p2 = get_ok_str (Kernel.spawn k ~name:"b" ~arena_bytes:page ~program:(prog "b" 3) ()) in
+  let quanta = Kernel.run k () in
+  Alcotest.(check int) "total quanta" 5 quanta;
+  (* Round-robin interleaving: a b a b b. *)
+  Alcotest.(check (list string)) "interleaved" [ "a"; "b"; "a"; "b"; "b" ] (List.rev !steps)
+
+let test_process_memory_and_exit_codes () =
+  let _, k = boot_kernel () in
+  let pid =
+    get_ok_str
+      (Kernel.spawn k ~name:"writer" ~arena_bytes:(2 * page) ~program:(fun ctx ->
+           (* Processes address their arena virtually from 0. *)
+           (match ctx.Kernel.Process.write 16 "process data" with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           match ctx.Kernel.Process.read 16 12 with
+           | Ok "process data" -> `Done 42
+           | Ok other -> failwith other
+           | Error e -> failwith e) ())
+  in
+  let _ = Kernel.run k () in
+  Alcotest.(check (option (pair unit int))) "exit code"
+    (Some ((), 42))
+    (match Kernel.process_state k pid with
+    | Some (Kernel.Process.Exited c) -> Some ((), c)
+    | _ -> None)
+
+let test_process_arena_bounds () =
+  let _, k = boot_kernel () in
+  let saw_error = ref false in
+  let _ =
+    get_ok_str
+      (Kernel.spawn k ~name:"oob" ~arena_bytes:page ~program:(fun ctx ->
+           (match ctx.Kernel.Process.write 0x4000 "evil" with
+           | Error _ -> saw_error := true
+           | Ok () -> ());
+           `Done 0) ())
+  in
+  let _ = Kernel.run k () in
+  Alcotest.(check bool) "out-of-arena write rejected" true !saw_error
+
+let test_sys_log_and_kill () =
+  let _, k = boot_kernel () in
+  let pid =
+    get_ok_str
+      (Kernel.spawn k ~name:"chatty" ~arena_bytes:page ~program:(fun ctx ->
+           ctx.Kernel.Process.sys_log "hello";
+           `Yield) ())
+  in
+  let _ = Kernel.run k ~max_quanta:3 () in
+  Alcotest.(check bool) "console captured" true
+    (List.exists (fun l -> contains_substring l "hello") (Kernel.console k));
+  get_ok_str (Kernel.kill k pid);
+  Alcotest.(check (option unit)) "killed process gone" None
+    (Option.map ignore (Kernel.process_state k pid))
+
+let test_process_spawns_enclave () =
+  (* The paper's §3.5 line: the OS provides processes, the monitor
+     transparently provides sub-compartments within them. *)
+  let w, k = boot_kernel () in
+  let m = w.monitor in
+  let secret_checked = ref false in
+  let _ =
+    get_ok_str
+      (Kernel.spawn k ~name:"app" ~arena_bytes:(8 * page) ~program:(fun ctx ->
+           let image = tiny_image ~shared_page:false () in
+           match ctx.Kernel.Process.sys_spawn_enclave ~image ~at_offset:(4 * page) with
+           | Error e -> failwith e
+           | Ok handle ->
+             (* The enclave's pages vanished from the process's view
+                (same process-virtual address, now an EPT violation). *)
+             (match ctx.Kernel.Process.read (4 * page) 4 with
+             | Error _ -> secret_checked := true
+             | Ok _ -> failwith "process still reads its enclave's memory");
+             (* But entering it works. *)
+             (match ctx.Kernel.Process.sys_call_enclave handle with
+             | Ok _ -> ()
+             | Error e -> failwith e);
+             (match ctx.Kernel.Process.sys_return () with
+             | Ok _ -> ()
+             | Error e -> failwith e);
+             `Done 0) ())
+  in
+  let _ = Kernel.run k () in
+  Alcotest.(check bool) "enclave memory hidden from process" true !secret_checked;
+  check_no_violations m
+
+let test_address_space_isolation () =
+  (* Two processes use the SAME virtual address; writes land in their
+     own frames — classic per-process paging, entirely below the
+     monitor's radar. *)
+  let w, k = boot_kernel () in
+  let phys = ref [] in
+  let prog tag ctx =
+    (match ctx.Kernel.Process.write 0x100 tag with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    (match ctx.Kernel.Process.read 0x100 (String.length tag) with
+    | Ok v when v = tag -> ()
+    | Ok other -> failwith ("cross-talk: " ^ other)
+    | Error e -> failwith e);
+    phys := (tag, Hw.Addr.Range.base ctx.Kernel.Process.mem + 0x100) :: !phys;
+    `Done 0
+  in
+  let _ = get_ok_str (Kernel.spawn k ~name:"a" ~arena_bytes:page ~program:(prog "AAAA") ()) in
+  let _ = get_ok_str (Kernel.spawn k ~name:"b" ~arena_bytes:page ~program:(prog "BBBB") ()) in
+  let _ = Kernel.run k () in
+  (* Check the physical frames really hold different data. *)
+  List.iter
+    (fun (tag, paddr) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s frame" tag)
+        tag
+        (get_ok
+           (Tyche.Monitor.load_string w.monitor ~core:0
+              (range ~base:paddr ~len:(String.length tag)))))
+    !phys;
+  Alcotest.(check int) "two distinct frames" 2
+    (List.length (List.sort_uniq compare (List.map snd !phys)))
+
+let test_page_fault_on_unmapped () =
+  let _, k = boot_kernel () in
+  let fault = ref "" in
+  let _ =
+    get_ok_str
+      (Kernel.spawn k ~name:"wild" ~arena_bytes:page ~program:(fun ctx ->
+           (* Inside the arena bounds check would reject; so probe the
+              hardware directly: install nothing beyond page 0, then
+              read a vaddr the kernel never mapped. The bounds check is
+              bypassed by using the raw monitor accessor while our page
+              table is live. *)
+           ignore ctx;
+           (match Tyche.Monitor.load (Kernel.monitor k) ~core:0 0x40000 with
+           | Error e -> fault := Tyche.Monitor.error_to_string e
+           | Ok _ -> fault := "no fault");
+           `Done 0) ())
+  in
+  let _ = Kernel.run k () in
+  Alcotest.(check bool) "page fault raised" true (contains_substring !fault "page fault")
+
+let test_page_table_unit () =
+  let c = Hw.Cycles.create () in
+  let pt = Hw.Page_table.create ~counter:c in
+  Hw.Page_table.map_page pt ~vaddr:0x1000 ~paddr:0x9000 Hw.Perm.r;
+  Alcotest.(check int) "translates with offset" 0x9123
+    (Hw.Page_table.translate pt ~vaddr:0x1123 ~access:`Read);
+  Alcotest.check_raises "write to read-only"
+    (Hw.Page_table.Fault { vaddr = 0x1000; access = `Write })
+    (fun () -> ignore (Hw.Page_table.translate pt ~vaddr:0x1000 ~access:`Write));
+  Alcotest.check_raises "unmapped"
+    (Hw.Page_table.Fault { vaddr = 0x5000; access = `Read })
+    (fun () -> ignore (Hw.Page_table.translate pt ~vaddr:0x5000 ~access:`Read));
+  Hw.Page_table.unmap_page pt ~vaddr:0x1000;
+  Alcotest.(check int) "unmapped count" 0 (Hw.Page_table.mapped_pages pt);
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Page_table.map_page: unaligned address") (fun () ->
+      Hw.Page_table.map_page pt ~vaddr:0x1001 ~paddr:0x9000 Hw.Perm.r)
+
+let test_multicore_scheduling () =
+  (* Processes pinned to different cores each run under their own page
+     table on their own CPU; the kernel's round robin spans cores. *)
+  let w, k = boot_kernel () in
+  let seen_core = ref [] in
+  let prog tag ctx =
+    seen_core := (tag, ctx.Kernel.Process.core) :: !seen_core;
+    (match ctx.Kernel.Process.write 0 tag with Ok () -> () | Error e -> failwith e);
+    `Done 0
+  in
+  let _ = get_ok_str (Kernel.spawn k ~name:"c0" ~arena_bytes:page ~program:(prog "on-zero") ()) in
+  let _ =
+    get_ok_str (Kernel.spawn k ~core:2 ~name:"c2" ~arena_bytes:page ~program:(prog "on-two") ())
+  in
+  (match Kernel.spawn k ~core:9 ~name:"bad" ~arena_bytes:page ~program:(prog "x") () with
+  | Error e -> Alcotest.(check bool) "bad core named" true (contains_substring e "core")
+  | Ok _ -> Alcotest.fail "nonexistent core accepted");
+  let _ = Kernel.run k () in
+  Alcotest.(check (list (pair string int))) "each ran on its pin"
+    [ ("on-two", 2); ("on-zero", 0) ]
+    (List.sort compare !seen_core);
+  (* After the run, no core is left with a stale process page table. *)
+  Array.iter
+    (fun cpu ->
+      Alcotest.(check bool) "page table cleared" true
+        (Hw.Cpu.active_page_table cpu = None))
+    w.machine.Hw.Machine.cores;
+  check_no_violations w.monitor
+
+(* Drivers (E11) *)
+
+let driver_image () =
+  let b = Image.Builder.create ~name:"nic-driver" in
+  let b = Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"drv" ~perm:Hw.Perm.rx () in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let test_trusted_driver_wild_dma_corrupts () =
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w, k = boot_kernel ~devices:[ nic ] () in
+  let drv = get_ok_str (Kernel.attach_driver k ~device:nic ()) in
+  Alcotest.(check bool) "trusted mode" true (Kernel.Driver.mode drv = Kernel.Driver.Trusted);
+  (* Normal request works. *)
+  Alcotest.(check string) "request served" "tekcap"
+    (get_ok_str (Kernel.Driver.submit drv w.monitor ~core:0 ~data:"packet"));
+  (* Wild DMA into kernel memory SUCCEEDS: this is the commodity hole. *)
+  get_ok (Tyche.Monitor.store w.monitor ~core:0 0x8000 0x55);
+  (match Kernel.Driver.rogue_dma drv w.monitor ~target:0x8000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trusted driver's DMA was blocked: %s" e);
+  Alcotest.(check int) "kernel memory corrupted" 0xde
+    (get_ok (Tyche.Monitor.load w.monitor ~core:0 0x8000))
+
+let test_sandboxed_driver_dma_confined () =
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w, k = boot_kernel ~devices:[ nic ] () in
+  let drv = get_ok_str (Kernel.attach_driver k ~device:nic ~sandboxed_with:(driver_image ()) ()) in
+  Alcotest.(check bool) "sandboxed mode" true (Kernel.Driver.mode drv = Kernel.Driver.Sandboxed);
+  (* Normal request still works through the shared DMA arena. *)
+  Alcotest.(check string) "request served" "tekcap"
+    (get_ok_str (Kernel.Driver.submit drv w.monitor ~core:0 ~data:"packet"));
+  (* Wild DMA is now blocked by the IOMMU. *)
+  get_ok (Tyche.Monitor.store w.monitor ~core:0 0x8000 0x55);
+  (match Kernel.Driver.rogue_dma drv w.monitor ~target:0x8000 with
+  | Error e -> Alcotest.(check bool) "IOMMU blocked" true (contains_substring e "IOMMU")
+  | Ok () -> Alcotest.fail "sandboxed driver corrupted the kernel");
+  Alcotest.(check int) "kernel memory intact" 0x55
+    (get_ok (Tyche.Monitor.load w.monitor ~core:0 0x8000));
+  check_no_violations w.monitor
+
+let test_driver_detach_returns_device () =
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w, k = boot_kernel ~devices:[ nic ] () in
+  let drv = get_ok_str (Kernel.attach_driver k ~device:nic ~sandboxed_with:(driver_image ()) ()) in
+  let free_before = Kernel.Alloc.free_bytes (Kernel.allocator k) in
+  get_ok_str (Kernel.detach_driver k drv);
+  (* The device capability is back with the OS... *)
+  Alcotest.(check (list int)) "device back with os" [ os ]
+    (Cap.Captree.holders (Tyche.Monitor.tree w.monitor)
+       (Cap.Resource.Device (Hw.Device.bdf nic)));
+  (* ...and the memory was reclaimed. *)
+  Alcotest.(check bool) "memory reclaimed" true
+    (Kernel.Alloc.free_bytes (Kernel.allocator k) > free_before);
+  check_no_violations w.monitor
+
+let test_kernel_boot_validation () =
+  let w = boot_x86 () in
+  (* Heap must be covered by a domain-0 capability: monitor memory isn't. *)
+  match Kernel.boot w.monitor ~core:0 ~heap:w.boot_report.Rot.Boot.monitor_range with
+  | Error e -> Alcotest.(check bool) "rejected" true (contains_substring e "capability")
+  | Ok _ -> Alcotest.fail "kernel booted on monitor memory"
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "alloc",
+        [ Alcotest.test_case "first fit" `Quick test_alloc_first_fit;
+          Alcotest.test_case "rounding + exhaustion" `Quick test_alloc_rounding_and_exhaustion;
+          Alcotest.test_case "aligned" `Quick test_alloc_aligned;
+          Alcotest.test_case "coalescing + double free" `Quick test_alloc_coalescing ] );
+      ( "processes",
+        [ Alcotest.test_case "spawn + round robin" `Quick test_spawn_and_run;
+          Alcotest.test_case "memory + exit codes" `Quick test_process_memory_and_exit_codes;
+          Alcotest.test_case "arena bounds" `Quick test_process_arena_bounds;
+          Alcotest.test_case "console + kill" `Quick test_sys_log_and_kill;
+          Alcotest.test_case "enclave in a process" `Quick test_process_spawns_enclave ] );
+      ( "paging",
+        [ Alcotest.test_case "page table unit" `Quick test_page_table_unit;
+          Alcotest.test_case "address-space isolation" `Quick test_address_space_isolation;
+          Alcotest.test_case "page fault on unmapped" `Quick test_page_fault_on_unmapped;
+          Alcotest.test_case "multi-core scheduling" `Quick test_multicore_scheduling ] );
+      ( "drivers",
+        [ Alcotest.test_case "trusted driver corrupts" `Quick
+            test_trusted_driver_wild_dma_corrupts;
+          Alcotest.test_case "sandboxed driver confined" `Quick
+            test_sandboxed_driver_dma_confined;
+          Alcotest.test_case "detach returns device" `Quick test_driver_detach_returns_device;
+          Alcotest.test_case "boot validation" `Quick test_kernel_boot_validation ] ) ]

@@ -1,0 +1,410 @@
+(* libtyche tests: the loader, enclaves (incl. nesting), sandboxes,
+   confidential VMs and channels — the §4.2 claims, executed. *)
+
+open Testkit
+
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+let page = Hw.Addr.page_size
+
+let load_enclave w ~at =
+  Libtyche.Enclave.create w.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap w) ~at
+    ~image:(tiny_image ()) ()
+
+let test_loader_end_to_end () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  (* The new domain is sealed, measured, and holds its segments. *)
+  let d = Option.get (Tyche.Monitor.find_domain m h.Libtyche.Handle.domain) in
+  Alcotest.(check bool) "sealed" true (Tyche.Domain.is_sealed d);
+  Alcotest.(check (option int)) "entry at base" (Some 0x40000) (Tyche.Domain.entry_point d);
+  (* Confidential segments: the OS lost access. *)
+  expect_error (Tyche.Monitor.load m ~core:0 0x40000);
+  expect_error (Tyche.Monitor.load m ~core:0 (0x40000 + page));
+  (* Shared segment: the OS kept access. *)
+  Alcotest.(check string) "shared io visible" "io"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:(0x40000 + (2 * page)) ~len:2)));
+  (* The enclave reads its own code. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  Alcotest.(check string) "enclave reads code" "ABCDE"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:0x40000 ~len:5)));
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  check_no_violations m
+
+let test_offline_hash_matches_attestation () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let image = tiny_image () in
+  let h =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image ())
+  in
+  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:h.Libtyche.Handle.domain ~nonce:"n") in
+  let expected = Libtyche.Enclave.expected_measurement image in
+  match att.Tyche.Attestation.measurement with
+  | Some actual ->
+    Alcotest.(check bool) "offline hash equals seal measurement" true
+      (Crypto.Sha256.equal actual expected)
+  | None -> Alcotest.fail "no measurement in attestation"
+
+let test_position_independent_measurement () =
+  (* Load the same image at two addresses: identical measurements
+     (virtual-address reuse / arbitrary layout, §4.2). *)
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let image = tiny_image () in
+  let h1 = get_ok_str (load_enclave w ~at:0x40000) in
+  let h2 = get_ok_str (load_enclave w ~at:0x80000) in
+  ignore image;
+  let m1 =
+    Tyche.Domain.measurement (Option.get (Tyche.Monitor.find_domain m h1.Libtyche.Handle.domain))
+  in
+  let m2 =
+    Tyche.Domain.measurement (Option.get (Tyche.Monitor.find_domain m h2.Libtyche.Handle.domain))
+  in
+  Alcotest.(check bool) "same measurement at different addresses" true
+    (Crypto.Sha256.equal (Option.get m1) (Option.get m2))
+
+let test_loader_errors () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let image = tiny_image () in
+  (* Unaligned base. *)
+  (match
+     Libtyche.Loader.load m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w) ~at:0x40010
+       ~image ~kind:Tyche.Domain.Enclave ()
+   with
+  | Error e -> Alcotest.(check bool) "aligned msg" true (contains_substring e "aligned")
+  | Ok _ -> Alcotest.fail "unaligned base accepted");
+  (* Footprint outside capability. *)
+  (match
+     Libtyche.Loader.load m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+       ~at:(64 * 1024 * 1024) ~image ~kind:Tyche.Domain.Enclave ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "footprint outside memory accepted");
+  (* Caller not current on the core. *)
+  (match
+     Libtyche.Loader.load m ~caller:17 ~core:0 ~memory_cap:(os_memory_cap w) ~at:0x40000
+       ~image ~kind:Tyche.Domain.Enclave ()
+   with
+  | Error e -> Alcotest.(check bool) "caller msg" true (contains_substring e "running")
+  | Ok _ -> Alcotest.fail "wrong caller accepted")
+
+let test_sandbox_creator_keeps_access () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h =
+    get_ok_str
+      (Libtyche.Sandbox.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:(tiny_image ()) ())
+  in
+  (* The OS still reads every sandbox segment (inverse of an enclave). *)
+  Alcotest.(check string) "creator reads sandbox code" "ABCDE"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:0x40000 ~len:5)));
+  (* The sandbox can run... *)
+  let _ = get_ok_str (Libtyche.Sandbox.call m ~core:0 h) in
+  (* ...but cannot touch OS memory outside its segments. *)
+  expect_error (Tyche.Monitor.load m ~core:0 0x4000);
+  let _ = get_ok_str (Libtyche.Sandbox.return_from m ~core:0) in
+  check_no_violations m
+
+let build_first b =
+  match Image.Builder.finish (Image.Builder.set_entry b 0) with
+  | Ok i -> i
+  | Error e -> Alcotest.failf "image build failed: %s" e
+
+let test_nested_enclaves () =
+  (* OS spawns E1; E1 spawns E2 out of its own pages; E2's memory is
+     invisible to both the OS and E1-before-grant semantics hold. *)
+  let w = boot_x86 () in
+  let m = w.monitor in
+  (* E1 gets 8 private pages so it has room to host E2. *)
+  let b = Image.Builder.create ~name:"e1" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"outer" ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".heap" ~vaddr:page ~data:(String.make 16 'h')
+      ~perm:Hw.Perm.rwx ~measured:false ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".heap2" ~vaddr:(2 * page)
+      ~data:(String.make (2 * page) 'i') ~perm:Hw.Perm.rwx ~measured:false ()
+  in
+  let image1 = build_first b in
+  let h1 =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:image1 ())
+  in
+  let e1 = h1.Libtyche.Handle.domain in
+  (* Enter E1; from inside, spawn a nested enclave in .heap2. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h1) in
+  let heap2_cap = Option.get (Libtyche.Handle.segment_cap h1 ".heap2") in
+  let inner = tiny_image ~name:"inner" ~shared_page:false () in
+  let h2 =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:e1 ~core:0 ~memory_cap:heap2_cap
+         ~at:(0x40000 + (2 * page)) ~image:inner ())
+  in
+  let e2 = h2.Libtyche.Handle.domain in
+  (* E1 lost its granted page to E2. *)
+  expect_error (Tyche.Monitor.load m ~core:0 (0x40000 + (2 * page)));
+  (* E1 calls into E2 (nested transition, depth 2). *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h2) in
+  Alcotest.(check int) "depth 2" 2 (Tyche.Monitor.call_depth m ~core:0);
+  Alcotest.(check string) "nested enclave reads its code" "ABCDE"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:(0x40000 + (2 * page)) ~len:5)));
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  (* Attestations show the nesting: E2's page refcount 1, held by E2. *)
+  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:e2 ~nonce:"n") in
+  List.iter
+    (fun r -> Alcotest.(check int) "nested pages exclusive" 1 r.Tyche.Attestation.refcount)
+    att.Tyche.Attestation.regions;
+  check_no_violations m
+
+let test_enclave_destroy_scrubs () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  get_ok_str (Libtyche.Enclave.destroy m ~caller:os h);
+  (* OS regains the memory and it is zeroed. *)
+  Alcotest.(check int) "code page scrubbed" 0 (get_ok (Tyche.Monitor.load m ~core:0 0x40000));
+  check_no_violations m
+
+let enclave_data_channel w h =
+  (* A sealed enclave shares one of its exclusively-owned pages out to
+     the OS (4.2): the channel lives in the enclave's .data page. *)
+  let m = w.monitor in
+  let data_cap = Option.get (Libtyche.Handle.segment_cap h ".data") in
+  let data_range = Option.get (Libtyche.Handle.segment_range h ".data") in
+  Libtyche.Channel.create m ~owner:h.Libtyche.Handle.domain ~peer:os
+    ~memory_cap:data_cap ~range:data_range ()
+
+let test_channel_roundtrip () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  let ch = get_ok_str (enclave_data_channel w h) in
+  Alcotest.(check bool) "channel is private (refcount 2)" true
+    (Libtyche.Channel.is_private ch m);
+  (* The OS writes a request... *)
+  get_ok_str (Libtyche.Channel.send ch m ~core:0 "hello enclave");
+  (* ...the enclave enters, reads it, and replies. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  Alcotest.(check string) "received" "hello enclave"
+    (get_ok_str (Libtyche.Channel.recv ch m ~core:0));
+  get_ok_str (Libtyche.Channel.send ch m ~core:0 "reply");
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  Alcotest.(check string) "reply received" "reply"
+    (get_ok_str (Libtyche.Channel.recv ch m ~core:0))
+
+let test_channel_tamper_detected () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  let ch = get_ok_str (enclave_data_channel w h) in
+  let base = Hw.Addr.Range.base (Libtyche.Channel.range ch) in
+  get_ok_str (Libtyche.Channel.send ch m ~core:0 "authentic");
+  (* Flip a payload byte behind the MAC. *)
+  get_ok (Tyche.Monitor.store m ~core:0 (base + 36) (Char.code 'X'));
+  (match Libtyche.Channel.recv ch m ~core:0 with
+  | Error e -> Alcotest.(check bool) "MAC failure" true (contains_substring e "authentication")
+  | Ok _ -> Alcotest.fail "tampered message accepted")
+
+let test_channel_close_scrubs () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  let ch = get_ok_str (enclave_data_channel w h) in
+  let ch_range = Libtyche.Channel.range ch in
+  get_ok_str (Libtyche.Channel.send ch m ~core:0 "residual secret");
+  get_ok_str (Libtyche.Channel.close ch m);
+  (* The OS capability is gone (back to refcount 1)... *)
+  Alcotest.(check (list int)) "only the enclave holds it"
+    [ h.Libtyche.Handle.domain ]
+    (Cap.Captree.holders (Tyche.Monitor.tree m) (Cap.Resource.Memory ch_range));
+  expect_error (Tyche.Monitor.load m ~core:0 (Hw.Addr.Range.base ch_range));
+  (* ...and the revocation policy zeroed the page (observed from the
+     enclave, which still holds it). *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  Alcotest.(check int) "scrubbed" 0
+    (get_ok (Tyche.Monitor.load m ~core:0 (Hw.Addr.Range.base ch_range + 40)));
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  ()
+
+let test_channel_validation () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h = get_ok_str (load_enclave w ~at:0x40000) in
+  let data_cap = Option.get (Libtyche.Handle.segment_cap h ".data") in
+  let data_range = Option.get (Libtyche.Handle.segment_range h ".data") in
+  (* Too small for the header. *)
+  (match
+     Libtyche.Channel.create m ~owner:h.Libtyche.Handle.domain ~peer:os
+       ~memory_cap:data_cap
+       ~range:(range ~base:(Hw.Addr.Range.base data_range) ~len:16) ()
+   with
+  | Error e -> Alcotest.(check bool) "too small" true (contains_substring e "small")
+  | Ok _ -> Alcotest.fail "tiny channel accepted");
+  let ch =
+    get_ok_str
+      (Libtyche.Channel.create m ~owner:h.Libtyche.Handle.domain ~peer:os
+         ~memory_cap:data_cap ~range:data_range ())
+  in
+  (* Oversized message rejected. *)
+  (match Libtyche.Channel.send ch m ~core:0 (String.make page 'x') with
+  | Error e -> Alcotest.(check bool) "too big" true (contains_substring e "fit")
+  | Ok _ -> Alcotest.fail "oversized message accepted");
+  (* Empty channel recv fails. *)
+  (match Libtyche.Channel.recv ch m ~core:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty channel returned a message")
+
+let test_confidential_vm () =
+  let w = boot_x86 ~mem_size:(32 * 1024 * 1024) () in
+  let m = w.monitor in
+  let b = Image.Builder.create ~name:"guest-kernel" in
+  let b =
+    Image.Builder.add_segment b ~name:".kernel" ~vaddr:0 ~data:"guestos" ~perm:Hw.Perm.rx
+      ~ring:0 ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".virtio" ~vaddr:page ~data:"ring" ~perm:Hw.Perm.rw
+      ~visibility:Image.Shared ~measured:false ()
+  in
+  let image = Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0)) in
+  let vm =
+    get_ok_str
+      (Libtyche.Confidential_vm.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x100000 ~image ~ram_bytes:(16 * page) ~cores:[ 0; 1 ] ())
+  in
+  (* Write a secret into guest RAM from inside, then check the host
+     cannot read it. *)
+  let ram_base = Hw.Addr.Range.base vm.Libtyche.Confidential_vm.ram in
+  let _ = get_ok_str (Libtyche.Confidential_vm.enter m ~core:0 vm) in
+  get_ok (Tyche.Monitor.store_string m ~core:0 ram_base "guest-secret");
+  let _ = get_ok_str (Libtyche.Confidential_vm.exit_guest m ~core:0) in
+  expect_error (Tyche.Monitor.load m ~core:0 ram_base);
+  (* The virtio ring stays shared. *)
+  Alcotest.(check string) "host sees virtio ring" "ring"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:(0x100000 + page) ~len:4)));
+  (* The guest may run on both cores. *)
+  let _ = get_ok_str (Libtyche.Confidential_vm.enter m ~core:1 vm) in
+  let _ = get_ok_str (Libtyche.Confidential_vm.exit_guest m ~core:1) in
+  (* Attestation: RAM and kernel exclusive, ring refcount 2. *)
+  let att =
+    get_ok
+      (Tyche.Monitor.attest m ~caller:os ~domain:vm.Libtyche.Confidential_vm.handle.Libtyche.Handle.domain
+         ~nonce:"n")
+  in
+  let ring_range = range ~base:(0x100000 + page) ~len:page in
+  List.iter
+    (fun r ->
+      let expected = if Hw.Addr.Range.equal r.Tyche.Attestation.range ring_range then 2 else 1 in
+      Alcotest.(check int) "region refcounts" expected r.Tyche.Attestation.refcount)
+    att.Tyche.Attestation.regions;
+  (* Teardown scrubs guest RAM. *)
+  get_ok_str (Libtyche.Confidential_vm.destroy m ~caller:os vm);
+  Alcotest.(check int) "guest RAM scrubbed" 0 (get_ok (Tyche.Monitor.load m ~core:0 ram_base));
+  check_no_violations m
+
+let test_cvm_validation () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  match
+    Libtyche.Confidential_vm.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+      ~at:0x100000 ~image:(tiny_image ()) ~ram_bytes:100 ()
+  with
+  | Error e -> Alcotest.(check bool) "ram size validated" true (contains_substring e "multiple")
+  | Ok _ -> Alcotest.fail "bad ram size accepted"
+
+let test_loader_on_riscv () =
+  (* The same libtyche code runs unchanged on the PMP backend. *)
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let h =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:(tiny_image ()) ())
+  in
+  expect_error (Tyche.Monitor.load m ~core:0 0x40000);
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  Alcotest.(check string) "enclave reads on PMP" "ABCDE"
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:0x40000 ~len:5)));
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  check_no_violations m
+
+(* Property: for ANY valid image, libtyche's offline hash equals the
+   monitor's seal-time measurement, at any page-aligned load address. *)
+let gen_image_and_base =
+  QCheck.Gen.(
+    let* nsegs = 1 -- 4 in
+    let* datas = list_repeat nsegs (string_size ~gen:printable (1 -- 300)) in
+    let* flags = list_repeat nsegs (pair bool bool) in
+    let* base_pages = 16 -- 48 in
+    return (datas, flags, base_pages * 4096))
+
+let arb_image_and_base =
+  QCheck.make
+    ~print:(fun (datas, _, base) ->
+      Printf.sprintf "%d segs at 0x%x" (List.length datas) base)
+    gen_image_and_base
+
+let prop_offline_hash_always_matches =
+  QCheck.Test.make ~name:"loader: offline hash == seal measurement (random images)"
+    ~count:25 arb_image_and_base
+    (fun (datas, flags, base) ->
+      let b = Image.Builder.create ~name:"prop" in
+      let b, _ =
+        List.fold_left2
+          (fun (b, i) data (shared, measured) ->
+            ( Image.Builder.add_segment b
+                ~name:(Printf.sprintf "s%d" i)
+                ~vaddr:(i * page) ~data
+                ~perm:(if i = 0 then Hw.Perm.rx else Hw.Perm.rw)
+                ~visibility:(if shared && i > 0 then Image.Shared else Image.Confidential)
+                ~measured:(measured || i = 0) (),
+              i + 1 ))
+          (b, 0) datas flags
+      in
+      match Image.Builder.finish (Image.Builder.set_entry b 0) with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok image -> (
+        let w = boot_x86 ~mem_size:(8 * 1024 * 1024) () in
+        match
+          Libtyche.Enclave.create w.monitor ~caller:os ~core:0
+            ~memory_cap:(os_memory_cap w) ~at:base ~image ()
+        with
+        | Error _ -> false
+        | Ok h -> (
+          let d = Option.get (Tyche.Monitor.find_domain w.monitor h.Libtyche.Handle.domain) in
+          match Tyche.Domain.measurement d with
+          | Some m ->
+            Crypto.Sha256.equal m (Libtyche.Enclave.expected_measurement image)
+          | None -> false)))
+
+let () =
+  Alcotest.run "libtyche"
+    [ ( "loader",
+        [ Alcotest.test_case "end to end" `Quick test_loader_end_to_end;
+          Alcotest.test_case "offline hash" `Quick test_offline_hash_matches_attestation;
+          Alcotest.test_case "position independence" `Quick
+            test_position_independent_measurement;
+          Alcotest.test_case "errors" `Quick test_loader_errors;
+          Alcotest.test_case "riscv backend" `Quick test_loader_on_riscv ] );
+      ( "abstractions",
+        [ Alcotest.test_case "sandbox" `Quick test_sandbox_creator_keeps_access;
+          Alcotest.test_case "nested enclaves" `Quick test_nested_enclaves;
+          Alcotest.test_case "enclave destroy scrubs" `Quick test_enclave_destroy_scrubs;
+          Alcotest.test_case "confidential vm" `Quick test_confidential_vm;
+          Alcotest.test_case "cvm validation" `Quick test_cvm_validation ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_offline_hash_always_matches ]);
+      ( "channels",
+        [ Alcotest.test_case "roundtrip" `Quick test_channel_roundtrip;
+          Alcotest.test_case "tamper detected" `Quick test_channel_tamper_detected;
+          Alcotest.test_case "close scrubs" `Quick test_channel_close_scrubs;
+          Alcotest.test_case "validation" `Quick test_channel_validation ] ) ]

@@ -1,0 +1,393 @@
+(* Scenario tests: the paper's Fig. 2/3 SaaS deployment end-to-end (E2)
+   and the malicious-privileged-code attack suite (E12). *)
+
+open Testkit
+
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+let page = Hw.Addr.page_size
+
+(* --- E2: the SaaS confidential pipeline --- *)
+
+let crypto_engine_image () =
+  let b = Image.Builder.create ~name:"crypto-engine" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"aes-gcm-engine"
+      ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".keyslot" ~vaddr:page ~data:(String.make 32 '\x00')
+      ~perm:Hw.Perm.rw ~measured:false ()
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let saas_app_image () =
+  let b = Image.Builder.create ~name:"saas-app" in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0 ~data:"saas-analytics"
+      ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".work" ~vaddr:page ~data:(String.make 64 '\x00')
+      ~perm:Hw.Perm.rw ~measured:false ()
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let test_saas_pipeline () =
+  let gpu_dev = Hw.Device.create ~kind:Hw.Device.Gpu ~bus:3 ~dev:0 ~fn:0 () in
+  let w = boot_x86 ~mem_size:(32 * 1024 * 1024) ~devices:[ gpu_dev ] () in
+  let m = w.monitor in
+  (* The SaaS application and the crypto engine are isolated domains. *)
+  let app =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x200000 ~image:(saas_app_image ()) ())
+  in
+  (* The engine is loaded but NOT yet sealed: its shared regions (the
+     channel with the app) are configured first, then it seals — the
+     attestation the customer checks covers the final layout. *)
+  let engine =
+    get_ok_str
+      (Libtyche.Loader.load m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x300000 ~image:(crypto_engine_image ()) ~kind:Tyche.Domain.Enclave
+         ~seal:false ())
+  in
+  let app_d = app.Libtyche.Handle.domain and eng_d = engine.Libtyche.Handle.domain in
+  (* The app opens channels: one with the crypto engine, one with the
+     GPU's IO domain. Both carved from the app's own .work page. *)
+  let gpu_io = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"gpu" ~kind:Tyche.Domain.Io_domain) in
+  let work_cap = Option.get (Libtyche.Handle.segment_cap app ".work") in
+  let work = Option.get (Libtyche.Handle.segment_range app ".work") in
+  let wbase = Hw.Addr.Range.base work in
+  (* Split the work page between the two shares is not possible at
+     sub-page granularity on EPT, so the app uses one shared page with
+     the engine; the GPU gets a separate page granted from the OS pool
+     into the IO domain and shared back. For the test we focus on the
+     engine channel plus GPU DMA confinement. *)
+  let ch =
+    get_ok_str
+      (Libtyche.Channel.create m ~owner:app_d ~peer:eng_d ~memory_cap:work_cap
+         ~range:(range ~base:wbase ~len:page) ())
+  in
+  Alcotest.(check bool) "app<->engine channel private" true (Libtyche.Channel.is_private ch m);
+  get_ok (Tyche.Monitor.seal m ~caller:os ~domain:eng_d);
+  (* Give the GPU device to the IO domain together with one DMA page. *)
+  let dma_page = range ~base:0x400000 ~len:page in
+  let piece = get_ok (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w) ~subrange:dma_page) in
+  let _ = get_ok (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:gpu_io ~rights:Cap.Rights.full ~cleanup:Cap.Revocation.Zero) in
+  let dev_cap =
+    List.find
+      (fun c -> Cap.Captree.resource (Tyche.Monitor.tree m) c
+                = Some (Cap.Resource.Device (Hw.Device.bdf gpu_dev)))
+      (Tyche.Monitor.caps_of m os)
+  in
+  let _ = get_ok (Tyche.Monitor.grant m ~caller:os ~cap:dev_cap ~to_:gpu_io ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep) in
+  (* The customer (remote verifier) checks the whole deployment before
+     provisioning its key. *)
+  let rv =
+    { Verifier.tpm_root = Rot.Tpm.endorsement_root w.tpm;
+      expected_pcrs = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image;
+      monitor_root = Tyche.Monitor.attestation_root m }
+  in
+  let decision =
+    Verifier.attest_and_decide m rv ~nonce:"customer-1"
+      ~domains:
+        [ ( app_d,
+            [ Verifier.Policy.Sealed;
+              Verifier.Policy.Measurement_is
+                (Libtyche.Enclave.expected_measurement (saas_app_image ()));
+              Verifier.Policy.Region_exclusive (range ~base:0x200000 ~len:page);
+              Verifier.Policy.No_foreign_sharing_except [ eng_d; gpu_io ] ] );
+          ( eng_d,
+            [ Verifier.Policy.Sealed;
+              Verifier.Policy.Measurement_is
+                (Libtyche.Enclave.expected_measurement (crypto_engine_image ()));
+              Verifier.Policy.No_foreign_sharing_except [ app_d ] ] ) ]
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "customer trusts deployment: %a" Verifier.pp_decision decision)
+    true decision.Verifier.trusted;
+  (* Key provisioning: the customer sends its key through the attested
+     channel; the engine stores it in its confidential keyslot. *)
+  let customer_key = "customer-aes-key-0123456789abcdef" in
+  (* The app (an endpoint) relays the customer's key onto the channel. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 app) in
+  get_ok_str (Libtyche.Channel.send ch m ~core:0 customer_key);
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  let _ = get_ok_str (Tyche.Monitor.call m ~core:0 ~target:eng_d |> Result.map_error Tyche.Monitor.error_to_string) in
+  let received = get_ok_str (Libtyche.Channel.recv ch m ~core:0) in
+  Alcotest.(check string) "key arrived intact" customer_key received;
+  let keyslot = Option.get (Libtyche.Handle.segment_range engine ".keyslot") in
+  get_ok (Tyche.Monitor.store_string m ~core:0 (Hw.Addr.Range.base keyslot) received);
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  (* The OS cannot read the provisioned key. *)
+  expect_error (Tyche.Monitor.load m ~core:0 (Hw.Addr.Range.base keyslot));
+  (* The GPU can only DMA into its own page, not into the app/engine. *)
+  let machine = w.machine in
+  Hw.Device.dma_write gpu_dev machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x400000 "frame";
+  Alcotest.check_raises "GPU cannot reach the keyslot"
+    (Hw.Iommu.Dma_fault { device = Hw.Device.bdf gpu_dev; addr = Hw.Addr.Range.base keyslot })
+    (fun () ->
+      Hw.Device.dma_write gpu_dev machine.Hw.Machine.iommu machine.Hw.Machine.mem
+        (Hw.Addr.Range.base keyslot) "steal");
+  check_no_violations m
+
+let test_sriov_multiplexing () =
+  (* 4.2: "safely multiplexing (with and without SR-IOV) PCI devices,
+     e.g. GPUs, among TEEs". One physical GPU, two virtual functions,
+     two tenant enclaves: each VF can DMA only into its tenant's
+     buffers; the physical function stays with the host. *)
+  let gpu = Hw.Device.create ~kind:Hw.Device.Gpu ~bus:3 ~dev:0 ~fn:0 ~sriov_vfs:2 () in
+  let w = boot_x86 ~mem_size:(32 * 1024 * 1024) ~devices:[ gpu ] () in
+  let m = w.monitor in
+  let vf1, vf2 =
+    match Hw.Device.virtual_functions gpu with
+    | [ a; b ] -> (a, b)
+    | _ -> Alcotest.fail "expected two VFs"
+  in
+  let make_tenant name base vf =
+    let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name ~kind:Tyche.Domain.Io_domain) in
+    let piece =
+      get_ok
+        (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+           ~subrange:(range ~base ~len:page))
+    in
+    let _ =
+      get_ok
+        (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+           ~cleanup:Cap.Revocation.Zero)
+    in
+    let dev_cap =
+      List.find
+        (fun c ->
+          Cap.Captree.resource (Tyche.Monitor.tree m) c
+          = Some (Cap.Resource.Device (Hw.Device.bdf vf)))
+        (Tyche.Monitor.caps_of m os)
+    in
+    let _ =
+      get_ok
+        (Tyche.Monitor.grant m ~caller:os ~cap:dev_cap ~to_:d
+           ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep)
+    in
+    d
+  in
+  let t1 = make_tenant "tenant1" 0x200000 vf1 in
+  let t2 = make_tenant "tenant2" 0x300000 vf2 in
+  let machine = w.machine in
+  (* Each VF reaches its own tenant's buffer... *)
+  Hw.Device.dma_write vf1 machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x200000 "t1 frame";
+  Hw.Device.dma_write vf2 machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x300000 "t2 frame";
+  (* ...but not the other tenant's, nor the host's. *)
+  Alcotest.check_raises "vf1 cross-tenant blocked"
+    (Hw.Iommu.Dma_fault { device = Hw.Device.bdf vf1; addr = 0x300000 })
+    (fun () ->
+      Hw.Device.dma_write vf1 machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x300000 "x");
+  Alcotest.check_raises "vf2 cross-tenant blocked"
+    (Hw.Iommu.Dma_fault { device = Hw.Device.bdf vf2; addr = 0x200000 })
+    (fun () ->
+      Hw.Device.dma_write vf2 machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x200000 "x");
+  Alcotest.check_raises "vf1 cannot touch host memory"
+    (Hw.Iommu.Dma_fault { device = Hw.Device.bdf vf1; addr = 0x8000 })
+    (fun () ->
+      Hw.Device.dma_write vf1 machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x8000 "x");
+  (* The PF stays with the host and keeps its reach. *)
+  Hw.Device.dma_write gpu machine.Hw.Machine.iommu machine.Hw.Machine.mem 0x8000 "host";
+  (* The tenants' attestations show exclusive VF ownership. *)
+  let att1 = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:t1 ~nonce:"n") in
+  Alcotest.(check (list (pair int int))) "vf1 exclusively held"
+    [ (Hw.Device.bdf vf1, 1) ]
+    att1.Tyche.Attestation.devices;
+  ignore t2;
+  check_no_violations m
+
+(* --- E12: malicious privileged code --- *)
+
+let with_victim () =
+  let w = boot_x86 () in
+  let h =
+    get_ok_str
+      (Libtyche.Enclave.create w.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:(tiny_image ~shared_page:false ()) ())
+  in
+  (w, h)
+
+let test_attack_direct_read () =
+  let w, h = with_victim () in
+  ignore h;
+  (* Attack 1: privileged code simply dereferences the enclave's
+     memory. Blocked by hardware, visible as a denied access. *)
+  expect_error (Tyche.Monitor.load w.monitor ~core:0 0x40000);
+  expect_error (Tyche.Monitor.store w.monitor ~core:0 0x40000 0)
+
+let test_attack_share_stolen_cap () =
+  let w, h = with_victim () in
+  let m = w.monitor in
+  (* Attack 2: the OS tries to share the *enclave's* capability with a
+     colluding domain. The monitor checks ownership, not privilege. *)
+  let accomplice = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"spy" ~kind:Tyche.Domain.Sandbox) in
+  let victim_cap = List.hd (Tyche.Monitor.caps_of m h.Libtyche.Handle.domain) in
+  (match
+     Tyche.Monitor.share m ~caller:os ~cap:victim_cap ~to_:accomplice
+       ~rights:Cap.Rights.read_only ~cleanup:Cap.Revocation.Keep ()
+   with
+  | Error (Tyche.Monitor.Denied _) -> ()
+  | _ -> Alcotest.fail "OS shared a capability it does not own")
+
+let test_attack_extend_sealed () =
+  let w, h = with_victim () in
+  let m = w.monitor in
+  (* Attack 3: inject a trojan page into the sealed enclave. *)
+  (match
+     Tyche.Monitor.share m ~caller:os ~cap:(os_memory_cap w) ~to_:h.Libtyche.Handle.domain
+       ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+       ~subrange:(range ~base:0x80000 ~len:page) ()
+   with
+  | Error (Tyche.Monitor.Denied _) -> ()
+  | _ -> Alcotest.fail "sealed enclave was extended")
+
+let test_attack_revoke_then_read () =
+  let w, h = with_victim () in
+  let m = w.monitor in
+  (* Attack 4: the OS legitimately revokes the enclave's memory (it owns
+     the ancestor), hoping to read leftover secrets. The revocation
+     policy guarantees zeroing first. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  get_ok (Tyche.Monitor.store_string m ~core:0 (0x40000 + page) "in-enclave secret");
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  let victim_cap =
+    List.find
+      (fun c ->
+        match Cap.Captree.resource (Tyche.Monitor.tree m) c with
+        | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.contains r (0x40000 + page)
+        | _ -> false)
+      (Tyche.Monitor.caps_of m h.Libtyche.Handle.domain)
+  in
+  get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:victim_cap);
+  Alcotest.(check string) "only zeroes remain"
+    (String.make 17 '\x00')
+    (get_ok (Tyche.Monitor.load_string m ~core:0 (range ~base:(0x40000 + page) ~len:17)));
+  (* And no stale TLB entry lets anyone peek at the old mapping. *)
+  Alcotest.(check (list unit)) "no stale tlb" []
+    (List.map ignore (Tyche.Invariants.check_no_stale_tlb m))
+
+let test_attack_forged_attestation () =
+  (* Use an enclave WITH a shared page, so "refcount 1 everywhere" is a
+     real lie rather than a no-op rewrite. *)
+  let w = boot_x86 () in
+  let h =
+    get_ok_str
+      (Libtyche.Enclave.create w.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:(tiny_image ()) ())
+  in
+  let m = w.monitor in
+  (* Attack 5: the OS relays a doctored attestation claiming the
+     enclave's shared region is exclusive. *)
+  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:h.Libtyche.Handle.domain ~nonce:"n") in
+  let doctored =
+    { att with
+      Tyche.Attestation.regions =
+        List.map
+          (fun r -> { r with Tyche.Attestation.refcount = 1; holders = [ att.Tyche.Attestation.domain ] })
+          att.Tyche.Attestation.regions }
+  in
+  Alcotest.(check bool) "forgery detected" false
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) doctored)
+
+let test_attack_evil_monitor_substitution () =
+  (* Attack 6: boot an "evil" monitor that would lie in attestations.
+     The TPM measured what actually booted: the verifier's golden PCR
+     comparison fails before any domain attestation is even read. *)
+  let machine = Hw.Machine.create () in
+  let rng = Crypto.Rng.create ~seed:666L in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob
+      ~monitor_image:"evil-monitor-v1"
+  in
+  let backend = Backend_x86.create machine () in
+  let evil =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng ~monitor_range:report.Rot.Boot.monitor_range
+  in
+  let rv =
+    { Verifier.tpm_root = Rot.Tpm.endorsement_root tpm;
+      expected_pcrs = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image;
+      monitor_root = Tyche.Monitor.attestation_root evil }
+  in
+  let decision = Verifier.attest_and_decide evil rv ~nonce:"n" ~domains:[] in
+  Alcotest.(check bool) "evil monitor rejected" false decision.Verifier.trusted
+
+let test_attack_cache_probe_after_flush () =
+  (* Attack 7: after an enclave with the flush policy runs, a
+     co-resident observer finds none of its cache lines. *)
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let h =
+    get_ok_str
+      (Libtyche.Enclave.create m ~caller:os ~core:0 ~memory_cap:(os_memory_cap w)
+         ~at:0x40000 ~image:(tiny_image ~shared_page:false ()) ())
+  in
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  (* The enclave touches its memory, filling cache lines. *)
+  for i = 0 to 15 do
+    let _ = get_ok (Tyche.Monitor.load m ~core:0 (0x40000 + (i * 64))) in
+    ()
+  done;
+  Alcotest.(check bool) "lines resident while running" true
+    (Hw.Cache.lines_tagged w.machine.Hw.Machine.cache ~tag:h.Libtyche.Handle.domain > 0);
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  Alcotest.(check int) "no lines after flush-on-transition" 0
+    (Hw.Cache.lines_tagged w.machine.Hw.Machine.cache ~tag:h.Libtyche.Handle.domain)
+
+let test_attack_interrupt_injection () =
+  (* Attack 8: a device the OS controls tries to raise a vector that was
+     never remapped for it (targeting an enclave's core). *)
+  let nic = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 () in
+  let w = boot_x86 ~devices:[ nic ] () in
+  let ic = w.machine.Hw.Machine.interrupts in
+  Hw.Interrupt.route ic ~vector:66 ~core:0;
+  Alcotest.check_raises "unremapped interrupt blocked"
+    (Hw.Interrupt.Blocked { device = Hw.Device.bdf nic; vector = 66 })
+    (fun () -> ignore (Hw.Interrupt.post ic ~device:(Hw.Device.bdf nic) ~vector:66))
+
+let test_attack_register_scraping () =
+  (* Register contents must not cross domain boundaries in either
+     direction: the monitor context-switches and scrubs the file. *)
+  let w, h = with_victim () in
+  let m = w.monitor in
+  let e = h.Libtyche.Handle.domain in
+  get_ok (Tyche.Monitor.set_reg m ~core:0 3 0xC0FFEE);
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  (* First entry: zeroed file — nothing of the OS's state visible. *)
+  Alcotest.(check int) "fresh domain sees zeroed registers" 0
+    (get_ok (Tyche.Monitor.get_reg m ~core:0 3));
+  get_ok (Tyche.Monitor.set_reg m ~core:0 3 0x5EC12E7);
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  (* The OS resumes with its own context, not the enclave's secret. *)
+  Alcotest.(check int) "caller registers restored" 0xC0FFEE
+    (get_ok (Tyche.Monitor.get_reg m ~core:0 3));
+  (* And the enclave finds its own state preserved on re-entry. *)
+  let _ = get_ok_str (Libtyche.Enclave.call m ~core:0 h) in
+  Alcotest.(check int) "enclave context preserved" 0x5EC12E7
+    (get_ok (Tyche.Monitor.get_reg m ~core:0 3));
+  let _ = get_ok_str (Libtyche.Enclave.return_from m ~core:0) in
+  ignore e
+
+let () =
+  Alcotest.run "scenarios"
+    [ ( "e2-saas",
+        [ Alcotest.test_case "confidential pipeline" `Quick test_saas_pipeline;
+          Alcotest.test_case "sriov multiplexing" `Quick test_sriov_multiplexing ] );
+      ( "e12-attacks",
+        [ Alcotest.test_case "direct read blocked" `Quick test_attack_direct_read;
+          Alcotest.test_case "stolen cap share denied" `Quick test_attack_share_stolen_cap;
+          Alcotest.test_case "sealed extension denied" `Quick test_attack_extend_sealed;
+          Alcotest.test_case "revoke-then-read scrubbed" `Quick test_attack_revoke_then_read;
+          Alcotest.test_case "forged attestation detected" `Quick
+            test_attack_forged_attestation;
+          Alcotest.test_case "evil monitor rejected" `Quick
+            test_attack_evil_monitor_substitution;
+          Alcotest.test_case "cache probe finds nothing" `Quick
+            test_attack_cache_probe_after_flush;
+          Alcotest.test_case "interrupt injection blocked" `Quick
+            test_attack_interrupt_injection;
+          Alcotest.test_case "register scraping blocked" `Quick
+            test_attack_register_scraping ] ) ]

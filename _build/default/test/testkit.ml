@@ -1,0 +1,116 @@
+(* Shared fixtures for the test suites: booted machines on both
+   backends, a tiny enclave image, and result helpers. *)
+
+let ( let* ) = Result.bind
+let _ = ( let* )
+
+type world = {
+  machine : Hw.Machine.t;
+  tpm : Rot.Tpm.t;
+  rng : Crypto.Rng.t;
+  boot_report : Rot.Boot.report;
+  backend : Tyche.Backend_intf.t;
+  monitor : Tyche.Monitor.t;
+}
+
+let firmware = "firmware-v1"
+let loader_blob = "loader-v1"
+let monitor_image = "tyche-monitor-image-v1"
+
+let boot_x86 ?(seed = 0x71L) ?(cores = 4) ?(mem_size = 16 * 1024 * 1024) ?(devices = []) ?tlb_strategy () =
+  let machine = Hw.Machine.create ~arch:Hw.Cpu.X86_64 ~cores ~mem_size () in
+  List.iter (Hw.Machine.attach_device machine) devices;
+  let rng = Crypto.Rng.create ~seed in
+  let tpm = Rot.Tpm.create rng in
+  let boot_report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend = Backend_x86.create machine ?tlb_strategy () in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng
+      ~monitor_range:boot_report.Rot.Boot.monitor_range
+  in
+  { machine; tpm; rng; boot_report; backend; monitor }
+
+let boot_riscv ?(seed = 0x51L) ?(cores = 2) ?(mem_size = 16 * 1024 * 1024) ?alloc_strategy () =
+  let machine = Hw.Machine.create ~arch:Hw.Cpu.Riscv64 ~cores ~mem_size () in
+  let rng = Crypto.Rng.create ~seed in
+  let tpm = Rot.Tpm.create rng in
+  let boot_report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend =
+    Backend_riscv.create machine ~monitor_range:boot_report.Rot.Boot.monitor_range
+      ?alloc_strategy ()
+  in
+  let monitor =
+    Tyche.Monitor.boot machine ~backend ~tpm ~rng
+      ~monitor_range:boot_report.Rot.Boot.monitor_range
+  in
+  { machine; tpm; rng; boot_report; backend; monitor }
+
+let os = Tyche.Domain.initial
+
+(* The OS's largest memory capability (carves keep splitting it, so
+   re-query rather than caching). *)
+let os_memory_cap w =
+  let tree = Tyche.Monitor.tree w.monitor in
+  let size cap =
+    match Cap.Captree.resource tree cap with
+    | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.len r
+    | _ -> 0
+  in
+  match Tyche.Monitor.caps_of w.monitor os with
+  | [] -> Alcotest.fail "domain 0 holds no capabilities"
+  | caps -> List.fold_left (fun best c -> if size c > size best then c else best) (List.hd caps) caps
+
+let os_core_cap w core =
+  let tree = Tyche.Monitor.tree w.monitor in
+  List.find
+    (fun cap -> Cap.Captree.resource tree cap = Some (Cap.Resource.Cpu_core core))
+    (Tyche.Monitor.caps_of w.monitor os)
+
+let get_ok ?(msg = "expected Ok") = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" msg (Tyche.Monitor.error_to_string e)
+
+let get_ok_str ?(msg = "expected Ok") = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" msg e
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* A small two-segment image: a page of "code" and a page of shared IO. *)
+let tiny_image ?(name = "tiny") ?(shared_page = true) () =
+  let b = Image.Builder.create ~name in
+  let b =
+    Image.Builder.add_segment b ~name:".text" ~vaddr:0
+      ~data:(String.init 100 (fun i -> Char.chr (65 + (i mod 26))))
+      ~perm:Hw.Perm.rx ()
+  in
+  let b =
+    Image.Builder.add_segment b ~name:".data" ~vaddr:4096
+      ~data:"initialized-data" ~perm:Hw.Perm.rw ()
+  in
+  let b =
+    if shared_page then
+      Image.Builder.add_segment b ~name:".shared" ~vaddr:8192 ~data:"io"
+        ~perm:Hw.Perm.rw ~visibility:Image.Shared ~measured:false ()
+    else b
+  in
+  Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
+
+let contains_substring s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_no_violations monitor =
+  match Tyche.Invariants.check_all monitor with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "invariant violations: %s"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Tyche.Invariants.pp_violation) vs))
