@@ -144,6 +144,11 @@ let check_refcounts m =
                 (Format.asprintf "%a" Hw.Addr.Range.pp seg) rc (List.length holders)))
     (Cap.Captree.region_map tree)
 
+let check_index m =
+  match Cap.Captree.check_index_consistency (Monitor.tree m) with
+  | Ok () -> []
+  | Error detail -> [ { rule = "index-consistency"; detail } ]
+
 let check_all m =
-  check_tree m @ check_hardware_matches_tree m @ check_sealed_unextended m
-  @ check_no_stale_tlb m @ check_refcounts m
+  check_tree m @ check_index m @ check_hardware_matches_tree m
+  @ check_sealed_unextended m @ check_no_stale_tlb m @ check_refcounts m

@@ -19,6 +19,11 @@ val check_all : Monitor.t -> violation list
 val check_tree : Monitor.t -> violation list
 (** The capability tree's own structural invariants. *)
 
+val check_index : Monitor.t -> violation list
+(** The tree's incremental indexes (per-domain caps, segment store,
+    root intervals) agree with their full-scan reference
+    implementations. *)
+
 val check_hardware_matches_tree : Monitor.t -> violation list
 (** For every domain and every byte of the Fig. 4 region map: the
     backend reaches a range iff the tree says the domain holds it.

@@ -20,6 +20,19 @@ let error_to_string = function
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
+(* Memoized attestation body: the capability enumeration (regions with
+   refcounts/holders, core and device counts) is a pure function of the
+   tree state and the domain's measured ranges, so it can be reused
+   verbatim until either changes. Signatures are NEVER cached — each
+   attestation consumes a fresh one-time key over a fresh nonce. *)
+type attest_entry = {
+  at_generation : int; (* Captree.generation when the body was built *)
+  at_measured : Hw.Addr.Range.t list;
+  at_regions : Attestation.region_report list;
+  at_cores : (int * int) list;
+  at_devices : (int * int) list;
+}
+
 type t = {
   machine : Hw.Machine.t;
   tree : Cap.Captree.t;
@@ -32,6 +45,7 @@ type t = {
   stacks : Domain.id list array; (* per-core return stacks *)
   reg_contexts : (Domain.id * int, int array) Hashtbl.t; (* (domain, core) *)
   mutable transitions : int;
+  attest_cache : (Domain.id, attest_entry) Hashtbl.t;
 }
 
 let key_binding_pcr = 18
@@ -87,7 +101,8 @@ let boot ?(signer_height = 6) machine ~backend ~tpm ~rng ~monitor_range =
       current = Array.make (Array.length machine.Hw.Machine.cores) Domain.initial;
       stacks = Array.make (Array.length machine.Hw.Machine.cores) [];
       reg_contexts = Hashtbl.create 16;
-      transitions = 0 }
+      transitions = 0;
+      attest_cache = Hashtbl.create 16 }
   in
   let os = Domain.make ~id:Domain.initial ~name:"os" ~kind:Domain.Os ~created_by:None in
   Hashtbl.replace t.domains Domain.initial os;
@@ -203,6 +218,7 @@ let destroy_domain t ~caller ~domain =
     let* () = revoke_all () in
     t.backend.Backend_intf.domain_destroyed d;
     Hashtbl.remove t.domains domain;
+    Hashtbl.remove t.attest_cache domain;
     Ok ()
   end
 
@@ -445,34 +461,64 @@ let store_string t ~core addr s =
 
 (* Attestation *)
 
+(* Enumerate a domain's Fig. 4 attestation body. Parameterized over the
+   query functions so the memoized fast path and [attest_reference]
+   (full-scan baseline) share one enumeration. *)
+let attest_body t ~caps_of ~refcount ~holders ~measured_ranges domain =
+  List.fold_left
+    (fun (regions, cores, devices) cap ->
+      match Cap.Captree.resource t.tree cap, Cap.Captree.rights t.tree cap with
+      | Some (Cap.Resource.Memory r as res), Some rights ->
+        let report =
+          { Attestation.range = r;
+            perm = rights.Cap.Rights.perm;
+            refcount = refcount t.tree res;
+            holders = holders t.tree res;
+            measured =
+              List.exists
+                (fun m -> Hw.Addr.Range.includes ~outer:m ~inner:r
+                          || Hw.Addr.Range.includes ~outer:r ~inner:m)
+                measured_ranges }
+        in
+        (report :: regions, cores, devices)
+      | Some (Cap.Resource.Cpu_core c as res), Some _ ->
+        (regions, (c, refcount t.tree res) :: cores, devices)
+      | Some (Cap.Resource.Device dev as res), Some _ ->
+        (regions, cores, (dev, refcount t.tree res) :: devices)
+      | _ -> (regions, cores, devices))
+    ([], [], [])
+    (caps_of t.tree domain)
+
 let attest t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in
   let* d = get_domain t domain in
   let measured_ranges = Domain.measured_ranges d in
+  let generation = Cap.Captree.generation t.tree in
   let regions, cores, devices =
-    List.fold_left
-      (fun (regions, cores, devices) cap ->
-        match Cap.Captree.resource t.tree cap, Cap.Captree.rights t.tree cap with
-        | Some (Cap.Resource.Memory r as res), Some rights ->
-          let report =
-            { Attestation.range = r;
-              perm = rights.Cap.Rights.perm;
-              refcount = Cap.Captree.refcount t.tree res;
-              holders = Cap.Captree.holders t.tree res;
-              measured =
-                List.exists
-                  (fun m -> Hw.Addr.Range.includes ~outer:m ~inner:r
-                            || Hw.Addr.Range.includes ~outer:r ~inner:m)
-                  measured_ranges }
-          in
-          (report :: regions, cores, devices)
-        | Some (Cap.Resource.Cpu_core c as res), Some _ ->
-          (regions, (c, Cap.Captree.refcount t.tree res) :: cores, devices)
-        | Some (Cap.Resource.Device dev as res), Some _ ->
-          (regions, cores, (dev, Cap.Captree.refcount t.tree res) :: devices)
-        | _ -> (regions, cores, devices))
-      ([], [], [])
-      (Cap.Captree.caps_of_domain t.tree domain)
+    match Hashtbl.find_opt t.attest_cache domain with
+    | Some e when e.at_generation = generation && e.at_measured = measured_ranges ->
+      (e.at_regions, e.at_cores, e.at_devices)
+    | _ ->
+      let ((regions, cores, devices) as body) =
+        attest_body t ~caps_of:Cap.Captree.caps_of_domain ~refcount:Cap.Captree.refcount
+          ~holders:Cap.Captree.holders ~measured_ranges domain
+      in
+      Hashtbl.replace t.attest_cache domain
+        { at_generation = generation; at_measured = measured_ranges;
+          at_regions = regions; at_cores = cores; at_devices = devices };
+      body
+  in
+  Ok
+    (Attestation.sign ~signer:t.signer ~domain:d ~regions ~cores ~devices
+       ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
+
+let attest_reference t ~caller ~domain ~nonce =
+  let* _ = get_domain t caller in
+  let* d = get_domain t domain in
+  let regions, cores, devices =
+    attest_body t ~caps_of:Cap.Captree.caps_of_domain_reference
+      ~refcount:Cap.Captree.refcount_reference ~holders:Cap.Captree.holders_reference
+      ~measured_ranges:(Domain.measured_ranges d) domain
   in
   Ok
     (Attestation.sign ~signer:t.signer ~domain:d ~regions ~cores ~devices

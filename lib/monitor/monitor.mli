@@ -201,7 +201,18 @@ val attest :
   t -> caller:Domain.id -> domain:Domain.id -> nonce:string ->
   (Attestation.t, error) result
 (** Produce the signed tier-two report for a domain. Any domain (and
-    the remote verifier, through one) may request it. *)
+    the remote verifier, through one) may request it. The capability
+    enumeration (regions, refcounts, holders) is memoized against the
+    tree's {!Cap.Captree.generation}, so repeated attestations of a
+    quiescent tree skip re-enumeration; the signature itself is always
+    fresh (one-time key, caller nonce). *)
+
+val attest_reference :
+  t -> caller:Domain.id -> domain:Domain.id -> nonce:string ->
+  (Attestation.t, error) result
+(** [attest] computed with the full-scan [_reference] capability
+    queries and no memoization — the baseline the indexed path is
+    benchmarked and cross-checked against. *)
 
 val boot_quote : t -> nonce:string -> Rot.Tpm.Quote.t
 (** Tier one: TPM quote over PCRs 0, 4, 17 and {!key_binding_pcr},

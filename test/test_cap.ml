@@ -234,6 +234,101 @@ let test_region_map_merging () =
     Alcotest.(check (list int)) "one holder" [ 0 ] holders
   | segs -> Alcotest.failf "expected 1 merged segment, got %d" (List.length segs)
 
+(* The circular-sharing scenario again, this time checking that the
+   incremental indexes agree with the full scans at every step of the
+   cascade — revocation of a cycle is where refcount bookkeeping is
+   easiest to get wrong. *)
+let test_circular_revocation_index_agreement () =
+  let t, a = fresh_with_root ~owner:0 () in
+  let probe = mem ~base:0 ~len:0x1000 in
+  let agree label =
+    (match Captree.check_index_consistency t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: index inconsistency: %s" label e);
+    Alcotest.(check int)
+      (label ^ ": refcount agrees")
+      (Captree.refcount_reference t probe)
+      (Captree.refcount t probe);
+    Alcotest.(check (list int))
+      (label ^ ": holders agree")
+      (Captree.holders_reference t probe)
+      (Captree.holders t probe)
+  in
+  let b1, _ = ok (Captree.share t a ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  agree "after a->b";
+  let a2, _ = ok (Captree.share t b1 ~to_:0 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  agree "after b->a";
+  let b2, _ = ok (Captree.share t a2 ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()) in
+  ignore b2;
+  agree "after a->b again";
+  let _ = ok (Captree.revoke t b1) in
+  agree "after revoking the cycle";
+  Alcotest.(check int) "exclusive again" 1 (Captree.refcount t probe)
+
+(* 50k-capability smoke tests: the iterative subtree walk, the
+   tail-recursive reference merge, and the delta-maintained segment
+   store must all survive trees this size without stack overflow or
+   quadratic blowup. [check_invariants] is O(n·depth) so these use
+   [check_index_consistency] (O(n log n)) instead. *)
+let smoke_n = 50_000
+
+let test_smoke_deep_chain () =
+  let t, root = fresh_with_root ~owner:0 () in
+  let probe = mem ~base:0 ~len:0x100000 in
+  let first = ref root in
+  let prev = ref root in
+  for i = 1 to smoke_n do
+    let c, _ =
+      ok (Captree.share t !prev ~to_:(i mod 7) ~rights:Rights.full ~cleanup:Revocation.Zero ())
+    in
+    if i = 1 then first := c;
+    prev := c
+  done;
+  Alcotest.(check int) "all nodes present" (smoke_n + 1) (Captree.node_count t);
+  Alcotest.(check (list int)) "holders of the shared range" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (Captree.holders t probe);
+  Alcotest.(check int) "one merged segment" 1 (List.length (Captree.region_map t));
+  (match Captree.check_index_consistency t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "index inconsistency on the deep chain: %s" e);
+  (* Cascading revocation of the whole 50k-deep chain: must not
+     overflow the stack and must restore exclusivity. *)
+  let effects = ok (Captree.revoke t !first) in
+  Alcotest.(check int) "every share detached" smoke_n
+    (List.length (List.filter (function Captree.Detach _ -> true | _ -> false) effects));
+  Alcotest.(check int) "only the root remains" 1 (Captree.node_count t);
+  Alcotest.(check (list int)) "root exclusive again" [ 0 ] (Captree.holders t probe);
+  Alcotest.(check bool) "indexes consistent after cascade" true
+    (Captree.check_index_consistency t = Ok ())
+
+let test_smoke_wide_tree () =
+  let page = 0x1000 in
+  let t, root = fresh_with_root ~owner:0 ~len:(smoke_n * page) () in
+  for i = 0 to smoke_n - 1 do
+    let sub = range ~base:(i * page) ~len:page in
+    let _ =
+      ok
+        (Captree.share t root ~to_:(1 + (i mod 7)) ~rights:Rights.rw ~cleanup:Revocation.Zero
+           ~subrange:sub ())
+    in
+    ()
+  done;
+  (* Every page has holders [0; 1 + i mod 7] and neighbours differ, so
+     nothing merges: the map (and the tail-recursive reference merge)
+     must handle 50k segments. *)
+  let map = Captree.region_map t in
+  Alcotest.(check int) "one segment per page" smoke_n (List.length map);
+  Alcotest.(check int) "reference map agrees" (List.length map)
+    (List.length (Captree.region_map_reference t));
+  (match Captree.check_index_consistency t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "index inconsistency on the wide tree: %s" e);
+  (* Tear the whole forest down through the root. *)
+  let _ = ok (Captree.revoke t root) in
+  Alcotest.(check int) "tree empty" 0 (Captree.node_count t);
+  Alcotest.(check int) "region map empty" 0 (List.length (Captree.region_map t));
+  Alcotest.(check int) "no segments left" 0 (Captree.segment_count t)
+
 let test_caps_of_domain_ordering () =
   let t, root = fresh_with_root () in
   let c1, _ = ok (Captree.share t root ~to_:1 ~rights:Rights.rw ~cleanup:Revocation.Keep ()) in
@@ -321,6 +416,64 @@ let run_ops ops =
     ops;
   t
 
+(* Same op interpreter, but with a scalar (core) capability in the mix
+   and an index/scan agreement check after EVERY step — a mutation that
+   corrupts an incremental index is caught at the op that introduced
+   it, not at the end of the sequence. *)
+let run_ops_indexed ops =
+  let t = Captree.create () in
+  let root, _ =
+    Result.get_ok (Captree.root t ~owner:0 (mem ~base:0 ~len:0x100000) Rights.full)
+  in
+  let core, _ = Result.get_ok (Captree.root t ~owner:0 (Resource.Cpu_core 0) Rights.full) in
+  let caps = ref [ root; core ] in
+  let pick i = List.nth !caps (i mod List.length !caps) in
+  let step n op =
+    (match op with
+    | Share (c, d) -> (
+      match
+        Captree.share t (pick c) ~to_:d ~rights:Rights.full ~cleanup:Revocation.Zero ()
+      with
+      | Ok (id, _) -> caps := id :: !caps
+      | Error _ -> ())
+    | Grant (c, d) -> (
+      match Captree.grant t (pick c) ~to_:d ~rights:Rights.full ~cleanup:Revocation.Zero with
+      | Ok (id, _) -> caps := id :: !caps
+      | Error _ -> ())
+    | Split c -> (
+      let cap = pick c in
+      match Captree.resource t cap with
+      | Some (Resource.Memory r) when Hw.Addr.Range.len r >= 2 -> (
+        let at = Hw.Addr.Range.base r + (Hw.Addr.Range.len r / 2) in
+        match Captree.split t cap ~at with
+        | Ok (l, rg, _) -> caps := l :: rg :: !caps
+        | Error _ -> ())
+      | _ -> ())
+    | Revoke c -> ignore (Captree.revoke t (pick c)));
+    match Captree.check_index_consistency t with
+    | Ok () -> ()
+    | Error e ->
+      QCheck.Test.fail_reportf "after op %d (%s): index inconsistency: %s" n (print_op op) e
+  in
+  List.iteri step ops;
+  t
+
+let prop_indexes_agree =
+  QCheck.Test.make ~name:"captree: indexes agree with full scans after every op" ~count:100
+    arb_ops
+    (fun ops ->
+      let t = run_ops_indexed ops in
+      (* Final spot-checks on resources the consistency sweep does not
+         enumerate directly: the whole root range and the scalar core. *)
+      let whole = mem ~base:0 ~len:0x100000 in
+      Captree.holders t whole = Captree.holders_reference t whole
+      && Captree.refcount t whole = Captree.refcount_reference t whole
+      && Captree.active_overlapping t whole = Captree.active_overlapping_reference t whole
+      && Captree.holders t (Resource.Cpu_core 0)
+         = Captree.holders_reference t (Resource.Cpu_core 0)
+      && Captree.caps_of_domain t 0 = Captree.caps_of_domain_reference t 0
+      && Captree.all_caps_of_domain t 0 = Captree.all_caps_of_domain_reference t 0)
+
 let prop_invariants_hold =
   QCheck.Test.make ~name:"captree: invariants hold under random ops" ~count:200 arb_ops
     (fun ops -> Captree.check_invariants (run_ops ops) = Ok ())
@@ -380,12 +533,18 @@ let () =
           Alcotest.test_case "grant reactivation" `Quick test_revoke_reactivates_granted_parent;
           Alcotest.test_case "split children" `Quick test_revoke_split_children;
           Alcotest.test_case "revoke_children" `Quick test_revoke_children_keeps_cap;
-          Alcotest.test_case "circular sharing" `Quick test_circular_sharing_revocation ] );
+          Alcotest.test_case "circular sharing" `Quick test_circular_sharing_revocation;
+          Alcotest.test_case "circular revocation index agreement" `Quick
+            test_circular_revocation_index_agreement ] );
       ( "refcounts",
         [ Alcotest.test_case "Fig. 4 region map" `Quick test_fig4_region_map;
           Alcotest.test_case "region map merging" `Quick test_region_map_merging ] );
+      ( "smoke-50k",
+        [ Alcotest.test_case "deep chain" `Slow test_smoke_deep_chain;
+          Alcotest.test_case "wide tree" `Slow test_smoke_wide_tree ] );
       ( "properties",
-        [ qt prop_invariants_hold;
+        [ qt prop_indexes_agree;
+          qt prop_invariants_hold;
           qt prop_refcount_consistent;
           qt prop_region_map_disjoint;
           qt prop_revoke_all_restores_root ] ) ]

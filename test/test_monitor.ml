@@ -310,6 +310,41 @@ let test_attestation_measurement_matches_content () =
     Alcotest.(check bool) "measurement reproducible" true (Crypto.Sha256.equal digest expected)
   | None -> Alcotest.fail "no measurement"
 
+let test_attestation_memoized () =
+  let w, enclave, _ = with_enclave () in
+  let m = w.monitor in
+  let body (a : Tyche.Attestation.t) =
+    (a.Tyche.Attestation.regions, a.Tyche.Attestation.cores, a.Tyche.Attestation.devices)
+  in
+  (* Two attestations of a quiescent tree: the second reuses the
+     memoized enumeration but still carries a fresh signature over its
+     own nonce. *)
+  let a1 = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:enclave ~nonce:"n1") in
+  let a2 = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:enclave ~nonce:"n2") in
+  Alcotest.(check bool) "same body" true (body a1 = body a2);
+  Alcotest.(check bool) "both verify" true
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) a1
+     && Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) a2);
+  (* The full-scan baseline produces the identical body. *)
+  let ar = get_ok (Tyche.Monitor.attest_reference m ~caller:os ~domain:enclave ~nonce:"n3") in
+  Alcotest.(check bool) "reference body agrees" true (body ar = body a1);
+  Alcotest.(check bool) "reference verifies" true
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) ar);
+  (* A mutation anywhere in the tree invalidates the memo: share core 0
+     with a third domain and the enclave's next attestation must see
+     refcount 3. *)
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"d" ~kind:Tyche.Domain.Sandbox) in
+  let _ =
+    get_ok
+      (Tyche.Monitor.share m ~caller:os ~cap:(os_core_cap w 0) ~to_:d
+         ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ())
+  in
+  let a3 = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:enclave ~nonce:"n4") in
+  Alcotest.(check (list (pair int int))) "core refcount updated" [ (0, 3) ]
+    a3.Tyche.Attestation.cores;
+  let ar3 = get_ok (Tyche.Monitor.attest_reference m ~caller:os ~domain:enclave ~nonce:"n5") in
+  Alcotest.(check bool) "reference agrees after mutation" true (body ar3 = body a3)
+
 let test_measurement_position_independence () =
   (* The same logical domain at two different load addresses measures
      identically (virtual-address reuse, §4.2). *)
@@ -424,6 +459,8 @@ let () =
           Alcotest.test_case "tamper detected" `Quick test_attestation_tamper_detected;
           Alcotest.test_case "measurement reproducible" `Quick
             test_attestation_measurement_matches_content;
+          Alcotest.test_case "memoized body, fresh signatures" `Quick
+            test_attestation_memoized;
           Alcotest.test_case "position independence" `Quick
             test_measurement_position_independence ] );
       ( "riscv",
