@@ -1,0 +1,51 @@
+(* A stock of pregenerated one-time key pairs. Generating a WOTS pair
+   costs 67 chains x 15 hashes, so building a signer (2^height pairs) is
+   by far the most expensive step on the boot and key-rotation paths.
+   The pool lets that cost be paid ahead of time: [take] pops a
+   pregenerated pair (falling back to on-demand generation when empty),
+   and [replenish] — called eagerly by [Signature.sign] — refills the
+   stock back to [target] whenever it drops below [low_water], so by the
+   time a signer needs to be (re)built the keys already exist. *)
+
+type t = {
+  rng : Rng.t;
+  stock : (Ots.secret_key * Ots.public_key) Queue.t;
+  target : int;
+  low_water : int;
+  mutable hits : int;    (* takes served from stock *)
+  mutable misses : int;  (* takes that had to generate *)
+}
+
+let default_target = 128
+
+let create ?low_water ?(target = default_target) rng =
+  if target < 0 then invalid_arg "Keypool.create: negative target";
+  let low_water = match low_water with Some l -> l | None -> target / 2 in
+  if low_water < 0 || low_water > target then
+    invalid_arg "Keypool.create: low_water out of range";
+  let t = { rng; stock = Queue.create (); target; low_water; hits = 0; misses = 0 } in
+  for _ = 1 to target do
+    Queue.add (Ots.generate rng) t.stock
+  done;
+  t
+
+let size t = Queue.length t.stock
+let low_water t = t.low_water
+let target t = t.target
+
+let take t =
+  match Queue.take_opt t.stock with
+  | Some pair ->
+      t.hits <- t.hits + 1;
+      pair
+  | None ->
+      t.misses <- t.misses + 1;
+      Ots.generate t.rng
+
+let replenish t =
+  if Queue.length t.stock < t.low_water then
+    while Queue.length t.stock < t.target do
+      Queue.add (Ots.generate t.rng) t.stock
+    done
+
+let stats t = (t.hits, t.misses)

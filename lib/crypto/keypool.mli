@@ -1,0 +1,40 @@
+(** Pregenerated one-time key pairs for the attestation signers.
+
+    WOTS key generation (67 hash chains of 15 steps per pair) dominates
+    the cost of building a {!Signature.signer}, which needs [2^height]
+    pairs up front because the Merkle root commits to all of them. A
+    keypool moves that work off the boot / key-rotation path: pairs are
+    generated ahead of time, {!take} pops one in O(1), and
+    {!Signature.sign} eagerly calls {!replenish} after each signature so
+    the stock is already rebuilt by the time a fresh signer is needed.
+
+    Security note: the pool changes *when* keys are generated, never
+    *how* — pairs come from the same [Rng] stream and each is still used
+    at most once (the signer enforces one-shot use). *)
+
+type t
+
+val create : ?low_water:int -> ?target:int -> Rng.t -> t
+(** [create ?low_water ?target rng] builds a pool and prefills it with
+    [target] pairs (default 128 — two default-height signers' worth).
+    [low_water] (default [target / 2]) is the threshold below which
+    {!replenish} refills back to [target].
+    @raise Invalid_argument if [target < 0] or [low_water] is not within
+    [0 .. target]. *)
+
+val take : t -> Ots.secret_key * Ots.public_key
+(** Pop a pregenerated pair; falls back to generating one on the spot
+    when the stock is empty (a miss, visible in {!stats}). *)
+
+val replenish : t -> unit
+(** Refill the stock to [target] if it has dropped below [low_water];
+    O(1) when the stock is healthy. *)
+
+val size : t -> int
+(** Pairs currently in stock. *)
+
+val low_water : t -> int
+val target : t -> int
+
+val stats : t -> int * int
+(** [(hits, misses)]: takes served from stock vs. generated on demand. *)

@@ -49,6 +49,12 @@ let prove t i =
   { leaf_index = i; path = walk 0 i [] }
 
 let verify ~root:expected ~leaf proof =
+  (* The index must be addressable by the path: bits above the path
+     length would be silently ignored by the climb, letting distinct
+     (index, path) pairs verify identically. *)
+  proof.leaf_index >= 0
+  && proof.leaf_index lsr List.length proof.path = 0
+  &&
   let rec climb idx acc = function
     | [] -> acc
     | sibling :: rest ->

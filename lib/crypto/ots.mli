@@ -7,17 +7,33 @@
 
 type secret_key
 type public_key
-type signature
+
+type signature = string array
+(** 67 chain values of 32 bytes each. The representation is exposed so
+    verifiers (and tests) can exercise {!verify}'s totality on malformed
+    inputs; well-formed signatures only come from {!sign} /
+    {!signature_of_string}. *)
 
 val generate : Rng.t -> secret_key * public_key
-(** Derive a fresh one-time key pair from the generator. *)
+(** Derive a fresh one-time key pair from the generator. The secret key
+    retains every intermediate chain link (~34 KiB), so {!sign} selects
+    links instead of recomputing hash chains — generation already had to
+    walk each chain to its end to produce the public key. *)
 
 val sign : secret_key -> Sha256.digest -> signature
-(** Sign a 32-byte message digest. Signing twice with the same key leaks
-    key material in a real deployment; callers must treat keys as
+(** Sign a 32-byte message digest by copying out precomputed chain
+    links (no hashing; see {!generate}). Signing twice with the same key
+    leaks key material in a real deployment; callers must treat keys as
     one-shot (enforced by {!Signature}). *)
 
+val sign_spec : secret_key -> Sha256.digest -> signature
+(** [sign] computed with the {!Sha256.Spec} executable specification:
+    byte-identical output (the scheme is deterministic), used as a
+    cross-check and as the E14 benchmark baseline. *)
+
 val verify : public_key -> Sha256.digest -> signature -> bool
+(** Total on malformed signatures: a wrong chain count or non-32-byte
+    chain values return [false] rather than raising. *)
 
 val public_key_digest : public_key -> Sha256.digest
 (** Compressed commitment to the public key (leaf value in the Merkle

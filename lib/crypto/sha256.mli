@@ -3,7 +3,14 @@
     This is the only hash used by the whole system: TPM PCR extension,
     domain measurements, Merkle trees and the hash-based signature scheme
     are all built on it. The implementation is pure OCaml and processes
-    arbitrary [string] / [Bytes.t] messages. *)
+    arbitrary [string] / [Bytes.t] messages.
+
+    The compression core runs on unboxed [Int32] words held in
+    preallocated scratch buffers accessed with the unsafe 32-bit
+    primitives, and the one-shot entry points reuse a single scratch
+    context, so hashing allocates nothing but the returned digest. The
+    original Int32 transliteration is preserved as {!Spec} and
+    cross-checked in tests. *)
 
 type digest
 (** A 32-byte SHA-256 digest. Abstract to prevent confusion with raw
@@ -18,9 +25,32 @@ val string : string -> digest
 val bytes : Bytes.t -> digest
 (** [bytes b] hashes the whole byte buffer [b]. *)
 
+val digest_bytes : Bytes.t -> off:int -> len:int -> digest
+(** [digest_bytes b ~off ~len] hashes the slice [b.[off .. off+len-1]]
+    without copying it or allocating a context.
+    @raise Invalid_argument if the slice is out of bounds. *)
+
+val digest_strings : string list -> digest
+(** [digest_strings ss] hashes the concatenation of [ss] without
+    materializing it — the multi-buffer one-shot used by canonical
+    payload construction. *)
+
 val concat : digest list -> digest
 (** [concat ds] hashes the concatenation of the raw digests [ds]; used for
     PCR-style folds and Merkle interior nodes. *)
+
+val hash32_into : src:Bytes.t -> dst:Bytes.t -> unit
+(** [hash32_into ~src ~dst] writes SHA-256 of the first 32 bytes of
+    [src] into the first 32 bytes of [dst] ([src == dst] is allowed). A
+    32-byte message fits one padded block, so this is a single
+    compression with zero allocation — the kernel under {!Ots} hash
+    chains.
+    @raise Invalid_argument if either buffer is shorter than 32 bytes. *)
+
+val hash32_sub : src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+(** {!hash32_into} at explicit offsets, so a whole hash chain can live
+    in one flat buffer (see {!Ots.generate}).
+    @raise Invalid_argument if either 32-byte slice is out of bounds. *)
 
 val to_raw : digest -> string
 (** Raw 32-byte big-endian representation. *)
@@ -54,6 +84,18 @@ module Ctx : sig
   val feed_string : t -> string -> unit
   val finalize : t -> digest
 
+  val reset : t -> unit
+  (** Return the context to its freshly-created state so it can be
+      reused without reallocating its buffers. *)
+
   val fed_length : t -> int
   (** Total number of bytes fed so far. *)
+end
+
+(** The executable specification: the original Int32 implementation,
+    transliterated from FIPS 180-4. Slow (every Int32 operation boxes)
+    but easy to audit; the fast core is property-tested against it, and
+    the E14 benchmarks use it as the pre-optimization baseline. *)
+module Spec : sig
+  val string : string -> digest
 end

@@ -2,6 +2,9 @@ type signer = {
   keys : (Ots.secret_key * Ots.public_key) array;
   tree : Merkle.t;
   mutable next : int;
+  pool : Keypool.t option;
+      (* When present, [create] drew the keys from it and [sign] eagerly
+         replenishes it, keeping signer rotation off the latency path. *)
 }
 
 type signature = {
@@ -13,12 +16,16 @@ type signature = {
 
 let pp_signature fmt s = Format.fprintf fmt "<sig ots-key=%d>" s.index
 
-let create ?(height = 6) rng =
+let create ?(height = 6) ?pool rng =
   if height < 0 || height > 16 then invalid_arg "Signature.create: height out of range";
   let n = 1 lsl height in
-  let keys = Array.init n (fun _ -> Ots.generate rng) in
+  let keys =
+    match pool with
+    | None -> Array.init n (fun _ -> Ots.generate rng)
+    | Some p -> Array.init n (fun _ -> Keypool.take p)
+  in
   let leaves = Array.to_list (Array.map (fun (_, pk) -> Ots.public_key_digest pk) keys) in
-  { keys; tree = Merkle.build leaves; next = 0 }
+  { keys; tree = Merkle.build leaves; next = 0; pool }
 
 let public_root t = Merkle.root t.tree
 let remaining t = Array.length t.keys - t.next
@@ -28,13 +35,30 @@ let sign t msg =
   let index = t.next in
   t.next <- index + 1;
   let sk, pk = t.keys.(index) in
+  let sg =
+    { index;
+      ots_pk = pk;
+      ots_sig = Ots.sign sk (Sha256.string msg);
+      proof = Merkle.prove t.tree index }
+  in
+  (match t.pool with Some p -> Keypool.replenish p | None -> ());
+  sg
+
+let sign_spec t msg =
+  if t.next >= Array.length t.keys then failwith "Signature.sign: signer exhausted";
+  let index = t.next in
+  t.next <- index + 1;
+  let sk, pk = t.keys.(index) in
   { index;
     ots_pk = pk;
-    ots_sig = Ots.sign sk (Sha256.string msg);
+    ots_sig = Ots.sign_spec sk (Sha256.Spec.string msg);
     proof = Merkle.prove t.tree index }
 
 let verify ~root msg sg =
-  Ots.verify sg.ots_pk (Sha256.string msg) sg.ots_sig
+  (* [index] duplicates the proof's leaf index on the wire; verification
+     must tie them together or the field becomes unauthenticated. *)
+  sg.index = sg.proof.Merkle.leaf_index
+  && Ots.verify sg.ots_pk (Sha256.string msg) sg.ots_sig
   && Merkle.verify ~root ~leaf:(Ots.public_key_digest sg.ots_pk) sg.proof
 
 (* Wire format: index | proof length | proof digests | pk | sig, all

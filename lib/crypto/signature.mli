@@ -12,10 +12,13 @@ type signature
 
 val pp_signature : Format.formatter -> signature -> unit
 
-val create : ?height:int -> Rng.t -> signer
+val create : ?height:int -> ?pool:Keypool.t -> Rng.t -> signer
 (** [create ~height rng] builds a signer with [2^height] one-time keys
     (default height 6 = 64 signatures — enough for the test scenarios;
-    key generation is O(2^height) hash chains). *)
+    key generation is O(2^height) hash chains). When [pool] is given the
+    keys are drawn from it instead of generated on the spot, and every
+    subsequent {!sign} eagerly replenishes it — moving key generation
+    off the boot and rotation paths. *)
 
 val public_root : signer -> Sha256.digest
 (** The verification key: the Merkle root over all one-time public keys. *)
@@ -25,6 +28,13 @@ val remaining : signer -> int
 
 val sign : signer -> string -> signature
 (** Sign arbitrary bytes (hashed internally). Consumes one key.
+    @raise Failure if the signer is exhausted. *)
+
+val sign_spec : signer -> string -> signature
+(** [sign] computed with the {!Sha256.Spec} / {!Ots.sign_spec}
+    executable specification; byte-identical to [sign] for the same key
+    index and message (the scheme is deterministic). Consumes one key.
+    Used as a cross-check and as the E14 benchmark baseline.
     @raise Failure if the signer is exhausted. *)
 
 val verify : root:Sha256.digest -> string -> signature -> bool

@@ -85,8 +85,8 @@ let cap_result t = function
     Ok value
   | Error e -> Error (Cap_error e)
 
-let boot ?(signer_height = 6) machine ~backend ~tpm ~rng ~monitor_range =
-  let signer = Crypto.Signature.create ~height:signer_height rng in
+let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range =
+  let signer = Crypto.Signature.create ~height:signer_height ?pool:keypool rng in
   (* Bind the monitor's attestation key into the TPM so the tier-one
      quote certifies the tier-two signer (two-tier protocol, §3.4). *)
   Rot.Tpm.extend tpm ~pcr:key_binding_pcr (Crypto.Signature.public_root signer);
@@ -489,28 +489,52 @@ let attest_body t ~caps_of ~refcount ~holders ~measured_ranges domain =
     ([], [], [])
     (caps_of t.tree domain)
 
+(* Memoized body lookup shared by the single and batched paths. *)
+let memoized_body t d domain =
+  let measured_ranges = Domain.measured_ranges d in
+  let generation = Cap.Captree.generation t.tree in
+  match Hashtbl.find_opt t.attest_cache domain with
+  | Some e when e.at_generation = generation && e.at_measured = measured_ranges ->
+    (e.at_regions, e.at_cores, e.at_devices)
+  | _ ->
+    let ((regions, cores, devices) as body) =
+      attest_body t ~caps_of:Cap.Captree.caps_of_domain ~refcount:Cap.Captree.refcount
+        ~holders:Cap.Captree.holders ~measured_ranges domain
+    in
+    Hashtbl.replace t.attest_cache domain
+      { at_generation = generation; at_measured = measured_ranges;
+        at_regions = regions; at_cores = cores; at_devices = devices };
+    body
+
 let attest t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in
   let* d = get_domain t domain in
-  let measured_ranges = Domain.measured_ranges d in
-  let generation = Cap.Captree.generation t.tree in
-  let regions, cores, devices =
-    match Hashtbl.find_opt t.attest_cache domain with
-    | Some e when e.at_generation = generation && e.at_measured = measured_ranges ->
-      (e.at_regions, e.at_cores, e.at_devices)
-    | _ ->
-      let ((regions, cores, devices) as body) =
-        attest_body t ~caps_of:Cap.Captree.caps_of_domain ~refcount:Cap.Captree.refcount
-          ~holders:Cap.Captree.holders ~measured_ranges domain
-      in
-      Hashtbl.replace t.attest_cache domain
-        { at_generation = generation; at_measured = measured_ranges;
-          at_regions = regions; at_cores = cores; at_devices = devices };
-      body
-  in
+  let regions, cores, devices = memoized_body t d domain in
   Ok
     (Attestation.sign ~signer:t.signer ~domain:d ~regions ~cores ~devices
        ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
+
+let attest_spec t ~caller ~domain ~nonce =
+  let* _ = get_domain t caller in
+  let* d = get_domain t domain in
+  let regions, cores, devices = memoized_body t d domain in
+  Ok
+    (Attestation.sign_spec ~signer:t.signer ~domain:d ~regions ~cores ~devices
+       ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
+
+let attest_batch t ~caller ~domains ~nonce =
+  let* _ = get_domain t caller in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | id :: rest ->
+      let* d = get_domain t id in
+      let regions, cores, devices = memoized_body t d id in
+      collect
+        ((d, regions, cores, devices, t.backend.Backend_intf.domain_encrypted d) :: acc)
+        rest
+  in
+  let* entries = collect [] domains in
+  Ok (Attestation.sign_batch ~signer:t.signer ~nonce entries)
 
 let attest_reference t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in

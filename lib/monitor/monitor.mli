@@ -28,6 +28,7 @@ val error_to_string : error -> string
 
 val boot :
   ?signer_height:int ->
+  ?keypool:Crypto.Keypool.t ->
   Hw.Machine.t ->
   backend:Backend_intf.t ->
   tpm:Rot.Tpm.t ->
@@ -38,7 +39,9 @@ val boot :
     monitor's attestation key (capacity [2^signer_height] attestations,
     default 64) and bind it into the TPM (PCR 18), create domain 0 (the
     OS) and endow it with every resource except the monitor's own
-    memory, and mark every core as running domain 0. *)
+    memory, and mark every core as running domain 0. When [keypool] is
+    given, the attestation signer draws its pregenerated one-time keys
+    from it and keeps it eagerly replenished (see {!Crypto.Keypool}). *)
 
 val machine : t -> Hw.Machine.t
 val tree : t -> Cap.Captree.t
@@ -206,6 +209,25 @@ val attest :
     tree's {!Cap.Captree.generation}, so repeated attestations of a
     quiescent tree skip re-enumeration; the signature itself is always
     fresh (one-time key, caller nonce). *)
+
+val attest_batch :
+  t -> caller:Domain.id -> domains:Domain.id list -> nonce:string ->
+  (Attestation.t list, error) result
+(** Attest many domains at once: enumerate each body (memoized, as in
+    {!attest}), build a Merkle tree over the canonical payloads, sign
+    only the root, and return per-domain reports (in input order)
+    carrying inclusion proofs — one one-time key for the whole batch
+    instead of one per domain. [Ok []] for an empty list. Fails with
+    [Unknown_domain] if any requested domain does not exist (no key is
+    consumed in that case). *)
+
+val attest_spec :
+  t -> caller:Domain.id -> domain:Domain.id -> nonce:string ->
+  (Attestation.t, error) result
+(** [attest] computed on the {!Crypto.Sha256.Spec} executable
+    specification (same memoized enumeration, slow crypto) — the
+    baseline the optimized crypto core is benchmarked and cross-checked
+    against in E14. Consumes one key. *)
 
 val attest_reference :
   t -> caller:Domain.id -> domain:Domain.id -> nonce:string ->

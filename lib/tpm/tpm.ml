@@ -6,9 +6,9 @@ type t = {
 let pcr_count = 24
 let drtm_pcr = 17
 
-let create ?(signer_height = 6) rng =
+let create ?(signer_height = 6) ?keypool rng =
   { pcrs = Array.make pcr_count Crypto.Sha256.zero;
-    signer = Crypto.Signature.create ~height:signer_height rng }
+    signer = Crypto.Signature.create ~height:signer_height ?pool:keypool rng }
 
 let endorsement_root t = Crypto.Signature.public_root t.signer
 

@@ -14,9 +14,11 @@ val pcr_count : int
 val drtm_pcr : int
 (** PCR 17: the dynamic-launch measurement register. *)
 
-val create : ?signer_height:int -> Crypto.Rng.t -> t
+val create : ?signer_height:int -> ?keypool:Crypto.Keypool.t -> Crypto.Rng.t -> t
 (** Manufacture a TPM with a fresh endorsement (attestation) key able
-    to produce [2^signer_height] quotes (default 64). *)
+    to produce [2^signer_height] quotes (default 64). When [keypool] is
+    given, the endorsement signer draws its pregenerated one-time keys
+    from it (see {!Crypto.Keypool}). *)
 
 val endorsement_root : t -> Crypto.Sha256.digest
 (** The public verification root for this TPM's quotes. A verifier must

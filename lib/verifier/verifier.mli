@@ -40,6 +40,7 @@ val establish_trust :
     policy. *)
 
 val attest_and_decide :
+  ?batched:bool ->
   Tyche.Monitor.t ->
   reference_values ->
   nonce:string ->
@@ -47,4 +48,8 @@ val attest_and_decide :
   decision
 (** Convenience for tests and examples: pull the quote and the
     attestations straight from a live monitor (as domain 0 would relay
-    them to the remote verifier) and evaluate. *)
+    them to the remote verifier) and evaluate. With [~batched:true]
+    (default false) the monitor produces one {!Tyche.Monitor.attest_batch}
+    call — one root signature plus per-domain inclusion proofs — instead
+    of one directly signed report per domain; the verification chain is
+    unchanged. *)

@@ -207,7 +207,129 @@ let test_signature_cross_signer () =
   Alcotest.(check bool) "other root rejects" false
     (Signature.verify ~root:(Signature.public_root s2) "m" sg)
 
+(* Fast core vs executable specification, and the new one-shot APIs. *)
+
+let test_sha256_spec_vectors () =
+  check_hex "spec: empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.Spec.string "");
+  check_hex "spec: abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.Spec.string "abc")
+
+let test_sha256_digest_bytes () =
+  let b = Bytes.of_string "xxhello worldyy" in
+  Alcotest.(check bool) "slice" true
+    (Sha256.equal (Sha256.digest_bytes b ~off:2 ~len:11) (Sha256.string "hello world"));
+  Alcotest.check_raises "bad slice" (Invalid_argument "Sha256.Ctx.feed_bytes")
+    (fun () -> ignore (Sha256.digest_bytes b ~off:10 ~len:10))
+
+let test_sha256_digest_strings () =
+  Alcotest.(check bool) "multi-buffer == concatenated" true
+    (Sha256.equal
+       (Sha256.digest_strings [ "ab"; ""; "cdef"; "g" ])
+       (Sha256.string "abcdefg"))
+
+let test_sha256_ctx_reset () =
+  let ctx = Sha256.Ctx.create () in
+  Sha256.Ctx.feed_string ctx (String.make 100 'z');
+  ignore (Sha256.Ctx.finalize ctx);
+  Sha256.Ctx.reset ctx;
+  Sha256.Ctx.feed_string ctx "abc";
+  Alcotest.(check bool) "reset context == fresh context" true
+    (Sha256.equal (Sha256.Ctx.finalize ctx) (Sha256.string "abc"));
+  Sha256.Ctx.reset ctx;
+  Alcotest.(check int) "reset clears fed length" 0 (Sha256.Ctx.fed_length ctx)
+
+let test_sha256_hash32_into () =
+  let d = Sha256.string "seed" in
+  let buf = Bytes.of_string (Sha256.to_raw d) in
+  Sha256.hash32_into ~src:buf ~dst:buf;
+  Alcotest.(check string) "one step, in place"
+    (Sha256.to_hex (Sha256.string (Sha256.to_raw d)))
+    (Sha256.to_hex (Sha256.of_raw (Bytes.to_string buf)));
+  Sha256.hash32_into ~src:buf ~dst:buf;
+  Alcotest.(check string) "two steps"
+    (Sha256.to_hex (Sha256.string (Sha256.to_raw (Sha256.string (Sha256.to_raw d)))))
+    (Sha256.to_hex (Sha256.of_raw (Bytes.to_string buf)));
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Sha256.hash32_into: need 32-byte buffers") (fun () ->
+      Sha256.hash32_into ~src:(Bytes.create 31) ~dst:(Bytes.create 32))
+
+let test_ots_verify_total () =
+  let rng = Rng.create ~seed:21L in
+  let sk, pk = Ots.generate rng in
+  let msg = Sha256.string "total" in
+  let sg = Ots.sign sk msg in
+  let wrong_len = Array.sub (Ots.sign sk msg) 0 10 in
+  Alcotest.(check bool) "wrong chain count -> false" false (Ots.verify pk msg wrong_len);
+  let bad_value = Array.copy sg in
+  bad_value.(3) <- "not a digest";
+  Alcotest.(check bool) "non-32-byte chain value -> false" false
+    (Ots.verify pk msg bad_value);
+  bad_value.(3) <- "";
+  Alcotest.(check bool) "empty chain value -> false" false (Ots.verify pk msg bad_value);
+  Alcotest.(check bool) "intact signature still verifies" true (Ots.verify pk msg sg)
+
+let test_ots_sign_spec_identity () =
+  let rng = Rng.create ~seed:22L in
+  let sk, pk = Ots.generate rng in
+  let msg = Sha256.string "spec twin" in
+  let fast = Ots.sign sk msg and spec = Ots.sign_spec sk msg in
+  Alcotest.(check string) "byte-identical signatures"
+    (Ots.signature_to_string fast) (Ots.signature_to_string spec);
+  Alcotest.(check bool) "spec signature verifies" true (Ots.verify pk msg spec)
+
+let test_keypool_basic () =
+  let rng = Rng.create ~seed:23L in
+  let pool = Keypool.create ~low_water:2 ~target:4 rng in
+  Alcotest.(check int) "prefilled" 4 (Keypool.size pool);
+  let sk, pk = Keypool.take pool in
+  let msg = Sha256.string "pooled" in
+  Alcotest.(check bool) "pooled key signs" true (Ots.verify pk msg (Ots.sign sk msg));
+  Alcotest.(check int) "one taken" 3 (Keypool.size pool);
+  Keypool.replenish pool;
+  Alcotest.(check int) "above low water: no refill" 3 (Keypool.size pool);
+  ignore (Keypool.take pool);
+  ignore (Keypool.take pool);
+  Keypool.replenish pool;
+  Alcotest.(check int) "below low water: refilled to target" 4 (Keypool.size pool);
+  Alcotest.(check (pair int int)) "all takes were hits" (3, 0) (Keypool.stats pool)
+
+let test_keypool_miss () =
+  let rng = Rng.create ~seed:24L in
+  let pool = Keypool.create ~target:0 rng in
+  let sk, pk = Keypool.take pool in
+  let msg = Sha256.string "miss" in
+  Alcotest.(check bool) "on-demand key works" true (Ots.verify pk msg (Ots.sign sk msg));
+  Alcotest.(check (pair int int)) "recorded as miss" (0, 1) (Keypool.stats pool)
+
+let test_keypool_signer () =
+  let rng = Rng.create ~seed:25L in
+  let pool = Keypool.create ~low_water:4 ~target:8 rng in
+  let signer = Signature.create ~height:3 ~pool rng in
+  (* create drew all 8 keys; the pool is empty and below low water. *)
+  Alcotest.(check int) "drained by create" 0 (Keypool.size pool);
+  let root = Signature.public_root signer in
+  let sg = Signature.sign signer "pooled signer" in
+  Alcotest.(check bool) "verifies" true (Signature.verify ~root "pooled signer" sg);
+  (* The first sign eagerly replenished the stock back to target. *)
+  Alcotest.(check int) "sign replenished" 8 (Keypool.size pool)
+
+let test_signature_sign_spec_identity () =
+  let s1 = Signature.create ~height:2 (Rng.create ~seed:26L) in
+  let s2 = Signature.create ~height:2 (Rng.create ~seed:26L) in
+  let fast = Signature.sign s1 "twin message" in
+  let spec = Signature.sign_spec s2 "twin message" in
+  Alcotest.(check string) "byte-identical signatures"
+    (Signature.signature_to_string fast) (Signature.signature_to_string spec);
+  Alcotest.(check bool) "spec verifies under fast root" true
+    (Signature.verify ~root:(Signature.public_root s1) "twin message" spec)
+
 (* Property tests *)
+
+let prop_sha256_fast_equals_spec =
+  QCheck.Test.make ~name:"sha256: fast core equals Int32 specification" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s -> Sha256.equal (Sha256.string s) (Sha256.Spec.string s))
 
 let prop_sha256_chunking =
   QCheck.Test.make ~name:"sha256: arbitrary chunking equals one-shot" ~count:100
@@ -263,6 +385,12 @@ let () =
           Alcotest.test_case "ctx length" `Quick test_sha256_ctx_length;
           Alcotest.test_case "hex roundtrip" `Quick test_sha256_hex_roundtrip;
           Alcotest.test_case "bad parse" `Quick test_sha256_bad_parse;
+          Alcotest.test_case "spec vectors" `Quick test_sha256_spec_vectors;
+          Alcotest.test_case "digest_bytes" `Quick test_sha256_digest_bytes;
+          Alcotest.test_case "digest_strings" `Quick test_sha256_digest_strings;
+          Alcotest.test_case "ctx reset" `Quick test_sha256_ctx_reset;
+          Alcotest.test_case "hash32_into" `Quick test_sha256_hash32_into;
+          qt prop_sha256_fast_equals_spec;
           qt prop_sha256_chunking ] );
       ( "hmac",
         [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
@@ -283,8 +411,15 @@ let () =
       ( "ots",
         [ Alcotest.test_case "sign/verify" `Quick test_ots_sign_verify;
           Alcotest.test_case "serialization" `Quick test_ots_serialization;
-          Alcotest.test_case "cross key" `Quick test_ots_cross_key ] );
+          Alcotest.test_case "cross key" `Quick test_ots_cross_key;
+          Alcotest.test_case "verify total on malformed" `Quick test_ots_verify_total;
+          Alcotest.test_case "sign_spec identity" `Quick test_ots_sign_spec_identity ] );
+      ( "keypool",
+        [ Alcotest.test_case "prefill/take/replenish" `Quick test_keypool_basic;
+          Alcotest.test_case "miss fallback" `Quick test_keypool_miss;
+          Alcotest.test_case "signer integration" `Quick test_keypool_signer ] );
       ( "signature",
         [ Alcotest.test_case "many-time + exhaustion" `Quick test_signature_many;
           Alcotest.test_case "serialization" `Quick test_signature_serialization;
-          Alcotest.test_case "cross signer" `Quick test_signature_cross_signer ] ) ]
+          Alcotest.test_case "cross signer" `Quick test_signature_cross_signer;
+          Alcotest.test_case "sign_spec identity" `Quick test_signature_sign_spec_identity ] ) ]

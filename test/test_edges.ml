@@ -191,26 +191,110 @@ let test_attestation_wire_roundtrip () =
     Alcotest.(check string) "nonce preserved" att.Tyche.Attestation.nonce
       att'.Tyche.Attestation.nonce)
 
-let test_attestation_wire_tamper () =
-  let w = boot_x86 () in
-  let m = w.monitor in
-  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"t") in
-  let wire = Tyche.Attestation.to_wire att in
-  let root = Tyche.Monitor.attestation_root m in
-  (* Flip one payload byte: either the parse fails or the signature does. *)
-  for i = 25 to min 60 (String.length wire - 1) do
+(* Flip one byte at EVERY offset of an envelope: each flip must break
+   the parse or the verification — no byte of the wire format may be
+   unauthenticated (redundant index fields and ignored high bits were
+   historically exactly such holes). *)
+let assert_every_byte_authenticated ~what ~root wire =
+  for i = 0 to String.length wire - 1 do
     let tampered = Bytes.of_string wire in
     Bytes.set tampered i (Char.chr (Char.code (Bytes.get tampered i) lxor 0x01));
     match Tyche.Attestation.of_wire (Bytes.to_string tampered) with
     | Error _ -> ()
     | Ok att' ->
       if Tyche.Attestation.verify ~monitor_root:root att' then
-        Alcotest.failf "tampered byte %d accepted" i
-  done;
+        Alcotest.failf "%s: tampered byte %d of %d accepted" what i (String.length wire)
+  done
+
+let test_attestation_wire_tamper () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let root = Tyche.Monitor.attestation_root m in
+  let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"t") in
+  let wire = Tyche.Attestation.to_wire att in
+  assert_every_byte_authenticated ~what:"v1" ~root wire;
+  (* Same property for the proof-carrying batched envelope. *)
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"peer" ~kind:Tyche.Domain.Sandbox) in
+  let atts = get_ok (Tyche.Monitor.attest_batch m ~caller:os ~domains:[ os; d ] ~nonce:"t2") in
+  List.iter
+    (fun a -> assert_every_byte_authenticated ~what:"v2" ~root (Tyche.Attestation.to_wire a))
+    atts;
   (* Truncation is rejected outright. *)
   (match Tyche.Attestation.of_wire (String.sub wire 0 (String.length wire / 2)) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated wire parsed")
+
+(* Round-trip property over randomized reports: v1 and v2 envelopes
+   must reproduce the exact report (and hence the exact wire bytes).
+   The evidence is fixed — produced once by a real monitor — because
+   the property targets the codec, not the crypto. *)
+let wire_evidence =
+  lazy
+    (let w = boot_x86 () in
+     let m = w.monitor in
+     let v1 = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"fix") in
+     let d =
+       get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"d" ~kind:Tyche.Domain.Sandbox)
+     in
+     let batch = get_ok (Tyche.Monitor.attest_batch m ~caller:os ~domains:[ os; d ] ~nonce:"fix") in
+     (v1.Tyche.Attestation.evidence, (List.nth batch 1).Tyche.Attestation.evidence))
+
+let gen_report =
+  QCheck.Gen.(
+    let nul_free =
+      string_size ~gen:(map (fun c -> if c = '\x00' then 'a' else c) char) (0 -- 12)
+    in
+    let region =
+      map3
+        (fun (base, len) (r, w, x) (holders, measured) ->
+          { Tyche.Attestation.range =
+              Hw.Addr.Range.make ~base:(base * 0x1000) ~len:((len + 1) * 0x1000);
+            perm = { Hw.Perm.read = r; write = w; exec = x };
+            refcount = List.length holders;
+            holders;
+            measured })
+        (pair (0 -- 10000) (0 -- 64))
+        (triple bool bool bool)
+        (pair (list_size (0 -- 6) (0 -- 1000)) bool)
+    in
+    let pairs = list_size (0 -- 4) (pair (0 -- 100) (0 -- 100)) in
+    (fun evidence ->
+      map
+        (fun ((domain, name, kind, sealed), (measurement, regions, cores, devices), (enc, nonce)) ->
+          { Tyche.Attestation.domain;
+            domain_name = name;
+            kind;
+            sealed;
+            measurement;
+            regions;
+            cores;
+            devices;
+            memory_encrypted = enc;
+            nonce;
+            evidence })
+        (triple
+           (quad (0 -- 100000) nul_free
+              (oneofl
+                 [ Tyche.Domain.Os; Tyche.Domain.Sandbox; Tyche.Domain.Enclave;
+                   Tyche.Domain.Confidential_vm; Tyche.Domain.Io_domain ])
+              bool)
+           (quad
+              (option (map (fun s -> Crypto.Sha256.string s) (string_size (0 -- 8))))
+              (list_size (0 -- 5) region) pairs pairs)
+           (pair bool (string_size (0 -- 30))))))
+
+let prop_attestation_wire_roundtrip_random which =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "attestation: %s wire roundtrip on random reports" which)
+    ~count:100
+    (QCheck.make (fun st ->
+         let v1, v2 = Lazy.force wire_evidence in
+         gen_report (if which = "v1" then v1 else v2) st))
+    (fun att ->
+      let wire = Tyche.Attestation.to_wire att in
+      match Tyche.Attestation.of_wire wire with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok att' -> att' = att && Tyche.Attestation.to_wire att' = wire)
 
 let prop_attestation_wire_garbage =
   QCheck.Test.make ~name:"attestation: of_wire total on garbage" ~count:300
@@ -324,6 +408,8 @@ let () =
             test_attestation_wire_roundtrip;
           Alcotest.test_case "attestation tamper/truncation" `Quick
             test_attestation_wire_tamper;
+          qt (prop_attestation_wire_roundtrip_random "v1");
+          qt (prop_attestation_wire_roundtrip_random "v2");
           QCheck_alcotest.to_alcotest prop_attestation_wire_garbage ] );
       ( "algebra",
         [ qt prop_rights_attenuation_reflexive_transitive;

@@ -345,6 +345,124 @@ let test_attestation_memoized () =
   let ar3 = get_ok (Tyche.Monitor.attest_reference m ~caller:os ~domain:enclave ~nonce:"n5") in
   Alcotest.(check bool) "reference agrees after mutation" true (body ar3 = body a3)
 
+let test_attest_batch () =
+  let w, enclave, _ = with_enclave () in
+  let m = w.monitor in
+  let root = Tyche.Monitor.attestation_root m in
+  let atts = get_ok (Tyche.Monitor.attest_batch m ~caller:os ~domains:[ enclave; os ] ~nonce:"b") in
+  Alcotest.(check (list int)) "reports in input order" [ enclave; os ]
+    (List.map (fun a -> a.Tyche.Attestation.domain) atts);
+  List.iter
+    (fun att ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d batched report verifies" att.Tyche.Attestation.domain)
+        true
+        (Tyche.Attestation.verify ~monitor_root:root att))
+    atts;
+  (* All reports hang off the same Merkle root. *)
+  let roots =
+    List.map
+      (fun a ->
+        match a.Tyche.Attestation.evidence with
+        | Tyche.Attestation.Batched { batch_root; _ } -> batch_root
+        | Tyche.Attestation.Signed _ -> Alcotest.fail "batched report carries v1 evidence")
+      atts
+  in
+  (match roots with
+  | [ r1; r2 ] -> Alcotest.(check bool) "shared batch root" true (Crypto.Sha256.equal r1 r2)
+  | _ -> Alcotest.fail "expected two reports");
+  (* The batched body equals the directly signed body. *)
+  let single = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:enclave ~nonce:"b") in
+  (match single.Tyche.Attestation.evidence with
+  | Tyche.Attestation.Signed _ -> ()
+  | Tyche.Attestation.Batched _ -> Alcotest.fail "single report carries batch evidence");
+  let body (a : Tyche.Attestation.t) =
+    (a.Tyche.Attestation.regions, a.Tyche.Attestation.cores, a.Tyche.Attestation.devices)
+  in
+  Alcotest.(check bool) "batched body == signed body" true
+    (body (List.hd atts) = body single);
+  (* A batched report survives the wire and cross-monitor roots reject it. *)
+  (match Tyche.Attestation.of_wire (Tyche.Attestation.to_wire (List.hd atts)) with
+  | Error e -> Alcotest.failf "v2 wire roundtrip failed: %s" e
+  | Ok att' ->
+    Alcotest.(check bool) "roundtripped v2 report verifies" true
+      (Tyche.Attestation.verify ~monitor_root:root att'));
+  let other = boot_x86 ~seed:0x98L () in
+  Alcotest.(check bool) "foreign monitor root rejected" false
+    (Tyche.Attestation.verify
+       ~monitor_root:(Tyche.Monitor.attestation_root other.monitor)
+       (List.hd atts));
+  (* Edge cases: empty batch, unknown domain. *)
+  Alcotest.(check bool) "empty batch" true
+    (get_ok (Tyche.Monitor.attest_batch m ~caller:os ~domains:[] ~nonce:"e") = []);
+  match Tyche.Monitor.attest_batch m ~caller:os ~domains:[ enclave; 999 ] ~nonce:"u" with
+  | Error (Tyche.Monitor.Unknown_domain 999) -> ()
+  | _ -> Alcotest.fail "unknown domain accepted in batch"
+
+let test_attest_batch_one_key () =
+  (* A height-0 signer holds exactly one one-time key; a whole batch
+     must fit in it, proving the batch consumes one key, not N. *)
+  let rng = Crypto.Rng.create ~seed:0x31L in
+  let signer = Crypto.Signature.create ~height:0 rng in
+  let dom i =
+    Tyche.Domain.make ~id:i ~name:(Printf.sprintf "d%d" i) ~kind:Tyche.Domain.Sandbox
+      ~created_by:(Some 0)
+  in
+  let entry d = (d, [], [ (0, 1) ], [], false) in
+  (* Empty batches consume nothing. *)
+  Alcotest.(check bool) "empty batch consumes no key" true
+    (Tyche.Attestation.sign_batch ~signer ~nonce:"n" [] = []);
+  Alcotest.(check int) "key still available" 1 (Crypto.Signature.remaining signer);
+  let atts =
+    Tyche.Attestation.sign_batch ~signer ~nonce:"n"
+      [ entry (dom 1); entry (dom 2); entry (dom 3) ]
+  in
+  Alcotest.(check int) "three reports" 3 (List.length atts);
+  Alcotest.(check int) "single key consumed" 0 (Crypto.Signature.remaining signer);
+  let root = Crypto.Signature.public_root signer in
+  List.iter
+    (fun att ->
+      Alcotest.(check bool) "verifies" true
+        (Tyche.Attestation.verify ~monitor_root:root att))
+    atts;
+  (* Evidence is not transplantable between batch members: report 1
+     carrying report 2's proof must fail. *)
+  match atts with
+  | [ a1; a2; _ ] ->
+    let forged = { a1 with Tyche.Attestation.evidence = a2.Tyche.Attestation.evidence } in
+    Alcotest.(check bool) "swapped proof rejected" false
+      (Tyche.Attestation.verify ~monitor_root:root forged)
+  | _ -> Alcotest.fail "expected three reports"
+
+let test_attest_spec_agrees () =
+  let w, enclave, _ = with_enclave () in
+  let m = w.monitor in
+  let body (a : Tyche.Attestation.t) =
+    (a.Tyche.Attestation.regions, a.Tyche.Attestation.cores, a.Tyche.Attestation.devices)
+  in
+  let fast = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:enclave ~nonce:"s") in
+  let spec = get_ok (Tyche.Monitor.attest_spec m ~caller:os ~domain:enclave ~nonce:"s") in
+  Alcotest.(check bool) "same body" true (body fast = body spec);
+  Alcotest.(check bool) "spec-stack report verifies" true
+    (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) spec)
+
+let test_attest_nul_name_rejected () =
+  let rng = Crypto.Rng.create ~seed:0x32L in
+  let signer = Crypto.Signature.create ~height:0 rng in
+  let evil =
+    Tyche.Domain.make ~id:7 ~name:"inno\x00cent" ~kind:Tyche.Domain.Sandbox
+      ~created_by:(Some 0)
+  in
+  Alcotest.check_raises "NUL name rejected at sign time"
+    (Invalid_argument "Attestation.sign: domain name contains NUL") (fun () ->
+      ignore
+        (Tyche.Attestation.sign ~signer ~domain:evil ~regions:[] ~cores:[] ~devices:[]
+           ~memory_encrypted:false ~nonce:"n"));
+  Alcotest.check_raises "NUL name rejected in batches"
+    (Invalid_argument "Attestation.sign: domain name contains NUL") (fun () ->
+      ignore
+        (Tyche.Attestation.sign_batch ~signer ~nonce:"n" [ (evil, [], [], [], false) ]))
+
 let test_measurement_position_independence () =
   (* The same logical domain at two different load addresses measures
      identically (virtual-address reuse, §4.2). *)
@@ -461,6 +579,10 @@ let () =
             test_attestation_measurement_matches_content;
           Alcotest.test_case "memoized body, fresh signatures" `Quick
             test_attestation_memoized;
+          Alcotest.test_case "batch" `Quick test_attest_batch;
+          Alcotest.test_case "batch consumes one key" `Quick test_attest_batch_one_key;
+          Alcotest.test_case "spec stack agrees" `Quick test_attest_spec_agrees;
+          Alcotest.test_case "NUL name rejected" `Quick test_attest_nul_name_rejected;
           Alcotest.test_case "position independence" `Quick
             test_measurement_position_independence ] );
       ( "riscv",
