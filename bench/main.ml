@@ -888,6 +888,9 @@ let capops ?(smoke = false) () =
     rows := { size; op; indexed_ns = indexed; reference_ns = reference } :: !rows;
     let note =
       if Float.is_nan reference then "mutation pair (no scan twin)"
+      else if String.length op >= 9 && String.sub op 0 9 = "journaled" then
+        Printf.sprintf "vs %.0f ns plain, %+.0f%% journal overhead" reference
+          ((indexed /. reference -. 1.) *. 100.)
       else Printf.sprintf "vs %.0f ns scan, %.1fx" reference (reference /. indexed)
     in
     row3 (Printf.sprintf "%s (%d caps)" op size) (Printf.sprintf "%.0f ns/op" indexed) note
@@ -925,17 +928,34 @@ let capops ?(smoke = false) () =
         in
         ignore (Result.get_ok (Cap.Captree.revoke t id))
       in
-      add n "grant+revoke" ~indexed:(timed_loop ~n:(iters 2000) mutate) ~reference:nan;
-      add n "share+revoke"
-        ~indexed:
-          (timed_loop ~n:(iters 2000) (fun () ->
-               let id, _ =
-                 Result.get_ok
-                   (Cap.Captree.share t root ~to_:9 ~rights:Cap.Rights.rw
-                      ~cleanup:Cap.Revocation.Keep ~subrange:(range ~base:0 ~len:page) ())
-               in
-               ignore (Result.get_ok (Cap.Captree.revoke t id))))
-        ~reference:nan;
+      let share_revoke () =
+        let id, _ =
+          Result.get_ok
+            (Cap.Captree.share t root ~to_:9 ~rights:Cap.Rights.rw
+               ~cleanup:Cap.Revocation.Keep ~subrange:(range ~base:0 ~len:page) ())
+        in
+        ignore (Result.get_ok (Cap.Captree.revoke t id))
+      in
+      let gr_plain = timed_loop ~n:(iters 2000) mutate in
+      let sr_plain = timed_loop ~n:(iters 2000) share_revoke in
+      add n "grant+revoke" ~indexed:gr_plain ~reference:nan;
+      add n "share+revoke" ~indexed:sr_plain ~reference:nan;
+      (* E5/E15: crash-consistency cost on the fault-free path — the
+         identical mutation pair inside an open transaction, so every
+         tree primitive journals its undo closure (committed, never
+         rolled back). Reported with the plain pair as the reference, so
+         the JSON ratio reads plain/journaled. *)
+      let in_txn f () =
+        Cap.Captree.txn_begin t;
+        f ();
+        Cap.Captree.txn_commit t
+      in
+      add n "journaled grant+revoke"
+        ~indexed:(timed_loop ~n:(iters 2000) (in_txn mutate))
+        ~reference:gr_plain;
+      add n "journaled share+revoke"
+        ~indexed:(timed_loop ~n:(iters 2000) (in_txn share_revoke))
+        ~reference:sr_plain;
       add n "refcount"
         ~indexed:
           (timed_loop ~n:(iters 1000) (fun () ->
@@ -1201,12 +1221,27 @@ let capops_smoke () =
          is lower. The floors are deliberately loose: a broken index
          lands at <= 1.0x (or fails the body check), while a healthy
          one clears 2x even on a loaded CI machine. *)
-      let floor = if String.length r.op >= 6 && String.sub r.op 0 6 = "attest" then 1.2 else 1.5 in
-      if (not (Float.is_nan r.reference_ns)) && r.reference_ns /. r.indexed_ns < floor then
-        failures :=
-          Printf.sprintf "%s at %d caps: %.0f ns indexed vs %.0f ns scan (< %.1fx)" r.op
-            r.size r.indexed_ns r.reference_ns floor
-          :: !failures)
+      if String.length r.op >= 9 && String.sub r.op 0 9 = "journaled" then begin
+        (* Crash-consistency rows invert the ratio: indexed is the
+           journaled pair, reference the plain pair, so a healthy
+           journal sits just above 1.0x. The ceiling is loose (the
+           target is <10% overhead at full iteration counts; smoke's
+           tiny counts are noisy) — it only trips if journaling becomes
+           pathologically expensive. *)
+        if r.indexed_ns /. r.reference_ns > 1.5 then
+          failures :=
+            Printf.sprintf "%s at %d caps: %.0f ns journaled vs %.0f ns plain (> 1.5x)" r.op
+              r.size r.indexed_ns r.reference_ns
+            :: !failures
+      end
+      else begin
+        let floor = if String.length r.op >= 6 && String.sub r.op 0 6 = "attest" then 1.2 else 1.5 in
+        if (not (Float.is_nan r.reference_ns)) && r.reference_ns /. r.indexed_ns < floor then
+          failures :=
+            Printf.sprintf "%s at %d caps: %.0f ns indexed vs %.0f ns scan (< %.1fx)" r.op
+              r.size r.indexed_ns r.reference_ns floor
+            :: !failures
+      end)
     rows;
   List.iter
     (fun r ->

@@ -9,6 +9,14 @@ type state = {
   core_domain : int array;
   mutable transitions : int;
   mutable pmp_writes : int;
+  (* Hardware undo journal. While [journaling], every mutation of
+     backend or hardware state (layouts, device lists, PMP files, IOMMU
+     windows, remap table, core context) prepends its inverse;
+     destructive clean-ups (memory zeroing) go to [deferred] and only
+     run at commit, so a rollback never has to un-zero memory. *)
+  mutable journal : (unit -> unit) list;
+  mutable journaling : bool;
+  mutable deferred : (unit -> unit) list;
 }
 
 let registry : (Tyche.Backend_intf.t * state) list ref = ref []
@@ -17,6 +25,47 @@ let state_of backend =
   match List.find_opt (fun (b, _) -> b == backend) !registry with
   | Some (_, s) -> s
   | None -> invalid_arg "Backend_riscv: not a backend created by this module"
+
+(* --- transactions --------------------------------------------------- *)
+
+(* Call sites guard with [if s.journaling then record s (fun () -> ...)]
+   so the fault-free path allocates no closures. *)
+let record s undo = s.journal <- undo :: s.journal
+
+(* Stage a destructive clean-up: run at commit inside a transaction,
+   immediately outside one (boot-time paths). *)
+let defer s cleanup = if s.journaling then s.deferred <- cleanup :: s.deferred else cleanup ()
+
+let txn_begin s =
+  if s.journaling then invalid_arg "Backend_riscv.txn_begin: transaction already open";
+  s.journal <- [];
+  s.deferred <- [];
+  s.journaling <- true;
+  let transitions = s.transitions and pmp_writes = s.pmp_writes in
+  record s (fun () ->
+    s.transitions <- transitions;
+    s.pmp_writes <- pmp_writes)
+
+let txn_commit s =
+  let cleanups = List.rev s.deferred in
+  s.journaling <- false;
+  s.journal <- [];
+  s.deferred <- [];
+  List.iter (fun f -> f ()) cleanups
+
+let txn_rollback s =
+  let undos = s.journal in
+  s.journaling <- false;
+  s.journal <- [];
+  s.deferred <- [];
+  (* Undo closures re-execute PMP/IOMMU writes; they must not trip the
+     very fault plan that caused the rollback. *)
+  Fault.suspend (fun () -> List.iter (fun f -> f ()) undos)
+
+let fault_error = function
+  | Fault.Injected { point; trip } ->
+    Printf.sprintf "fault injected at %s (trip %d)" point trip
+  | e -> raise e
 
 let usable_entries machine =
   (* Entry 0 is locked over the monitor image on every hart. *)
@@ -37,6 +86,27 @@ let devices_of s domain =
     let l = ref [] in
     Hashtbl.add s.domain_devices domain l;
     l
+
+let journal_layout s domain =
+  if s.journaling then begin
+    let l = layout_ref s domain in
+    let old = !l in
+    record s (fun () -> l := old)
+  end
+
+let journal_devices s domain =
+  if s.journaling then begin
+    let l = devices_of s domain in
+    let old = !l in
+    record s (fun () -> l := old)
+  end
+
+let journal_iommu s device =
+  if s.journaling then begin
+    let iommu = s.machine.Hw.Machine.iommu in
+    let ws = Hw.Iommu.windows iommu ~device in
+    record s (fun () -> Hw.Iommu.set_windows iommu ~device ws)
+  end
 
 (* Keep layouts sorted by base; Merge_adjacent folds touching ranges of
    equal permission into a single PMP segment. *)
@@ -73,11 +143,28 @@ let layout_remove s domain range =
 let reprogram s ~core domain =
   let pmp = Hw.Cpu.pmp core in
   let layout = !(layout_ref s domain) in
+  (* The budget check precedes every PMP write, so genuine exhaustion
+     fails before hardware is touched; only an injected mid-write fault
+     can leave the file half-programmed, and the journal covers that. *)
   if List.length layout > usable_entries s.machine then
     Error
       (Printf.sprintf "domain %d needs %d PMP entries but only %d are usable" domain
          (List.length layout) (usable_entries s.machine))
   else begin
+    if s.journaling then begin
+      let snapshot =
+        List.filter_map
+          (fun (i, range, perm, locked) -> if locked then None else Some (i, range, perm))
+          (Hw.Pmp.entries pmp)
+      in
+      record s (fun () ->
+        List.iter
+          (fun (i, _, _, locked) -> if not locked then Hw.Pmp.clear pmp ~index:i)
+          (Hw.Pmp.entries pmp);
+        List.iter
+          (fun (i, range, perm) -> Hw.Pmp.set pmp ~index:i range perm ~locked:false)
+          snapshot)
+    end;
     (* Clear every non-locked entry, then program the layout. *)
     List.iter
       (fun (i, _, _, locked) ->
@@ -98,50 +185,76 @@ let reprogram s ~core domain =
   end
 
 let reprogram_running s domain =
-  Array.iteri
-    (fun core_id running ->
-      if running = domain then
-        match reprogram s ~core:(Hw.Machine.core s.machine core_id) domain with
-        | Ok () -> ()
-        | Error msg -> invalid_arg ("Backend_riscv: " ^ msg))
-    s.core_domain
+  let n = Array.length s.core_domain in
+  let rec go core_id =
+    if core_id >= n then Ok ()
+    else if s.core_domain.(core_id) = domain then
+      match reprogram s ~core:(Hw.Machine.core s.machine core_id) domain with
+      | Ok () -> go (core_id + 1)
+      | Error _ as e -> e
+    else go (core_id + 1)
+  in
+  go 0
 
 let dma_perm perm = Hw.Perm.inter perm Hw.Perm.rw
 
-let apply_effect s = function
+let apply_effect_unsafe s = function
   | Cap.Captree.Attach { domain; resource = Cap.Resource.Memory r; perm } ->
+    journal_layout s domain;
     layout_add s domain r perm;
     List.iter
-      (fun bdf -> Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf r (dma_perm perm))
+      (fun bdf ->
+        journal_iommu s bdf;
+        Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf r (dma_perm perm))
       !(devices_of s domain);
-    reprogram_running s domain;
-    Ok ()
+    reprogram_running s domain
   | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
+    journal_layout s domain;
     layout_remove s domain r;
     List.iter
-      (fun bdf -> Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf r)
+      (fun bdf ->
+        journal_iommu s bdf;
+        Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf r)
       !(devices_of s domain);
-    reprogram_running s domain;
-    Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
-      ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter r;
-    Ok ()
+    (match reprogram_running s domain with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Zeroing is destructive and has no inverse: stage it so a later
+         failure in the same transaction never needs to un-zero. *)
+      defer s (fun () ->
+        Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
+          ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter r);
+      Ok ())
   | Cap.Captree.Attach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    journal_devices s domain;
     let devices = devices_of s domain in
     devices := bdf :: !devices;
+    journal_iommu s bdf;
     List.iter
       (fun (r, perm) ->
         Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf r (dma_perm perm))
       !(layout_ref s domain);
     Ok ()
   | Cap.Captree.Detach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    journal_iommu s bdf;
+    if s.journaling then begin
+      let interrupts = s.machine.Hw.Machine.interrupts in
+      let vectors = Hw.Interrupt.permitted interrupts ~device:bdf in
+      record s (fun () ->
+        List.iter (fun vector -> Hw.Interrupt.permit interrupts ~device:bdf ~vector) vectors)
+    end;
     Hw.Iommu.revoke_all s.machine.Hw.Machine.iommu ~device:bdf;
     Hw.Interrupt.revoke_device s.machine.Hw.Machine.interrupts ~device:bdf;
+    journal_devices s domain;
     let devices = devices_of s domain in
     devices := List.filter (fun d -> d <> bdf) !devices;
     Ok ()
   | Cap.Captree.Attach { resource = Cap.Resource.Cpu_core _; _ }
   | Cap.Captree.Detach { resource = Cap.Resource.Cpu_core _; _ } ->
     Ok ()
+
+let apply_effect s eff =
+  try apply_effect_unsafe s eff with Fault.Injected _ as e -> Error (fault_error e)
 
 let validate_attach s d resource =
   match resource with
@@ -169,24 +282,37 @@ let mode_for d =
 
 let enter s ~core d =
   let domain = Tyche.Domain.id d in
-  (match reprogram s ~core domain with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Backend_riscv: " ^ msg));
-  Hw.Cpu.set_asid core (Tyche.Domain.asid d);
-  Hw.Cpu.set_mode core (mode_for d);
-  s.core_domain.(Hw.Cpu.id core) <- domain
+  match reprogram s ~core domain with
+  | Error _ as e -> e
+  | Ok () ->
+    let core_id = Hw.Cpu.id core in
+    if s.journaling then begin
+      let old_asid = Hw.Cpu.asid core
+      and old_mode = Hw.Cpu.mode core
+      and old_domain = s.core_domain.(core_id) in
+      record s (fun () ->
+        Hw.Cpu.set_asid core old_asid;
+        Hw.Cpu.set_mode core old_mode;
+        s.core_domain.(core_id) <- old_domain)
+    end;
+    Hw.Cpu.set_asid core (Tyche.Domain.asid d);
+    Hw.Cpu.set_mode core (mode_for d);
+    s.core_domain.(core_id) <- domain;
+    Ok ()
 
 let transition s ~core ~from_ ~to_ ~flush_microarch =
   ignore from_;
   let counter = s.machine.Hw.Machine.counter in
   Hw.Cycles.charge counter Hw.Cycles.Cost.ecall_machine_mode;
   if flush_microarch then Hw.Cache.flush_all s.machine.Hw.Machine.cache;
-  s.transitions <- s.transitions + 1;
-  enter s ~core to_;
-  (* PMP reprogramming always traps to M-mode: there is no exit-less
-     path on this backend, which is the cost the paper accepts for the
-     generality of running on PMP-only hardware. *)
-  Tyche.Backend_intf.Trap_roundtrip
+  match (try enter s ~core to_ with Fault.Injected _ as e -> Error (fault_error e)) with
+  | Error _ as e -> e
+  | Ok () ->
+    s.transitions <- s.transitions + 1;
+    (* PMP reprogramming always traps to M-mode: there is no exit-less
+       path on this backend, which is the cost the paper accepts for the
+       generality of running on PMP-only hardware. *)
+    Ok Tyche.Backend_intf.Trap_roundtrip
 
 let domain_reaches s d range =
   List.exists (fun (r, _) -> Hw.Addr.Range.overlaps r range)
@@ -203,7 +329,10 @@ let create machine ~monitor_range ?(alloc_strategy = Merge_adjacent) () =
       domain_devices = Hashtbl.create 16;
       core_domain = Array.make (Array.length machine.Hw.Machine.cores) Tyche.Domain.initial;
       transitions = 0;
-      pmp_writes = 0 }
+      pmp_writes = 0;
+      journal = [];
+      journaling = false;
+      deferred = [] }
   in
   (* Lock the monitor's image out of reach on every hart. *)
   Array.iter
@@ -216,6 +345,13 @@ let create machine ~monitor_range ?(alloc_strategy = Merge_adjacent) () =
       domain_destroyed =
         (fun d ->
           let id = Tyche.Domain.id d in
+          if s.journaling then begin
+            let layout = Hashtbl.find_opt s.layouts id in
+            let devices = Hashtbl.find_opt s.domain_devices id in
+            record s (fun () ->
+              Option.iter (Hashtbl.replace s.layouts id) layout;
+              Option.iter (Hashtbl.replace s.domain_devices id) devices)
+          end;
           Hashtbl.remove s.layouts id;
           Hashtbl.remove s.domain_devices id);
       apply_effect = (fun eff -> apply_effect s eff);
@@ -223,9 +359,16 @@ let create machine ~monitor_range ?(alloc_strategy = Merge_adjacent) () =
       transition =
         (fun ~core ~from_ ~to_ ~flush_microarch ->
           transition s ~core ~from_ ~to_ ~flush_microarch);
-      launch = (fun ~core d -> enter s ~core d);
+      launch =
+        (fun ~core d ->
+          match enter s ~core d with
+          | Ok () -> ()
+          | Error msg -> invalid_arg ("Backend_riscv: " ^ msg));
       domain_reaches = (fun d r -> domain_reaches s d r);
-      domain_encrypted = (fun _ -> false) }
+      domain_encrypted = (fun _ -> false);
+      txn_begin = (fun () -> txn_begin s);
+      txn_commit = (fun () -> txn_commit s);
+      txn_rollback = (fun () -> txn_rollback s) }
   in
   registry := (backend, s) :: !registry;
   backend

@@ -13,6 +13,14 @@ type state = {
   domain_devices : (Tyche.Domain.id, int list ref) Hashtbl.t;
   mutable fast : int;
   mutable trap : int;
+  (* Hardware undo journal (see Backend_riscv for the discipline):
+     while [journaling], every EPT/MKTME/IOMMU/table mutation prepends
+     its inverse; destructive clean-ups (zeroing) wait in [deferred]
+     until commit. TLB and cache flushes need no undo — over-flushing
+     is always safe. *)
+  mutable journal : (unit -> unit) list;
+  mutable journaling : bool;
+  mutable deferred : (unit -> unit) list;
 }
 
 (* Associates the opaque backend records handed to the monitor with
@@ -23,6 +31,43 @@ let state_of backend =
   match List.find_opt (fun (b, _) -> b == backend) !registry with
   | Some (_, s) -> s
   | None -> invalid_arg "Backend_x86: not a backend created by this module"
+
+(* --- transactions --------------------------------------------------- *)
+
+let record s undo = s.journal <- undo :: s.journal
+
+let defer s cleanup = if s.journaling then s.deferred <- cleanup :: s.deferred else cleanup ()
+
+let txn_begin s =
+  if s.journaling then invalid_arg "Backend_x86.txn_begin: transaction already open";
+  s.journal <- [];
+  s.deferred <- [];
+  s.journaling <- true;
+  let fast = s.fast and trap = s.trap in
+  record s (fun () ->
+    s.fast <- fast;
+    s.trap <- trap)
+
+let txn_commit s =
+  let cleanups = List.rev s.deferred in
+  s.journaling <- false;
+  s.journal <- [];
+  s.deferred <- [];
+  List.iter (fun f -> f ()) cleanups
+
+let txn_rollback s =
+  let undos = s.journal in
+  s.journaling <- false;
+  s.journal <- [];
+  s.deferred <- [];
+  (* Undo closures replay EPT/IOMMU writes; they must not re-trip the
+     fault plan that caused the rollback. *)
+  Fault.suspend (fun () -> List.iter (fun f -> f ()) undos)
+
+let fault_error = function
+  | Fault.Injected { point; trip } ->
+    Printf.sprintf "fault injected at %s (trip %d)" point trip
+  | e -> raise e
 
 let mem_of s domain =
   match Hashtbl.find_opt s.domain_mem domain with
@@ -40,6 +85,27 @@ let devices_of s domain =
     Hashtbl.add s.domain_devices domain l;
     l
 
+let journal_mem s domain =
+  if s.journaling then begin
+    let l = mem_of s domain in
+    let old = !l in
+    record s (fun () -> l := old)
+  end
+
+let journal_devices s domain =
+  if s.journaling then begin
+    let l = devices_of s domain in
+    let old = !l in
+    record s (fun () -> l := old)
+  end
+
+let journal_iommu s device =
+  if s.journaling then begin
+    let iommu = s.machine.Hw.Machine.iommu in
+    let ws = Hw.Iommu.windows iommu ~device in
+    record s (fun () -> Hw.Iommu.set_windows iommu ~device ws)
+  end
+
 let dma_perm perm = Hw.Perm.inter perm Hw.Perm.rw
 
 (* MKTME: protect memory attached to a confidential domain under its
@@ -50,33 +116,71 @@ let mktme_on_attach s domain range =
   | Some controller ->
     if Hashtbl.mem s.confidential domain then begin
       match Hashtbl.find_opt s.keyids domain with
-      | Some keyid -> Hw.Mktme.protect controller ~keyid range
+      | Some keyid ->
+        if s.journaling then record s (fun () -> Hw.Mktme.unprotect controller range);
+        Hw.Mktme.protect controller ~keyid range
       | None ->
         if s.next_keyid < Hw.Mktme.slots controller then begin
           let keyid = s.next_keyid in
+          if s.journaling then
+            record s (fun () ->
+              Hw.Mktme.unprotect controller range;
+              Hashtbl.remove s.keyids domain;
+              s.next_keyid <- keyid);
           s.next_keyid <- keyid + 1;
           Hashtbl.replace s.keyids domain keyid;
           Hw.Mktme.protect controller ~keyid range
         end
         (* slots exhausted: the domain runs unencrypted, like real parts *)
     end
-    else Hw.Mktme.unprotect controller range
+    else
+      (* Freshly attached plaintext memory was not under a key: undoing
+         this unprotect is a no-op, so none is journaled. *)
+      Hw.Mktme.unprotect controller range
 
 let mktme_on_detach s range =
   match s.mktme with
   | None -> ()
-  | Some controller -> Hw.Mktme.unprotect controller range
+  | Some controller ->
+    if s.journaling then begin
+      match Hw.Mktme.keyid_of controller (Hw.Addr.Range.base range) with
+      | Some keyid -> record s (fun () -> Hw.Mktme.protect controller ~keyid range)
+      | None -> ()
+    end;
+    Hw.Mktme.unprotect controller range
 
 let attach_memory s domain range perm =
   match Hashtbl.find_opt s.epts domain with
   | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
   | Some ept ->
+    if s.journaling then begin
+      (* Eagerly capture each page's prior entry: the hypervisor may map
+         non-identity gpas, so the undo cannot be rebuilt from the mem
+         list. A mid-range injected fault leaves a prefix mapped; the
+         undo handles pages we never reached (prior None, still None). *)
+      let base = Hw.Addr.Range.base range and limit = Hw.Addr.Range.limit range in
+      let rec pages gpa acc =
+        if gpa >= limit then acc
+        else pages (gpa + Hw.Addr.page_size) ((gpa, Hw.Ept.entry_at ept ~gpa) :: acc)
+      in
+      let prior = pages base [] in
+      record s (fun () ->
+        List.iter
+          (fun (gpa, old) ->
+            match old with
+            | Some (hpa, perm) -> Hw.Ept.map_page ept ~gpa ~hpa perm
+            | None -> if Hw.Ept.entry_at ept ~gpa <> None then Hw.Ept.unmap_page ept ~gpa)
+          prior)
+    end;
     Hw.Ept.map_range ept ~gpa:(Hw.Addr.Range.base range) range perm;
     mktme_on_attach s domain range;
+    journal_mem s domain;
     let mem = mem_of s domain in
     mem := (range, perm) :: !mem;
     List.iter
-      (fun bdf -> Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf range (dma_perm perm))
+      (fun bdf ->
+        journal_iommu s bdf;
+        Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf range (dma_perm perm))
       !(devices_of s domain);
     Ok ()
 
@@ -91,25 +195,38 @@ let detach_memory s domain range cleanup =
   match Hashtbl.find_opt s.epts domain with
   | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
   | Some ept ->
+    if s.journaling then begin
+      let victims = Hw.Ept.mappings_to ept range in
+      record s (fun () ->
+        List.iter (fun (gpa, hpa, perm) -> Hw.Ept.map_page ept ~gpa ~hpa perm) victims)
+    end;
     let (_ : int) = Hw.Ept.unmap_hpa_range ept range in
     mktme_on_detach s range;
     flush_tlb_after_detach s domain;
     List.iter
-      (fun bdf -> Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf range)
+      (fun bdf ->
+        journal_iommu s bdf;
+        Hw.Iommu.revoke_range s.machine.Hw.Machine.iommu ~device:bdf range)
       !(devices_of s domain);
+    journal_mem s domain;
     let mem = mem_of s domain in
     mem :=
       List.concat_map
         (fun (r, perm) ->
           List.map (fun piece -> (piece, perm)) (Hw.Addr.Range.subtract r range))
         !mem;
-    Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
-      ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter range;
+    (* Zeroing is destructive: stage it so a later failure in the same
+       transaction never needs to un-zero memory. *)
+    defer s (fun () ->
+      Cap.Revocation.apply cleanup ~mem:s.machine.Hw.Machine.mem
+        ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter range);
     Ok ()
 
 let attach_device s domain bdf =
+  journal_devices s domain;
   let devices = devices_of s domain in
   devices := bdf :: !devices;
+  journal_iommu s bdf;
   List.iter
     (fun (range, perm) ->
       Hw.Iommu.grant s.machine.Hw.Machine.iommu ~device:bdf range (dma_perm perm))
@@ -117,13 +234,21 @@ let attach_device s domain bdf =
   Ok ()
 
 let detach_device s domain bdf =
+  journal_iommu s bdf;
+  if s.journaling then begin
+    let interrupts = s.machine.Hw.Machine.interrupts in
+    let vectors = Hw.Interrupt.permitted interrupts ~device:bdf in
+    record s (fun () ->
+      List.iter (fun vector -> Hw.Interrupt.permit interrupts ~device:bdf ~vector) vectors)
+  end;
   Hw.Iommu.revoke_all s.machine.Hw.Machine.iommu ~device:bdf;
   Hw.Interrupt.revoke_device s.machine.Hw.Machine.interrupts ~device:bdf;
+  journal_devices s domain;
   let devices = devices_of s domain in
   devices := List.filter (fun d -> d <> bdf) !devices;
   Ok ()
 
-let apply_effect s = function
+let apply_effect_unsafe s = function
   | Cap.Captree.Attach { domain; resource = Cap.Resource.Memory r; perm } ->
     attach_memory s domain r perm
   | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
@@ -136,6 +261,9 @@ let apply_effect s = function
   | Cap.Captree.Detach { resource = Cap.Resource.Cpu_core _; _ } ->
     (* Core eligibility is checked by the monitor at transition time. *)
     Ok ()
+
+let apply_effect s eff =
+  try apply_effect_unsafe s eff with Fault.Injected _ as e -> Error (fault_error e)
 
 let validate_attach _domain resource =
   match resource with
@@ -153,6 +281,15 @@ let mode_for d =
 
 let enter s ~core d =
   let id = Tyche.Domain.id d in
+  if s.journaling then begin
+    let old_ept = Hw.Cpu.active_ept core
+    and old_asid = Hw.Cpu.asid core
+    and old_mode = Hw.Cpu.mode core in
+    record s (fun () ->
+      Hw.Cpu.set_active_ept core old_ept;
+      Hw.Cpu.set_asid core old_asid;
+      Hw.Cpu.set_mode core old_mode)
+  end;
   Hw.Cpu.set_active_ept core (Hashtbl.find_opt s.epts id);
   Hw.Cpu.set_asid core (Tyche.Domain.asid d);
   Hw.Cpu.set_mode core (mode_for d)
@@ -185,7 +322,10 @@ let transition s ~core ~from_ ~to_ ~flush_microarch =
         (* First trap between this pair: the monitor pre-registers the
            target EPT in the source's EPTP list so later transitions can
            take the VMFUNC path (ablation a2: silently degrades to the
-           trap path forever once the 512-entry list is full). *)
+           trap path forever once the 512-entry list is full). A
+           registration is not rolled back with a failed transaction:
+           keeping it is semantics-preserving (the pair still exists)
+           and not on the invariant surface. *)
         match from_list, to_ept with
         | Some l, Some e -> ignore (Hw.Ept.Eptp_list.register l e : int option)
         | _ -> ()
@@ -194,7 +334,9 @@ let transition s ~core ~from_ ~to_ ~flush_microarch =
     end
   in
   enter s ~core to_;
-  path
+  (* No fallible hardware step on this path: EPT switching cannot run
+     out of resources the way PMP reprogramming can. *)
+  Ok path
 
 let domain_reaches s d range =
   match Hashtbl.find_opt s.epts (Tyche.Domain.id d) with
@@ -216,13 +358,23 @@ let create machine ?(tlb_strategy = Full_shootdown) ?mktme () =
       domain_mem = Hashtbl.create 16;
       domain_devices = Hashtbl.create 16;
       fast = 0;
-      trap = 0 }
+      trap = 0;
+      journal = [];
+      journaling = false;
+      deferred = [] }
   in
   let backend =
     { Tyche.Backend_intf.backend_name = "x86_64-vtx";
       domain_created =
         (fun d ->
           let id = Tyche.Domain.id d in
+          if s.journaling then
+            (* A fresh domain has no prior backend state: undo removes
+               everything this call creates. *)
+            record s (fun () ->
+              Hashtbl.remove s.confidential id;
+              Hashtbl.remove s.epts id;
+              Hashtbl.remove s.eptp_lists id);
           (match Tyche.Domain.kind d with
           | Tyche.Domain.Enclave | Tyche.Domain.Confidential_vm ->
             Hashtbl.replace s.confidential id ()
@@ -232,6 +384,21 @@ let create machine ?(tlb_strategy = Full_shootdown) ?mktme () =
       domain_destroyed =
         (fun d ->
           let id = Tyche.Domain.id d in
+          if s.journaling then begin
+            let ept = Hashtbl.find_opt s.epts id
+            and eptp = Hashtbl.find_opt s.eptp_lists id
+            and mem = Hashtbl.find_opt s.domain_mem id
+            and devices = Hashtbl.find_opt s.domain_devices id
+            and conf = Hashtbl.mem s.confidential id
+            and keyid = Hashtbl.find_opt s.keyids id in
+            record s (fun () ->
+              Option.iter (Hashtbl.replace s.epts id) ept;
+              Option.iter (Hashtbl.replace s.eptp_lists id) eptp;
+              Option.iter (Hashtbl.replace s.domain_mem id) mem;
+              Option.iter (Hashtbl.replace s.domain_devices id) devices;
+              if conf then Hashtbl.replace s.confidential id ();
+              Option.iter (Hashtbl.replace s.keyids id) keyid)
+          end;
           Hashtbl.remove s.epts id;
           Hashtbl.remove s.eptp_lists id;
           Hashtbl.remove s.domain_mem id;
@@ -246,7 +413,10 @@ let create machine ?(tlb_strategy = Full_shootdown) ?mktme () =
       launch = (fun ~core d -> enter s ~core d);
       domain_reaches = (fun d r -> domain_reaches s d r);
       domain_encrypted =
-        (fun d -> s.mktme <> None && Hashtbl.mem s.keyids (Tyche.Domain.id d)) }
+        (fun d -> s.mktme <> None && Hashtbl.mem s.keyids (Tyche.Domain.id d));
+      txn_begin = (fun () -> txn_begin s);
+      txn_commit = (fun () -> txn_commit s);
+      txn_rollback = (fun () -> txn_rollback s) }
   in
   registry := (backend, s) :: !registry;
   backend

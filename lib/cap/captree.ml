@@ -73,6 +73,16 @@ type t = {
   mutable segments : segment IntMap.t;
   mutable generation : int;
   mutable region_cache : (Hw.Addr.Range.t * domain_id list) list option;
+  (* Undo journal for crash consistency. While [journaling], every
+     mutation primitive prepends the exact inverse of its own effect
+     (node table, indexes, parent/roots links, id counter); rollback
+     replays the closures newest-first, so the composite inverse runs
+     in the only order that is always correct: (a b)⁻¹ = b⁻¹ a⁻¹.
+     [generation] is deliberately NOT restored — a rolled-back tree is
+     byte-identical in content but must still invalidate memoized
+     derived views. *)
+  mutable journal : (unit -> unit) list;
+  mutable journaling : bool;
 }
 
 let create () =
@@ -85,7 +95,9 @@ let create () =
     mem_roots = IntMap.empty;
     segments = IntMap.empty;
     generation = 0;
-    region_cache = None }
+    region_cache = None;
+    journal = [];
+    journaling = false }
 
 let generation t = t.generation
 let segment_count t = IntMap.cardinal t.segments
@@ -93,6 +105,33 @@ let segment_count t = IntMap.cardinal t.segments
 let touch t =
   t.generation <- t.generation + 1;
   t.region_cache <- None
+
+(* --- undo journal --------------------------------------------------- *)
+
+(* Call sites guard with [if t.journaling then record t (fun () -> ...)]
+   rather than checking inside [record]: OCaml allocates the closure at
+   the call site either way, and the fault-free fast path must not. *)
+let record t undo = t.journal <- undo :: t.journal
+
+let txn_begin t =
+  if t.journaling then invalid_arg "Captree.txn_begin: transaction already open";
+  t.journal <- [];
+  t.journaling <- true
+
+let txn_commit t =
+  t.journaling <- false;
+  t.journal <- []
+
+let txn_rollback t =
+  let undos = t.journal in
+  t.journaling <- false;
+  t.journal <- [];
+  List.iter (fun undo -> undo ()) undos;
+  (* Undo closures patch indexes directly; make sure memoized views
+     (region cache, attestation bodies) see a fresh generation. *)
+  touch t
+
+let in_txn t = t.journaling
 
 let ( let* ) = Result.bind
 
@@ -107,6 +146,7 @@ let find_active t id =
 
 let fresh_id t =
   let id = t.next_id in
+  if t.journaling then record t (fun () -> t.next_id <- id);
   t.next_id <- id + 1;
   id
 
@@ -274,17 +314,28 @@ let add_node t node =
   Hashtbl.replace t.nodes node.id node;
   domain_index_add t node.owner node.id;
   index_activate t node;
+  if t.journaling then
+    record t (fun () ->
+      Hashtbl.remove t.nodes node.id;
+      domain_index_remove t node.owner node.id;
+      index_deactivate t node);
   (match node.parent with
   | Some pid ->
     (* Prepend: O(1) per share. Nothing depends on child order (ids
        give creation order where needed). *)
     let p = Hashtbl.find t.nodes pid in
-    p.children <- node.id :: p.children
+    p.children <- node.id :: p.children;
+    if t.journaling then
+      record t (fun () -> p.children <- List.filter (fun c -> c <> node.id) p.children)
   | None ->
     (* Prepend here too: the roots list is an unordered set; creation
        order, where a caller needs it, is materialized from ids. *)
     t.roots <- node.id :: t.roots;
-    root_index_add t node)
+    root_index_add t node;
+    if t.journaling then
+      record t (fun () ->
+        t.roots <- List.filter (fun r -> r <> node.id) t.roots;
+        root_index_remove t node))
 
 let root t ~owner resource rights =
   let overlapping =
@@ -335,6 +386,10 @@ let grant t id ~to_ ~rights ~cleanup =
   else begin
     let cid = fresh_id t in
     touch t;
+    if t.journaling then
+      record t (fun () ->
+        n.state <- Active;
+        index_activate t n);
     n.state <- Inactive_granted;
     index_deactivate t n;
     add_node t
@@ -356,6 +411,10 @@ let split t id ~at =
     | None -> Error Bad_subrange
     | Some (left, right) ->
       touch t;
+      if t.journaling then
+        record t (fun () ->
+          n.state <- Active;
+          index_activate t n);
       n.state <- Inactive_split;
       index_deactivate t n;
       let make range =
@@ -430,7 +489,16 @@ let remove_and_collect t node =
         Hashtbl.remove t.nodes v.id;
         domain_index_remove t v.owner v.id;
         (match v.parent with None -> root_index_remove t v | Some _ -> ());
-        if v.state = Active then begin
+        let was_active = v.state = Active in
+        if t.journaling then
+          (* Interior victims keep their [children] links untouched, so
+             re-adding every victim node restores the whole subtree. *)
+          record t (fun () ->
+            Hashtbl.replace t.nodes v.id v;
+            domain_index_add t v.owner v.id;
+            (match v.parent with None -> root_index_add t v | Some _ -> ());
+            if was_active then index_activate t v);
+        if was_active then begin
           index_deactivate t v;
           Some (Detach { domain = v.owner; resource = v.resource; cleanup = v.node_cleanup })
         end
@@ -440,14 +508,23 @@ let remove_and_collect t node =
   (* Unlink from the parent, possibly reactivating it. *)
   match node.parent with
   | None ->
+    let old_roots = t.roots in
+    if t.journaling then record t (fun () -> t.roots <- old_roots);
     t.roots <- List.filter (fun r -> r <> node.id) t.roots;
     effects
   | Some pid -> (
     match Hashtbl.find_opt t.nodes pid with
     | None -> effects
     | Some p ->
+      let old_children = p.children in
+      if t.journaling then record t (fun () -> p.children <- old_children);
       p.children <- List.filter (fun c -> c <> node.id) p.children;
       if p.children = [] && p.state <> Active then begin
+        let old_state = p.state in
+        if t.journaling then
+          record t (fun () ->
+            index_deactivate t p;
+            p.state <- old_state);
         p.state <- Active;
         index_activate t p;
         effects

@@ -94,6 +94,36 @@ val revoke : t -> cap_id -> (effect list, error) result
 val revoke_children : t -> cap_id -> (effect list, error) result
 (** Revoke every delegation made from this capability, keeping it. *)
 
+(** {2 Transactions (crash consistency)}
+
+    The monitor wraps each mutating API call in a transaction. While one
+    is open, every tree mutation journals its exact inverse (node table,
+    incremental indexes, parent/roots links, id counter); if a hardware
+    effect then fails mid-operation, {!txn_rollback} replays the journal
+    newest-first and the tree is structurally identical to its
+    pre-transaction state. {!generation} still advances across a
+    rollback — a rolled-back tree has identical content but memoized
+    derived views (attestation bodies, the region cache) must not be
+    reused blindly.
+
+    Fault-free overhead is one branch per mutation primitive (no closure
+    is allocated when no transaction is open); E5 in EXPERIMENTS.md
+    records the measured cost. *)
+
+val txn_begin : t -> unit
+(** Open a transaction; subsequent mutations are journaled.
+    @raise Invalid_argument if one is already open (no nesting). *)
+
+val txn_commit : t -> unit
+(** Close the transaction and discard the journal (the mutations keep). *)
+
+val txn_rollback : t -> unit
+(** Close the transaction and undo every journaled mutation, newest
+    first. After it returns the tree content equals the state at
+    {!txn_begin}. *)
+
+val in_txn : t -> bool
+
 (** {2 Inspection} *)
 
 val owner : t -> cap_id -> domain_id option

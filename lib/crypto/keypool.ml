@@ -18,6 +18,14 @@ type t = {
 
 let default_target = 128
 
+(* Graceful-degradation injection points: a failed take degrades to
+   on-demand generation (a miss, visible in [stats]); a failed
+   replenish leaves the stock low until the next one succeeds. Neither
+   can make a signature fail — the pool only changes *when* keys are
+   generated. *)
+let take_fault = Fault.register "keypool.take"
+let replenish_fault = Fault.register "keypool.replenish"
+
 let create ?low_water ?(target = default_target) rng =
   if target < 0 then invalid_arg "Keypool.create: negative target";
   let low_water = match low_water with Some l -> l | None -> target / 2 in
@@ -34,7 +42,7 @@ let low_water t = t.low_water
 let target t = t.target
 
 let take t =
-  match Queue.take_opt t.stock with
+  match if Fault.fires take_fault then None else Queue.take_opt t.stock with
   | Some pair ->
       t.hits <- t.hits + 1;
       pair
@@ -43,9 +51,14 @@ let take t =
       Ots.generate t.rng
 
 let replenish t =
-  if Queue.length t.stock < t.low_water then
+  if Fault.fires replenish_fault then ()
+  else if Queue.length t.stock < t.low_water then
     while Queue.length t.stock < t.target do
       Queue.add (Ots.generate t.rng) t.stock
     done
 
 let stats t = (t.hits, t.misses)
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.misses /. float_of_int total

@@ -37,4 +37,10 @@ val low_water : t -> int
 val target : t -> int
 
 val stats : t -> int * int
-(** [(hits, misses)]: takes served from stock vs. generated on demand. *)
+(** [(hits, misses)]: takes served from stock vs. generated on demand.
+    A take failed by an armed fault plan counts as a miss — the pool
+    degrades to on-demand generation, it never fails a signature. *)
+
+val miss_rate : t -> float
+(** [misses / (hits + misses)], or [0.] before any take — surfaced in
+    [Monitor.attest] telemetry so operators see pool starvation. *)

@@ -3,9 +3,14 @@ type endpoint = string
 type t = {
   queues : (endpoint, string Queue.t) Hashtbl.t;
   mutable total : int;
+  mutable dropped : int;
 }
 
-let create () = { queues = Hashtbl.create 8; total = 0 }
+(* Lossy-delivery point: a fired fault silently drops the message in
+   flight, as a real lossy link would — senders cannot observe it. *)
+let deliver_fault = Fault.register "net.deliver"
+
+let create () = { queues = Hashtbl.create 8; total = 0; dropped = 0 }
 
 let queue t ep =
   match Hashtbl.find_opt t.queues ep with
@@ -18,7 +23,8 @@ let queue t ep =
 let send t ~from_ ~to_ msg =
   ignore from_;
   t.total <- t.total + 1;
-  Queue.add msg (queue t to_)
+  if Fault.fires deliver_fault then t.dropped <- t.dropped + 1
+  else Queue.add msg (queue t to_)
 
 let recv t ep = Queue.take_opt (queue t ep)
 
@@ -47,3 +53,5 @@ let inject t ~to_ msg =
 let replay = inject
 
 let total_messages t = t.total
+
+let dropped t = t.dropped

@@ -35,3 +35,8 @@ val replay : t -> to_:endpoint -> string -> unit
 
 val total_messages : t -> int
 (** Messages ever sent (statistics). *)
+
+val dropped : t -> int
+(** Messages silently dropped in flight by an armed fault plan firing
+    the ["net.deliver"] point (statistics). Senders cannot observe a
+    drop — {!Session} must tolerate it with retries. *)

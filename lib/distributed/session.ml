@@ -52,6 +52,62 @@ let establish ~nonce ~a ~b =
     Ok (key, key)
   | failures -> Error failures
 
+type establish_error =
+  | Rejected of string list
+  | Timeout of { attempts : int; waited : int }
+
+let establish_error_to_string = function
+  | Rejected reasons -> "rejected: " ^ String.concat "; " reasons
+  | Timeout { attempts; waited } ->
+    Printf.sprintf "timed out after %d attempts (%d backoff units waited)" attempts waited
+
+(* Attested establishment over a lossy network: each side ships its
+   attestation bytes to the broker, which retries lost or mangled
+   exchanges with capped exponential backoff. Only *delivery* is
+   retried — a cryptographic verification failure is deterministic
+   (resending identical evidence cannot change the verdict), so it
+   rejects immediately. The TPM quotes travel the machine-local attested
+   path (see the module doc) and are taken from [a]/[b] directly. *)
+let establish_over net ~broker ?(max_attempts = 5) ?(base_backoff = 1) ?(max_backoff = 8)
+    ?(adversary = fun _ -> ()) ~nonce ~a ~b () =
+  if max_attempts < 1 then invalid_arg "Session.establish_over: max_attempts < 1";
+  if base_backoff < 1 || max_backoff < base_backoff then
+    invalid_arg "Session.establish_over: bad backoff bounds";
+  let party_a, ev_a = a and party_b, ev_b = b in
+  let rec attempt n ~backoff ~waited =
+    if n > max_attempts then Error (Timeout { attempts = max_attempts; waited })
+    else begin
+      (* Drain stale datagrams from a previous partial exchange so a
+         late duplicate cannot be mistaken for this round's evidence. *)
+      while Network.recv net broker <> None do () done;
+      Network.send net ~from_:party_a.name ~to_:broker
+        (Tyche.Attestation.to_wire ev_a.attestation);
+      Network.send net ~from_:party_b.name ~to_:broker
+        (Tyche.Attestation.to_wire ev_b.attestation);
+      adversary n;
+      let received =
+        match Network.recv net broker, Network.recv net broker with
+        | Some wire_a, Some wire_b -> (
+          match Tyche.Attestation.of_wire wire_a, Tyche.Attestation.of_wire wire_b with
+          | Ok att_a, Ok att_b -> Some (att_a, att_b)
+          | _ -> None (* tampered in flight: indistinguishable from loss *))
+        | _ -> None (* dropped in flight *)
+      in
+      match received with
+      | None ->
+        attempt (n + 1) ~backoff:(min (backoff * 2) max_backoff) ~waited:(waited + backoff)
+      | Some (att_a, att_b) -> (
+        match
+          establish ~nonce
+            ~a:(party_a, { ev_a with attestation = att_a })
+            ~b:(party_b, { ev_b with attestation = att_b })
+        with
+        | Ok keys -> Ok (keys, n)
+        | Error reasons -> Error (Rejected reasons))
+    end
+  in
+  attempt 1 ~backoff:base_backoff ~waited:0
+
 type link = {
   net : Network.t;
   local : Network.endpoint;

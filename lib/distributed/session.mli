@@ -45,6 +45,46 @@ val establish :
     attestations' measurements and the nonce, so distinct deployments
     get distinct keys. *)
 
+(** {2 Establishment over a lossy network} *)
+
+type establish_error =
+  | Rejected of string list
+  (** Cryptographic or policy verification failed. Deterministic —
+      retrying identical evidence cannot change the verdict, so the
+      broker gives up immediately. *)
+  | Timeout of { attempts : int; waited : int }
+  (** The attempt budget ran out before one intact evidence exchange:
+      [attempts] tries were made and [waited] backoff units simulated. *)
+
+val establish_error_to_string : establish_error -> string
+
+val establish_over :
+  Network.t ->
+  broker:Network.endpoint ->
+  ?max_attempts:int ->
+  ?base_backoff:int ->
+  ?max_backoff:int ->
+  ?adversary:(int -> unit) ->
+  nonce:string ->
+  a:party * evidence ->
+  b:party * evidence ->
+  unit ->
+  ((string * string) * int, establish_error) result
+(** {!establish}, but the attestation evidence crosses the untrusted
+    (and possibly lossy) {!Network} to the [broker] endpoint, with
+    retries: each attempt sends both attestations, then tries to
+    receive and parse both; a drop (the ["net.deliver"] fault point, or
+    the adversary's {!Network.drop_head}) or in-flight tampering makes
+    the whole exchange retry after a backoff that doubles from
+    [base_backoff] (default 1) up to [max_backoff] (default 8) units,
+    at most [max_attempts] (default 5) times. [adversary] runs between
+    send and receive on each attempt (its argument is the 1-based
+    attempt number) — tests use it to drop or tamper queued datagrams.
+    On success returns the session keys and the attempt number that
+    made it through. Stale datagrams from earlier partial exchanges are
+    drained before each attempt, so a late duplicate can never satisfy
+    a later round. *)
+
 (** The secured link, once each side holds the session key. *)
 type link
 

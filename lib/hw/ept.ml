@@ -8,6 +8,10 @@ type t = {
 
 exception Violation of { gpa : Addr.t; access : [ `Read | `Write | `Exec ] }
 
+(* Injection points: a page-table write that fails mid-update. *)
+let map_fault = Fault.register "ept.map"
+let unmap_fault = Fault.register "ept.unmap"
+
 let next_id = ref 0
 
 let create ~counter =
@@ -19,6 +23,7 @@ let page_index a = a / Addr.page_size
 let map_page t ~gpa ~hpa perm =
   if not (Addr.is_page_aligned gpa && Addr.is_page_aligned hpa) then
     invalid_arg "Ept.map_page: unaligned address";
+  Fault.hit map_fault;
   Cycles.charge t.counter Cycles.Cost.ept_map_page;
   Hashtbl.replace t.pages (page_index gpa) { hpa; perm }
 
@@ -30,6 +35,7 @@ let map_range t ~gpa range perm =
     (Addr.Range.pages range)
 
 let unmap_page t ~gpa =
+  Fault.hit unmap_fault;
   Cycles.charge t.counter Cycles.Cost.ept_unmap_page;
   Hashtbl.remove t.pages (page_index gpa)
 
@@ -42,6 +48,7 @@ let unmap_hpa_range t range =
   in
   List.iter
     (fun gpa_idx ->
+      Fault.hit unmap_fault;
       Cycles.charge t.counter Cycles.Cost.ept_unmap_page;
       Hashtbl.remove t.pages gpa_idx)
     victims;
@@ -54,6 +61,18 @@ let translate t ~gpa ~access =
   | Some { hpa; perm } ->
     if Perm.allows perm access then hpa + (gpa land (Addr.page_size - 1))
     else raise (Violation { gpa; access })
+
+let entry_at t ~gpa =
+  match Hashtbl.find_opt t.pages (page_index gpa) with
+  | Some { hpa; perm } -> Some (hpa, perm)
+  | None -> None
+
+let mappings_to t range =
+  Hashtbl.fold
+    (fun gpa_idx { hpa; perm } acc ->
+      if Addr.Range.contains range hpa then (gpa_idx * Addr.page_size, hpa, perm) :: acc
+      else acc)
+    t.pages []
 
 let mapped_pages t = Hashtbl.length t.pages
 

@@ -32,6 +32,15 @@ val translate : t -> gpa:Addr.t -> access:[ `Read | `Write | `Exec ] -> Addr.t
 (** Translate a guest-physical address, checking permissions.
     @raise Violation on missing mapping or insufficient rights. *)
 
+val entry_at : t -> gpa:Addr.t -> (Addr.t * Perm.t) option
+(** The mapping (hpa, perm) of the page containing [gpa], if any —
+    captured by the backends' undo journals before an overwrite. *)
+
+val mappings_to : t -> Addr.Range.t -> (Addr.t * Addr.t * Perm.t) list
+(** [(gpa, hpa, perm)] for every mapping whose target lies in the host
+    range — exactly the set {!unmap_hpa_range} would remove, captured
+    up front so a faulted detach can be rolled back. *)
+
 val mapped_pages : t -> int
 val hpa_reachable : t -> Addr.t -> Perm.t
 (** Union of permissions with which any gpa maps to the page containing

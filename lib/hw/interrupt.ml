@@ -17,6 +17,10 @@ let route t ~vector ~core = Hashtbl.replace t.routes vector core
 
 let permit t ~device ~vector = Hashtbl.replace t.remap (device, vector) ()
 
+let permitted t ~device =
+  Hashtbl.fold (fun (d, v) () acc -> if d = device then v :: acc else acc) t.remap []
+  |> List.sort Int.compare
+
 let revoke_device t ~device =
   let victims =
     Hashtbl.fold (fun (d, v) () acc -> if d = device then (d, v) :: acc else acc) t.remap []

@@ -20,6 +20,10 @@ val permit : t -> device:int -> vector:int -> unit
 
 val revoke_device : t -> device:int -> unit
 
+val permitted : t -> device:int -> int list
+(** Vectors the device is currently allowed to raise (sorted) —
+    captured by the backends' undo journals before {!revoke_device}. *)
+
 val post : t -> device:int -> vector:int -> int
 (** Deliver an interrupt; returns the target core id.
     @raise Blocked if the device is not permitted to raise the vector.

@@ -5,6 +5,9 @@ type t = {
 
 exception Dma_fault of { device : int; addr : Addr.t }
 
+(* Remapping-table updates can be failed by an armed fault plan. *)
+let update_fault = Fault.register "iommu.update"
+
 let create ~counter = { table = Hashtbl.create 16; counter }
 
 let slot t device =
@@ -16,11 +19,13 @@ let slot t device =
     l
 
 let grant t ~device range perm =
+  Fault.hit update_fault;
   Cycles.charge t.counter Cycles.Cost.iommu_table_update;
   let l = slot t device in
   l := (range, perm) :: !l
 
 let revoke_range t ~device range =
+  Fault.hit update_fault;
   Cycles.charge t.counter Cycles.Cost.iommu_table_update;
   let l = slot t device in
   l :=
@@ -46,6 +51,12 @@ let check t ~device addr access =
 
 let windows t ~device =
   match Hashtbl.find_opt t.table device with Some l -> !l | None -> []
+
+(* Rollback hook for the backends' undo journals: restore a device's
+   window list to a previously captured value, without charging cycles
+   or consulting fault plans (rollback must never fault). *)
+let set_windows t ~device ws =
+  if ws = [] then Hashtbl.remove t.table device else (slot t device) := ws
 
 let device_reaches t ~device range =
   List.exists (fun (w, _) -> Addr.Range.overlaps w range) (windows t ~device)

@@ -24,5 +24,11 @@ val check : t -> device:int -> Addr.t -> [ `Read | `Write ] -> unit
 (** @raise Dma_fault if the access is outside every window. *)
 
 val windows : t -> device:int -> (Addr.Range.t * Perm.t) list
+
+val set_windows : t -> device:int -> (Addr.Range.t * Perm.t) list -> unit
+(** Restore a device's window list to a value previously captured with
+    {!windows} — the backends' undo journals use this to roll a faulted
+    effect back. Charges no cycles and consults no fault plan. *)
+
 val device_reaches : t -> device:int -> Addr.Range.t -> bool
 (** Whether any window of the device overlaps the range. *)

@@ -6,6 +6,10 @@ type t = { slots : entry option array; counter : Cycles.counter }
 
 exception Fault of { addr : Addr.t; access : access }
 
+(* Every configuration write can be failed by an armed fault plan —
+   modelling a CSR write that a flaky hart drops mid-reprogram. *)
+let write_fault = Fault.register "pmp.write"
+
 let create ?(entries = 16) ~counter () =
   if entries <= 0 then invalid_arg "Pmp.create: entries must be positive";
   { slots = Array.make entries None; counter }
@@ -20,6 +24,7 @@ let set t ~index range perm ~locked =
   (match t.slots.(index) with
   | Some { locked = true; _ } -> invalid_arg "Pmp.set: entry is locked"
   | _ -> ());
+  Fault.hit write_fault;
   Cycles.charge t.counter Cycles.Cost.pmp_entry_write;
   t.slots.(index) <- Some { range; perm; locked }
 
@@ -28,6 +33,7 @@ let clear t ~index =
   (match t.slots.(index) with
   | Some { locked = true; _ } -> invalid_arg "Pmp.clear: entry is locked"
   | _ -> ());
+  Fault.hit write_fault;
   Cycles.charge t.counter Cycles.Cost.pmp_entry_write;
   t.slots.(index) <- None
 

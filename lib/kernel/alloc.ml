@@ -10,6 +10,11 @@ let create range =
 
 let round_up bytes = Hw.Addr.align_up (max 1 bytes)
 
+(* Graceful-degradation point: a fired fault makes the allocation
+   report exhaustion ([None]) without touching the free list, exactly
+   as if no hole were large enough. *)
+let alloc_fault = Fault.register "alloc"
+
 let take_from t range piece =
   t.free_list <-
     List.concat_map
@@ -25,11 +30,13 @@ let alloc_aligned t ~bytes ~align =
     if base + len <= Hw.Addr.Range.limit r then Some (r, Hw.Addr.Range.make ~base ~len)
     else None
   in
-  match List.find_map fits t.free_list with
-  | Some (host, piece) ->
-    take_from t host piece;
-    Some piece
-  | None -> None
+  if Fault.fires alloc_fault then None
+  else
+    match List.find_map fits t.free_list with
+    | Some (host, piece) ->
+      take_from t host piece;
+      Some piece
+    | None -> None
 
 let alloc t ~bytes = alloc_aligned t ~bytes ~align:Hw.Addr.page_size
 

@@ -12,8 +12,11 @@ type t = {
   validate_attach : Domain.t -> Cap.Resource.t -> (unit, string) result;
   transition :
     core:Hw.Cpu.t -> from_:Domain.t -> to_:Domain.t -> flush_microarch:bool ->
-    transition_path;
+    (transition_path, string) result;
   launch : core:Hw.Cpu.t -> Domain.t -> unit;
   domain_reaches : Domain.t -> Hw.Addr.Range.t -> bool;
   domain_encrypted : Domain.t -> bool;
+  txn_begin : unit -> unit;
+  txn_commit : unit -> unit;
+  txn_rollback : unit -> unit;
 }

@@ -29,9 +29,12 @@ type t = {
       EPT backend accepts anything page-aligned. *)
   transition :
     core:Hw.Cpu.t -> from_:Domain.t -> to_:Domain.t -> flush_microarch:bool ->
-    transition_path;
+    (transition_path, string) result;
   (** Switch the core's translation context between domains, charging
-      the simulated hardware cost; returns which path was taken. *)
+      the simulated hardware cost; returns which path was taken, or
+      [Error] when hardware programming fails (PMP reprogramming over
+      budget, an injected fault) — in which case the core's context must
+      be left on [from_]. *)
   launch : core:Hw.Cpu.t -> Domain.t -> unit;
   (** Boot-time entry of the initial domain on a core (no from-context,
       no cost accounting). *)
@@ -43,4 +46,15 @@ type t = {
   (** Whether the domain's confidential memory currently sits under a
       private memory-encryption key (MKTME/SEV-style) — the physical-
       attack posture attestations expose to remote verifiers. *)
+  txn_begin : unit -> unit;
+  (** Open a hardware transaction: until commit/rollback, every effect
+      the backend applies journals an undo, and destructive clean-ups
+      (memory zeroing) are deferred. The monitor brackets each mutating
+      API call with these, mirroring {!Cap.Captree.txn_begin}. *)
+  txn_commit : unit -> unit;
+  (** Discard the journal and run the deferred destructive clean-ups. *)
+  txn_rollback : unit -> unit;
+  (** Undo every journaled hardware effect (newest first) and drop the
+      deferred clean-ups; hardware state must equal the state at
+      [txn_begin]. Runs with fault injection suspended. *)
 }

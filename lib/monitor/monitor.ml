@@ -7,6 +7,7 @@ type error =
   | Unknown_domain of Domain.id
   | Denied of string
   | Backend_refused of string
+  | Backend_failure of string
   | Bad_transition of string
   | Domain_config of string
 
@@ -15,6 +16,7 @@ let error_to_string = function
   | Unknown_domain id -> Printf.sprintf "unknown domain %d" id
   | Denied s -> "denied: " ^ s
   | Backend_refused s -> "backend refused: " ^ s
+  | Backend_failure s -> "backend failure (rolled back): " ^ s
   | Bad_transition s -> "bad transition: " ^ s
   | Domain_config s -> "domain configuration: " ^ s
 
@@ -46,6 +48,10 @@ type t = {
   reg_contexts : (Domain.id * int, int array) Hashtbl.t; (* (domain, core) *)
   mutable transitions : int;
   attest_cache : (Domain.id, attest_entry) Hashtbl.t;
+  keypool : Crypto.Keypool.t option;
+  mutable attests : int; (* attestations signed (telemetry) *)
+  mutable body_hits : int; (* memoized attestation bodies reused *)
+  mutable body_misses : int; (* bodies re-enumerated *)
 }
 
 let key_binding_pcr = 18
@@ -67,23 +73,51 @@ let domains t =
 let get_domain t id =
   match find_domain t id with Some d -> Ok d | None -> Error (Unknown_domain id)
 
+(* Apply backend effects in order, stopping at the first failure. The
+   typed [Backend_failure] error replaces the old invalid_arg escape
+   hatch: callers run inside [with_txn], which rolls both the tree and
+   the hardware back, so a failed effect can never leave the two
+   disagreeing. *)
 let apply_effects t effects =
-  List.iter
-    (fun eff ->
+  let rec go = function
+    | [] -> Ok ()
+    | eff :: rest -> (
       match t.backend.Backend_intf.apply_effect eff with
-      | Ok () -> ()
+      | Ok () -> go rest
       | Error msg ->
-        (* Effects were validated up front; a failure here is a monitor
-           bug, which the prototype surfaces loudly rather than hiding. *)
-        Log.err (fun m -> m "backend effect failed: %s" msg);
-        invalid_arg ("Monitor: backend effect failed: " ^ msg))
-    effects
+        Log.warn (fun m -> m "backend effect failed, rolling back: %s" msg);
+        Error (Backend_failure msg))
+  in
+  go effects
 
 let cap_result t = function
   | Ok (value, effects) ->
-    apply_effects t effects;
+    let* () = apply_effects t effects in
     Ok value
   | Error e -> Error (Cap_error e)
+
+(* Bracket one mutating API call: journal tree mutations and hardware
+   effects, commit on success, roll BOTH back on a typed error or an
+   exception — state after a failed call is structurally identical to
+   state before it. The backend rolls back first (its undo may read
+   nothing from the tree, but symmetry with the forward order —
+   tree-then-hardware — costs nothing and composes: (ab)⁻¹ = b⁻¹a⁻¹). *)
+let with_txn t f =
+  Cap.Captree.txn_begin t.tree;
+  t.backend.Backend_intf.txn_begin ();
+  match f () with
+  | Ok _ as ok ->
+    t.backend.Backend_intf.txn_commit ();
+    Cap.Captree.txn_commit t.tree;
+    ok
+  | Error _ as err ->
+    t.backend.Backend_intf.txn_rollback ();
+    Cap.Captree.txn_rollback t.tree;
+    err
+  | exception e ->
+    t.backend.Backend_intf.txn_rollback ();
+    Cap.Captree.txn_rollback t.tree;
+    raise e
 
 let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range =
   let signer = Crypto.Signature.create ~height:signer_height ?pool:keypool rng in
@@ -102,7 +136,11 @@ let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range
       stacks = Array.make (Array.length machine.Hw.Machine.cores) [];
       reg_contexts = Hashtbl.create 16;
       transitions = 0;
-      attest_cache = Hashtbl.create 16 }
+      attest_cache = Hashtbl.create 16;
+      keypool;
+      attests = 0;
+      body_hits = 0;
+      body_misses = 0 }
   in
   let os = Domain.make ~id:Domain.initial ~name:"os" ~kind:Domain.Os ~created_by:None in
   Hashtbl.replace t.domains Domain.initial os;
@@ -112,8 +150,14 @@ let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range
     Hw.Addr.Range.subtract (Hw.Physmem.full_range machine.Hw.Machine.mem) monitor_range
   in
   let add_root resource =
+    (* Boot-time only: there is no caller to hand an error to, so a
+       failure here (impossible outside a misconfigured harness) is
+       still fatal. No transaction is open — no journaling overhead. *)
     match Cap.Captree.root t.tree ~owner:Domain.initial resource Cap.Rights.full with
-    | Ok (_, effects) -> apply_effects t effects
+    | Ok (_, effects) -> (
+      match apply_effects t effects with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Monitor.boot: " ^ error_to_string e))
     | Error e -> invalid_arg ("Monitor.boot: " ^ Cap.Captree.error_to_string e)
   in
   List.iter (fun r -> add_root (Cap.Resource.Memory r)) free_memory;
@@ -205,22 +249,28 @@ let destroy_domain t ~caller ~domain =
     Error (Denied "only the creator may destroy a domain")
   else if running_on_some_core t domain then
     Error (Denied "domain is running or on a return stack")
-  else begin
-    let rec revoke_all () =
-      (* Inactive capabilities too: delegations the domain made from
-         granted-away pieces must cascade with it. *)
-      match Cap.Captree.all_caps_of_domain t.tree domain with
-      | [] -> Ok ()
-      | cap :: _ ->
-        let* () = cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)) in
-        revoke_all ()
-    in
-    let* () = revoke_all () in
-    t.backend.Backend_intf.domain_destroyed d;
-    Hashtbl.remove t.domains domain;
-    Hashtbl.remove t.attest_cache domain;
-    Ok ()
-  end
+  else
+    (* One transaction for the whole teardown: a fault in the middle of
+       the revocation cascade must leave every capability (and the
+       hardware) exactly as before the call. The table removals are
+       infallible and run last, so they need no undo. *)
+    with_txn t (fun () ->
+        let rec revoke_all () =
+          (* Inactive capabilities too: delegations the domain made from
+             granted-away pieces must cascade with it. *)
+          match Cap.Captree.all_caps_of_domain t.tree domain with
+          | [] -> Ok ()
+          | cap :: _ ->
+            let* () =
+              cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap))
+            in
+            revoke_all ()
+        in
+        let* () = revoke_all () in
+        t.backend.Backend_intf.domain_destroyed d;
+        Hashtbl.remove t.domains domain;
+        Hashtbl.remove t.attest_cache domain;
+        Ok ())
 
 (* Capability operations *)
 
@@ -258,7 +308,8 @@ let share t ~caller ~cap ~to_ ~rights ~cleanup ?subrange () =
   in
   let* target = attach_target t ~caller ~to_ ~resource in
   let* () = validate_attach t target resource in
-  cap_result t (Cap.Captree.share t.tree cap ~to_ ~rights ~cleanup ?subrange ())
+  with_txn t (fun () ->
+      cap_result t (Cap.Captree.share t.tree cap ~to_ ~rights ~cleanup ?subrange ()))
 
 let grant t ~caller ~cap ~to_ ~rights ~cleanup =
   let* () = owned_by t ~caller cap in
@@ -269,19 +320,20 @@ let grant t ~caller ~cap ~to_ ~rights ~cleanup =
   in
   let* target = attach_target t ~caller ~to_ ~resource in
   let* () = validate_attach t target resource in
-  cap_result t (Cap.Captree.grant t.tree cap ~to_ ~rights ~cleanup)
+  with_txn t (fun () -> cap_result t (Cap.Captree.grant t.tree cap ~to_ ~rights ~cleanup))
 
 let split t ~caller ~cap ~at =
   let* () = owned_by t ~caller cap in
-  match Cap.Captree.split t.tree cap ~at with
-  | Ok (l, r, effects) ->
-    apply_effects t effects;
-    Ok (l, r)
-  | Error e -> Error (Cap_error e)
+  with_txn t (fun () ->
+      match Cap.Captree.split t.tree cap ~at with
+      | Ok (l, r, effects) ->
+        let* () = apply_effects t effects in
+        Ok (l, r)
+      | Error e -> Error (Cap_error e))
 
 let carve t ~caller ~cap ~subrange =
   let* () = owned_by t ~caller cap in
-  cap_result t (Cap.Captree.carve t.tree cap ~subrange)
+  with_txn t (fun () -> cap_result t (Cap.Captree.carve t.tree cap ~subrange))
 
 let may_revoke t ~caller cap =
   let rec walk id =
@@ -295,7 +347,8 @@ let may_revoke t ~caller cap =
 
 let revoke t ~caller ~cap =
   let* () = may_revoke t ~caller cap in
-  cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap))
+  with_txn t (fun () ->
+      cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)))
 
 (* Transitions *)
 
@@ -314,17 +367,22 @@ let holds_core t domain core =
 let do_transition t ~core ~from_ ~to_ =
   let flush = Domain.flush_on_transition from_ || Domain.flush_on_transition to_ in
   let cpu = Hw.Machine.core t.machine core in
-  (* Context-switch the register file: the outgoing domain's registers
-     are saved (its VMCS/trap frame), and the incoming domain resumes
-     its own — or a zeroed file on first entry, so no register content
-     ever leaks across a domain boundary. *)
-  Hashtbl.replace t.reg_contexts (Domain.id from_, core) (Hw.Cpu.save_regs cpu);
-  (match Hashtbl.find_opt t.reg_contexts (Domain.id to_, core) with
-  | Some saved -> Hw.Cpu.load_regs cpu saved
-  | None -> Hw.Cpu.clear_regs cpu);
-  let path = t.backend.Backend_intf.transition ~core:cpu ~from_ ~to_ ~flush_microarch:flush in
-  t.transitions <- t.transitions + 1;
-  path
+  (* Hardware first: if the backend cannot switch the translation
+     context (PMP budget, an injected fault), the core must keep
+     running [from_] with its registers untouched. Only after the
+     hardware committed is the register file context-switched — the
+     outgoing domain's registers saved (its VMCS/trap frame), the
+     incoming domain's restored, or a zeroed file on first entry so no
+     register content ever leaks across a domain boundary. *)
+  match t.backend.Backend_intf.transition ~core:cpu ~from_ ~to_ ~flush_microarch:flush with
+  | Error msg -> Error (Backend_failure msg)
+  | Ok path ->
+    Hashtbl.replace t.reg_contexts (Domain.id from_, core) (Hw.Cpu.save_regs cpu);
+    (match Hashtbl.find_opt t.reg_contexts (Domain.id to_, core) with
+    | Some saved -> Hw.Cpu.load_regs cpu saved
+    | None -> Hw.Cpu.clear_regs cpu);
+    t.transitions <- t.transitions + 1;
+    Ok path
 
 let call t ~core ~target =
   let* () = check_core t core in
@@ -338,12 +396,12 @@ let call t ~core ~target =
     Error (Bad_transition "target domain has no entry point")
   else if not (holds_core t target core) then
     Error (Bad_transition "target domain holds no capability for this core")
-  else begin
-    let path = do_transition t ~core ~from_ ~to_ in
-    t.stacks.(core) <- from_id :: t.stacks.(core);
-    t.current.(core) <- target;
-    Ok path
-  end
+  else
+    with_txn t (fun () ->
+        let* path = do_transition t ~core ~from_ ~to_ in
+        t.stacks.(core) <- from_id :: t.stacks.(core);
+        t.current.(core) <- target;
+        Ok path)
 
 let ret t ~core =
   let* () = check_core t core in
@@ -358,10 +416,11 @@ let ret t ~core =
   let* prev, rest = pop t.stacks.(core) in
   let* from_ = get_domain t t.current.(core) in
   let* to_ = get_domain t prev in
-  let path = do_transition t ~core ~from_ ~to_ in
-  t.stacks.(core) <- rest;
-  t.current.(core) <- prev;
-  Ok path
+  with_txn t (fun () ->
+      let* path = do_transition t ~core ~from_ ~to_ in
+      t.stacks.(core) <- rest;
+      t.current.(core) <- prev;
+      Ok path)
 
 let timer_tick t ~core =
   let* () = check_core t core in
@@ -380,11 +439,13 @@ let timer_tick t ~core =
     in
     let* from_ = get_domain t running in
     let* to_ = get_domain t heir in
-    let _path = do_transition t ~core ~from_ ~to_ in
-    t.stacks.(core) <- [];
-    t.current.(core) <- heir;
-    Log.info (fun m -> m "timer evicted domain#%d from core %d for domain#%d" running core heir);
-    Ok heir
+    with_txn t (fun () ->
+        let* _path = do_transition t ~core ~from_ ~to_ in
+        t.stacks.(core) <- [];
+        t.current.(core) <- heir;
+        Log.info (fun m ->
+            m "timer evicted domain#%d from core %d for domain#%d" running core heir);
+        Ok heir)
   end
 
 let route_interrupt t ~caller ~device ~vector ~core =
@@ -495,8 +556,10 @@ let memoized_body t d domain =
   let generation = Cap.Captree.generation t.tree in
   match Hashtbl.find_opt t.attest_cache domain with
   | Some e when e.at_generation = generation && e.at_measured = measured_ranges ->
+    t.body_hits <- t.body_hits + 1;
     (e.at_regions, e.at_cores, e.at_devices)
   | _ ->
+    t.body_misses <- t.body_misses + 1;
     let ((regions, cores, devices) as body) =
       attest_body t ~caps_of:Cap.Captree.caps_of_domain ~refcount:Cap.Captree.refcount
         ~holders:Cap.Captree.holders ~measured_ranges domain
@@ -510,6 +573,7 @@ let attest t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in
   let* d = get_domain t domain in
   let regions, cores, devices = memoized_body t d domain in
+  t.attests <- t.attests + 1;
   Ok
     (Attestation.sign ~signer:t.signer ~domain:d ~regions ~cores ~devices
        ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
@@ -518,6 +582,7 @@ let attest_spec t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in
   let* d = get_domain t domain in
   let regions, cores, devices = memoized_body t d domain in
+  t.attests <- t.attests + 1;
   Ok
     (Attestation.sign_spec ~signer:t.signer ~domain:d ~regions ~cores ~devices
        ~memory_encrypted:(t.backend.Backend_intf.domain_encrypted d) ~nonce)
@@ -534,6 +599,7 @@ let attest_batch t ~caller ~domains ~nonce =
         rest
   in
   let* entries = collect [] domains in
+  t.attests <- t.attests + 1;
   Ok (Attestation.sign_batch ~signer:t.signer ~nonce entries)
 
 let attest_reference t ~caller ~domain ~nonce =
@@ -550,3 +616,31 @@ let attest_reference t ~caller ~domain ~nonce =
 
 let boot_quote t ~nonce =
   Rot.Tpm.Quote.generate t.tpm ~pcrs:[ 0; 4; Rot.Tpm.drtm_pcr; key_binding_pcr ] ~nonce
+
+(* Telemetry *)
+
+type attest_telemetry = {
+  attests : int;
+  body_cache_hits : int;
+  body_cache_misses : int;
+  keypool_hits : int;
+  keypool_misses : int;
+  keypool_miss_rate : float;
+  keypool_stock : int;
+}
+
+let attest_telemetry t =
+  let keypool_hits, keypool_misses, keypool_miss_rate, keypool_stock =
+    match t.keypool with
+    | Some pool ->
+      let hits, misses = Crypto.Keypool.stats pool in
+      (hits, misses, Crypto.Keypool.miss_rate pool, Crypto.Keypool.size pool)
+    | None -> (0, 0, 0., 0)
+  in
+  { attests = t.attests;
+    body_cache_hits = t.body_hits;
+    body_cache_misses = t.body_misses;
+    keypool_hits;
+    keypool_misses;
+    keypool_miss_rate;
+    keypool_stock }

@@ -18,6 +18,11 @@ type error =
   | Unknown_domain of Domain.id
   | Denied of string (** Caller lacks the authority for the operation. *)
   | Backend_refused of string (** Layout/enforcement validation failed. *)
+  | Backend_failure of string
+  (** A hardware effect failed mid-operation (an injected fault, PMP
+      exhaustion discovered while reprogramming). The operation was
+      rolled back: the capability tree and all hardware state are
+      exactly as before the call. Mutating API calls never raise. *)
   | Bad_transition of string
   | Domain_config of string (** Sealing/entry-point state errors. *)
 
@@ -242,3 +247,21 @@ val boot_quote : t -> nonce:string -> Rot.Tpm.Quote.t
 
 val transition_count : t -> int
 (** Total mediated transitions since boot (statistics). *)
+
+(** {2 Telemetry} *)
+
+type attest_telemetry = {
+  attests : int; (** Signed attestations (single, spec, batch, reference). *)
+  body_cache_hits : int; (** Memoized bodies reused. *)
+  body_cache_misses : int; (** Bodies re-enumerated. *)
+  keypool_hits : int; (** Signer keys served from the pregenerated pool. *)
+  keypool_misses : int; (** Keys generated on demand (pool empty or faulted). *)
+  keypool_miss_rate : float; (** [misses / (hits + misses)]; 0. with no pool. *)
+  keypool_stock : int; (** Pairs currently pooled. *)
+}
+
+val attest_telemetry : t -> attest_telemetry
+(** Attestation-pipeline health, including the key pool's miss rate —
+    how operators observe graceful degradation (a starved pool slows
+    signing but never fails it). All zeros for the pool fields when the
+    monitor was booted without one. *)

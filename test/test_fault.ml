@@ -1,0 +1,799 @@
+(* Fault injection and crash consistency (E15): the chaos driver, the
+   per-point trip tests, rollback atomicity on both backends, keypool
+   degradation and retrying session establishment over a lossy network.
+
+   Every chaos run is deterministic: the base seed below feeds both the
+   operation generator and every `Rate fault plan. Override it with
+   TYCHE_FAULT_SEED=<int> to replay or explore other schedules. *)
+
+open Testkit
+
+let page = Hw.Addr.page_size
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+
+let base_seed =
+  match Sys.getenv_opt "TYCHE_FAULT_SEED" with
+  | Some s -> (match int_of_string_opt s with Some n -> n | None -> 0xFA01)
+  | None -> 0xFA01
+
+let () = Printf.printf "fault chaos seed: %d (override with TYCHE_FAULT_SEED)\n%!" base_seed
+
+let total_chaos_ops = ref 0
+
+let violations_str vs =
+  String.concat "; " (List.map (Format.asprintf "%a" Tyche.Invariants.pp_violation) vs)
+
+(* ---------------- worlds ---------------- *)
+
+let nic () = Hw.Device.create ~kind:Hw.Device.Nic ~bus:1 ~dev:0 ~fn:0 ()
+
+type cw = {
+  machine : Hw.Machine.t;
+  m : Tyche.Monitor.t;
+  cores : int;
+  mutable attests : int;
+  max_attests : int;
+}
+
+let boot_chaos ~arch ?(seed = 0xFA0L) ?(cores = 2) ?(mem_kib = 256) ?keypool
+    ?(signer_height = 8) ~max_attests ?(devices = []) () =
+  let machine = Hw.Machine.create ~arch ~cores ~mem_size:(mem_kib * 1024) () in
+  List.iter (Hw.Machine.attach_device machine) devices;
+  let rng = Crypto.Rng.create ~seed in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend =
+    match arch with
+    | Hw.Cpu.X86_64 -> Backend_x86.create machine ()
+    | Hw.Cpu.Riscv64 ->
+      Backend_riscv.create machine ~monitor_range:report.Rot.Boot.monitor_range ()
+  in
+  let m =
+    Tyche.Monitor.boot ~signer_height ?keypool machine ~backend ~tpm ~rng
+      ~monitor_range:report.Rot.Boot.monitor_range
+  in
+  { machine; m; cores; attests = 0; max_attests }
+
+(* ---------------- observable-state snapshot ----------------
+
+   Everything a failed call must leave untouched: the domain table, every
+   capability (resource, rights, activity, lineage), the Fig. 4 region
+   map, and each core's scheduling state. Hardware is pinned separately
+   by [check_hardware_matches_tree] = [] on both sides of the call. *)
+
+type snap = {
+  s_domains : (int * string * bool * Hw.Addr.t option) list;
+  s_caps :
+    (int * (int * Cap.Resource.t option * Cap.Rights.t option * bool * int option) list) list;
+  s_regions : (Hw.Addr.Range.t * int list) list;
+  s_cores : (int * int * int) list;
+}
+
+let snapshot ncores m =
+  let tree = Tyche.Monitor.tree m in
+  let doms = List.sort compare (List.map Tyche.Domain.id (Tyche.Monitor.domains m)) in
+  { s_domains =
+      List.map
+        (fun d ->
+          match Tyche.Monitor.find_domain m d with
+          | None -> (d, "?", false, None)
+          | Some dt ->
+            (d, Tyche.Domain.name dt, Tyche.Domain.is_sealed dt, Tyche.Domain.entry_point dt))
+        doms;
+    s_caps =
+      List.map
+        (fun d ->
+          ( d,
+            List.map
+              (fun c ->
+                ( c,
+                  Cap.Captree.resource tree c,
+                  Cap.Captree.rights tree c,
+                  Cap.Captree.is_active tree c,
+                  Cap.Captree.parent tree c ))
+              (List.sort compare (Cap.Captree.all_caps_of_domain tree d)) ))
+        doms;
+    s_regions = Cap.Captree.region_map tree;
+    s_cores =
+      List.init ncores (fun c ->
+          (c, Tyche.Monitor.current_domain m ~core:c, Tyche.Monitor.call_depth m ~core:c));
+  }
+
+(* Attestation bodies (everything but the nonce and the one-time
+   signature) — the observable a remote verifier compares. *)
+let att_body (a : Tyche.Attestation.t) =
+  ( a.Tyche.Attestation.domain,
+    a.Tyche.Attestation.domain_name,
+    a.Tyche.Attestation.kind,
+    a.Tyche.Attestation.sealed,
+    a.Tyche.Attestation.measurement,
+    a.Tyche.Attestation.regions,
+    a.Tyche.Attestation.cores,
+    a.Tyche.Attestation.devices,
+    a.Tyche.Attestation.memory_encrypted )
+
+(* ---------------- one random monitor API call ---------------- *)
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let aligned_subrange rng (r : Hw.Addr.Range.t) =
+  let lo = Hw.Addr.align_up (Hw.Addr.Range.base r) in
+  let hi = Hw.Addr.align_down (Hw.Addr.Range.limit r) in
+  let pages = (hi - lo) / page in
+  if pages < 1 then None
+  else
+    let start = Random.State.int rng pages in
+    let len_pages = 1 + Random.State.int rng (min 4 (pages - start)) in
+    Some (range ~base:(lo + (start * page)) ~len:(len_pages * page))
+
+let interior_point rng (r : Hw.Addr.Range.t) =
+  let lo = Hw.Addr.align_up (Hw.Addr.Range.base r + 1) in
+  let hi = Hw.Addr.align_down (Hw.Addr.Range.last r) in
+  if lo > hi then None else Some (lo + (page * Random.State.int rng (((hi - lo) / page) + 1)))
+
+let chaos_step rng w =
+  let m = w.m in
+  let tree = Tyche.Monitor.tree m in
+  let doms = List.sort compare (List.map Tyche.Domain.id (Tyche.Monitor.domains m)) in
+  let caller = if Random.State.bool rng then os else pick rng doms in
+  let caps = Tyche.Monitor.caps_of m caller in
+  let mem_caps =
+    List.filter_map
+      (fun c ->
+        match Cap.Captree.resource tree c with
+        | Some (Cap.Resource.Memory r) -> Some (c, r)
+        | _ -> None)
+      caps
+  in
+  let rights () =
+    pick rng [ Cap.Rights.full; Cap.Rights.rw; Cap.Rights.rx; Cap.Rights.read_only ]
+  in
+  let cleanup () =
+    pick rng
+      [ Cap.Revocation.Keep; Cap.Revocation.Zero; Cap.Revocation.Flush_cache;
+        Cap.Revocation.Zero_and_flush ]
+  in
+  let out name = function Ok _ -> (name, `Ok) | Error _ -> (name, `Err) in
+  let tick () = out "timer_tick" (Tyche.Monitor.timer_tick m ~core:(Random.State.int rng w.cores)) in
+  (* Pre-existing hpa-aliasing behaviour (two active caps of one domain
+     over one range) is out of scope here: skip delegations that would
+     make [to_] hold a range it already overlaps. *)
+  let aliases to_ resource = List.mem to_ (Cap.Captree.holders tree resource) in
+  match Random.State.int rng 16 with
+  | 0 | 1 -> (
+    match mem_caps with
+    | [] -> tick ()
+    | l -> (
+      let cap, r = pick rng l in
+      let to_ = pick rng doms in
+      match aligned_subrange rng r with
+      | Some sub when (not (aliases to_ (Cap.Resource.Memory sub))) && to_ <> caller ->
+        out "share"
+          (Tyche.Monitor.share m ~caller ~cap ~to_ ~rights:(rights ()) ~cleanup:(cleanup ())
+             ~subrange:sub ())
+      | _ -> tick ()))
+  | 2 -> (
+    match mem_caps with
+    | [] -> tick ()
+    | l -> (
+      let cap, r = pick rng l in
+      match aligned_subrange rng r with
+      | Some sub -> out "carve" (Tyche.Monitor.carve m ~caller ~cap ~subrange:sub)
+      | None -> tick ()))
+  | 3 -> (
+    match mem_caps with
+    | [] -> tick ()
+    | l -> (
+      let cap, r = pick rng l in
+      match interior_point rng r with
+      | Some at -> out "split" (Tyche.Monitor.split m ~caller ~cap ~at)
+      | None -> tick ()))
+  | 4 -> (
+    match caps with
+    | [] -> tick ()
+    | l ->
+      let cap = pick rng l in
+      let to_ = pick rng doms in
+      let alias =
+        match Cap.Captree.resource tree cap with
+        | Some r -> aliases to_ r
+        | None -> true
+      in
+      if alias || to_ = caller then tick ()
+      else out "grant" (Tyche.Monitor.grant m ~caller ~cap ~to_ ~rights:(rights ()) ~cleanup:(cleanup ())))
+  | 5 | 6 -> (
+    let delegations = List.concat_map (fun c -> Cap.Captree.children tree c) caps in
+    let own = List.filter (fun c -> Cap.Captree.parent tree c <> None) caps in
+    match delegations @ own with
+    | [] -> tick ()
+    | l -> out "revoke" (Tyche.Monitor.revoke m ~caller ~cap:(pick rng l)))
+  | 7 ->
+    if List.length doms >= 9 then tick ()
+    else
+      out "create"
+        (Tyche.Monitor.create_domain m ~caller
+           ~name:("d" ^ string_of_int (Random.State.int rng 1000))
+           ~kind:
+             (pick rng
+                [ Tyche.Domain.Sandbox; Tyche.Domain.Enclave; Tyche.Domain.Confidential_vm ]))
+  | 8 -> (
+    let current = List.init w.cores (fun c -> Tyche.Monitor.current_domain m ~core:c) in
+    let candidates =
+      List.filter
+        (fun d ->
+          d <> os
+          && (not (List.mem d current))
+          &&
+          match Tyche.Monitor.find_domain m d with
+          | Some dt -> Tyche.Domain.created_by dt = Some caller
+          | None -> false)
+        doms
+    in
+    match candidates with
+    | [] -> tick ()
+    | l -> out "destroy" (Tyche.Monitor.destroy_domain m ~caller ~domain:(pick rng l)))
+  | 9 -> (
+    let unsealed =
+      List.filter
+        (fun d ->
+          d <> os
+          &&
+          match Tyche.Monitor.find_domain m d with
+          | Some dt -> not (Tyche.Domain.is_sealed dt)
+          | None -> false)
+        doms
+    in
+    match unsealed with
+    | [] -> tick ()
+    | l ->
+      let d = pick rng l in
+      if Random.State.bool rng then
+        out "entry"
+          (Tyche.Monitor.set_entry_point m ~caller ~domain:d (Random.State.int rng 64 * page))
+      else out "seal" (Tyche.Monitor.seal m ~caller ~domain:d))
+  | 10 -> (
+    let other =
+      List.filter_map
+        (fun c ->
+          match Cap.Captree.resource tree c with
+          | Some ((Cap.Resource.Cpu_core _ | Cap.Resource.Device _) as r) -> Some (c, r)
+          | _ -> None)
+        caps
+    in
+    match other with
+    | [] -> tick ()
+    | l ->
+      let cap, r = pick rng l in
+      let to_ = pick rng doms in
+      if aliases to_ r then tick ()
+      else
+        out "share_res"
+          (Tyche.Monitor.share m ~caller ~cap ~to_ ~rights:(rights ()) ~cleanup:(cleanup ()) ()))
+  | 11 ->
+    out "call"
+      (Tyche.Monitor.call m ~core:(Random.State.int rng w.cores) ~target:(pick rng doms))
+  | 12 -> out "ret" (Tyche.Monitor.ret m ~core:(Random.State.int rng w.cores))
+  | 13 ->
+    if w.attests >= w.max_attests then tick ()
+    else begin
+      w.attests <- w.attests + 1;
+      if Random.State.int rng 4 = 0 then
+        out "attest_batch"
+          (Tyche.Monitor.attest_batch m ~caller
+             ~domains:(List.filteri (fun i _ -> i < 3) doms)
+             ~nonce:"chaos")
+      else out "attest" (Tyche.Monitor.attest m ~caller ~domain:(pick rng doms) ~nonce:"chaos")
+    end
+  | 14 -> (
+    match mem_caps with
+    | [] -> tick ()
+    | l -> (
+      let _, r = pick rng l in
+      match aligned_subrange rng r with
+      | Some sub ->
+        out "measure" (Tyche.Monitor.mark_measured m ~caller ~domain:caller sub)
+      | None -> tick ()))
+  | _ -> tick ()
+
+(* ---------------- the chaos runner ---------------- *)
+
+let run_chaos ~label w plans ~ops_per_plan ~rng =
+  List.iter
+    (fun (pname, plan) ->
+      Fault.with_plan plan (fun () ->
+          for i = 1 to ops_per_plan do
+            incr total_chaos_ops;
+            let before = snapshot w.cores w.m in
+            let desc, res = chaos_step rng w in
+            (match res with
+            | `Ok -> ()
+            | `Err ->
+              let after = snapshot w.cores w.m in
+              if before <> after then
+                Alcotest.failf "%s/%s op %d (%s): failed call mutated observable state"
+                  label pname i desc);
+            (match Tyche.Invariants.check_all w.m with
+            | [] -> ()
+            | vs ->
+              Alcotest.failf "%s/%s op %d (%s): invariants: %s" label pname i desc
+                (violations_str vs));
+            match Cap.Captree.check_index_consistency (Tyche.Monitor.tree w.m) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s/%s op %d (%s): index: %s" label pname i desc e
+          done))
+    plans
+
+let x86_plans =
+  [ ("control", Fault.plan []);
+    ("keypool.take-always", Fault.always "keypool.take");
+    ( "mixed",
+      Fault.plan
+        ~seed:(Int64.of_int (base_seed + 2))
+        ~default:(`Rate 0.01)
+        [ ("ept.map", `Rate 0.05); ("keypool.replenish", `Always) ] );
+    ("ept.map-1st", Fault.nth "ept.map" 1);
+    ("ept.map-3rd", Fault.nth "ept.map" 3);
+    ("ept.unmap-1st", Fault.nth "ept.unmap" 1);
+    ("iommu-1st", Fault.nth "iommu.update" 1);
+    ("rate-2%", Fault.random ~seed:base_seed ~rate:0.02);
+    ("rate-10%", Fault.random ~seed:(base_seed + 1) ~rate:0.10) ]
+
+let riscv_plans =
+  [ ("control", Fault.plan []);
+    ("pmp-1st", Fault.nth "pmp.write" 1);
+    ("pmp-7th", Fault.nth "pmp.write" 7);
+    ("iommu-1st", Fault.nth "iommu.update" 1);
+    ("rate-2%", Fault.random ~seed:(base_seed + 10) ~rate:0.02);
+    ("rate-10%", Fault.random ~seed:(base_seed + 11) ~rate:0.10) ]
+
+let test_chaos_x86 () =
+  let rng = Random.State.make [| base_seed |] in
+  let pool = Crypto.Keypool.create ~low_water:16 ~target:32 (Crypto.Rng.create ~seed:0x99L) in
+  let w =
+    boot_chaos ~arch:Hw.Cpu.X86_64 ~seed:0xFA1L ~keypool:pool ~signer_height:9
+      ~max_attests:480 ~devices:[ nic () ] ()
+  in
+  run_chaos ~label:"x86" w x86_plans ~ops_per_plan:750 ~rng
+
+let test_chaos_riscv () =
+  let rng = Random.State.make [| base_seed + 7 |] in
+  let w =
+    boot_chaos ~arch:Hw.Cpu.Riscv64 ~seed:0xFA2L ~signer_height:8 ~max_attests:240
+      ~devices:[ nic () ] ()
+  in
+  run_chaos ~label:"riscv" w riscv_plans ~ops_per_plan:750 ~rng
+
+(* QCheck: arbitrary fault seeds (not just the curated plans) keep the
+   invariants. *)
+let prop_chaos_random_seed =
+  QCheck.Test.make ~name:"chaos: random fault seeds keep invariants" ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun s ->
+      let w =
+        boot_chaos ~arch:Hw.Cpu.X86_64
+          ~seed:(Int64.of_int (0xFA30 + s))
+          ~signer_height:4 ~max_attests:10 ()
+      in
+      let rng = Random.State.make [| s |] in
+      Fault.with_plan
+        (Fault.random ~seed:s ~rate:0.05)
+        (fun () ->
+          for _ = 1 to 120 do
+            incr total_chaos_ops;
+            ignore (chaos_step rng w)
+          done);
+      Tyche.Invariants.check_all w.m = []
+      && Cap.Captree.check_index_consistency (Tyche.Monitor.tree w.m) = Ok ())
+
+(* ---------------- per-point trip tests ---------------- *)
+
+let test_alloc_fault () =
+  let a = Kernel.Alloc.create (range ~base:0 ~len:(16 * page)) in
+  Fault.with_plan (Fault.always "alloc") (fun () ->
+      Alcotest.(check bool) "faulted alloc reports exhaustion" true
+        (Kernel.Alloc.alloc a ~bytes:page = None));
+  Alcotest.(check int) "free list untouched" (16 * page) (Kernel.Alloc.free_bytes a);
+  match Kernel.Alloc.alloc a ~bytes:page with
+  | Some _ -> ()
+  | None -> Alcotest.fail "allocation failed with no plan armed"
+
+let test_keypool_take_fault () =
+  let pool = Crypto.Keypool.create ~low_water:2 ~target:4 (Crypto.Rng.create ~seed:0x77L) in
+  let _, m0 = Crypto.Keypool.stats pool in
+  Fault.with_plan (Fault.always "keypool.take") (fun () ->
+      ignore (Crypto.Keypool.take pool));
+  let _, m1 = Crypto.Keypool.stats pool in
+  Alcotest.(check int) "faulted take is a miss" (m0 + 1) m1;
+  Alcotest.(check int) "stock untouched (pair generated on demand)" 4
+    (Crypto.Keypool.size pool);
+  Alcotest.(check bool) "miss rate visible" true (Crypto.Keypool.miss_rate pool > 0.)
+
+let test_net_deliver_fault () =
+  let net = Distributed.Network.create () in
+  Fault.with_plan (Fault.always "net.deliver") (fun () ->
+      Distributed.Network.send net ~from_:"a" ~to_:"b" "lost");
+  Alcotest.(check int) "nothing queued" 0 (Distributed.Network.pending net "b");
+  Alcotest.(check int) "drop counted" 1 (Distributed.Network.dropped net);
+  Alcotest.(check (option string)) "nothing delivered" None (Distributed.Network.recv net "b");
+  Distributed.Network.send net ~from_:"a" ~to_:"b" "kept";
+  Alcotest.(check (option string)) "clean path unaffected" (Some "kept")
+    (Distributed.Network.recv net "b")
+
+(* ---------------- rollback atomicity ---------------- *)
+
+let expect_backend_failure ~what = function
+  | Error (Tyche.Monitor.Backend_failure _) -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected Backend_failure, got %s" what (Tyche.Monitor.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: expected the injected fault to fail the call" what
+
+let pmp_files machine cores =
+  List.init cores (fun i -> Hw.Pmp.entries (Hw.Cpu.pmp (Hw.Machine.core machine i)))
+
+let test_riscv_pmp_rollback () =
+  let w = boot_riscv () in
+  let d =
+    get_ok (Tyche.Monitor.create_domain w.monitor ~caller:os ~name:"child" ~kind:Tyche.Domain.Sandbox)
+  in
+  let piece =
+    get_ok
+      (Tyche.Monitor.carve w.monitor ~caller:os ~cap:(os_memory_cap w)
+         ~subrange:(range ~base:0x40000 ~len:page))
+  in
+  let before = snapshot 2 w.monitor in
+  let pmp_before = pmp_files w.machine 2 in
+  let body_before =
+    att_body (get_ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain:os ~nonce:"b"))
+  in
+  (* Granting detaches the page from the running OS, forcing a PMP
+     reprogram whose first register write we fail. *)
+  Fault.with_plan (Fault.nth "pmp.write" 1) (fun () ->
+      expect_backend_failure ~what:"grant under pmp fault"
+        (Tyche.Monitor.grant w.monitor ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+           ~cleanup:Cap.Revocation.Keep));
+  Alcotest.(check bool) "tree and scheduling state rolled back" true
+    (before = snapshot 2 w.monitor);
+  Alcotest.(check bool) "PMP files rolled back" true (pmp_before = pmp_files w.machine 2);
+  let body_after =
+    att_body (get_ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain:os ~nonce:"a"))
+  in
+  Alcotest.(check bool) "attestation body unchanged" true (body_before = body_after);
+  check_no_violations w.monitor;
+  (* The same grant succeeds once the plan is gone. *)
+  ignore
+    (get_ok
+       (Tyche.Monitor.grant w.monitor ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+          ~cleanup:Cap.Revocation.Keep));
+  check_no_violations w.monitor
+
+let test_x86_ept_rollback () =
+  let w = boot_x86 () in
+  let d =
+    get_ok (Tyche.Monitor.create_domain w.monitor ~caller:os ~name:"child" ~kind:Tyche.Domain.Enclave)
+  in
+  let before = snapshot 4 w.monitor in
+  let body_before =
+    att_body (get_ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain:os ~nonce:"b"))
+  in
+  (* Fail the 3rd of 4 page mappings: the rollback must unmap the two
+     pages that did land (the partial-prefix case). *)
+  Fault.with_plan (Fault.nth "ept.map" 3) (fun () ->
+      expect_backend_failure ~what:"share under ept.map fault"
+        (Tyche.Monitor.share w.monitor ~caller:os ~cap:(os_memory_cap w) ~to_:d
+           ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Zero
+           ~subrange:(range ~base:0x80000 ~len:(4 * page)) ()));
+  Alcotest.(check bool) "tree rolled back" true (before = snapshot 4 w.monitor);
+  Alcotest.(check bool) "attestation body unchanged" true
+    (body_before
+    = att_body (get_ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain:os ~nonce:"a")));
+  check_no_violations w.monitor;
+  (* Clean share, then a faulted revoke: the child must keep access. *)
+  let shared =
+    get_ok
+      (Tyche.Monitor.share w.monitor ~caller:os ~cap:(os_memory_cap w) ~to_:d
+         ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Zero
+         ~subrange:(range ~base:0x80000 ~len:(4 * page)) ())
+  in
+  let with_child = snapshot 4 w.monitor in
+  Fault.with_plan (Fault.nth "ept.unmap" 2) (fun () ->
+      expect_backend_failure ~what:"revoke under ept.unmap fault"
+        (Tyche.Monitor.revoke w.monitor ~caller:os ~cap:shared));
+  Alcotest.(check bool) "failed revoke left the share intact" true
+    (with_child = snapshot 4 w.monitor);
+  Alcotest.(check bool) "child still holds the range" true
+    (List.mem d
+       (Cap.Captree.holders (Tyche.Monitor.tree w.monitor)
+          (Cap.Resource.Memory (range ~base:0x80000 ~len:(4 * page)))));
+  check_no_violations w.monitor;
+  ignore (get_ok (Tyche.Monitor.revoke w.monitor ~caller:os ~cap:shared));
+  check_no_violations w.monitor
+
+let test_destroy_rollback () =
+  let w = boot_x86 ~devices:[ nic () ] () in
+  let d =
+    get_ok (Tyche.Monitor.create_domain w.monitor ~caller:os ~name:"victim" ~kind:Tyche.Domain.Sandbox)
+  in
+  List.iter
+    (fun base ->
+      ignore
+        (get_ok
+           (Tyche.Monitor.share w.monitor ~caller:os ~cap:(os_memory_cap w) ~to_:d
+              ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Zero
+              ~subrange:(range ~base ~len:page) ())))
+    [ 0x90000; 0xa0000; 0xb0000 ];
+  let with_victim = snapshot 4 w.monitor in
+  (* Fault the 3rd page unmap: destroy_domain is one transaction, so the
+     whole teardown must roll back and the domain must survive. *)
+  Fault.with_plan (Fault.nth "ept.unmap" 3) (fun () ->
+      expect_backend_failure ~what:"destroy under ept.unmap fault"
+        (Tyche.Monitor.destroy_domain w.monitor ~caller:os ~domain:d));
+  Alcotest.(check bool) "domain survived intact" true (with_victim = snapshot 4 w.monitor);
+  Alcotest.(check bool) "still registered" true
+    (Tyche.Monitor.find_domain w.monitor d <> None);
+  check_no_violations w.monitor;
+  ignore (get_ok (Tyche.Monitor.destroy_domain w.monitor ~caller:os ~domain:d));
+  Alcotest.(check bool) "gone after clean destroy" true
+    (Tyche.Monitor.find_domain w.monitor d = None);
+  check_no_violations w.monitor
+
+(* C8: genuine PMP-entry exhaustion discovered while reprogramming the
+   running OS — not an injected fault — must roll back just as cleanly,
+   and revoking an earlier delegation must free entries for a retry. *)
+let test_pmp_exhaustion () =
+  let w = boot_riscv () in
+  let m = w.monitor in
+  let d = get_ok (Tyche.Monitor.create_domain m ~caller:os ~name:"sink" ~kind:Tyche.Domain.Sandbox) in
+  let grant_page base =
+    let piece =
+      get_ok (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w) ~subrange:(range ~base ~len:page))
+    in
+    (piece, Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+              ~cleanup:Cap.Revocation.Keep)
+  in
+  (* Odd page indices: every grant punches a new hole in the running
+     OS's layout, so its PMP demand grows one entry per grant. *)
+  let base_of k = 0x100000 + (2 * k * page) in
+  let rec drive k acc =
+    if k > 20 then Alcotest.fail "PMP file never filled up"
+    else begin
+      let piece, result = grant_page (base_of k) in
+      match result with
+      | Ok c -> drive (k + 1) ((c, piece) :: acc)
+      | Error (Tyche.Monitor.Backend_failure _) -> check_exhaustion k piece acc
+      | Error e -> Alcotest.failf "unexpected error: %s" (Tyche.Monitor.error_to_string e)
+    end
+  and check_exhaustion k piece acc =
+    Alcotest.(check bool) "made real progress first" true (k >= 5);
+    (* Snapshot equality around a retry of the failing grant itself. *)
+    let before = snapshot 2 m in
+    let pmp_before = pmp_files w.machine 2 in
+    expect_backend_failure ~what:"grant beyond the PMP budget"
+      (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+         ~cleanup:Cap.Revocation.Keep);
+    Alcotest.(check bool) "exhausted grant rolled back" true (before = snapshot 2 m);
+    Alcotest.(check bool) "PMP files untouched" true (pmp_before = pmp_files w.machine 2);
+    check_no_violations m;
+    (* Revoke the earliest grant: the page merges back into the OS
+       layout, freeing entries... *)
+    let first_granted, _ = List.nth acc (List.length acc - 1) in
+    ignore (get_ok (Tyche.Monitor.revoke m ~caller:os ~cap:first_granted));
+    check_no_violations m;
+    (* ...so the very grant that hit the wall now fits. *)
+    ignore
+      (get_ok
+         (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+            ~cleanup:Cap.Revocation.Keep));
+    check_no_violations m
+  in
+  drive 0 []
+
+(* ---------------- keypool degradation ---------------- *)
+
+let test_keypool_degradation () =
+  let pool = Crypto.Keypool.create ~low_water:4 ~target:8 (Crypto.Rng.create ~seed:0x88L) in
+  let w =
+    boot_chaos ~arch:Hw.Cpu.X86_64 ~seed:0xFA4L ~mem_kib:512 ~keypool:pool ~signer_height:5
+      ~max_attests:32 ()
+  in
+  let m = w.m in
+  (* The signer needs 2^5 = 32 pairs up front but the pool only stocked
+     8: boot drained it dry and generated the rest on demand — misses,
+     not failures. *)
+  let hits_boot, misses_boot = Crypto.Keypool.stats pool in
+  Alcotest.(check bool) "signer creation degraded past the stock" true
+    (hits_boot > 0 && misses_boot > 0);
+  (* Every replenishment fails: the stock stays empty, yet every
+     attestation still succeeds. *)
+  Fault.with_plan
+    (Fault.plan [ ("keypool.replenish", `Always) ])
+    (fun () ->
+      for i = 1 to 12 do
+        let att = get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:(string_of_int i)) in
+        Alcotest.(check bool) "attestation verifies" true
+          (Tyche.Attestation.verify ~monitor_root:(Tyche.Monitor.attestation_root m) att)
+      done);
+  Alcotest.(check int) "pool fully drained" 0 (Crypto.Keypool.size pool);
+  let tel = Tyche.Monitor.attest_telemetry m in
+  Alcotest.(check bool) "telemetry surfaces the miss rate" true (tel.Tyche.Monitor.keypool_miss_rate > 0.);
+  Alcotest.(check int) "telemetry stock agrees" 0 tel.Tyche.Monitor.keypool_stock;
+  (* With the plan gone the next signature's eager replenish refills the
+     stock to target. *)
+  ignore (get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"recover"));
+  Alcotest.(check int) "stock recovered" (Crypto.Keypool.target pool) (Crypto.Keypool.size pool);
+  (* A single faulted replenishment only delays the refill by one
+     signature. *)
+  Fault.with_plan
+    (Fault.plan [ ("keypool.replenish", `Nth 1) ])
+    (fun () -> ignore (get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"once")));
+  ignore (get_ok (Tyche.Monitor.attest m ~caller:os ~domain:os ~nonce:"after"));
+  Alcotest.(check bool) "stock healthy again" true
+    (Crypto.Keypool.size pool >= Crypto.Keypool.low_water pool)
+
+(* ---------------- session establishment retries ---------------- *)
+
+let tiny = tiny_image ~shared_page:false ()
+
+let two_machines () =
+  let wa = boot_x86 ~seed:0xAAL () in
+  let wb = boot_x86 ~seed:0xBBL () in
+  let ea =
+    get_ok_str
+      (Libtyche.Enclave.create wa.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap wa)
+         ~at:0x40000 ~image:tiny ())
+  in
+  let eb =
+    get_ok_str
+      (Libtyche.Enclave.create wb.monitor ~caller:os ~core:0 ~memory_cap:(os_memory_cap wb)
+         ~at:0x40000 ~image:tiny ())
+  in
+  (wa, ea, wb, eb)
+
+let reference w =
+  { Verifier.tpm_root = Rot.Tpm.endorsement_root w.tpm;
+    expected_pcrs = Rot.Boot.expected_pcrs ~firmware ~loader:loader_blob ~monitor_image;
+    monitor_root = Tyche.Monitor.attestation_root w.monitor }
+
+let party name w =
+  { Distributed.Session.name;
+    reference = reference w;
+    policy =
+      [ Verifier.Policy.Sealed;
+        Verifier.Policy.Measurement_is (Libtyche.Enclave.expected_measurement tiny) ] }
+
+let session_fixture nonce =
+  let wa, ea, wb, eb = two_machines () in
+  let ev_a =
+    get_ok_str
+      (Distributed.Session.gather_evidence wa.monitor ~domain:ea.Libtyche.Handle.domain ~nonce)
+  in
+  let ev_b =
+    get_ok_str
+      (Distributed.Session.gather_evidence wb.monitor ~domain:eb.Libtyche.Handle.domain ~nonce)
+  in
+  (wa, wb, ev_a, ev_b)
+
+let test_session_retry_after_drop () =
+  let wa, wb, ev_a, ev_b = session_fixture "retry-drop" in
+  let net = Distributed.Network.create () in
+  let adversary n = if n = 1 then ignore (Distributed.Network.drop_head net "broker") in
+  match
+    Distributed.Session.establish_over net ~broker:"broker" ~adversary ~nonce:"retry-drop"
+      ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b) ()
+  with
+  | Ok ((ka, kb), attempts) ->
+    Alcotest.(check int) "succeeded on the retry" 2 attempts;
+    Alcotest.(check string) "both sides share the key" ka kb;
+    Alcotest.(check int) "32-byte key" 32 (String.length ka)
+  | Error e -> Alcotest.failf "establish_over: %s" (Distributed.Session.establish_error_to_string e)
+
+let test_session_retry_after_tamper () =
+  let wa, wb, ev_a, ev_b = session_fixture "retry-tamper" in
+  let net = Distributed.Network.create () in
+  let adversary n =
+    if n = 1 then ignore (Distributed.Network.tamper_head net "broker" ~f:(fun s -> "X" ^ s))
+  in
+  match
+    Distributed.Session.establish_over net ~broker:"broker" ~adversary ~nonce:"retry-tamper"
+      ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b) ()
+  with
+  | Ok (_, attempts) -> Alcotest.(check int) "tampered attempt retried" 2 attempts
+  | Error e -> Alcotest.failf "establish_over: %s" (Distributed.Session.establish_error_to_string e)
+
+let test_session_retry_under_fault_plan () =
+  let wa, wb, ev_a, ev_b = session_fixture "retry-fault" in
+  let net = Distributed.Network.create () in
+  Fault.with_plan (Fault.nth "net.deliver" 1) (fun () ->
+      match
+        Distributed.Session.establish_over net ~broker:"broker" ~nonce:"retry-fault"
+          ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b) ()
+      with
+      | Ok (_, attempts) -> Alcotest.(check int) "dropped datagram retried" 2 attempts
+      | Error e ->
+        Alcotest.failf "establish_over: %s" (Distributed.Session.establish_error_to_string e))
+
+let test_session_timeout () =
+  let wa, wb, ev_a, ev_b = session_fixture "timeout" in
+  let net = Distributed.Network.create () in
+  Fault.with_plan (Fault.always "net.deliver") (fun () ->
+      match
+        Distributed.Session.establish_over net ~broker:"broker" ~nonce:"timeout"
+          ~a:(party "alpha" wa, ev_a) ~b:(party "beta" wb, ev_b) ()
+      with
+      | Error (Distributed.Session.Timeout { attempts; waited }) ->
+        Alcotest.(check int) "budget exhausted" 5 attempts;
+        (* backoff 1,2,4,8 then capped at 8 *)
+        Alcotest.(check int) "capped exponential backoff" 23 waited
+      | Error e ->
+        Alcotest.failf "expected Timeout, got %s" (Distributed.Session.establish_error_to_string e)
+      | Ok _ -> Alcotest.fail "established over a dead network")
+
+let test_session_reject_no_retry () =
+  let wa, wb, ev_a, ev_b = session_fixture "reject" in
+  let net = Distributed.Network.create () in
+  let bad_party =
+    { (party "beta" wb) with
+      Distributed.Session.policy =
+        [ Verifier.Policy.Measurement_is (Crypto.Sha256.string "other binary") ] }
+  in
+  (match
+     Distributed.Session.establish_over net ~broker:"broker" ~nonce:"reject"
+       ~a:(party "alpha" wa, ev_a) ~b:(bad_party, ev_b) ()
+   with
+  | Error (Distributed.Session.Rejected reasons) ->
+    Alcotest.(check bool) "beta blamed" true
+      (List.exists (fun r -> contains_substring r "beta") reasons)
+  | Error e ->
+    Alcotest.failf "expected Rejected, got %s" (Distributed.Session.establish_error_to_string e)
+  | Ok _ -> Alcotest.fail "bad policy keyed");
+  (* Deterministic failures are not retried: exactly one exchange. *)
+  Alcotest.(check int) "no redundant resends" 2 (Distributed.Network.total_messages net)
+
+(* ---------------- fault coverage ---------------- *)
+
+let all_points =
+  [ "alloc"; "ept.map"; "ept.unmap"; "iommu.update"; "keypool.replenish"; "keypool.take";
+    "net.deliver"; "pmp.write" ]
+
+let test_coverage () =
+  Printf.printf "chaos ops executed: %d\n" !total_chaos_ops;
+  List.iter
+    (fun (n, h, t) -> Printf.printf "  fault point %-18s hits %8d  trips %5d\n" n h t)
+    (Fault.report ());
+  Printf.printf "%!";
+  Alcotest.(check bool) "at least 10k chaos ops" true (!total_chaos_ops >= 10_000);
+  let rep = Fault.report () in
+  List.iter
+    (fun p ->
+      match List.find_opt (fun (n, _, _) -> n = p) rep with
+      | None -> Alcotest.failf "fault point %s was never registered" p
+      | Some (_, hits, trips) ->
+        if trips < 1 then Alcotest.failf "fault point %s never tripped" p;
+        if hits < trips then Alcotest.failf "fault point %s: %d trips but %d hits" p trips hits)
+    all_points
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fault"
+    [ ( "points",
+        [ Alcotest.test_case "alloc degrades" `Quick test_alloc_fault;
+          Alcotest.test_case "keypool take degrades" `Quick test_keypool_take_fault;
+          Alcotest.test_case "network drop" `Quick test_net_deliver_fault ] );
+      ( "rollback",
+        [ Alcotest.test_case "riscv pmp write fault" `Quick test_riscv_pmp_rollback;
+          Alcotest.test_case "x86 ept partial map/unmap fault" `Quick test_x86_ept_rollback;
+          Alcotest.test_case "destroy_domain is atomic" `Quick test_destroy_rollback;
+          Alcotest.test_case "pmp exhaustion (C8) mid-grant" `Quick test_pmp_exhaustion ] );
+      ("keypool", [ Alcotest.test_case "drained pool degrades gracefully" `Quick test_keypool_degradation ]);
+      ( "session",
+        [ Alcotest.test_case "retry after drop" `Quick test_session_retry_after_drop;
+          Alcotest.test_case "retry after tamper" `Quick test_session_retry_after_tamper;
+          Alcotest.test_case "retry under net.deliver plan" `Quick test_session_retry_under_fault_plan;
+          Alcotest.test_case "timeout on dead network" `Quick test_session_timeout;
+          Alcotest.test_case "verification failure not retried" `Quick test_session_reject_no_retry ] );
+      ( "chaos",
+        [ Alcotest.test_case "x86 plans" `Quick test_chaos_x86;
+          Alcotest.test_case "riscv plans" `Quick test_chaos_riscv;
+          qt prop_chaos_random_seed ] );
+      ("coverage", [ Alcotest.test_case "every point tripped" `Quick test_coverage ]) ]
