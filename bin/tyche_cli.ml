@@ -5,6 +5,8 @@
      fig4         build the Fig. 4 deployment and print the region map
      attest       create an enclave and print + verify its attestation
      transitions  run a call/ret loop and print path statistics
+     recover      run a workload, crash it at a fault point, recover
+     fsck         recover from an on-disk store and audit the result
      loc          print the trusted-computing-base line counts *)
 
 open Cmdliner
@@ -271,6 +273,138 @@ let cmd_transitions =
   Cmd.v (Cmd.info "transitions" ~doc:"Measure domain-transition paths and costs.")
     Term.(const run $ arch $ n)
 
+(* recover / fsck *)
+
+let store_dir =
+  Arg.(value & opt string "./tyche-store"
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Directory for the file-backed WAL + snapshot store.")
+
+let boot_persistent_world ~arch ~cores ~mem_mib ~dir =
+  let w = boot_world ~arch ~cores ~mem_mib in
+  let store = Persist.Store.file ~dir in
+  Tyche.Monitor.enable_persistence w.monitor ~store ~snapshot_every:16 ~fsync_every:1 ();
+  (w, store)
+
+(* A small mixed workload: enough churn that the WAL, a snapshot and the
+   replay suffix all participate in the recovery that follows. *)
+let persisted_workload w =
+  let m = w.monitor in
+  let d =
+    ok (Tyche.Monitor.create_domain m ~caller:os ~name:"wal-enclave" ~kind:Tyche.Domain.Enclave)
+  in
+  let piece =
+    ok
+      (Tyche.Monitor.carve m ~caller:os ~cap:(os_memory_cap w)
+         ~subrange:(Hw.Addr.Range.make ~base:0x400000 ~len:(4 * page)))
+  in
+  ignore
+    (ok
+       (Tyche.Monitor.grant m ~caller:os ~cap:piece ~to_:d ~rights:Cap.Rights.full
+          ~cleanup:Cap.Revocation.Zero));
+  ignore
+    (ok
+       (Tyche.Monitor.share m ~caller:os
+          ~cap:
+            (List.find
+               (fun c ->
+                 Cap.Captree.resource (Tyche.Monitor.tree m) c
+                 = Some (Cap.Resource.Cpu_core 0))
+               (Tyche.Monitor.caps_of m os))
+          ~to_:d ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ()));
+  ok (Tyche.Monitor.set_entry_point m ~caller:os ~domain:d 0x400000);
+  ok (Tyche.Monitor.mark_measured m ~caller:os ~domain:d
+        (Hw.Addr.Range.make ~base:0x400000 ~len:page));
+  ok (Tyche.Monitor.seal m ~caller:os ~domain:d);
+  ignore (ok (Tyche.Monitor.call m ~core:0 ~target:d));
+  ignore (ok (Tyche.Monitor.ret m ~core:0));
+  d
+
+let recover_and_report ~arch ~cores ~mem_mib ~dir ~baseline =
+  let machine = Hw.Machine.create ~arch ~cores ~mem_size:(mem_mib * 1024 * 1024) () in
+  let rng = Crypto.Rng.create ~seed:2027L in
+  let tpm = Rot.Tpm.create rng in
+  let report =
+    Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+  in
+  let backend =
+    match arch with
+    | Hw.Cpu.X86_64 -> Backend_x86.create machine ()
+    | Hw.Cpu.Riscv64 ->
+      Backend_riscv.create machine ~monitor_range:report.Rot.Boot.monitor_range ()
+  in
+  let store = Persist.Store.file ~dir in
+  match
+    Tyche.Monitor.recover machine ~store ~backend ~tpm ~rng
+      ~monitor_range:report.Rot.Boot.monitor_range
+  with
+  | Error e ->
+    Printf.printf "recovery FAILED: %s\n" e;
+    exit 1
+  | Ok (m2, rep) ->
+    Format.printf "%a@." Tyche.Monitor.pp_recovery_report rep;
+    let fr = Tyche.Fsck.check ?baseline m2 in
+    Format.printf "%a@." Tyche.Fsck.pp fr;
+    if not (Tyche.Fsck.ok fr) then exit 1
+
+let cmd_recover =
+  let crash_at =
+    Arg.(value & opt string "wal.append"
+         & info [ "crash-at" ] ~docv:"POINT"
+             ~doc:"Fault point to kill the run at: wal.append, wal.fsync or snapshot.write.")
+  in
+  let run arch cores mem_mib dir crash_at =
+    if not (List.mem crash_at [ "wal.append"; "wal.fsync"; "snapshot.write" ]) then begin
+      Printf.eprintf "unknown fault point %S\n" crash_at;
+      exit 2
+    end;
+    let w, _store = boot_persistent_world ~arch ~cores ~mem_mib ~dir in
+    let d = persisted_workload w in
+    let pre =
+      ok (Tyche.Monitor.attest w.monitor ~caller:os ~domain:d ~nonce:"cli-recover")
+    in
+    Printf.printf "workload committed %d operations; killing power at %s...\n"
+      (Option.value ~default:0 (Tyche.Monitor.persist_seq w.monitor))
+      crash_at;
+    (match
+       Fault.with_plan (Fault.always crash_at) (fun () ->
+           if crash_at = "snapshot.write" then Tyche.Monitor.persist_snapshot w.monitor
+           else
+             (* Any committing operation appends to the WAL (and, with
+                fsync_every = 1, syncs it) — carve a fresh page. *)
+             ignore
+               (ok
+                  (Tyche.Monitor.carve w.monitor ~caller:os ~cap:(os_memory_cap w)
+                     ~subrange:(Hw.Addr.Range.make ~base:0x500000 ~len:page))))
+     with
+    | () -> print_endline "fault point never fired (nothing to log?)"
+    | exception Persist.Store.Crash point ->
+      Printf.printf "simulated power failure at %s\n" point);
+    print_endline "recovering from the store...";
+    recover_and_report ~arch ~cores ~mem_mib ~dir ~baseline:(Some [ (d, pre) ])
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run a persisted workload, kill it at an injected fault point, then crash-restart \
+          from the store and audit the recovered state.")
+    Term.(const run $ arch $ cores $ mem_mib $ store_dir $ crash_at)
+
+let cmd_fsck =
+  let run arch cores mem_mib dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "no store at %s (run `tyche-cli recover --store %s` first)\n" dir dir;
+      exit 2
+    end;
+    recover_and_report ~arch ~cores ~mem_mib ~dir ~baseline:None
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Crash-restart from an existing on-disk store (same machine shape as the run that \
+          wrote it) and cross-check the recovered monitor against every invariant.")
+    Term.(const run $ arch $ cores $ mem_mib $ store_dir)
+
 (* loc *)
 
 let cmd_loc =
@@ -319,6 +453,6 @@ let () =
     Cmd.info "tyche-cli" ~version:"0.1"
       ~doc:"Drive a simulated Tyche isolation monitor from the command line."
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_loc ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_recover; cmd_fsck; cmd_loc ]))
 
 let _ = ok_str

@@ -206,3 +206,48 @@ val check_index_consistency : t -> (unit, string) result
     segment store, root interval index, overlap queries) against the
     [_reference] full scans. O(n log n); run by the judiciary sweep and
     the property tests. *)
+
+(** {2 Serialization (crash-restart recovery)}
+
+    [Persist] snapshots dump the tree and recovery rebuilds it. The
+    dump is *logical*: node contents, lineage links and activation
+    state — none of the incremental indexes, which {!restore} re-derives
+    through the same maintenance helpers the mutating operations use.
+    Children lists are preserved verbatim because revocation-cascade
+    order follows them. *)
+
+type origin =
+  | Orig_root (** Created by {!root} at boot. *)
+  | Orig_shared
+  | Orig_granted
+  | Orig_split
+
+type state =
+  | Active
+  | Inactive_granted (** Transferred away; reactivates if the child is revoked. *)
+  | Inactive_split (** Replaced by its split children. *)
+
+type node_spec = {
+  ns_id : cap_id;
+  ns_resource : Resource.t;
+  ns_rights : Rights.t;
+  ns_owner : domain_id;
+  ns_cleanup : Revocation.t;
+  ns_parent : cap_id option;
+  ns_origin : origin;
+  ns_state : state;
+  ns_children : cap_id list; (** Most-recent first, as maintained live. *)
+}
+
+val dump : t -> node_spec list
+(** Every node, sorted by id (= creation order). *)
+
+val next_id : t -> cap_id
+(** The id the next created capability will receive — snapshotted so
+    replayed operations reproduce identical ids. *)
+
+val restore : next_id:cap_id -> generation:int -> node_spec list -> t
+(** Rebuild a tree from a dump: node table and lineage from the specs,
+    every incremental index re-derived. The caller (recovery) is
+    expected to run {!check_index_consistency} and the invariant sweep
+    afterwards — a snapshot is never trusted blindly. *)

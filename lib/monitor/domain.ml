@@ -29,6 +29,15 @@ let make ~id ~name ~kind ~created_by =
   { id; name; kind; created_by; sealed = false; entry_point = None; measured = [];
     flush_on_transition = false; measurement = None }
 
+(* Recovery-only constructor: rebuilds a domain from a snapshot,
+   including post-seal state [make] can never produce. [measured] is in
+   declaration order, as [measured_ranges] reports it; storage is
+   most-recent-first. *)
+let restore ~id ~name ~kind ~created_by ~sealed ~entry_point ~measured
+    ~flush_on_transition ~measurement =
+  { id; name; kind; created_by; sealed; entry_point; measured = List.rev measured;
+    flush_on_transition; measurement }
+
 let id t = t.id
 let name t = t.name
 let kind t = t.kind

@@ -28,6 +28,22 @@ val kind_to_string : kind -> string
 type t
 
 val make : id:id -> name:string -> kind:kind -> created_by:id option -> t
+
+val restore :
+  id:id ->
+  name:string ->
+  kind:kind ->
+  created_by:id option ->
+  sealed:bool ->
+  entry_point:Hw.Addr.t option ->
+  measured:Hw.Addr.Range.t list ->
+  flush_on_transition:bool ->
+  measurement:Crypto.Sha256.digest option ->
+  t
+(** Recovery-only: rebuild a domain exactly as a snapshot recorded it,
+    including sealed state. [measured] in declaration order (what
+    {!measured_ranges} reported at snapshot time). *)
+
 val id : t -> id
 val name : t -> string
 val kind : t -> kind

@@ -1,0 +1,34 @@
+(** Post-recovery consistency check — the monitor's fsck.
+
+    Recovered state is never trusted blindly: after {!Monitor.recover},
+    run {!check} to cross-check the rebuilt tree against every runtime
+    invariant ({!Invariants}), the incremental indexes against their
+    full-scan references ({!Cap.Captree.check_index_consistency}), and —
+    when pre-crash attestations are available — verify a fresh
+    attestation over the recovered tree is byte-identical in body to the
+    one taken before the crash (signatures differ: the one-time signing
+    keys are deliberately not durable).
+
+    (The issue sketch placed this pass in [Persist]; it lives here
+    because it needs {!Invariants}, which sits above the persist
+    layer.) *)
+
+type item = {
+  f_name : string; (** Pass name, e.g. ["hardware"]. *)
+  f_ok : bool;
+  f_detail : string list; (** One line per inconsistency found. *)
+}
+
+type report = { items : item list }
+
+val check : ?baseline:(Domain.id * Attestation.t) list -> Monitor.t -> report
+(** Run every pass. [baseline] pairs domain ids with attestations taken
+    before the crash; each is re-attested under its original nonce and
+    compared by canonical payload. *)
+
+val ok : report -> bool
+
+val body_equal : Attestation.t -> Attestation.t -> bool
+(** Canonical-payload equality (ignores the signature/evidence). *)
+
+val pp : Format.formatter -> report -> unit

@@ -35,9 +35,25 @@ type attest_entry = {
   at_devices : (int * int) list;
 }
 
+(* Durable redo layer (armed by [enable_persistence] or [recover]).
+   [p_seq] numbers committed operations; the WAL holds records
+   [snapshot_seq+1 .. p_seq] (minus an unsynced or torn tail), and each
+   snapshot in the store records the seq it captures, so recovery can
+   replay exactly the suffix. [p_replaying] mutes logging while recovery
+   re-executes the suffix through the normal API. *)
+type persist_cfg = {
+  p_store : Persist.Store.t;
+  p_snapshot_every : int;
+  p_fsync_every : int;
+  mutable p_seq : int;
+  mutable p_since_snapshot : int;
+  mutable p_since_fsync : int;
+  mutable p_replaying : bool;
+}
+
 type t = {
   machine : Hw.Machine.t;
-  tree : Cap.Captree.t;
+  mutable tree : Cap.Captree.t; (* mutable only for [recover] *)
   backend : Backend_intf.t;
   tpm : Rot.Tpm.t;
   signer : Crypto.Signature.signer;
@@ -52,6 +68,7 @@ type t = {
   mutable attests : int; (* attestations signed (telemetry) *)
   mutable body_hits : int; (* memoized attestation bodies reused *)
   mutable body_misses : int; (* bodies re-enumerated *)
+  mutable persist : persist_cfg option;
 }
 
 let key_binding_pcr = 18
@@ -73,6 +90,74 @@ let domains t =
 let get_domain t id =
   match find_domain t id with Some d -> Ok d | None -> Error (Unknown_domain id)
 
+(* A domain may hold several *overlapping* active capabilities over the
+   same memory — a range shared back to it by a peer, a self-grant, or
+   split remainders of such an alias. Detaching one of them must not
+   tear down hardware access (or run destructive cleanup) on bytes the
+   domain still legitimately reaches through the survivors. Effects are
+   applied after the tree mutation, so the tree at this point lists
+   exactly the surviving active holdings.
+
+   Rewrite every memory Detach into canonical form:
+   - pieces no surviving capability covers detach with the original
+     clean-up policy (destructive clean-up only ever touches memory the
+     domain genuinely lost);
+   - covered pieces detach with [Keep] and are immediately re-attached
+     under each surviving holder's own permission.
+
+   Merely suppressing the covered pieces (keeping whatever entries the
+   historical attach order produced) is not enough: a stale fragment
+   whose permission happens to match its neighbours can bridge two
+   disjoint active holdings into one hardware entry, so the live layout
+   can need *fewer* finite hardware slots (PMP entries) than the
+   canonical per-(domain, perm) union of active holdings. Crash
+   recovery re-derives exactly that canonical union from a snapshot;
+   keeping the live layout canonical too is what guarantees recovery's
+   re-attach fits any budget the live run fit. *)
+let trim_detach t eff =
+  match eff with
+  | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
+    let survivors =
+      List.filter_map
+        (fun c ->
+          match (Cap.Captree.resource t.tree c, Cap.Captree.rights t.tree c) with
+          | Some (Cap.Resource.Memory held), Some rights
+            when Hw.Addr.Range.overlaps held r ->
+            Some (held, rights.Cap.Rights.perm)
+          | _ -> None)
+        (Cap.Captree.caps_of_domain t.tree domain)
+    in
+    let uncovered =
+      List.fold_left
+        (fun pieces (held, _) ->
+          List.concat_map (fun p -> Hw.Addr.Range.subtract p held) pieces)
+        [ r ] survivors
+    in
+    let covered =
+      List.fold_left
+        (fun pieces unc ->
+          List.concat_map (fun p -> Hw.Addr.Range.subtract p unc) pieces)
+        [ r ] uncovered
+    in
+    let detach ~cleanup piece =
+      Cap.Captree.Detach { domain; resource = Cap.Resource.Memory piece; cleanup }
+    in
+    let reattach =
+      List.filter_map
+        (fun (held, perm) ->
+          match Hw.Addr.Range.intersect held r with
+          | Some piece ->
+            Some
+              (Cap.Captree.Attach
+                 { domain; resource = Cap.Resource.Memory piece; perm })
+          | None -> None)
+        survivors
+    in
+    List.map (detach ~cleanup) uncovered
+    @ List.map (detach ~cleanup:Cap.Revocation.Keep) covered
+    @ reattach
+  | eff -> [ eff ]
+
 (* Apply backend effects in order, stopping at the first failure. The
    typed [Backend_failure] error replaces the old invalid_arg escape
    hatch: callers run inside [with_txn], which rolls both the tree and
@@ -88,7 +173,7 @@ let apply_effects t effects =
         Log.warn (fun m -> m "backend effect failed, rolling back: %s" msg);
         Error (Backend_failure msg))
   in
-  go effects
+  go (List.concat_map (trim_detach t) effects)
 
 let cap_result t = function
   | Ok (value, effects) ->
@@ -96,19 +181,197 @@ let cap_result t = function
     Ok value
   | Error e -> Error (Cap_error e)
 
+(* --- conversions to the persist layer's neutral types --------------- *)
+
+let kind_to_int = function
+  | Domain.Os -> 0
+  | Domain.Sandbox -> 1
+  | Domain.Enclave -> 2
+  | Domain.Confidential_vm -> 3
+  | Domain.Io_domain -> 4
+
+let kind_of_int = function
+  | 0 -> Some Domain.Os
+  | 1 -> Some Domain.Sandbox
+  | 2 -> Some Domain.Enclave
+  | 3 -> Some Domain.Confidential_vm
+  | 4 -> Some Domain.Io_domain
+  | _ -> None
+
+let cleanup_to_int = function
+  | Cap.Revocation.Keep -> 0
+  | Cap.Revocation.Zero -> 1
+  | Cap.Revocation.Flush_cache -> 2
+  | Cap.Revocation.Zero_and_flush -> 3
+
+let cleanup_of_int = function
+  | 0 -> Some Cap.Revocation.Keep
+  | 1 -> Some Cap.Revocation.Zero
+  | 2 -> Some Cap.Revocation.Flush_cache
+  | 3 -> Some Cap.Revocation.Zero_and_flush
+  | _ -> None
+
+let origin_to_int = function
+  | Cap.Captree.Orig_root -> 0
+  | Cap.Captree.Orig_shared -> 1
+  | Cap.Captree.Orig_granted -> 2
+  | Cap.Captree.Orig_split -> 3
+
+let origin_of_int = function
+  | 0 -> Some Cap.Captree.Orig_root
+  | 1 -> Some Cap.Captree.Orig_shared
+  | 2 -> Some Cap.Captree.Orig_granted
+  | 3 -> Some Cap.Captree.Orig_split
+  | _ -> None
+
+let state_to_int = function
+  | Cap.Captree.Active -> 0
+  | Cap.Captree.Inactive_granted -> 1
+  | Cap.Captree.Inactive_split -> 2
+
+let state_of_int = function
+  | 0 -> Some Cap.Captree.Active
+  | 1 -> Some Cap.Captree.Inactive_granted
+  | 2 -> Some Cap.Captree.Inactive_split
+  | _ -> None
+
+let rights_to_wire (r : Cap.Rights.t) =
+  { Persist.Op.r_read = r.perm.Hw.Perm.read;
+    r_write = r.perm.Hw.Perm.write;
+    r_exec = r.perm.Hw.Perm.exec;
+    r_share = r.can_share;
+    r_grant = r.can_grant }
+
+let rights_of_wire (w : Persist.Op.rights) =
+  { Cap.Rights.perm =
+      { Hw.Perm.read = w.Persist.Op.r_read; write = w.r_write; exec = w.r_exec };
+    can_share = w.r_share;
+    can_grant = w.r_grant }
+
+let range_pair r = (Hw.Addr.Range.base r, Hw.Addr.Range.len r)
+let pair_range (base, len) = Hw.Addr.Range.make ~base ~len
+
+let resource_to_wire = function
+  | Cap.Resource.Memory r ->
+    Persist.Snapshot.Mem { base = Hw.Addr.Range.base r; len = Hw.Addr.Range.len r }
+  | Cap.Resource.Cpu_core c -> Persist.Snapshot.Core c
+  | Cap.Resource.Device d -> Persist.Snapshot.Dev d
+
+let resource_of_wire = function
+  | Persist.Snapshot.Mem { base; len } -> Cap.Resource.Memory (pair_range (base, len))
+  | Persist.Snapshot.Core c -> Cap.Resource.Cpu_core c
+  | Persist.Snapshot.Dev d -> Cap.Resource.Device d
+
+let domain_spec d =
+  { Persist.Snapshot.d_id = Domain.id d;
+    d_name = Domain.name d;
+    d_kind = kind_to_int (Domain.kind d);
+    d_created_by = (match Domain.created_by d with Some c -> c | None -> -1);
+    d_sealed = Domain.is_sealed d;
+    d_entry = (match Domain.entry_point d with Some e -> e | None -> -1);
+    d_measured = List.map range_pair (Domain.measured_ranges d);
+    d_flush = Domain.flush_on_transition d;
+    d_measurement =
+      (match Domain.measurement d with
+      | Some m -> Crypto.Sha256.to_raw m
+      | None -> "") }
+
+let node_to_wire (ns : Cap.Captree.node_spec) =
+  { Persist.Snapshot.n_id = ns.ns_id;
+    n_resource = resource_to_wire ns.ns_resource;
+    n_rights = rights_to_wire ns.ns_rights;
+    n_owner = ns.ns_owner;
+    n_cleanup = cleanup_to_int ns.ns_cleanup;
+    n_parent = (match ns.ns_parent with Some p -> p | None -> -1);
+    n_origin = origin_to_int ns.ns_origin;
+    n_state = state_to_int ns.ns_state;
+    n_children = ns.ns_children }
+
+let node_of_wire (n : Persist.Snapshot.node_spec) =
+  match
+    ( cleanup_of_int n.Persist.Snapshot.n_cleanup,
+      origin_of_int n.n_origin,
+      state_of_int n.n_state )
+  with
+  | Some cleanup, Some origin, Some state ->
+    Ok
+      { Cap.Captree.ns_id = n.n_id;
+        ns_resource = resource_of_wire n.n_resource;
+        ns_rights = rights_of_wire n.n_rights;
+        ns_owner = n.n_owner;
+        ns_cleanup = cleanup;
+        ns_parent = (if n.n_parent < 0 then None else Some n.n_parent);
+        ns_origin = origin;
+        ns_state = state;
+        ns_children = n.n_children }
+  | _ -> Error (Printf.sprintf "snapshot: bad node encoding for cap %d" n.n_id)
+
+let snapshot_state t seq =
+  { Persist.Snapshot.seq;
+    next_domain = t.next_domain;
+    next_cap = Cap.Captree.next_id t.tree;
+    generation = Cap.Captree.generation t.tree;
+    domains = List.map domain_spec (domains t);
+    nodes = List.map node_to_wire (Cap.Captree.dump t.tree);
+    current = Array.to_list t.current;
+    stacks = Array.to_list t.stacks }
+
+(* Checkpoint: make the snapshot durable FIRST, then retire the WAL it
+   subsumes. A crash between the two leaves both the snapshot and the
+   (now-redundant) log — recovery replays records with seq ≤ snapshot
+   seq as no-ops by filtering, so every window is benign. *)
+let write_snapshot t cfg =
+  (* A crash mid-snapshot-append leaves a torn frame at the blob's tail,
+     and the newest-valid scan cannot see past it — an append after the
+     tear would be durable but unreachable. Repair the tail first;
+     resetting the WAL below is only sound once the new snapshot is
+     actually loadable. *)
+  (let scan = Persist.Wal.read cfg.p_store ~blob:Persist.Store.snap_blob in
+   if scan.Persist.Wal.truncated then
+     Persist.Store.truncate cfg.p_store Persist.Store.snap_blob
+       scan.Persist.Wal.valid_bytes);
+  Persist.Snapshot.write cfg.p_store (snapshot_state t cfg.p_seq);
+  Persist.Wal.reset cfg.p_store ~blob:Persist.Store.wal_blob;
+  cfg.p_since_snapshot <- 0;
+  cfg.p_since_fsync <- 0
+
+(* Log one committed operation. Called after the in-memory commit: if
+   the append crashes, memory is ahead of the log by exactly the ops the
+   durable prefix is missing — the redo-log contract. During recovery
+   replay, logging is muted (the records already exist). *)
+let log_op t op =
+  match t.persist with
+  | None -> ()
+  | Some cfg when cfg.p_replaying -> ()
+  | Some cfg ->
+    let seq = cfg.p_seq + 1 in
+    cfg.p_seq <- seq;
+    Persist.Wal.append cfg.p_store ~blob:Persist.Store.wal_blob ~seq
+      (Persist.Op.encode op);
+    cfg.p_since_fsync <- cfg.p_since_fsync + 1;
+    if cfg.p_since_fsync >= cfg.p_fsync_every then begin
+      Persist.Store.fsync cfg.p_store Persist.Store.wal_blob;
+      cfg.p_since_fsync <- 0
+    end;
+    cfg.p_since_snapshot <- cfg.p_since_snapshot + 1;
+    if cfg.p_since_snapshot >= cfg.p_snapshot_every then write_snapshot t cfg
+
 (* Bracket one mutating API call: journal tree mutations and hardware
    effects, commit on success, roll BOTH back on a typed error or an
    exception — state after a failed call is structurally identical to
    state before it. The backend rolls back first (its undo may read
    nothing from the tree, but symmetry with the forward order —
-   tree-then-hardware — costs nothing and composes: (ab)⁻¹ = b⁻¹a⁻¹). *)
-let with_txn t f =
+   tree-then-hardware — costs nothing and composes: (ab)⁻¹ = b⁻¹a⁻¹).
+   [?op] is the redo record to append once both commits land; only
+   successful calls reach the log, so replay never re-fails. *)
+let with_txn ?op t f =
   Cap.Captree.txn_begin t.tree;
   t.backend.Backend_intf.txn_begin ();
   match f () with
   | Ok _ as ok ->
     t.backend.Backend_intf.txn_commit ();
     Cap.Captree.txn_commit t.tree;
+    (match op with Some op -> log_op t op | None -> ());
     ok
   | Error _ as err ->
     t.backend.Backend_intf.txn_rollback ();
@@ -119,29 +382,37 @@ let with_txn t f =
     Cap.Captree.txn_rollback t.tree;
     raise e
 
-let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range =
+(* The monitor shell: signer, TPM binding, empty tables. Shared by
+   [boot] (which then endows domain 0) and [recover] (which instead
+   restores domains and the tree from a snapshot). *)
+let make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng =
   let signer = Crypto.Signature.create ~height:signer_height ?pool:keypool rng in
   (* Bind the monitor's attestation key into the TPM so the tier-one
      quote certifies the tier-two signer (two-tier protocol, §3.4). *)
   Rot.Tpm.extend tpm ~pcr:key_binding_pcr (Crypto.Signature.public_root signer);
-  let t =
-    { machine;
-      tree = Cap.Captree.create ();
-      backend;
-      tpm;
-      signer;
-      domains = Hashtbl.create 16;
-      next_domain = Domain.initial + 1;
-      current = Array.make (Array.length machine.Hw.Machine.cores) Domain.initial;
-      stacks = Array.make (Array.length machine.Hw.Machine.cores) [];
-      reg_contexts = Hashtbl.create 16;
-      transitions = 0;
-      attest_cache = Hashtbl.create 16;
-      keypool;
-      attests = 0;
-      body_hits = 0;
-      body_misses = 0 }
-  in
+  { machine;
+    tree = Cap.Captree.create ();
+    backend;
+    tpm;
+    signer;
+    domains = Hashtbl.create 16;
+    next_domain = Domain.initial + 1;
+    current = Array.make (Array.length machine.Hw.Machine.cores) Domain.initial;
+    stacks = Array.make (Array.length machine.Hw.Machine.cores) [];
+    reg_contexts = Hashtbl.create 16;
+    transitions = 0;
+    attest_cache = Hashtbl.create 16;
+    keypool;
+    attests = 0;
+    body_hits = 0;
+    body_misses = 0;
+    persist = None }
+
+(* Endow domain 0 with the whole machine minus the monitor's memory and
+   launch it everywhere — the boot-time baseline state. *)
+let endow_initial t ~monitor_range =
+  let machine = t.machine in
+  let backend = t.backend in
   let os = Domain.make ~id:Domain.initial ~name:"os" ~kind:Domain.Os ~created_by:None in
   Hashtbl.replace t.domains Domain.initial os;
   backend.Backend_intf.domain_created os;
@@ -169,7 +440,11 @@ let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range
   Log.info (fun m -> m "monitor booted: %d memory roots, %d cores, %d devices"
     (List.length free_memory)
     (Array.length machine.Hw.Machine.cores)
-    (List.length machine.Hw.Machine.devices));
+    (List.length machine.Hw.Machine.devices))
+
+let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range =
+  let t = make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng in
+  endow_initial t ~monitor_range;
   t
 
 (* Domain lifecycle *)
@@ -182,6 +457,7 @@ let create_domain t ~caller ~name ~kind =
   Hashtbl.replace t.domains id d;
   t.backend.Backend_intf.domain_created d;
   Log.debug (fun m -> m "created %a by domain#%d" Domain.pp d caller);
+  log_op t (Persist.Op.Create_domain { caller; name; kind = kind_to_int kind });
   Ok id
 
 let creator_or_self ~caller ~domain d =
@@ -191,7 +467,11 @@ let creator_or_self ~caller ~domain d =
 let set_entry_point t ~caller ~domain addr =
   let* d = get_domain t domain in
   let* () = creator_or_self ~caller ~domain d in
-  Result.map_error (fun e -> Domain_config e) (Domain.set_entry_point d addr)
+  match Domain.set_entry_point d addr with
+  | Ok () ->
+    log_op t (Persist.Op.Set_entry_point { caller; domain; entry = addr });
+    Ok ()
+  | Error e -> Error (Domain_config e)
 
 let set_flush_policy t ~caller ~domain flush =
   let* d = get_domain t domain in
@@ -199,6 +479,7 @@ let set_flush_policy t ~caller ~domain flush =
   if Domain.is_sealed d then Error (Domain_config "domain is sealed")
   else begin
     Domain.set_flush_on_transition d flush;
+    log_op t (Persist.Op.Set_flush_policy { caller; domain; flush });
     Ok ()
   end
 
@@ -215,7 +496,16 @@ let mark_measured t ~caller ~domain range =
   let* () = creator_or_self ~caller ~domain d in
   if not (domain_holds_range t ~domain range) then
     Error (Denied "measured range not held by the domain")
-  else Result.map_error (fun e -> Domain_config e) (Domain.add_measured_range d range)
+  else
+    match Domain.add_measured_range d range with
+    | Ok () ->
+      log_op t
+        (Persist.Op.Mark_measured
+           { caller; domain;
+             base = Hw.Addr.Range.base range;
+             len = Hw.Addr.Range.len range });
+      Ok ()
+    | Error e -> Error (Domain_config e)
 
 let seal t ~caller ~domain =
   let* d = get_domain t domain in
@@ -236,7 +526,14 @@ let seal t ~caller ~domain =
       Measure.domain_digest ~kind:(Domain.kind d) ~entry_point:entry
         ~flush_on_transition:(Domain.flush_on_transition d) ~ranges
     in
-    Result.map_error (fun e -> Domain_config e) (Domain.seal d ~measurement:digest)
+    (match Domain.seal d ~measurement:digest with
+    | Ok () ->
+      (* The digest hashes memory contents, which are not durable: the
+         record carries the result so replay can install it verbatim. *)
+      log_op t
+        (Persist.Op.Seal { caller; domain; measurement = Crypto.Sha256.to_raw digest });
+      Ok ()
+    | Error e -> Error (Domain_config e))
 
 let running_on_some_core t domain =
   Array.exists (fun d -> d = domain) t.current
@@ -254,7 +551,7 @@ let destroy_domain t ~caller ~domain =
        the revocation cascade must leave every capability (and the
        hardware) exactly as before the call. The table removals are
        infallible and run last, so they need no undo. *)
-    with_txn t (fun () ->
+    with_txn ~op:(Persist.Op.Destroy_domain { caller; domain }) t (fun () ->
         let rec revoke_all () =
           (* Inactive capabilities too: delegations the domain made from
              granted-away pieces must cascade with it. *)
@@ -310,6 +607,12 @@ let share t ~caller ~cap ~to_ ~rights ~cleanup ?subrange () =
   let* () = validate_attach t target resource in
   with_txn t (fun () ->
       cap_result t (Cap.Captree.share t.tree cap ~to_ ~rights ~cleanup ?subrange ()))
+    ~op:
+      (Persist.Op.Share
+         { caller; cap; to_;
+           rights = rights_to_wire rights;
+           cleanup = cleanup_to_int cleanup;
+           sub = Option.map range_pair subrange })
 
 let grant t ~caller ~cap ~to_ ~rights ~cleanup =
   let* () = owned_by t ~caller cap in
@@ -321,10 +624,15 @@ let grant t ~caller ~cap ~to_ ~rights ~cleanup =
   let* target = attach_target t ~caller ~to_ ~resource in
   let* () = validate_attach t target resource in
   with_txn t (fun () -> cap_result t (Cap.Captree.grant t.tree cap ~to_ ~rights ~cleanup))
+    ~op:
+      (Persist.Op.Grant
+         { caller; cap; to_;
+           rights = rights_to_wire rights;
+           cleanup = cleanup_to_int cleanup })
 
 let split t ~caller ~cap ~at =
   let* () = owned_by t ~caller cap in
-  with_txn t (fun () ->
+  with_txn ~op:(Persist.Op.Split { caller; cap; at }) t (fun () ->
       match Cap.Captree.split t.tree cap ~at with
       | Ok (l, r, effects) ->
         let* () = apply_effects t effects in
@@ -334,6 +642,11 @@ let split t ~caller ~cap ~at =
 let carve t ~caller ~cap ~subrange =
   let* () = owned_by t ~caller cap in
   with_txn t (fun () -> cap_result t (Cap.Captree.carve t.tree cap ~subrange))
+    ~op:
+      (Persist.Op.Carve
+         { caller; cap;
+           base = Hw.Addr.Range.base subrange;
+           len = Hw.Addr.Range.len subrange })
 
 let may_revoke t ~caller cap =
   let rec walk id =
@@ -347,7 +660,7 @@ let may_revoke t ~caller cap =
 
 let revoke t ~caller ~cap =
   let* () = may_revoke t ~caller cap in
-  with_txn t (fun () ->
+  with_txn ~op:(Persist.Op.Revoke { caller; cap }) t (fun () ->
       cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)))
 
 (* Transitions *)
@@ -397,7 +710,7 @@ let call t ~core ~target =
   else if not (holds_core t target core) then
     Error (Bad_transition "target domain holds no capability for this core")
   else
-    with_txn t (fun () ->
+    with_txn ~op:(Persist.Op.Call { core; target }) t (fun () ->
         let* path = do_transition t ~core ~from_ ~to_ in
         t.stacks.(core) <- from_id :: t.stacks.(core);
         t.current.(core) <- target;
@@ -416,7 +729,7 @@ let ret t ~core =
   let* prev, rest = pop t.stacks.(core) in
   let* from_ = get_domain t t.current.(core) in
   let* to_ = get_domain t prev in
-  with_txn t (fun () ->
+  with_txn ~op:(Persist.Op.Ret { core }) t (fun () ->
       let* path = do_transition t ~core ~from_ ~to_ in
       t.stacks.(core) <- rest;
       t.current.(core) <- prev;
@@ -439,7 +752,9 @@ let timer_tick t ~core =
     in
     let* from_ = get_domain t running in
     let* to_ = get_domain t heir in
-    with_txn t (fun () ->
+    (* Only the eviction branch mutates state, so only it is logged;
+       the no-op fast path above leaves the log untouched. *)
+    with_txn ~op:(Persist.Op.Timer_tick { core }) t (fun () ->
         let* _path = do_transition t ~core ~from_ ~to_ in
         t.stacks.(core) <- [];
         t.current.(core) <- heir;
@@ -644,3 +959,357 @@ let attest_telemetry t =
     keypool_misses;
     keypool_miss_rate;
     keypool_stock }
+
+(* Durability: enable, checkpoint, recover (crash-restart). *)
+
+let enable_persistence t ~store ?(snapshot_every = 1000) ?(fsync_every = 1) () =
+  if snapshot_every <= 0 then invalid_arg "Monitor.enable_persistence: snapshot_every";
+  if fsync_every <= 0 then invalid_arg "Monitor.enable_persistence: fsync_every";
+  let cfg =
+    { p_store = store;
+      p_snapshot_every = snapshot_every;
+      p_fsync_every = fsync_every;
+      p_seq = 0;
+      p_since_snapshot = 0;
+      p_since_fsync = 0;
+      p_replaying = false }
+  in
+  t.persist <- Some cfg;
+  (* Baseline snapshot at seq 0: from here on the store can always
+     answer "newest snapshot + WAL suffix", even before the first
+     cadence-driven checkpoint. *)
+  write_snapshot t cfg
+
+let persist_seq t = match t.persist with Some cfg -> Some cfg.p_seq | None -> None
+
+let persist_snapshot t =
+  match t.persist with
+  | None -> invalid_arg "Monitor.persist_snapshot: persistence is not enabled"
+  | Some cfg -> write_snapshot t cfg
+
+type recovery_report = {
+  rr_snapshot_seq : int;
+  rr_snapshots_scanned : int;
+  rr_snapshot_torn : bool;
+  rr_wal_records : int;
+  rr_replayed : int;
+  rr_wal_truncated : bool;
+  rr_stopped_early : string option;
+  rr_seq : int;
+}
+
+let pp_recovery_report fmt r =
+  Format.fprintf fmt
+    "@[<v>snapshot: seq %d (%d scanned%s)@,\
+     wal: %d records, %d replayed%s%s@,\
+     recovered through seq %d@]"
+    r.rr_snapshot_seq r.rr_snapshots_scanned
+    (if r.rr_snapshot_torn then ", torn tail" else "")
+    r.rr_wal_records r.rr_replayed
+    (if r.rr_wal_truncated then ", torn tail discarded" else "")
+    (match r.rr_stopped_early with
+    | Some why -> Printf.sprintf ", stopped early: %s" why
+    | None -> "")
+    r.rr_seq
+
+(* Replay a [Seal] record. The normal [seal] path re-measures memory,
+   but memory contents are not durable — the record carries the digest
+   the original call produced, and replay installs it verbatim. *)
+let replay_seal t ~caller ~domain ~measurement =
+  let* d = Result.map_error error_to_string (get_domain t domain) in
+  let* () = Result.map_error error_to_string (creator_or_self ~caller ~domain d) in
+  if String.length measurement <> Crypto.Sha256.digest_size then
+    Error "seal record carries a malformed digest"
+  else Domain.seal d ~measurement:(Crypto.Sha256.of_raw measurement)
+
+(* Re-execute one logged operation through the normal API (logging is
+   muted by [p_replaying]). Every record was appended only after the
+   original call committed, so replay against the same starting state
+   must succeed; a failure means the log and snapshot disagree and
+   replay stops at the last consistent prefix. *)
+let replay_op t (op : Persist.Op.t) =
+  let mon r = Result.map_error error_to_string (Result.map ignore r) in
+  match op with
+  | Persist.Op.Create_domain { caller; name; kind } -> (
+    match kind_of_int kind with
+    | None -> Error (Printf.sprintf "unknown domain kind %d" kind)
+    | Some kind -> mon (create_domain t ~caller ~name ~kind))
+  | Persist.Op.Set_entry_point { caller; domain; entry } ->
+    mon (set_entry_point t ~caller ~domain entry)
+  | Persist.Op.Set_flush_policy { caller; domain; flush } ->
+    mon (set_flush_policy t ~caller ~domain flush)
+  | Persist.Op.Mark_measured { caller; domain; base; len } ->
+    mon (mark_measured t ~caller ~domain (pair_range (base, len)))
+  | Persist.Op.Seal { caller; domain; measurement } ->
+    replay_seal t ~caller ~domain ~measurement
+  | Persist.Op.Destroy_domain { caller; domain } -> mon (destroy_domain t ~caller ~domain)
+  | Persist.Op.Share { caller; cap; to_; rights; cleanup; sub } -> (
+    match cleanup_of_int cleanup with
+    | None -> Error (Printf.sprintf "unknown cleanup policy %d" cleanup)
+    | Some cleanup -> (
+      let rights = rights_of_wire rights in
+      match sub with
+      | Some s -> mon (share t ~caller ~cap ~to_ ~rights ~cleanup ~subrange:(pair_range s) ())
+      | None -> mon (share t ~caller ~cap ~to_ ~rights ~cleanup ())))
+  | Persist.Op.Grant { caller; cap; to_; rights; cleanup } -> (
+    match cleanup_of_int cleanup with
+    | None -> Error (Printf.sprintf "unknown cleanup policy %d" cleanup)
+    | Some cleanup -> mon (grant t ~caller ~cap ~to_ ~rights:(rights_of_wire rights) ~cleanup))
+  | Persist.Op.Split { caller; cap; at } -> mon (split t ~caller ~cap ~at)
+  | Persist.Op.Carve { caller; cap; base; len } ->
+    mon (carve t ~caller ~cap ~subrange:(pair_range (base, len)))
+  | Persist.Op.Revoke { caller; cap } -> mon (revoke t ~caller ~cap)
+  | Persist.Op.Call { core; target } -> mon (call t ~core ~target)
+  | Persist.Op.Ret { core } -> mon (ret t ~core)
+  | Persist.Op.Timer_tick { core } -> mon (timer_tick t ~core)
+
+(* Install a decoded snapshot into a fresh monitor shell. *)
+let restore_state t (s : Persist.Snapshot.t) =
+  let rec conv_domains = function
+    | [] -> Ok ()
+    | (d : Persist.Snapshot.domain_spec) :: rest -> (
+      match kind_of_int d.d_kind with
+      | None -> Error (Printf.sprintf "snapshot: unknown kind %d for domain %d" d.d_kind d.d_id)
+      | Some kind ->
+        let* measurement =
+          if d.d_measurement = "" then Ok None
+          else if String.length d.d_measurement = Crypto.Sha256.digest_size then
+            Ok (Some (Crypto.Sha256.of_raw d.d_measurement))
+          else Error (Printf.sprintf "snapshot: malformed measurement for domain %d" d.d_id)
+        in
+        Hashtbl.replace t.domains d.d_id
+          (Domain.restore ~id:d.d_id ~name:d.d_name ~kind
+             ~created_by:(if d.d_created_by < 0 then None else Some d.d_created_by)
+             ~sealed:d.d_sealed
+             ~entry_point:(if d.d_entry < 0 then None else Some d.d_entry)
+             ~measured:(List.map pair_range d.d_measured)
+             ~flush_on_transition:d.d_flush ~measurement);
+        conv_domains rest)
+  in
+  let rec conv_nodes acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      match node_of_wire n with
+      | Ok ns -> conv_nodes (ns :: acc) rest
+      | Error _ as e -> e)
+  in
+  let ncores = Array.length t.current in
+  if List.length s.Persist.Snapshot.current <> ncores
+     || List.length s.Persist.Snapshot.stacks <> ncores then
+    Error
+      (Printf.sprintf "snapshot: recorded %d cores, this machine has %d"
+         (List.length s.Persist.Snapshot.current) ncores)
+  else begin
+    Hashtbl.reset t.domains;
+    let* () = conv_domains s.Persist.Snapshot.domains in
+    t.next_domain <- s.Persist.Snapshot.next_domain;
+    let* specs = conv_nodes [] s.Persist.Snapshot.nodes in
+    t.tree <-
+      Cap.Captree.restore ~next_id:s.Persist.Snapshot.next_cap
+        ~generation:s.Persist.Snapshot.generation specs;
+    List.iteri (fun i d -> t.current.(i) <- d) s.Persist.Snapshot.current;
+    List.iteri (fun i st -> t.stacks.(i) <- st) s.Persist.Snapshot.stacks;
+    Ok specs
+  end
+
+(* Hardware is deliberately not serialized: the tree is the source of
+   truth, so EPT/PMP/IOMMU/MMIO state is re-derived by registering every
+   domain and re-attaching every *active* capability — minus the
+   detach/attach churn of the history. Memory holdings are coalesced per
+   (owner, permission) before attaching: a long history fragments the
+   tree into many small active nodes whose live hardware footprint was
+   nevertheless a few merged translation entries, and re-attaching them
+   one-by-one can exceed a finite budget (PMP entries) the live layout
+   never needed. The coalesced union is the minimal representation of
+   exactly the same coverage. [Fsck.check] then cross-checks the result
+   against the tree, exactly as the runtime invariant does. *)
+let coalesce ranges =
+  let sorted =
+    List.sort (fun a b -> Int.compare (Hw.Addr.Range.base a) (Hw.Addr.Range.base b)) ranges
+  in
+  match sorted with
+  | [] -> []
+  | first :: rest ->
+    let merged, last =
+      List.fold_left
+        (fun (done_, cur) r ->
+          if Hw.Addr.Range.base r <= Hw.Addr.Range.limit cur then
+            let limit = max (Hw.Addr.Range.limit cur) (Hw.Addr.Range.limit r) in
+            ( done_,
+              Hw.Addr.Range.make ~base:(Hw.Addr.Range.base cur)
+                ~len:(limit - Hw.Addr.Range.base cur) )
+          else (cur :: done_, r))
+        ([], first) rest
+    in
+    List.rev (last :: merged)
+
+let rebuild_hardware t specs =
+  List.iter (fun d -> t.backend.Backend_intf.domain_created d) (domains t);
+  let active = List.filter (fun (ns : Cap.Captree.node_spec) -> ns.ns_state = Cap.Captree.Active) specs in
+  (* Memory attaches, grouped by (owner, perm) and coalesced; group
+     order follows the first node of each group, keeping the rebuild
+     deterministic. *)
+  let groups = ref [] in
+  List.iter
+    (fun (ns : Cap.Captree.node_spec) ->
+      match ns.ns_resource with
+      | Cap.Resource.Memory r ->
+        let key = (ns.ns_owner, ns.ns_rights.Cap.Rights.perm) in
+        (match List.assoc_opt key !groups with
+        | Some rs -> rs := r :: !rs
+        | None -> groups := !groups @ [ (key, ref [ r ]) ])
+      | _ -> ())
+    active;
+  let attach_all effs =
+    List.fold_left
+      (fun acc (label, eff) ->
+        let* () = acc in
+        match t.backend.Backend_intf.apply_effect eff with
+        | Ok () -> Ok ()
+        | Error msg -> Error (Printf.sprintf "recovery: re-attach of %s failed: %s" label msg))
+      (Ok ()) effs
+  in
+  let mem_effects =
+    List.concat_map
+      (fun ((owner, perm), rs) ->
+        List.map
+          (fun r ->
+            ( Format.asprintf "domain %d memory %a" owner Hw.Addr.Range.pp r,
+              Cap.Captree.Attach
+                { domain = owner; resource = Cap.Resource.Memory r; perm } ))
+          (coalesce !rs))
+      !groups
+  in
+  let other_effects =
+    List.filter_map
+      (fun (ns : Cap.Captree.node_spec) ->
+        match ns.ns_resource with
+        | Cap.Resource.Memory _ -> None
+        | res ->
+          Some
+            ( Printf.sprintf "cap %d" ns.ns_id,
+              Cap.Captree.Attach
+                { domain = ns.ns_owner; resource = res; perm = ns.ns_rights.Cap.Rights.perm }
+            ))
+      active
+  in
+  (* Restore the per-core schedule before re-attaching: backends enforce
+     per-domain hardware budgets (PMP entries) only for running domains,
+     and a fresh backend boots with every core on the OS. Re-attaching
+     first would eagerly charge the OS's whole layout against cores the
+     recovered schedule gives to other domains — a budget check the live
+     run never performed. *)
+  let missing = ref None in
+  Array.iteri
+    (fun i cpu ->
+      if !missing = None then
+        match find_domain t t.current.(i) with
+        | Some d -> t.backend.Backend_intf.launch ~core:cpu d
+        | None ->
+          missing := Some (Printf.sprintf "recovery: core %d runs unknown domain %d" i t.current.(i)))
+    t.machine.Hw.Machine.cores;
+  match !missing with
+  | Some e -> Error e
+  | None -> attach_all (mem_effects @ other_effects)
+
+(* Replay the WAL suffix after [base_seq]. Stops (never fails) at a
+   sequence gap, an undecodable record, or a replay mismatch — the
+   state is then the longest prefix-consistent history the durable
+   bytes support, which is the strongest sound answer. *)
+let replay_wal t cfg ~base_seq records =
+  cfg.p_replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> cfg.p_replaying <- false)
+    (fun () ->
+      let rec go expected applied = function
+        | [] -> (applied, None)
+        | (seq, _) :: rest when seq <= base_seq -> go expected applied rest
+        | (seq, payload) :: rest ->
+          if seq <> expected then
+            (applied, Some (Printf.sprintf "sequence gap: expected %d, found %d" expected seq))
+          else (
+            match Persist.Op.decode payload with
+            | exception Persist.Wire.Corrupt why ->
+              (applied, Some (Printf.sprintf "undecodable record at seq %d: %s" seq why))
+            | op -> (
+              match replay_op t op with
+              | Ok () ->
+                cfg.p_seq <- seq;
+                go (seq + 1) (applied + 1) rest
+              | Error why ->
+                (applied,
+                 Some
+                   (Format.asprintf "replay of %a (seq %d) failed: %s" Persist.Op.pp op seq why))
+              | exception e ->
+                (applied,
+                 Some (Printf.sprintf "replay raised at seq %d: %s" seq (Printexc.to_string e)))))
+      in
+      go (base_seq + 1) 0 records)
+
+let recover ?(signer_height = 6) ?keypool ?(snapshot_every = 1000) ?(fsync_every = 1)
+    machine ~store ~backend ~tpm ~rng ~monitor_range =
+  if snapshot_every <= 0 then invalid_arg "Monitor.recover: snapshot_every";
+  if fsync_every <= 0 then invalid_arg "Monitor.recover: fsync_every";
+  let snap, scanned, snap_torn = Persist.Snapshot.load_latest store in
+  let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
+  let t = make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng in
+  let cfg =
+    { p_store = store;
+      p_snapshot_every = snapshot_every;
+      p_fsync_every = fsync_every;
+      p_seq = 0;
+      p_since_snapshot = 0;
+      p_since_fsync = 0;
+      p_replaying = false }
+  in
+  (* Reconstruction re-executes operations that already committed once;
+     re-injecting API-level faults would fail them a second time and
+     diverge from the durable history, so injection is masked — exactly
+     like the backends' rollback paths. The closing checkpoint below
+     runs unmasked: it is new durable work and may legitimately crash
+     (leaving the old snapshot and un-reset WAL, still recoverable). *)
+  let setup =
+    Fault.suspend (fun () ->
+        let* base_seq =
+          match snap with
+          | Some s ->
+            let* specs = restore_state t s in
+            let* () = rebuild_hardware t specs in
+            Ok s.Persist.Snapshot.seq
+          | None ->
+            (* No decodable snapshot: fall back to the boot baseline —
+               the state [enable_persistence] captured at seq 0 — and
+               replay the whole log. *)
+            endow_initial t ~monitor_range;
+            Ok 0
+        in
+        cfg.p_seq <- base_seq;
+        t.persist <- Some cfg;
+        let applied, stopped = replay_wal t cfg ~base_seq wal.Persist.Wal.records in
+        Ok (applied, stopped))
+  in
+  match setup with
+  | Error why -> Error why
+  | Ok (applied, stopped) ->
+    (match stopped with
+    | Some why -> Log.warn (fun m -> m "recovery stopped replay early: %s" why)
+    | None -> ());
+    if wal.Persist.Wal.truncated then
+      Log.warn (fun m ->
+          m "recovery discarded a torn WAL tail after %d valid bytes"
+            wal.Persist.Wal.valid_bytes);
+    (* Checkpoint the recovered state so the store is snapshot-current
+       and the (possibly torn) WAL suffix is retired. *)
+    write_snapshot t cfg;
+    let report =
+      { rr_snapshot_seq = (match snap with Some s -> s.Persist.Snapshot.seq | None -> -1);
+        rr_snapshots_scanned = scanned;
+        rr_snapshot_torn = snap_torn;
+        rr_wal_records = List.length wal.Persist.Wal.records;
+        rr_replayed = applied;
+        rr_wal_truncated = wal.Persist.Wal.truncated || stopped <> None;
+        rr_stopped_early = stopped;
+        rr_seq = cfg.p_seq }
+    in
+    Log.info (fun m -> m "recovered: %a" pp_recovery_report report);
+    Ok (t, report)

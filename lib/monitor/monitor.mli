@@ -248,6 +248,70 @@ val boot_quote : t -> nonce:string -> Rot.Tpm.Quote.t
 val transition_count : t -> int
 (** Total mediated transitions since boot (statistics). *)
 
+(** {2 Durability (crash-restart recovery)}
+
+    A logical redo layer: every committed mutating API call appends a
+    CRC-framed record to a {!Persist.Store} WAL, and periodic snapshots
+    bound the replay distance. {!recover} rebuilds a monitor from the
+    newest valid snapshot plus the trusted WAL prefix — a torn tail
+    (power loss mid-write) is detected by the framing and discarded,
+    never trusted. Run {!Fsck.check} on the result before serving. *)
+
+val enable_persistence :
+  t -> store:Persist.Store.t -> ?snapshot_every:int -> ?fsync_every:int -> unit -> unit
+(** Arm the redo log (call right after {!boot} — the WAL's implicit
+    starting state is the boot baseline, captured immediately as the
+    seq-0 snapshot). [snapshot_every] (default 1000) checkpoints and
+    retires the WAL every N committed operations; [fsync_every]
+    (default 1) makes every Nth record durable — a crash loses at most
+    the last [fsync_every - 1] committed operations, and the framing
+    guarantees the survivors are a consistent prefix. May raise
+    {!Persist.Store.Crash} under fault injection. *)
+
+val persist_seq : t -> int option
+(** Committed-operation index, [None] until persistence is enabled. *)
+
+val persist_snapshot : t -> unit
+(** Force a checkpoint now (snapshot, then WAL reset — crash-safe in
+    that order). Raises [Invalid_argument] if persistence is off. *)
+
+type recovery_report = {
+  rr_snapshot_seq : int; (** Seq of the snapshot used; -1 = none found. *)
+  rr_snapshots_scanned : int;
+  rr_snapshot_torn : bool; (** Snapshot stream had an undecodable tail. *)
+  rr_wal_records : int; (** Records in the trusted WAL prefix. *)
+  rr_replayed : int; (** Records actually re-executed. *)
+  rr_wal_truncated : bool; (** A torn/corrupt WAL tail was discarded. *)
+  rr_stopped_early : string option; (** Why replay stopped, if not at the end. *)
+  rr_seq : int; (** Committed-operation index after recovery. *)
+}
+
+val pp_recovery_report : Format.formatter -> recovery_report -> unit
+
+val recover :
+  ?signer_height:int ->
+  ?keypool:Crypto.Keypool.t ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  Hw.Machine.t ->
+  store:Persist.Store.t ->
+  backend:Backend_intf.t ->
+  tpm:Rot.Tpm.t ->
+  rng:Crypto.Rng.t ->
+  monitor_range:Hw.Addr.Range.t ->
+  (t * recovery_report, string) result
+(** Crash-restart: rebuild a monitor on a fresh machine/backend from the
+    store's durable bytes. Loads the newest decodable snapshot (or the
+    boot baseline if none), re-derives hardware state from the restored
+    tree, replays the WAL suffix (stopping, never failing, at the first
+    record that cannot be trusted), re-arms persistence and writes a
+    fresh checkpoint. The new monitor has a fresh attestation signer —
+    one-time signing keys are deliberately not durable — so verifiers
+    re-fetch the root via {!boot_quote}; attestation *bodies* are
+    byte-identical to the pre-crash tree's. [Error] means the store and
+    machine disagree structurally (wrong core count, undecodable tree),
+    not a torn log. *)
+
 (** {2 Telemetry} *)
 
 type attest_telemetry = {

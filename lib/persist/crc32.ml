@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3), reflected, polynomial 0xEDB88320. OCaml ints
+   are at least 63 bits, so the 32-bit arithmetic needs no masking
+   beyond the final xor-out. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.digest_sub";
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

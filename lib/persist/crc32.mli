@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    Every record in the durable store is framed with a CRC over its
+    payload; recovery refuses to trust any byte of a record whose CRC
+    does not match (see {!Wal}). A 32-bit CRC is the classic
+    torn-write detector: it is not cryptographic, but the store is
+    inside the monitor's trust boundary — the adversary here is the
+    power cord, not a forger. *)
+
+val digest : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val digest_sub : string -> pos:int -> len:int -> int
+(** CRC-32 of [s.[pos .. pos+len-1]] without copying.
+    @raise Invalid_argument if the slice is out of bounds. *)

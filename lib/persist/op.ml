@@ -1,0 +1,232 @@
+type rights = {
+  r_read : bool;
+  r_write : bool;
+  r_exec : bool;
+  r_share : bool;
+  r_grant : bool;
+}
+
+type t =
+  | Create_domain of { caller : int; name : string; kind : int }
+  | Set_entry_point of { caller : int; domain : int; entry : int }
+  | Set_flush_policy of { caller : int; domain : int; flush : bool }
+  | Mark_measured of { caller : int; domain : int; base : int; len : int }
+  | Seal of { caller : int; domain : int; measurement : string }
+  | Destroy_domain of { caller : int; domain : int }
+  | Share of {
+      caller : int;
+      cap : int;
+      to_ : int;
+      rights : rights;
+      cleanup : int;
+      sub : (int * int) option;
+    }
+  | Grant of { caller : int; cap : int; to_ : int; rights : rights; cleanup : int }
+  | Split of { caller : int; cap : int; at : int }
+  | Carve of { caller : int; cap : int; base : int; len : int }
+  | Revoke of { caller : int; cap : int }
+  | Call of { core : int; target : int }
+  | Ret of { core : int }
+  | Timer_tick of { core : int }
+
+let rights_bits r =
+  (if r.r_read then 1 else 0)
+  lor (if r.r_write then 2 else 0)
+  lor (if r.r_exec then 4 else 0)
+  lor (if r.r_share then 8 else 0)
+  lor if r.r_grant then 16 else 0
+
+let rights_of_bits bits =
+  if bits land lnot 31 <> 0 then raise (Wire.Corrupt "bad rights bits");
+  { r_read = bits land 1 <> 0;
+    r_write = bits land 2 <> 0;
+    r_exec = bits land 4 <> 0;
+    r_share = bits land 8 <> 0;
+    r_grant = bits land 16 <> 0 }
+
+let encode op =
+  let b = Buffer.create 48 in
+  (match op with
+  | Create_domain { caller; name; kind } ->
+    Wire.u8 b 1;
+    Wire.i64 b caller;
+    Wire.str b name;
+    Wire.u8 b kind
+  | Set_entry_point { caller; domain; entry } ->
+    Wire.u8 b 2;
+    Wire.i64 b caller;
+    Wire.i64 b domain;
+    Wire.i64 b entry
+  | Set_flush_policy { caller; domain; flush } ->
+    Wire.u8 b 3;
+    Wire.i64 b caller;
+    Wire.i64 b domain;
+    Wire.bool_ b flush
+  | Mark_measured { caller; domain; base; len } ->
+    Wire.u8 b 4;
+    Wire.i64 b caller;
+    Wire.i64 b domain;
+    Wire.i64 b base;
+    Wire.i64 b len
+  | Seal { caller; domain; measurement } ->
+    Wire.u8 b 5;
+    Wire.i64 b caller;
+    Wire.i64 b domain;
+    Wire.str b measurement
+  | Destroy_domain { caller; domain } ->
+    Wire.u8 b 6;
+    Wire.i64 b caller;
+    Wire.i64 b domain
+  | Share { caller; cap; to_; rights; cleanup; sub } ->
+    Wire.u8 b 7;
+    Wire.i64 b caller;
+    Wire.i64 b cap;
+    Wire.i64 b to_;
+    Wire.u8 b (rights_bits rights);
+    Wire.u8 b cleanup;
+    (match sub with
+    | None -> Wire.bool_ b false
+    | Some (base, len) ->
+      Wire.bool_ b true;
+      Wire.i64 b base;
+      Wire.i64 b len)
+  | Grant { caller; cap; to_; rights; cleanup } ->
+    Wire.u8 b 8;
+    Wire.i64 b caller;
+    Wire.i64 b cap;
+    Wire.i64 b to_;
+    Wire.u8 b (rights_bits rights);
+    Wire.u8 b cleanup
+  | Split { caller; cap; at } ->
+    Wire.u8 b 9;
+    Wire.i64 b caller;
+    Wire.i64 b cap;
+    Wire.i64 b at
+  | Carve { caller; cap; base; len } ->
+    Wire.u8 b 10;
+    Wire.i64 b caller;
+    Wire.i64 b cap;
+    Wire.i64 b base;
+    Wire.i64 b len
+  | Revoke { caller; cap } ->
+    Wire.u8 b 11;
+    Wire.i64 b caller;
+    Wire.i64 b cap
+  | Call { core; target } ->
+    Wire.u8 b 12;
+    Wire.i64 b core;
+    Wire.i64 b target
+  | Ret { core } ->
+    Wire.u8 b 13;
+    Wire.i64 b core
+  | Timer_tick { core } ->
+    Wire.u8 b 14;
+    Wire.i64 b core);
+  Buffer.contents b
+
+let decode s =
+  let r = Wire.reader s in
+  let op =
+    match Wire.get_u8 r with
+    | 1 ->
+      let caller = Wire.get_i64 r in
+      let name = Wire.get_str r in
+      let kind = Wire.get_u8 r in
+      Create_domain { caller; name; kind }
+    | 2 ->
+      let caller = Wire.get_i64 r in
+      let domain = Wire.get_i64 r in
+      let entry = Wire.get_i64 r in
+      Set_entry_point { caller; domain; entry }
+    | 3 ->
+      let caller = Wire.get_i64 r in
+      let domain = Wire.get_i64 r in
+      let flush = Wire.get_bool r in
+      Set_flush_policy { caller; domain; flush }
+    | 4 ->
+      let caller = Wire.get_i64 r in
+      let domain = Wire.get_i64 r in
+      let base = Wire.get_i64 r in
+      let len = Wire.get_i64 r in
+      Mark_measured { caller; domain; base; len }
+    | 5 ->
+      let caller = Wire.get_i64 r in
+      let domain = Wire.get_i64 r in
+      let measurement = Wire.get_str r in
+      Seal { caller; domain; measurement }
+    | 6 ->
+      let caller = Wire.get_i64 r in
+      let domain = Wire.get_i64 r in
+      Destroy_domain { caller; domain }
+    | 7 ->
+      let caller = Wire.get_i64 r in
+      let cap = Wire.get_i64 r in
+      let to_ = Wire.get_i64 r in
+      let rights = rights_of_bits (Wire.get_u8 r) in
+      let cleanup = Wire.get_u8 r in
+      let sub =
+        if Wire.get_bool r then begin
+          let base = Wire.get_i64 r in
+          let len = Wire.get_i64 r in
+          Some (base, len)
+        end
+        else None
+      in
+      Share { caller; cap; to_; rights; cleanup; sub }
+    | 8 ->
+      let caller = Wire.get_i64 r in
+      let cap = Wire.get_i64 r in
+      let to_ = Wire.get_i64 r in
+      let rights = rights_of_bits (Wire.get_u8 r) in
+      let cleanup = Wire.get_u8 r in
+      Grant { caller; cap; to_; rights; cleanup }
+    | 9 ->
+      let caller = Wire.get_i64 r in
+      let cap = Wire.get_i64 r in
+      let at = Wire.get_i64 r in
+      Split { caller; cap; at }
+    | 10 ->
+      let caller = Wire.get_i64 r in
+      let cap = Wire.get_i64 r in
+      let base = Wire.get_i64 r in
+      let len = Wire.get_i64 r in
+      Carve { caller; cap; base; len }
+    | 11 ->
+      let caller = Wire.get_i64 r in
+      let cap = Wire.get_i64 r in
+      Revoke { caller; cap }
+    | 12 ->
+      let core = Wire.get_i64 r in
+      let target = Wire.get_i64 r in
+      Call { core; target }
+    | 13 -> Ret { core = Wire.get_i64 r }
+    | 14 -> Timer_tick { core = Wire.get_i64 r }
+    | tag -> raise (Wire.Corrupt (Printf.sprintf "unknown op tag %d" tag))
+  in
+  Wire.expect_end r;
+  op
+
+let pp fmt = function
+  | Create_domain { caller; name; kind } ->
+    Format.fprintf fmt "create_domain(caller:%d, %S, kind:%d)" caller name kind
+  | Set_entry_point { caller; domain; entry } ->
+    Format.fprintf fmt "set_entry_point(caller:%d, dom:%d, 0x%x)" caller domain entry
+  | Set_flush_policy { caller; domain; flush } ->
+    Format.fprintf fmt "set_flush_policy(caller:%d, dom:%d, %b)" caller domain flush
+  | Mark_measured { caller; domain; base; len } ->
+    Format.fprintf fmt "mark_measured(caller:%d, dom:%d, 0x%x+0x%x)" caller domain base len
+  | Seal { caller; domain; _ } -> Format.fprintf fmt "seal(caller:%d, dom:%d)" caller domain
+  | Destroy_domain { caller; domain } ->
+    Format.fprintf fmt "destroy_domain(caller:%d, dom:%d)" caller domain
+  | Share { caller; cap; to_; _ } ->
+    Format.fprintf fmt "share(caller:%d, cap:%d -> dom:%d)" caller cap to_
+  | Grant { caller; cap; to_; _ } ->
+    Format.fprintf fmt "grant(caller:%d, cap:%d -> dom:%d)" caller cap to_
+  | Split { caller; cap; at } ->
+    Format.fprintf fmt "split(caller:%d, cap:%d at 0x%x)" caller cap at
+  | Carve { caller; cap; base; len } ->
+    Format.fprintf fmt "carve(caller:%d, cap:%d, 0x%x+0x%x)" caller cap base len
+  | Revoke { caller; cap } -> Format.fprintf fmt "revoke(caller:%d, cap:%d)" caller cap
+  | Call { core; target } -> Format.fprintf fmt "call(core:%d -> dom:%d)" core target
+  | Ret { core } -> Format.fprintf fmt "ret(core:%d)" core
+  | Timer_tick { core } -> Format.fprintf fmt "timer_tick(core:%d)" core

@@ -1,0 +1,59 @@
+(** Logical redo records: one per committed mutating Monitor API call.
+
+    The WAL is a *logical* log — it records the operation, not its
+    effects. Replaying the operations through the normal Monitor API
+    against the restored snapshot reproduces the exact tree, because
+    every id the monitor hands out (capability ids, domain ids) comes
+    from a deterministic counter that the snapshot restores. The one
+    exception is [Seal], whose measurement hashes memory contents that
+    are not durable: the record carries the resulting digest, and
+    replay installs it directly.
+
+    Types here are deliberately neutral (ints, pairs, strings) so the
+    persist layer does not depend on the monitor's modules; the monitor
+    owns the conversions. *)
+
+type rights = {
+  r_read : bool;
+  r_write : bool;
+  r_exec : bool;
+  r_share : bool;
+  r_grant : bool;
+}
+
+type t =
+  | Create_domain of { caller : int; name : string; kind : int }
+  | Set_entry_point of { caller : int; domain : int; entry : int }
+  | Set_flush_policy of { caller : int; domain : int; flush : bool }
+  | Mark_measured of { caller : int; domain : int; base : int; len : int }
+  | Seal of { caller : int; domain : int; measurement : string }
+  | Destroy_domain of { caller : int; domain : int }
+  | Share of {
+      caller : int;
+      cap : int;
+      to_ : int;
+      rights : rights;
+      cleanup : int;
+      sub : (int * int) option; (** (base, len) subrange, if any. *)
+    }
+  | Grant of { caller : int; cap : int; to_ : int; rights : rights; cleanup : int }
+  | Split of { caller : int; cap : int; at : int }
+  | Carve of { caller : int; cap : int; base : int; len : int }
+  | Revoke of { caller : int; cap : int }
+  | Call of { core : int; target : int }
+  | Ret of { core : int }
+  | Timer_tick of { core : int }
+
+val rights_bits : rights -> int
+(** 5-bit encoding (read | write≪1 | exec≪2 | share≪3 | grant≪4),
+    shared with the snapshot codec. *)
+
+val rights_of_bits : int -> rights
+(** @raise Wire.Corrupt if any bit above the low five is set. *)
+
+val encode : t -> string
+
+val decode : string -> t
+(** @raise Wire.Corrupt on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+type domain_spec = {
+  d_id : int;
+  d_name : string;
+  d_kind : int;
+  d_created_by : int;
+  d_sealed : bool;
+  d_entry : int;
+  d_measured : (int * int) list;
+  d_flush : bool;
+  d_measurement : string;
+}
+
+type resource_spec =
+  | Mem of { base : int; len : int }
+  | Core of int
+  | Dev of int
+
+type node_spec = {
+  n_id : int;
+  n_resource : resource_spec;
+  n_rights : Op.rights;
+  n_owner : int;
+  n_cleanup : int;
+  n_parent : int;
+  n_origin : int;
+  n_state : int;
+  n_children : int list;
+}
+
+type t = {
+  seq : int;
+  next_domain : int;
+  next_cap : int;
+  generation : int;
+  domains : domain_spec list;
+  nodes : node_spec list;
+  current : int list;
+  stacks : int list list;
+}
+
+let version = 1
+
+let enc_pair b (x, y) =
+  Wire.i64 b x;
+  Wire.i64 b y
+
+let dec_pair r =
+  let x = Wire.get_i64 r in
+  let y = Wire.get_i64 r in
+  (x, y)
+
+let enc_domain b d =
+  Wire.i64 b d.d_id;
+  Wire.str b d.d_name;
+  Wire.u8 b d.d_kind;
+  Wire.i64 b d.d_created_by;
+  Wire.bool_ b d.d_sealed;
+  Wire.i64 b d.d_entry;
+  Wire.list b enc_pair d.d_measured;
+  Wire.bool_ b d.d_flush;
+  Wire.str b d.d_measurement
+
+let dec_domain r =
+  let d_id = Wire.get_i64 r in
+  let d_name = Wire.get_str r in
+  let d_kind = Wire.get_u8 r in
+  let d_created_by = Wire.get_i64 r in
+  let d_sealed = Wire.get_bool r in
+  let d_entry = Wire.get_i64 r in
+  let d_measured = Wire.get_list r dec_pair in
+  let d_flush = Wire.get_bool r in
+  let d_measurement = Wire.get_str r in
+  { d_id; d_name; d_kind; d_created_by; d_sealed; d_entry; d_measured; d_flush;
+    d_measurement }
+
+let enc_resource b = function
+  | Mem { base; len } ->
+    Wire.u8 b 0;
+    Wire.i64 b base;
+    Wire.i64 b len
+  | Core c ->
+    Wire.u8 b 1;
+    Wire.i64 b c
+  | Dev d ->
+    Wire.u8 b 2;
+    Wire.i64 b d
+
+let dec_resource r =
+  match Wire.get_u8 r with
+  | 0 ->
+    let base = Wire.get_i64 r in
+    let len = Wire.get_i64 r in
+    Mem { base; len }
+  | 1 -> Core (Wire.get_i64 r)
+  | 2 -> Dev (Wire.get_i64 r)
+  | tag -> raise (Wire.Corrupt (Printf.sprintf "unknown resource tag %d" tag))
+
+let enc_node b n =
+  Wire.i64 b n.n_id;
+  enc_resource b n.n_resource;
+  Wire.u8 b (Op.rights_bits n.n_rights);
+  Wire.i64 b n.n_owner;
+  Wire.u8 b n.n_cleanup;
+  Wire.i64 b n.n_parent;
+  Wire.u8 b n.n_origin;
+  Wire.u8 b n.n_state;
+  Wire.list b Wire.i64 n.n_children
+
+let dec_node r =
+  let n_id = Wire.get_i64 r in
+  let n_resource = dec_resource r in
+  let n_rights = Op.rights_of_bits (Wire.get_u8 r) in
+  let n_owner = Wire.get_i64 r in
+  let n_cleanup = Wire.get_u8 r in
+  let n_parent = Wire.get_i64 r in
+  let n_origin = Wire.get_u8 r in
+  let n_state = Wire.get_u8 r in
+  let n_children = Wire.get_list r Wire.get_i64 in
+  { n_id; n_resource; n_rights; n_owner; n_cleanup; n_parent; n_origin; n_state;
+    n_children }
+
+let encode t =
+  let b = Buffer.create 4096 in
+  Wire.u8 b version;
+  Wire.i64 b t.seq;
+  Wire.i64 b t.next_domain;
+  Wire.i64 b t.next_cap;
+  Wire.i64 b t.generation;
+  Wire.list b enc_domain t.domains;
+  Wire.list b enc_node t.nodes;
+  Wire.list b Wire.i64 t.current;
+  Wire.list b (fun b s -> Wire.list b Wire.i64 s) t.stacks;
+  Buffer.contents b
+
+let decode s =
+  let r = Wire.reader s in
+  (match Wire.get_u8 r with
+  | v when v = version -> ()
+  | v -> raise (Wire.Corrupt (Printf.sprintf "unknown snapshot version %d" v)));
+  let seq = Wire.get_i64 r in
+  let next_domain = Wire.get_i64 r in
+  let next_cap = Wire.get_i64 r in
+  let generation = Wire.get_i64 r in
+  let domains = Wire.get_list r dec_domain in
+  let nodes = Wire.get_list r dec_node in
+  let current = Wire.get_list r Wire.get_i64 in
+  let stacks = Wire.get_list r (fun r -> Wire.get_list r Wire.get_i64) in
+  Wire.expect_end r;
+  { seq; next_domain; next_cap; generation; domains; nodes; current; stacks }
+
+let write store t =
+  Wal.append store ~blob:Store.snap_blob ~seq:t.seq (encode t);
+  Store.fsync store Store.snap_blob
+
+let load_latest store =
+  let { Wal.records; truncated; _ } = Wal.read store ~blob:Store.snap_blob in
+  (* Newest decodable wins: walk newest-first, skipping entries whose
+     body decodes badly (version skew, post-CRC corruption). *)
+  let rec pick skipped = function
+    | [] -> (None, skipped)
+    | (_, payload) :: older -> (
+      match decode payload with
+      | snap -> (Some snap, skipped)
+      | exception Wire.Corrupt _ -> pick (skipped + 1) older)
+  in
+  let snap, skipped = pick 0 (List.rev records) in
+  (snap, List.length records, truncated || skipped > 0)

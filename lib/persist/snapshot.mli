@@ -1,0 +1,77 @@
+(** Snapshots: a full serialization of the monitor's durable state.
+
+    A snapshot bounds recovery time — recovery loads the newest valid
+    snapshot and replays only the WAL suffix after it. Snapshots are
+    appended to the {!Store.snap_blob} stream with the same CRC framing
+    as WAL records ([seq] = the committed-operation index the snapshot
+    captures); a torn snapshot write is detected by the framing, and
+    recovery simply falls back to the previous valid snapshot plus a
+    longer WAL suffix. The WAL is reset only *after* the snapshot is
+    durable, so every crash window leaves a recoverable store.
+
+    What is serialized: the capability tree (every node with its
+    lineage, rights, cleanup policy, origin, activation state and
+    children, plus the id counter and generation), every domain's
+    configuration (kind, creator, entry point, measured ranges,
+    seal-time measurement digest), and the per-core scheduler state
+    (running domain, return stacks). Hardware state (EPT/PMP/IOMMU) is
+    deliberately *not* serialized: it is re-derived from the restored
+    tree by replaying attach effects, then cross-checked by the fsck
+    pass — the tree is the source of truth, exactly as at runtime.
+
+    Types are persist-neutral (ints, pairs, strings); the monitor owns
+    the conversions. *)
+
+type domain_spec = {
+  d_id : int;
+  d_name : string;
+  d_kind : int;
+  d_created_by : int; (** -1 = none (domain 0). *)
+  d_sealed : bool;
+  d_entry : int; (** -1 = none. *)
+  d_measured : (int * int) list; (** (base, len), declaration order. *)
+  d_flush : bool;
+  d_measurement : string; (** Raw 32-byte digest, [""] = unsealed. *)
+}
+
+type resource_spec =
+  | Mem of { base : int; len : int }
+  | Core of int
+  | Dev of int
+
+type node_spec = {
+  n_id : int;
+  n_resource : resource_spec;
+  n_rights : Op.rights;
+  n_owner : int;
+  n_cleanup : int;
+  n_parent : int; (** -1 = root. *)
+  n_origin : int; (** 0 root, 1 shared, 2 granted, 3 split. *)
+  n_state : int; (** 0 active, 1 inactive-granted, 2 inactive-split. *)
+  n_children : int list;
+}
+
+type t = {
+  seq : int; (** Committed-operation index this snapshot captures. *)
+  next_domain : int;
+  next_cap : int;
+  generation : int;
+  domains : domain_spec list;
+  nodes : node_spec list;
+  current : int list; (** Per-core running domain. *)
+  stacks : int list list; (** Per-core return stacks, innermost first. *)
+}
+
+val encode : t -> string
+
+val decode : string -> t
+(** @raise Wire.Corrupt on malformed input. *)
+
+val write : Store.t -> t -> unit
+(** Append to the snapshot stream and make it durable. May raise
+    {!Store.Crash} at the [snapshot.write] fault point. *)
+
+val load_latest : Store.t -> t option * int * bool
+(** [(newest decodable snapshot, snapshots scanned, tail-corruption
+    seen)]. Never raises: an undecodable entry is skipped in favor of
+    the next-older valid one. *)

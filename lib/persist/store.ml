@@ -1,0 +1,170 @@
+exception Crash of string
+
+let () =
+  Printexc.register_printer (function
+    | Crash point -> Some (Printf.sprintf "Persist.Store.Crash(%s)" point)
+    | _ -> None)
+
+type t = {
+  store_name : string;
+  read : string -> string;
+  append : string -> string -> unit;
+  fsync : string -> unit;
+  reset : string -> unit;
+  truncate : string -> int -> unit;
+}
+
+let wal_blob = "wal"
+let snap_blob = "snap"
+
+let read t blob = t.read blob
+let append t blob data = t.append blob data
+let fsync t blob = t.fsync blob
+let reset t blob = t.reset blob
+let truncate t blob keep = t.truncate blob keep
+
+(* Power can fail while a write is in flight: the medium keeps an
+   arbitrary prefix of the bytes being flushed (a torn sector). The
+   prefix length is a pure function of the bytes and the trip count so
+   chaos runs are replayable from their fault-plan seed. *)
+let p_wal_append = Fault.register "wal.append"
+let p_wal_fsync = Fault.register "wal.fsync"
+let p_snapshot_write = Fault.register "snapshot.write"
+
+let append_point blob = if blob = wal_blob then p_wal_append else p_snapshot_write
+
+let torn_len ~bytes ~trip = Hashtbl.hash (bytes, trip) mod (String.length bytes + 1)
+
+(* --- in-memory block device ---------------------------------------- *)
+
+let mem ?(wal = "") ?(snap = "") () =
+  let buffers preload =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (blob, contents) ->
+        let b = Buffer.create (String.length contents + 256) in
+        Buffer.add_string b contents;
+        Hashtbl.replace tbl blob b)
+      preload;
+    tbl
+  in
+  let durable = buffers [ (wal_blob, wal); (snap_blob, snap) ] in
+  let pending = buffers [ (wal_blob, ""); (snap_blob, "") ] in
+  let buf tbl blob =
+    match Hashtbl.find_opt tbl blob with
+    | Some b -> b
+    | None ->
+      let b = Buffer.create 256 in
+      Hashtbl.replace tbl blob b;
+      b
+  in
+  let append blob data =
+    let point = append_point blob in
+    if Fault.fires point then begin
+      (* Power failure mid-write: everything buffered for this blob,
+         including the record being appended, races to the medium and
+         an arbitrary prefix wins. *)
+      let p = buf pending blob in
+      let bytes = Buffer.contents p ^ data in
+      Buffer.clear p;
+      let keep = torn_len ~bytes ~trip:(Fault.trips point) in
+      Buffer.add_substring (buf durable blob) bytes 0 keep;
+      raise (Crash (Fault.name point))
+    end;
+    Buffer.add_string (buf pending blob) data
+  in
+  let fsync blob =
+    if blob = wal_blob && Fault.fires p_wal_fsync then begin
+      (* Power failure before the flush reached the medium: the pending
+         bytes are simply gone. *)
+      Buffer.clear (buf pending blob);
+      raise (Crash (Fault.name p_wal_fsync))
+    end;
+    let p = buf pending blob in
+    Buffer.add_buffer (buf durable blob) p;
+    Buffer.clear p
+  in
+  let read blob = Buffer.contents (buf durable blob) in
+  let reset blob =
+    Buffer.clear (buf durable blob);
+    Buffer.clear (buf pending blob)
+  in
+  let truncate blob keep =
+    let b = buf durable blob in
+    if keep < Buffer.length b then Buffer.truncate b keep
+  in
+  { store_name = "mem"; read; append; fsync; reset; truncate }
+
+(* --- file-backed store ---------------------------------------------- *)
+
+let file ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path blob = Filename.concat dir (blob ^ ".bin") in
+  let pending = Hashtbl.create 4 in
+  let buf blob =
+    match Hashtbl.find_opt pending blob with
+    | Some b -> b
+    | None ->
+      let b = Buffer.create 256 in
+      Hashtbl.replace pending blob b;
+      b
+  in
+  let write_out blob data =
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (path blob) in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+  in
+  let append blob data =
+    let point = append_point blob in
+    if Fault.fires point then begin
+      let p = buf blob in
+      let bytes = Buffer.contents p ^ data in
+      Buffer.clear p;
+      let keep = torn_len ~bytes ~trip:(Fault.trips point) in
+      write_out blob (String.sub bytes 0 keep);
+      raise (Crash (Fault.name point))
+    end;
+    Buffer.add_string (buf blob) data
+  in
+  let fsync blob =
+    if blob = wal_blob && Fault.fires p_wal_fsync then begin
+      Buffer.clear (buf blob);
+      raise (Crash (Fault.name p_wal_fsync))
+    end;
+    let p = buf blob in
+    if Buffer.length p > 0 then write_out blob (Buffer.contents p);
+    Buffer.clear p
+  in
+  let read blob =
+    let pa = path blob in
+    if Sys.file_exists pa then begin
+      let ic = open_in_bin pa in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    end
+    else ""
+  in
+  let reset blob =
+    (* Atomic truncation: a crash between writing the empty temp file
+       and the rename leaves either the old blob or the new empty one,
+       never a half-truncated file. *)
+    let tmp = path blob ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    close_out oc;
+    Sys.rename tmp (path blob);
+    Buffer.clear (buf blob)
+  in
+  let truncate blob keep =
+    (* Same atomic-rename discipline as [reset]: the durable file is
+       either the old bytes or the kept prefix, never a partial copy. *)
+    let contents = read blob in
+    if keep < String.length contents then begin
+      let tmp = path blob ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (String.sub contents 0 keep));
+      Sys.rename tmp (path blob)
+    end
+  in
+  { store_name = "file:" ^ dir; read; append; fsync; reset; truncate }

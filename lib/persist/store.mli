@@ -1,0 +1,66 @@
+(** Durable byte stores for the monitor's redo layer.
+
+    A store holds named append-only blobs — {!wal_blob} for the
+    write-ahead log, {!snap_blob} for the snapshot stream. Appends land
+    in a volatile pending buffer; {!fsync} moves pending bytes to the
+    durable medium; {!read} returns durable bytes only (what a restart
+    would actually find). {!reset} durably truncates a blob (the WAL
+    after a successful snapshot).
+
+    Two implementations:
+    - {!mem}: an in-memory block device with *injectable torn writes*.
+      Three {!Fault} points model power loss at the worst moments:
+      [wal.append] and [snapshot.write] flush an arbitrary prefix of the
+      buffered bytes (a torn sector) and then raise {!Crash};
+      [wal.fsync] loses the pending buffer entirely and raises {!Crash}.
+      The torn length is a deterministic function of the buffered bytes
+      and the trip count, so chaos runs replay from their seed.
+    - {!file}: a file-backed store (one file per blob under a
+      directory), honoring the same fault points, so crash workloads can
+      also be run against a real filesystem. [reset] replaces the file
+      atomically via a rename.
+
+    A simulated power failure raises {!Crash}: the in-memory monitor
+    that was writing is dead — the only way forward is
+    [Monitor.recover] from the store's durable contents. *)
+
+exception Crash of string
+(** Simulated power failure at the named fault point. *)
+
+type t = {
+  store_name : string;
+  read : string -> string;
+  append : string -> string -> unit;
+  fsync : string -> unit;
+  reset : string -> unit;
+  truncate : string -> int -> unit;
+}
+
+val wal_blob : string
+(** ["wal"] — the write-ahead log of committed operations. *)
+
+val snap_blob : string
+(** ["snap"] — the append-only snapshot stream (newest valid wins). *)
+
+val read : t -> string -> string
+val append : t -> string -> string -> unit
+val fsync : t -> string -> unit
+val reset : t -> string -> unit
+
+val truncate : t -> string -> int -> unit
+(** [truncate t blob keep] durably discards every byte past offset
+    [keep] — the tail-repair primitive: a crash mid-append leaves a torn
+    frame that hides everything appended after it from the
+    newest-valid-record scan, so writers truncate back to the valid
+    prefix before appending. Pending (unflushed) bytes are untouched.
+    File-backed stores use the same atomic-rename discipline as
+    {!reset}. *)
+
+val mem : ?wal:string -> ?snap:string -> unit -> t
+(** Fresh in-memory store; [?wal]/[?snap] preload durable contents
+    (tests use this to hand recovery an arbitrarily truncated or
+    corrupted log). *)
+
+val file : dir:string -> t
+(** File-backed store rooted at [dir] (created if missing). Reopening
+    the same directory sees the previous run's durable bytes. *)

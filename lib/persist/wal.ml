@@ -1,0 +1,47 @@
+type read_result = {
+  records : (int * string) list;
+  valid_bytes : int;
+  truncated : bool;
+}
+
+(* body = i64 seq ^ payload, so a valid body is at least 8 bytes. *)
+let frame ~seq payload =
+  let body_len = 8 + String.length payload in
+  let b = Buffer.create (body_len + 8) in
+  Wire.u32 b body_len;
+  (* CRC over the body; computed on a throwaway buffer so the frame is
+     assembled in one pass. *)
+  let body = Buffer.create body_len in
+  Wire.i64 body seq;
+  Buffer.add_string body payload;
+  let body = Buffer.contents body in
+  Wire.u32 b (Crc32.digest body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let u32_at data pos =
+  Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string data) pos) land 0xFFFFFFFF
+
+let i64_at data pos = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string data) pos)
+
+let parse data =
+  let n = String.length data in
+  let rec go pos acc =
+    if n - pos < 8 then finish pos acc
+    else
+      let len = u32_at data pos in
+      let crc = u32_at data (pos + 4) in
+      if len < 8 || len > n - pos - 8 then finish pos acc
+      else if Crc32.digest_sub data ~pos:(pos + 8) ~len <> crc then finish pos acc
+      else
+        let seq = i64_at data (pos + 8) in
+        let payload = String.sub data (pos + 16) (len - 8) in
+        go (pos + 8 + len) ((seq, payload) :: acc)
+  and finish pos acc =
+    { records = List.rev acc; valid_bytes = pos; truncated = pos < n }
+  in
+  go 0 []
+
+let append store ~blob ~seq payload = Store.append store blob (frame ~seq payload)
+let read store ~blob = parse (Store.read store blob)
+let reset store ~blob = Store.reset store blob

@@ -1,0 +1,30 @@
+(** Length-prefixed, CRC32-framed record log over a {!Store} blob.
+
+    Frame layout: [u32 body-length | u32 crc32(body) | body], where
+    [body = i64 sequence-number ^ payload]. Both the write-ahead log
+    and the snapshot stream use this framing.
+
+    Reading truncates at the first record that cannot be trusted — a
+    header that does not fit, a length pointing past the durable bytes,
+    or a CRC mismatch. Everything before the cut is returned; everything
+    from the cut on is reported ({!read_result.truncated}) and ignored.
+    A torn tail is an expected artifact of power loss, never an error:
+    recovery proceeds from the valid prefix. *)
+
+type read_result = {
+  records : (int * string) list; (** (sequence number, payload), log order. *)
+  valid_bytes : int; (** Length of the trusted prefix. *)
+  truncated : bool; (** Bytes beyond the trusted prefix were discarded. *)
+}
+
+val frame : seq:int -> string -> string
+(** One framed record, ready to append. *)
+
+val parse : string -> read_result
+(** Decode a blob's durable bytes. Total: never raises. *)
+
+val append : Store.t -> blob:string -> seq:int -> string -> unit
+(** Frame and append one record (durable only after [Store.fsync]). *)
+
+val read : Store.t -> blob:string -> read_result
+val reset : Store.t -> blob:string -> unit

@@ -1,0 +1,77 @@
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Persist.Wire.Corrupt(%s)" msg)
+    | _ -> None)
+
+let corrupt msg = raise (Corrupt msg)
+
+(* --- encoding ------------------------------------------------------- *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let bool_ b v = u8 b (if v then 1 else 0)
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let list b f xs =
+  u32 b (List.length xs);
+  List.iter (f b) xs
+
+(* --- decoding ------------------------------------------------------- *)
+
+type reader = { buf : string; mutable rpos : int }
+
+let reader s = { buf = s; rpos = 0 }
+let pos r = r.rpos
+let at_end r = r.rpos >= String.length r.buf
+
+let need r n what =
+  if n < 0 || r.rpos > String.length r.buf - n then
+    corrupt (Printf.sprintf "truncated %s at offset %d" what r.rpos)
+
+let get_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.buf.[r.rpos] in
+  r.rpos <- r.rpos + 1;
+  v
+
+let get_u32 r =
+  need r 4 "u32";
+  let v = Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string r.buf) r.rpos) in
+  r.rpos <- r.rpos + 4;
+  v land 0xFFFFFFFF
+
+let get_i64 r =
+  need r 8 "i64";
+  let v = Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string r.buf) r.rpos) in
+  r.rpos <- r.rpos + 8;
+  v
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt (Printf.sprintf "bad bool byte %d" n)
+
+let get_str r =
+  let len = get_u32 r in
+  need r len "string body";
+  let s = String.sub r.buf r.rpos len in
+  r.rpos <- r.rpos + len;
+  s
+
+let get_list r f =
+  let n = get_u32 r in
+  (* Each element consumes at least one byte, so a count beyond the
+     remaining input is corrupt — refuse before allocating. *)
+  if n > String.length r.buf - r.rpos then corrupt "list count exceeds input";
+  List.init n (fun _ -> f r)
+
+let expect_end r =
+  if not (at_end r) then
+    corrupt (Printf.sprintf "%d trailing bytes" (String.length r.buf - r.rpos))

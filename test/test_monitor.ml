@@ -232,6 +232,67 @@ let test_revoke_authorization () =
   | Error (Tyche.Monitor.Denied _) -> ()
   | _ -> Alcotest.fail "expected denial")
 
+(* Overlapping active capabilities over one region (self-grant plus
+   self-shares, then splits of the granted alias) — revoking any one
+   piece must not take hardware coverage the surviving aliases still
+   grant. Found by the persistence chaos harness: untrimmed Detach
+   effects unmapped EPT/PMP ranges that live capabilities still held. *)
+let test_revoke_aliased_caps () =
+  let w = boot_x86 () in
+  let m = w.monitor in
+  let mem = os_memory_cap w in
+  let range =
+    match Cap.Captree.resource (Tyche.Monitor.tree m) mem with
+    | Some (Cap.Resource.Memory r) -> r
+    | _ -> Alcotest.fail "os memory cap is not memory"
+  in
+  let base = Hw.Addr.Range.base range and len = Hw.Addr.Range.len range in
+  let g =
+    get_ok
+      (Tyche.Monitor.grant m ~caller:os ~cap:mem ~to_:os ~rights:Cap.Rights.full
+         ~cleanup:Cap.Revocation.Flush_cache)
+  in
+  let _a1 =
+    get_ok
+      (Tyche.Monitor.share m ~caller:os ~cap:g ~to_:os ~rights:Cap.Rights.read_only
+         ~cleanup:Cap.Revocation.Flush_cache ())
+  in
+  let _a2 =
+    get_ok
+      (Tyche.Monitor.share m ~caller:os ~cap:g ~to_:os ~rights:Cap.Rights.read_only
+         ~cleanup:Cap.Revocation.Keep ())
+  in
+  let page = Hw.Addr.page_size in
+  let half = base + (len / 2 / page * page) in
+  let quarter = base + (len / 4 / page * page) in
+  let l, r = get_ok (Tyche.Monitor.split m ~caller:os ~cap:g ~at:half) in
+  let l2, r2 = get_ok (Tyche.Monitor.split m ~caller:os ~cap:l ~at:quarter) in
+  let hw_clean label =
+    match Tyche.Invariants.check_hardware_matches_tree m with
+    | [] -> ()
+    | v :: _ ->
+      Alcotest.failf "%s: %s" label (Format.asprintf "%a" Tyche.Invariants.pp_violation v)
+  in
+  hw_clean "before revoke";
+  List.iter
+    (fun (label, cap) ->
+      get_ok (Tyche.Monitor.revoke m ~caller:os ~cap);
+      hw_clean label)
+    [ ("after revoking left split", l2);
+      ("after revoking right split", r2);
+      ("after revoking remainder", r) ];
+  (* The self-shares still cover the whole region end to end. *)
+  let backend = Tyche.Monitor.backend m in
+  let d0 = Option.get (Tyche.Monitor.find_domain m os) in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "page 0x%x still reachable" a)
+        true
+        (backend.Tyche.Backend_intf.domain_reaches d0
+           (Hw.Addr.Range.make ~base:a ~len:page)))
+    [ base; quarter; half; base + len - page ]
+
 let test_destroy_domain () =
   let w, enclave, sub = with_enclave () in
   let m = w.monitor in
@@ -557,7 +618,8 @@ let () =
         [ Alcotest.test_case "share ownership" `Quick test_share_authorization;
           Alcotest.test_case "sealed not extendable" `Quick
             test_sealed_domain_cannot_be_extended;
-          Alcotest.test_case "revoke authorization" `Quick test_revoke_authorization ] );
+          Alcotest.test_case "revoke authorization" `Quick test_revoke_authorization;
+          Alcotest.test_case "aliased revoke keeps coverage" `Quick test_revoke_aliased_caps ] );
       ( "enforcement",
         [ Alcotest.test_case "os blocked from enclave" `Quick test_enforcement_os_blocked;
           Alcotest.test_case "revocation zeroes + restores" `Quick
