@@ -7,6 +7,8 @@
      transitions  run a call/ret loop and print path statistics
      recover      run a workload, crash it at a fault point, recover
      fsck         recover from an on-disk store and audit the result
+     stats        run a journaled workload, print the observability report
+     trace        run a journaled workload, dump the trace ring as JSON lines
      loc          print the trusted-computing-base line counts *)
 
 open Cmdliner
@@ -405,6 +407,101 @@ let cmd_fsck =
           wrote it) and cross-check the recovered monitor against every invariant.")
     Term.(const run $ arch $ cores $ mem_mib $ store_dir)
 
+(* stats / trace *)
+
+let dispatch_ok m call =
+  match Tyche.Api.dispatch m ~caller:os ~core:0 call with
+  | Ok v -> v
+  | Error e -> Fmt.failwith "%s" (Tyche.Monitor.error_to_string e)
+
+(* A journaled share/revoke churn driven through [Api.dispatch], so the
+   trace shows the full stack: api spans around captree transactions
+   around WAL appends around backend reprogramming. *)
+let observed_workload ~arch ~cores ~mem_mib ~ops =
+  Obs.reset ();
+  let w = boot_world ~arch ~cores ~mem_mib in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ~snapshot_every:256 ~fsync_every:1 ();
+  let d =
+    match
+      dispatch_ok w.monitor
+        (Tyche.Api.Create_domain { name = "obs-enclave"; kind = Tyche.Domain.Enclave })
+    with
+    | Tyche.Api.R_domain d -> d
+    | _ -> assert false
+  in
+  let piece =
+    match
+      dispatch_ok w.monitor
+        (Tyche.Api.Carve
+           { cap = os_memory_cap w;
+             subrange = Hw.Addr.Range.make ~base:0x400000 ~len:page })
+    with
+    | Tyche.Api.R_cap c -> c
+    | _ -> assert false
+  in
+  for _ = 1 to ops do
+    let shared =
+      match
+        dispatch_ok w.monitor
+          (Tyche.Api.Share
+             { cap = piece; to_ = d; rights = Cap.Rights.rw;
+               cleanup = Cap.Revocation.Zero; subrange = None })
+      with
+      | Tyche.Api.R_cap c -> c
+      | _ -> assert false
+    in
+    ignore (dispatch_ok w.monitor (Tyche.Api.Revoke { cap = shared }))
+  done;
+  ignore (dispatch_ok w.monitor Tyche.Api.Enumerate);
+  w
+
+let ops_arg =
+  Arg.(value & opt int 200
+       & info [ "n" ] ~docv:"N" ~doc:"Journaled share/revoke pairs to run.")
+
+let cmd_stats =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let run arch cores mem_mib ops json =
+    let w = observed_workload ~arch ~cores ~mem_mib ~ops in
+    let report = Tyche.Monitor.observe w.monitor in
+    if json then print_endline (Obs.report_to_json report)
+    else Format.printf "%a@." Obs.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a journaled workload and print the observability report: per-op counts, \
+          latency percentiles, per-domain activity, journal commit/rollback counters.")
+    Term.(const run $ arch $ cores $ mem_mib $ ops_arg $ json)
+
+let cmd_trace =
+  let capacity =
+    Arg.(value & opt int 4096
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Trace ring size in events (rounded up to a power of two).")
+  in
+  let run arch cores mem_mib ops capacity =
+    Obs.configure ~capacity ();
+    let _w = observed_workload ~arch ~cores ~mem_mib ~ops in
+    List.iter (fun ev -> print_endline (Obs.event_to_json ev)) (Obs.events ());
+    if Obs.dropped () > 0 then
+      Printf.eprintf "(%d older events dropped by ring wraparound)\n" (Obs.dropped ());
+    match Obs.check () with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "obs self-check FAILED: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a journaled workload and dump the structured trace ring as JSON lines \
+          (span begin/end pairs with cycle stamps, domain, backend, trace id).")
+    Term.(const run $ arch $ cores $ mem_mib $ ops_arg $ capacity)
+
 (* loc *)
 
 let cmd_loc =
@@ -453,6 +550,10 @@ let () =
     Cmd.info "tyche-cli" ~version:"0.1"
       ~doc:"Drive a simulated Tyche isolation monitor from the command line."
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_recover; cmd_fsck; cmd_loc ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_recover; cmd_fsck;
+            cmd_stats; cmd_trace; cmd_loc ]))
 
 let _ = ok_str

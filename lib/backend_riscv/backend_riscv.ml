@@ -140,7 +140,15 @@ let layout_remove s domain range =
            List.map (fun piece -> (piece, p)) (Hw.Addr.Range.subtract r range))
          !l)
 
+(* Hoisted span handles: one registry lookup per process, not per
+   hardware write (see {!Obs.Profile.handle}). *)
+let h_pmp_reprogram = Obs.Profile.handle "pmp.reprogram"
+let h_iommu_grant = Obs.Profile.handle "iommu.grant"
+let h_iommu_revoke = Obs.Profile.handle "iommu.revoke"
+let bk_riscv = Obs.intern "riscv-pmp"
+
 let reprogram s ~core domain =
+  Obs.Profile.span_h ~domain ~backend:bk_riscv h_pmp_reprogram @@ fun () ->
   let pmp = Hw.Cpu.pmp core in
   let layout = !(layout_ref s domain) in
   (* The budget check precedes every PMP write, so genuine exhaustion
@@ -226,6 +234,7 @@ let apply_effect_unsafe s = function
           ~cache:s.machine.Hw.Machine.cache ~counter:s.machine.Hw.Machine.counter r);
       Ok ())
   | Cap.Captree.Attach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    Obs.Profile.span_h ~domain ~backend:bk_riscv h_iommu_grant @@ fun () ->
     journal_devices s domain;
     let devices = devices_of s domain in
     devices := bdf :: !devices;
@@ -236,6 +245,7 @@ let apply_effect_unsafe s = function
       !(layout_ref s domain);
     Ok ()
   | Cap.Captree.Detach { domain; resource = Cap.Resource.Device bdf; _ } ->
+    Obs.Profile.span_h ~domain ~backend:bk_riscv h_iommu_revoke @@ fun () ->
     journal_iommu s bdf;
     if s.journaling then begin
       let interrupts = s.machine.Hw.Machine.interrupts in

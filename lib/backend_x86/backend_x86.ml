@@ -149,7 +149,16 @@ let mktme_on_detach s range =
     end;
     Hw.Mktme.unprotect controller range
 
+(* Hoisted span handles: one registry lookup per process, not per
+   hardware write (see {!Obs.Profile.handle}). *)
+let h_ept_map = Obs.Profile.handle "ept.map"
+let h_ept_unmap = Obs.Profile.handle "ept.unmap"
+let h_iommu_grant = Obs.Profile.handle "iommu.grant"
+let h_iommu_revoke = Obs.Profile.handle "iommu.revoke"
+let bk_x86 = Obs.intern "x86_64-vtx"
+
 let attach_memory s domain range perm =
+  Obs.Profile.span_h ~domain ~backend:bk_x86 h_ept_map @@ fun () ->
   match Hashtbl.find_opt s.epts domain with
   | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
   | Some ept ->
@@ -192,6 +201,7 @@ let flush_tlb_after_detach s domain =
   | Asid_flush -> Hw.Tlb.flush_asid s.machine.Hw.Machine.tlb ~asid:domain
 
 let detach_memory s domain range cleanup =
+  Obs.Profile.span_h ~domain ~backend:bk_x86 h_ept_unmap @@ fun () ->
   match Hashtbl.find_opt s.epts domain with
   | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
   | Some ept ->
@@ -223,6 +233,7 @@ let detach_memory s domain range cleanup =
     Ok ()
 
 let attach_device s domain bdf =
+  Obs.Profile.span_h ~domain ~backend:bk_x86 h_iommu_grant @@ fun () ->
   journal_devices s domain;
   let devices = devices_of s domain in
   devices := bdf :: !devices;
@@ -234,6 +245,7 @@ let attach_device s domain bdf =
   Ok ()
 
 let detach_device s domain bdf =
+  Obs.Profile.span_h ~domain ~backend:bk_x86 h_iommu_revoke @@ fun () ->
   journal_iommu s bdf;
   if s.journaling then begin
     let interrupts = s.machine.Hw.Machine.interrupts in

@@ -113,6 +113,11 @@ let touch t =
    the call site either way, and the fault-free fast path must not. *)
 let record t undo = t.journal <- undo :: t.journal
 
+(* Hoisted metric handles: registry entries survive [Obs.reset] (it
+   zeroes in place), so the lookup happens once per process. *)
+let txn_commit_c = Obs.Metrics.counter "captree.txn_commit"
+let txn_rollback_c = Obs.Metrics.counter "captree.txn_rollback"
+
 let txn_begin t =
   if t.journaling then invalid_arg "Captree.txn_begin: transaction already open";
   t.journal <- [];
@@ -120,7 +125,8 @@ let txn_begin t =
 
 let txn_commit t =
   t.journaling <- false;
-  t.journal <- []
+  t.journal <- [];
+  Obs.Metrics.incr txn_commit_c
 
 let txn_rollback t =
   let undos = t.journal in
@@ -129,7 +135,8 @@ let txn_rollback t =
   List.iter (fun undo -> undo ()) undos;
   (* Undo closures patch indexes directly; make sure memoized views
      (region cache, attestation bodies) see a fresh generation. *)
-  touch t
+  touch t;
+  Obs.Metrics.incr txn_rollback_c
 
 let in_txn t = t.journaling
 
@@ -1013,3 +1020,41 @@ let restore ~next_id ~generation specs =
       | Some _ -> ())
     specs;
   t
+
+(* --- deliberate corruption (test hooks) ------------------------------ *)
+
+(* The fsck property tests need to damage a live tree's redundant views
+   in ways the audits are contractually obliged to catch. Only the
+   derived indexes are touched — the node table stays intact, which is
+   exactly the class of divergence [check_index_consistency] exists to
+   detect. Never called outside tests. *)
+module Corrupt = struct
+  let seg_at t base =
+    match IntMap.find_last_opt (fun b -> b <= base) t.segments with
+    | Some (b, s) when s.seg_limit > base -> Some (b, s)
+    | _ -> None
+
+  let add_phantom_holder t ~base ~domain =
+    match seg_at t base with
+    | Some (b, s) when not (List.mem_assoc domain s.counts) ->
+      t.segments <- IntMap.add b { s with counts = counts_incr s.counts domain } t.segments;
+      t.region_cache <- None;
+      true
+    | _ -> false
+
+  let remove_holder t ~base ~domain =
+    match seg_at t base with
+    | Some (b, s) when List.mem_assoc domain s.counts ->
+      t.segments <- IntMap.add b { s with counts = List.remove_assoc domain s.counts } t.segments;
+      t.region_cache <- None;
+      true
+    | _ -> false
+
+  let drop_domain_index_entry t ~domain =
+    match Hashtbl.find_opt t.by_domain domain with
+    | Some tbl when Hashtbl.length tbl > 0 ->
+      let id = Hashtbl.fold (fun k () acc -> max k acc) tbl (-1) in
+      Hashtbl.remove tbl id;
+      true
+    | _ -> false
+end

@@ -251,3 +251,24 @@ val restore : next_id:cap_id -> generation:int -> node_spec list -> t
     every incremental index re-derived. The caller (recovery) is
     expected to run {!check_index_consistency} and the invariant sweep
     afterwards — a snapshot is never trusted blindly. *)
+
+(** {2 Deliberate corruption (test hooks)}
+
+    Damage the tree's redundant derived views — never the node table —
+    so the fsck property tests can assert every audit class actually
+    fires. Each returns [false] when the requested damage is not
+    applicable (no segment at the address, domain absent, ...), so
+    generators can retry. Not for use outside tests. *)
+module Corrupt : sig
+  val add_phantom_holder : t -> base:Hw.Addr.t -> domain:domain_id -> bool
+  (** Insert a holder into the segment covering [base] that owns no
+      overlapping capability: refcounts and holders now over-report. *)
+
+  val remove_holder : t -> base:Hw.Addr.t -> domain:domain_id -> bool
+  (** Delete a legitimate holder from the segment covering [base]:
+      refcounts and holders now under-report. *)
+
+  val drop_domain_index_entry : t -> domain:domain_id -> bool
+  (** Remove one capability from the per-domain ownership index while
+      the node table still records it. *)
+end

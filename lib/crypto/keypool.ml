@@ -23,6 +23,10 @@ let default_target = 128
    replenish leaves the stock low until the next one succeeds. Neither
    can make a signature fail — the pool only changes *when* keys are
    generated. *)
+let hit_c = Obs.Metrics.counter "keypool.hit"
+let miss_c = Obs.Metrics.counter "keypool.miss"
+let stock_g = Obs.Metrics.gauge "keypool.stock"
+
 let take_fault = Fault.register "keypool.take"
 let replenish_fault = Fault.register "keypool.replenish"
 
@@ -42,20 +46,25 @@ let low_water t = t.low_water
 let target t = t.target
 
 let take t =
-  match if Fault.fires take_fault then None else Queue.take_opt t.stock with
-  | Some pair ->
-      t.hits <- t.hits + 1;
-      pair
-  | None ->
-      t.misses <- t.misses + 1;
-      Ots.generate t.rng
+  Obs.Profile.span "keypool.take" (fun () ->
+      match if Fault.fires take_fault then None else Queue.take_opt t.stock with
+      | Some pair ->
+          t.hits <- t.hits + 1;
+          Obs.Metrics.incr hit_c;
+          pair
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.Metrics.incr miss_c;
+          Ots.generate t.rng)
 
 let replenish t =
-  if Fault.fires replenish_fault then ()
-  else if Queue.length t.stock < t.low_water then
-    while Queue.length t.stock < t.target do
-      Queue.add (Ots.generate t.rng) t.stock
-    done
+  Obs.Profile.span "keypool.replenish" (fun () ->
+      if Fault.fires replenish_fault then ()
+      else if Queue.length t.stock < t.low_water then
+        while Queue.length t.stock < t.target do
+          Queue.add (Ots.generate t.rng) t.stock
+        done;
+      Obs.Metrics.set_gauge stock_g (Queue.length t.stock))
 
 let stats t = (t.hits, t.misses)
 

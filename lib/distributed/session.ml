@@ -4,6 +4,7 @@ type evidence = {
 }
 
 let gather_evidence monitor ~domain ~nonce =
+  Obs.Profile.span ~domain "session.gather_evidence" @@ fun () ->
   match Tyche.Monitor.attest monitor ~caller:Tyche.Domain.initial ~domain ~nonce with
   | Error e -> Error (Tyche.Monitor.error_to_string e)
   | Ok attestation -> Ok { quote = Tyche.Monitor.boot_quote monitor ~nonce; attestation }
@@ -74,9 +75,18 @@ let establish_over net ~broker ?(max_attempts = 5) ?(base_backoff = 1) ?(max_bac
   if base_backoff < 1 || max_backoff < base_backoff then
     invalid_arg "Session.establish_over: bad backoff bounds";
   let party_a, ev_a = a and party_b, ev_b = b in
+  (* One trace id spans the whole establishment: every retry, drain and
+     verification event across both monitors' evidence carries it, so a
+     trace dump shows the cross-machine exchange as one causal chain. *)
+  Obs.with_trace (Obs.new_trace ()) @@ fun () ->
+  Obs.Profile.span "session.establish" @@ fun () ->
   let rec attempt n ~backoff ~waited =
-    if n > max_attempts then Error (Timeout { attempts = max_attempts; waited })
+    if n > max_attempts then begin
+      Obs.instant "session.timeout";
+      Error (Timeout { attempts = max_attempts; waited })
+    end
     else begin
+      Obs.instant "session.attempt";
       (* Drain stale datagrams from a previous partial exchange so a
          late duplicate cannot be mistaken for this round's evidence. *)
       while Network.recv net broker <> None do () done;
@@ -95,6 +105,7 @@ let establish_over net ~broker ?(max_attempts = 5) ?(base_backoff = 1) ?(max_bac
       in
       match received with
       | None ->
+        Obs.Metrics.incr (Obs.Metrics.counter "session.retries");
         attempt (n + 1) ~backoff:(min (backoff * 2) max_backoff) ~waited:(waited + backoff)
       | Some (att_a, att_b) -> (
         match
@@ -102,8 +113,12 @@ let establish_over net ~broker ?(max_attempts = 5) ?(base_backoff = 1) ?(max_bac
             ~a:(party_a, { ev_a with attestation = att_a })
             ~b:(party_b, { ev_b with attestation = att_b })
         with
-        | Ok keys -> Ok (keys, n)
-        | Error reasons -> Error (Rejected reasons))
+        | Ok keys ->
+          Obs.Metrics.incr (Obs.Metrics.counter "session.established");
+          Ok (keys, n)
+        | Error reasons ->
+          Obs.Metrics.incr (Obs.Metrics.counter "session.rejected");
+          Error (Rejected reasons))
     end
   in
   attempt 1 ~backoff:base_backoff ~waited:0

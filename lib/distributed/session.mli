@@ -83,7 +83,10 @@ val establish_over :
     On success returns the session keys and the attempt number that
     made it through. Stale datagrams from earlier partial exchanges are
     drained before each attempt, so a late duplicate can never satisfy
-    a later round. *)
+    a later round. The whole establishment runs under one fresh
+    {!Obs.new_trace} id inside a ["session.establish"] span, so every
+    attempt, retry and verification event it emits — across both
+    monitors' evidence — shares a causally-ordered trace. *)
 
 (** The secured link, once each side holds the session key. *)
 type link

@@ -113,6 +113,8 @@ let uniform p =
   (* 53 high bits -> [0, 1) *)
   Int64.to_float (Int64.shift_right_logical p.rng 11) /. 9007199254740992.
 
+let fault_trips_c = Obs.Metrics.counter "fault.trips"
+
 let fires point =
   match !current with
   | None -> false
@@ -140,7 +142,11 @@ let fires point =
       | Some (`Nth n) -> !counter = n
       | Some (`Rate r) -> uniform p < r
     in
-    if trip then point.trips <- point.trips + 1;
+    if trip then begin
+      point.trips <- point.trips + 1;
+      Obs.instant ("fault." ^ point.name);
+      Obs.Metrics.incr fault_trips_c
+    end;
     trip
 
 let hit point = if fires point then raise (Injected { point = point.name; trip = point.trips })

@@ -53,9 +53,16 @@ type response = (result_value, Monitor.error) result
 val pp_call : Format.formatter -> call -> unit
 val pp_response : Format.formatter -> response -> unit
 
+val op_name : call -> string
+(** Stable lower-case operation name ("share", "revoke", ...), used as
+    the span/metric key suffix for per-op observability. *)
+
 val dispatch : Monitor.t -> caller:Domain.id -> core:int -> call -> response
 (** Execute one call on behalf of [caller] (as identified by the
-    trapping hardware on [core]). Total: no exceptions escape. *)
+    trapping hardware on [core]). Total: no exceptions escape. Every
+    dispatch runs inside a balanced [Obs.Profile.span] named
+    ["api." ^ op_name call], tagged with the caller domain and the
+    backend name. *)
 
 (** {2 Wire format}
 

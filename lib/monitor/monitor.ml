@@ -364,6 +364,9 @@ let log_op t op =
    tree-then-hardware — costs nothing and composes: (ab)⁻¹ = b⁻¹a⁻¹).
    [?op] is the redo record to append once both commits land; only
    successful calls reach the log, so replay never re-fails. *)
+let txn_commit_c = Obs.Metrics.counter "txn.commit"
+let txn_rollback_c = Obs.Metrics.counter "txn.rollback"
+
 let with_txn ?op t f =
   Cap.Captree.txn_begin t.tree;
   t.backend.Backend_intf.txn_begin ();
@@ -371,15 +374,20 @@ let with_txn ?op t f =
   | Ok _ as ok ->
     t.backend.Backend_intf.txn_commit ();
     Cap.Captree.txn_commit t.tree;
+    Obs.Metrics.incr txn_commit_c;
     (match op with Some op -> log_op t op | None -> ());
     ok
   | Error _ as err ->
     t.backend.Backend_intf.txn_rollback ();
     Cap.Captree.txn_rollback t.tree;
+    Obs.Metrics.incr txn_rollback_c;
+    Obs.instant "txn.rollback";
     err
   | exception e ->
     t.backend.Backend_intf.txn_rollback ();
     Cap.Captree.txn_rollback t.tree;
+    Obs.Metrics.incr txn_rollback_c;
+    Obs.instant "txn.rollback";
     raise e
 
 (* The monitor shell: signer, TPM binding, empty tables. Shared by
@@ -444,6 +452,10 @@ let endow_initial t ~monitor_range =
 
 let boot ?(signer_height = 6) ?keypool machine ~backend ~tpm ~rng ~monitor_range =
   let t = make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng in
+  (* Span latencies measure simulated cycles: point the observability
+     clock at this machine's counter (last boot wins — stamps are
+     per-process, and tests never compare them across worlds). *)
+  Obs.set_clock (fun () -> Hw.Machine.cycles machine);
   endow_initial t ~monitor_range;
   t
 
@@ -658,8 +670,28 @@ let may_revoke t ~caller cap =
   if walk cap then Ok ()
   else Error (Denied "caller owns neither the capability nor an ancestor")
 
+(* Cascade accounting for the revocation histograms: how deep and how
+   wide the lineage subtree about to be revoked is. Read-only, and only
+   when tracing is on — the disabled cost is one branch. *)
+let cascade_shape t cap =
+  let rec walk id depth (n, deepest) =
+    let acc = (n + 1, max depth deepest) in
+    List.fold_left
+      (fun acc child -> walk child (depth + 1) acc)
+      acc (Cap.Captree.children t.tree id)
+  in
+  walk cap 1 (0, 0)
+
+let cascade_depth_h = Obs.Metrics.histogram "revoke.cascade_depth"
+let cascade_size_h = Obs.Metrics.histogram "revoke.cascade_size"
+
 let revoke t ~caller ~cap =
   let* () = may_revoke t ~caller cap in
+  if Obs.enabled () then begin
+    let size, depth = cascade_shape t cap in
+    Obs.Metrics.observe cascade_depth_h depth;
+    Obs.Metrics.observe cascade_size_h size
+  end;
   with_txn ~op:(Persist.Op.Revoke { caller; cap }) t (fun () ->
       cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)))
 
@@ -960,6 +992,13 @@ let attest_telemetry t =
     keypool_miss_rate;
     keypool_stock }
 
+(* The full observability report (per-domain op counts, latency
+   percentiles, cascade depths, rollback counters). The data is
+   process-global — the monitor's own ops dominate it, but faults,
+   keypool and store activity triggered outside an API call appear
+   too, which is the point of attestation-adjacent accounting. *)
+let observe (_ : t) = Obs.report ()
+
 (* Durability: enable, checkpoint, recover (crash-restart). *)
 
 let enable_persistence t ~store ?(snapshot_every = 1000) ?(fsync_every = 1) () =
@@ -1253,6 +1292,7 @@ let recover ?(signer_height = 6) ?keypool ?(snapshot_every = 1000) ?(fsync_every
   let snap, scanned, snap_torn = Persist.Snapshot.load_latest store in
   let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
   let t = make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng in
+  Obs.set_clock (fun () -> Hw.Machine.cycles machine);
   let cfg =
     { p_store = store;
       p_snapshot_every = snapshot_every;

@@ -329,3 +329,12 @@ val attest_telemetry : t -> attest_telemetry
     how operators observe graceful degradation (a starved pool slows
     signing but never fails it). All zeros for the pool fields when the
     monitor was booted without one. *)
+
+val observe : t -> Obs.report
+(** The structured observability report: per-op counts and latency
+    percentiles (from {!Obs.Profile} spans around every API dispatch,
+    hardware write, WAL append/fsync and keypool operation), per-domain
+    op counts, revocation-cascade depth/size histograms, and journal
+    commit/rollback counters. The underlying registry is process-global
+    (see {!Obs}); {!boot} and {!recover} point its clock at this
+    monitor's cycle counter. *)

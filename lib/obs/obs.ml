@@ -1,0 +1,578 @@
+(* Process-global observability. Single-writer by construction (the
+   simulated monitor is single-threaded), so "lock-free" here means the
+   ring is a set of plain column arrays plus a monotonic write index —
+   no coordination, and no allocation at all on the emit path. *)
+
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  seq : int;
+  stamp : int;
+  kind : kind;
+  op : string;
+  span : int;
+  domain : int;
+  backend : string;
+  trace : int;
+}
+
+(* --- switches -------------------------------------------------------- *)
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Default clock: an internal tick, monotonic but meaningless — the
+   monitor repoints it at the machine's simulated cycle counter. *)
+let internal_ticks = ref 0
+
+let default_clock () =
+  incr internal_ticks;
+  !internal_ticks
+
+let clock = ref default_clock
+let set_clock f = clock := f
+
+(* --- trace context --------------------------------------------------- *)
+
+let trace_counter = ref 0
+let cur_trace = ref 0
+
+let new_trace () =
+  incr trace_counter;
+  !trace_counter
+
+let with_trace t f =
+  let saved = !cur_trace in
+  cur_trace := t;
+  Fun.protect ~finally:(fun () -> cur_trace := saved) f
+
+let current_trace () = !cur_trace
+
+(* --- name interning -------------------------------------------------- *)
+
+(* Op and backend names are interned to small int ids: the ring then
+   stores only immediates, and an int store skips the GC write barrier
+   a pointer store would take — which matters at two events per span on
+   paths that fire millions of spans. Ids are process-lived, like
+   metric handles, and survive {!reset}. *)
+
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let intern_names = ref (Array.make 64 "")
+let intern_count = ref 0
+
+let intern s =
+  match Hashtbl.find_opt intern_tbl s with
+  | Some id -> id
+  | None ->
+    let id = !intern_count in
+    if id >= Array.length !intern_names then begin
+      let bigger = Array.make (2 * Array.length !intern_names) "" in
+      Array.blit !intern_names 0 bigger 0 id;
+      intern_names := bigger
+    end;
+    !intern_names.(id) <- s;
+    Hashtbl.replace intern_tbl s id;
+    incr intern_count;
+    id
+
+let name_of id = if id >= 0 && id < !intern_count then !intern_names.(id) else ""
+
+(* The empty name is id 0, so an omitted backend costs nothing. *)
+let () = ignore (intern "")
+
+(* --- the ring -------------------------------------------------------- *)
+
+(* Structure-of-arrays: emitting an event is six plain int stores and an
+   increment — no record allocation, no write barrier, no GC pressure on
+   the hot path. Event records only materialize on the (cold) read side;
+   a slot's seq is recoverable from its position and its kind from the
+   span column's sign (+sid begin, -sid end, 0 instant), so neither
+   needs a column of its own. *)
+
+let default_capacity = 4096
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let capacity = ref default_capacity
+let r_stamp = ref (Array.make default_capacity 0)
+let r_op = ref (Array.make default_capacity 0)
+let r_span = ref (Array.make default_capacity 0)
+let r_domain = ref (Array.make default_capacity (-1))
+let r_trace = ref (Array.make default_capacity 0)
+let r_backend = ref (Array.make default_capacity 0)
+let written_count = ref 0
+
+let alloc_ring cap =
+  capacity := cap;
+  r_stamp := Array.make cap 0;
+  r_op := Array.make cap 0;
+  r_span := Array.make cap 0;
+  r_domain := Array.make cap (-1);
+  r_trace := Array.make cap 0;
+  r_backend := Array.make cap 0;
+  written_count := 0
+
+(* In-bounds by construction: [configure] keeps [capacity] equal to every
+   column's length and a power of two, so the masked index is < length.
+   [op] and [backend] are interned ids; [span] carries the kind in its
+   sign. *)
+let emit ~stamp ~op ~span ~domain ~backend =
+  let i = !written_count land (!capacity - 1) in
+  Array.unsafe_set !r_stamp i stamp;
+  Array.unsafe_set !r_op i op;
+  Array.unsafe_set !r_span i span;
+  Array.unsafe_set !r_domain i domain;
+  Array.unsafe_set !r_trace i !cur_trace;
+  Array.unsafe_set !r_backend i backend;
+  incr written_count
+
+let configure ?capacity:(cap = default_capacity) () =
+  alloc_ring (round_pow2 (max 1 cap))
+
+let written () = !written_count
+let dropped () = max 0 (!written_count - !capacity)
+
+(* --- span bookkeeping ------------------------------------------------ *)
+
+let span_counter = ref 0
+let open_span_count = ref 0
+let open_spans () = !open_span_count
+
+let instant ?(domain = -1) ?(backend = "") op =
+  if !enabled_flag then
+    emit ~stamp:(!clock ()) ~op:(intern op) ~span:0 ~domain ~backend:(intern backend)
+
+(* --- metrics --------------------------------------------------------- *)
+
+module Metrics = struct
+  (* Log2 buckets: bucket 0 holds v <= 0, bucket i >= 1 holds
+     2^(i-1) .. 2^i - 1. 63 buckets cover the whole int range. *)
+  let n_buckets = 63
+
+  type hist = { mutable count : int; mutable sum : int; mutable max_v : int; buckets : int array }
+  type counter = int ref
+  type gauge = int ref
+  type histogram = hist
+
+  type metric = Counter of counter | Gauge of gauge | Histogram of hist
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+  (* Zero in place rather than dropping entries: handles obtained with
+     [counter]/[gauge]/[histogram] stay registered across {!reset}, so
+     instrumented modules may hoist the name lookup out of their hot
+     paths once and keep the handle forever. *)
+  let clear () =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | Counter c -> c := 0
+        | Gauge g -> g := 0
+        | Histogram h ->
+          h.count <- 0;
+          h.sum <- 0;
+          h.max_v <- 0;
+          Array.fill h.buckets 0 (Array.length h.buckets) 0)
+      registry
+
+  let counter name =
+    match Hashtbl.find_opt registry name with
+    | Some (Counter c) -> c
+    | Some _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter")
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+  let incr ?(by = 1) c = if !enabled_flag then c := !c + by
+
+  let counter_value name =
+    match Hashtbl.find_opt registry name with Some (Counter c) -> !c | _ -> 0
+
+  let gauge name =
+    match Hashtbl.find_opt registry name with
+    | Some (Gauge g) -> g
+    | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
+    | None ->
+      let g = ref 0 in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+  let set_gauge g v = if !enabled_flag then g := v
+
+  let gauge_value name =
+    match Hashtbl.find_opt registry name with Some (Gauge g) -> !g | _ -> 0
+
+  let histogram name =
+    match Hashtbl.find_opt registry name with
+    | Some (Histogram h) -> h
+    | Some _ -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is not a histogram")
+    | None ->
+      let h = { count = 0; sum = 0; max_v = 0; buckets = Array.make n_buckets 0 } in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 0 do
+        incr b;
+        v := !v lsr 1
+      done;
+      min !b (n_buckets - 1)
+    end
+
+  let bucket_bounds i =
+    if i <= 0 then (0, 0)
+    else if i >= n_buckets - 1 then (1 lsl (n_buckets - 2), max_int)
+    else (1 lsl (i - 1), (1 lsl i) - 1)
+
+  (* Unguarded twin for callers that already sit behind the enabled
+     check (the Profile span path): re-testing the flag per sample is
+     dead weight there. *)
+  let observe_unguarded h v =
+    let v = max 0 v in
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    if v > h.max_v then h.max_v <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+
+  let observe h v = if !enabled_flag then observe_unguarded h v
+
+  let find_hist name =
+    match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None
+
+  let histogram_count name =
+    match find_hist name with Some h -> h.count | None -> 0
+
+  let histogram_sum name = match find_hist name with Some h -> h.sum | None -> 0
+  let histogram_max name = match find_hist name with Some h -> h.max_v | None -> 0
+
+  let percentile_of h p =
+    if h.count = 0 then None
+    else begin
+      let target = max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
+      let cum = ref 0 and found = ref None in
+      (try
+         for i = 0 to n_buckets - 1 do
+           cum := !cum + h.buckets.(i);
+           if !cum >= target then begin
+             found := Some (snd (bucket_bounds i));
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+
+  let percentile name p =
+    match find_hist name with None -> None | Some h -> percentile_of h p
+
+  let sorted f =
+    Hashtbl.fold (fun k v acc -> match f v with Some x -> (k, x) :: acc | None -> acc)
+      registry []
+    |> List.sort compare
+
+  let counters () = sorted (function Counter c -> Some !c | _ -> None)
+  let gauges () = sorted (function Gauge g -> Some !g | _ -> None)
+  let histograms () = sorted (function Histogram h -> Some h | _ -> None)
+end
+
+(* --- per-op handle cache --------------------------------------------- *)
+
+(* One string lookup per span instead of two name concatenations, two
+   registry lookups and a tuple-keyed per-domain bump — and callers on
+   truly hot paths can skip even that by hoisting a {!Profile.handle}.
+   That is the difference between ~300 ns and a few tens of ns of
+   overhead per span, which is what keeps the E17 tracing-on ceiling
+   honest. *)
+type op_stats = {
+  os_op : string;
+  os_id : int;
+  os_lat : Metrics.histogram;
+  os_count : Metrics.counter;
+  (* Per-domain op counts: domain ids are small ints in practice, so
+     the common case is a direct array bump; the hashtable only catches
+     the long tail (domain >= small_domains). *)
+  os_dom_small : int array;
+  os_domains : (int, int ref) Hashtbl.t;
+}
+
+let small_domains = 64
+
+let op_cache : (string, op_stats) Hashtbl.t = Hashtbl.create 64
+
+let stats_for op =
+  match Hashtbl.find_opt op_cache op with
+  | Some st -> st
+  | None ->
+    let st =
+      { os_op = op;
+        os_id = intern op;
+        os_lat = Metrics.histogram ("lat." ^ op);
+        os_count = Metrics.counter ("op." ^ op);
+        os_dom_small = Array.make small_domains 0;
+        os_domains = Hashtbl.create 8 }
+    in
+    Hashtbl.replace op_cache op st;
+    st
+
+let bump_domain_op st domain =
+  if domain >= 0 then
+    if domain < small_domains then
+      Array.unsafe_set st.os_dom_small domain
+        (Array.unsafe_get st.os_dom_small domain + 1)
+    else begin
+      match Hashtbl.find_opt st.os_domains domain with
+      | Some c -> incr c
+      | None -> Hashtbl.replace st.os_domains domain (ref 1)
+    end
+
+(* --- profiling ------------------------------------------------------- *)
+
+module Profile = struct
+  type handle = op_stats
+
+  let handle = stats_for
+
+  let finish st sid domain backend t0 =
+    let t1 = !clock () in
+    emit ~stamp:t1 ~op:st.os_id ~span:(-sid) ~domain ~backend;
+    open_span_count := !open_span_count - 1;
+    (* Spans only start while enabled, so skip the per-sample flag
+       re-checks that Metrics.observe/incr would do. *)
+    Metrics.observe_unguarded st.os_lat (t1 - t0);
+    st.os_count := !(st.os_count) + 1;
+    bump_domain_op st domain
+
+  (* Hand-rolled instead of [Fun.protect]: no [finally] closure on the
+     hot path, same balance guarantee — the end event is emitted whether
+     [f] returns or raises. *)
+  let run st domain backend f =
+    incr span_counter;
+    let sid = !span_counter in
+    incr open_span_count;
+    let t0 = !clock () in
+    emit ~stamp:t0 ~op:st.os_id ~span:sid ~domain ~backend;
+    match f () with
+    | v ->
+      finish st sid domain backend t0;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish st sid domain backend t0;
+      Printexc.raise_with_backtrace e bt
+
+  (* [backend] here is a pre-interned id (see {!intern}): hot call
+     sites hoist it once next to their handle, so a span passes only
+     immediates. *)
+  let span_h ?(domain = -1) ?(backend = 0) h f =
+    if not !enabled_flag then f () else run h domain backend f
+
+  let span ?(domain = -1) ?(backend = "") op f =
+    if not !enabled_flag then f () else run (stats_for op) domain (intern backend) f
+end
+
+(* --- reading back ---------------------------------------------------- *)
+
+let raw_events () =
+  let total = !written_count in
+  let n = min total !capacity in
+  let start = total - n in
+  let mask = !capacity - 1 in
+  List.init n (fun j ->
+      let s = start + j in
+      let i = s land mask in
+      let enc = !r_span.(i) in
+      { seq = s; stamp = !r_stamp.(i);
+        kind = (if enc > 0 then Span_begin else if enc < 0 then Span_end else Instant);
+        op = name_of !r_op.(i); span = abs enc; domain = !r_domain.(i);
+        backend = name_of !r_backend.(i); trace = !r_trace.(i) })
+
+(* Wraparound coherence: a span-end whose begin fell off the ring is
+   suppressed, so readers only ever see whole pairs (or a begin whose
+   end has not happened yet). *)
+let events () =
+  let evs = raw_events () in
+  let begins = Hashtbl.create 64 in
+  List.iter (fun e -> if e.kind = Span_begin then Hashtbl.replace begins e.span ()) evs;
+  List.filter (fun e -> e.kind <> Span_end || Hashtbl.mem begins e.span) evs
+
+let kind_name = function
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"
+  | Instant -> "instant"
+
+let event_to_json e =
+  Printf.sprintf
+    {|{"seq":%d,"stamp":%d,"kind":%S,"op":%S,"span":%d,"domain":%d,"backend":%S,"trace":%d}|}
+    e.seq e.stamp (kind_name e.kind) e.op e.span e.domain e.backend e.trace
+
+let check () =
+  if !open_span_count <> 0 then
+    Error (Printf.sprintf "unbalanced spans: %d still open" !open_span_count)
+  else begin
+    let raw = raw_events () in
+    let retained = List.length raw in
+    if retained + dropped () <> !written_count then
+      Error
+        (Printf.sprintf "event accounting mismatch: %d retained + %d dropped <> %d written"
+           retained (dropped ()) !written_count)
+    else begin
+      let orphans = retained - List.length (events ()) in
+      if !written_count <= !capacity && orphans > 0 then
+        Error (Printf.sprintf "%d orphan span ends without wraparound" orphans)
+      else begin
+        let rec mono = function
+          | a :: (b :: _ as rest) ->
+            if a.seq >= b.seq then
+              Error (Printf.sprintf "non-monotonic seq: %d then %d" a.seq b.seq)
+            else mono rest
+          | _ -> Ok ()
+        in
+        mono raw
+      end
+    end
+  end
+
+(* --- reset ----------------------------------------------------------- *)
+
+let reset () =
+  alloc_ring !capacity;
+  internal_ticks := 0;
+  span_counter := 0;
+  open_span_count := 0;
+  trace_counter := 0;
+  cur_trace := 0;
+  Metrics.clear ();
+  Hashtbl.iter
+    (fun _ st ->
+      Array.fill st.os_dom_small 0 small_domains 0;
+      Hashtbl.reset st.os_domains)
+    op_cache
+
+(* --- report ---------------------------------------------------------- *)
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+}
+
+type report = {
+  r_enabled : bool;
+  r_written : int;
+  r_dropped : int;
+  r_open_spans : int;
+  r_counters : (string * int) list;
+  r_gauges : (string * int) list;
+  r_histograms : (string * histogram_summary) list;
+  r_domain_ops : (int * (string * int) list) list;
+}
+
+let summarize (h : Metrics.hist) =
+  let p q = Option.value ~default:0 (Metrics.percentile_of h q) in
+  { h_count = h.Metrics.count; h_sum = h.Metrics.sum; h_max = h.Metrics.max_v;
+    h_p50 = p 0.5; h_p90 = p 0.9; h_p99 = p 0.99 }
+
+let report () =
+  let doms =
+    Hashtbl.fold
+      (fun op st acc ->
+        let acc =
+          Hashtbl.fold (fun d c acc -> (d, op, !c) :: acc) st.os_domains acc
+        in
+        let acc = ref acc in
+        Array.iteri
+          (fun d c -> if c > 0 then acc := (d, op, c) :: !acc)
+          st.os_dom_small;
+        !acc)
+      op_cache []
+    |> List.sort compare
+  in
+  let grouped =
+    List.fold_left
+      (fun acc (d, op, c) ->
+        match acc with
+        | (d', ops) :: rest when d' = d -> (d', (op, c) :: ops) :: rest
+        | _ -> (d, [ (op, c) ]) :: acc)
+      [] doms
+    |> List.rev_map (fun (d, ops) -> (d, List.rev ops))
+  in
+  { r_enabled = !enabled_flag;
+    r_written = written ();
+    r_dropped = dropped ();
+    r_open_spans = !open_span_count;
+    r_counters = Metrics.counters ();
+    r_gauges = Metrics.gauges ();
+    r_histograms = List.map (fun (n, h) -> (n, summarize h)) (Metrics.histograms ());
+    r_domain_ops = grouped }
+
+let pp_report fmt r =
+  Format.fprintf fmt "obs: %s, %d events (%d dropped), %d open spans@\n"
+    (if r.r_enabled then "enabled" else "disabled")
+    r.r_written r.r_dropped r.r_open_spans;
+  if r.r_counters <> [] then begin
+    Format.fprintf fmt "counters:@\n";
+    List.iter (fun (n, v) -> Format.fprintf fmt "  %-32s %d@\n" n v) r.r_counters
+  end;
+  if r.r_gauges <> [] then begin
+    Format.fprintf fmt "gauges:@\n";
+    List.iter (fun (n, v) -> Format.fprintf fmt "  %-32s %d@\n" n v) r.r_gauges
+  end;
+  if r.r_histograms <> [] then begin
+    Format.fprintf fmt "histograms (cycles; p50/p90/p99 are bucket upper bounds):@\n";
+    List.iter
+      (fun (n, h) ->
+        Format.fprintf fmt "  %-32s n=%-7d p50=%-7d p90=%-7d p99=%-7d max=%d@\n" n
+          h.h_count h.h_p50 h.h_p90 h.h_p99 h.h_max)
+      r.r_histograms
+  end;
+  if r.r_domain_ops <> [] then begin
+    Format.fprintf fmt "per-domain op counts:@\n";
+    List.iter
+      (fun (d, ops) ->
+        Format.fprintf fmt "  domain %d:@\n" d;
+        List.iter (fun (op, c) -> Format.fprintf fmt "    %-30s %d@\n" op c) ops)
+      r.r_domain_ops
+  end
+
+let report_to_json r =
+  let b = Buffer.create 1024 in
+  let comma_sep f xs =
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",";
+        f x)
+      xs
+  in
+  Buffer.add_string b
+    (Printf.sprintf {|{"enabled":%b,"written":%d,"dropped":%d,"open_spans":%d,"counters":{|}
+       r.r_enabled r.r_written r.r_dropped r.r_open_spans);
+  comma_sep (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%S:%d" n v)) r.r_counters;
+  Buffer.add_string b {|},"gauges":{|};
+  comma_sep (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%S:%d" n v)) r.r_gauges;
+  Buffer.add_string b {|},"histograms":{|};
+  comma_sep
+    (fun (n, h) ->
+      Buffer.add_string b
+        (Printf.sprintf {|%S:{"count":%d,"sum":%d,"max":%d,"p50":%d,"p90":%d,"p99":%d}|} n
+           h.h_count h.h_sum h.h_max h.h_p50 h.h_p90 h.h_p99))
+    r.r_histograms;
+  Buffer.add_string b {|},"domain_ops":{|};
+  comma_sep
+    (fun (d, ops) ->
+      Buffer.add_string b (Printf.sprintf {|"%d":{|} d);
+      comma_sep (fun (op, c) -> Buffer.add_string b (Printf.sprintf "%S:%d" op c)) ops;
+      Buffer.add_string b "}")
+    r.r_domain_ops;
+  Buffer.add_string b "}}";
+  Buffer.contents b

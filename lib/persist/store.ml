@@ -18,8 +18,27 @@ let wal_blob = "wal"
 let snap_blob = "snap"
 
 let read t blob = t.read blob
-let append t blob data = t.append blob data
-let fsync t blob = t.fsync blob
+
+(* Durability choke points: every WAL append/fsync and snapshot write in
+   the system funnels through these wrappers, so one span here profiles
+   the whole persistence path. The span is exception-safe — a [Crash]
+   raised by an injected torn write still closes it. Handles are hoisted
+   so the per-append cost is the span itself, not a registry lookup. *)
+let h_wal_append = Obs.Profile.handle "wal.append"
+let h_wal_fsync = Obs.Profile.handle "wal.fsync"
+let h_snap_write = Obs.Profile.handle "snapshot.write"
+let h_snap_fsync = Obs.Profile.handle "snapshot.fsync"
+
+let append t blob data =
+  Obs.Profile.span_h
+    (if blob = wal_blob then h_wal_append else h_snap_write)
+    (fun () -> t.append blob data)
+
+let fsync t blob =
+  Obs.Profile.span_h
+    (if blob = wal_blob then h_wal_fsync else h_snap_fsync)
+    (fun () -> t.fsync blob)
+
 let reset t blob = t.reset blob
 let truncate t blob keep = t.truncate blob keep
 

@@ -11,12 +11,17 @@ open Testkit
 let page = Hw.Addr.page_size
 let range ~base ~len = Hw.Addr.Range.make ~base ~len
 
-let base_seed =
-  match Sys.getenv_opt "TYCHE_FAULT_SEED" with
-  | Some s -> (match int_of_string_opt s with Some n -> n | None -> 0xFA01)
-  | None -> 0xFA01
+let base_seed = chaos_seed ~default:0xFA01
+let () = chaos_banner ~suite:"fault" ~seed:base_seed ()
 
-let () = Printf.printf "fault chaos seed: %d (override with TYCHE_FAULT_SEED)\n%!" base_seed
+(* Chaos failures print the shared replay recipe before the alcotest
+   message, so a red CI log reads the same as a persist-chaos one. *)
+let chaos_failf fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline (chaos_replay_line ~suite:"fault" ~seed:base_seed);
+      Alcotest.fail msg)
+    fmt
 
 let total_chaos_ops = ref 0
 
@@ -312,17 +317,22 @@ let run_chaos ~label w plans ~ops_per_plan ~rng =
             | `Err ->
               let after = snapshot w.cores w.m in
               if before <> after then
-                Alcotest.failf "%s/%s op %d (%s): failed call mutated observable state"
+                chaos_failf "%s/%s op %d (%s): failed call mutated observable state"
                   label pname i desc);
             (match Tyche.Invariants.check_all w.m with
             | [] -> ()
             | vs ->
-              Alcotest.failf "%s/%s op %d (%s): invariants: %s" label pname i desc
+              chaos_failf "%s/%s op %d (%s): invariants: %s" label pname i desc
                 (violations_str vs));
             match Cap.Captree.check_index_consistency (Tyche.Monitor.tree w.m) with
             | Ok () -> ()
-            | Error e -> Alcotest.failf "%s/%s op %d (%s): index: %s" label pname i desc e
-          done))
+            | Error e -> chaos_failf "%s/%s op %d (%s): index: %s" label pname i desc e
+          done);
+      (* Injected faults unwind through instrumented paths constantly
+         here; the span accounting must still balance after each plan. *)
+      match Obs.check () with
+      | Ok () -> ()
+      | Error msg -> chaos_failf "%s/%s: obs self-audit: %s" label pname msg)
     plans
 
 let x86_plans =
@@ -385,7 +395,8 @@ let prop_chaos_random_seed =
             ignore (chaos_step rng w)
           done);
       Tyche.Invariants.check_all w.m = []
-      && Cap.Captree.check_index_consistency (Tyche.Monitor.tree w.m) = Ok ())
+      && Cap.Captree.check_index_consistency (Tyche.Monitor.tree w.m) = Ok ()
+      && Obs.check () = Ok ())
 
 (* ---------------- per-point trip tests ---------------- *)
 

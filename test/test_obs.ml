@@ -1,0 +1,251 @@
+(* Obs edge cases: ring wraparound coherence, histogram bucket
+   boundaries, and balanced span accounting when a fault trips (or any
+   exception unwinds) mid-span. These pin the contracts the chaos
+   drivers and the E17 overhead gate rely on. *)
+
+open Testkit
+
+let page = Hw.Addr.page_size
+let range ~base ~len = Hw.Addr.Range.make ~base ~len
+
+(* Every test owns the process-global registry for its duration. *)
+let fresh () =
+  Obs.set_enabled true;
+  Obs.configure ();
+  Obs.reset ()
+
+(* --- ring wraparound -------------------------------------------------- *)
+
+let test_wraparound_counts () =
+  fresh ();
+  Obs.configure ~capacity:8 ();
+  for _ = 1 to 10 do
+    Obs.Profile.span "t.op" (fun () -> ())
+  done;
+  Alcotest.(check int) "written" 20 (Obs.written ());
+  Alcotest.(check int) "dropped" 12 (Obs.dropped ());
+  Alcotest.(check int) "open spans" 0 (Obs.open_spans ());
+  (match Obs.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check after wraparound: %s" e);
+  (* Sequential spans leave whole pairs in the retained window. *)
+  let evs = Obs.events () in
+  Alcotest.(check int) "retained" 8 (List.length evs);
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int) "seq continuous" (12 + i) e.Obs.seq;
+      Alcotest.(check string) "op" "t.op" e.Obs.op)
+    evs
+
+let test_wraparound_drops_orphan_ends () =
+  fresh ();
+  Obs.configure ~capacity:8 ();
+  (* One outer span whose begin is guaranteed to be overwritten by the
+     inner spans: its end must be suppressed so readers only ever see
+     whole pairs. *)
+  Obs.Profile.span "t.outer" (fun () ->
+      for _ = 1 to 10 do
+        Obs.Profile.span "t.inner" (fun () -> ())
+      done);
+  let evs = Obs.events () in
+  Alcotest.(check bool) "outer end suppressed" false
+    (List.exists (fun e -> e.Obs.op = "t.outer") evs);
+  List.iter
+    (fun e ->
+      if e.Obs.kind = Obs.Span_end then
+        Alcotest.(check bool) "end has its begin" true
+          (List.exists
+             (fun b -> b.Obs.kind = Obs.Span_begin && b.Obs.span = e.Obs.span)
+             evs))
+    evs;
+  match Obs.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check: %s" e
+
+let test_capacity_rounds_to_pow2 () =
+  fresh ();
+  Obs.configure ~capacity:5 ();
+  (* 5 rounds up to 8: after 20 events exactly 8 are retained. *)
+  for _ = 1 to 10 do
+    Obs.Profile.span "t.op" (fun () -> ())
+  done;
+  Alcotest.(check int) "retained = rounded capacity" 8 (List.length (Obs.events ()));
+  Alcotest.(check int) "dropped" 12 (Obs.dropped ())
+
+(* --- histogram bucket boundaries -------------------------------------- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "v=0" 0 (Obs.Metrics.bucket_of 0);
+  Alcotest.(check int) "v<0" 0 (Obs.Metrics.bucket_of (-7));
+  Alcotest.(check int) "v=1" 1 (Obs.Metrics.bucket_of 1);
+  Alcotest.(check int) "v=2" 2 (Obs.Metrics.bucket_of 2);
+  Alcotest.(check int) "v=3" 2 (Obs.Metrics.bucket_of 3);
+  Alcotest.(check int) "v=4" 3 (Obs.Metrics.bucket_of 4);
+  (* Powers of two start a fresh bucket; their predecessors close one. *)
+  for k = 1 to 50 do
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d" k)
+      (k + 1)
+      (Obs.Metrics.bucket_of (1 lsl k));
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d - 1" k)
+      k
+      (Obs.Metrics.bucket_of ((1 lsl k) - 1))
+  done;
+  Alcotest.(check (pair int int)) "bounds 0" (0, 0) (Obs.Metrics.bucket_bounds 0);
+  Alcotest.(check (pair int int)) "bounds 1" (1, 1) (Obs.Metrics.bucket_bounds 1);
+  Alcotest.(check (pair int int)) "bounds 3" (4, 7) (Obs.Metrics.bucket_bounds 3)
+
+let prop_bucket_bounds_roundtrip =
+  QCheck.Test.make ~name:"obs: bucket_bounds and bucket_of agree" ~count:200
+    QCheck.(int_bound 60)
+    (fun i ->
+      let lo, hi = Obs.Metrics.bucket_bounds i in
+      if i = 0 then Obs.Metrics.bucket_of lo = 0
+      else
+        Obs.Metrics.bucket_of lo = i
+        && Obs.Metrics.bucket_of hi = i
+        && (i = 0 || Obs.Metrics.bucket_of (lo - 1) = i - 1))
+
+let test_histogram_observe () =
+  fresh ();
+  let h = Obs.Metrics.histogram "t.h" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 100; -5 ];
+  Alcotest.(check int) "count" 5 (Obs.Metrics.histogram_count "t.h");
+  (* Negative samples clamp to 0 before summing. *)
+  Alcotest.(check int) "sum" 106 (Obs.Metrics.histogram_sum "t.h");
+  Alcotest.(check int) "max" 100 (Obs.Metrics.histogram_max "t.h");
+  (* p50 reports its bucket's upper bound: sample 2 lives in [2,3]. *)
+  Alcotest.(check (option int)) "p50" (Some 3) (Obs.Metrics.percentile "t.h" 0.5);
+  Alcotest.(check (option int)) "p99" (Some 127) (Obs.Metrics.percentile "t.h" 0.99);
+  Alcotest.(check (option int)) "empty" None (Obs.Metrics.percentile "t.none" 0.5)
+
+(* --- balance under faults --------------------------------------------- *)
+
+let test_exception_mid_span () =
+  fresh ();
+  (try Obs.Profile.span "t.boom" (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check int) "open spans" 0 (Obs.open_spans ());
+  Alcotest.(check int) "events" 2 (List.length (Obs.events ()));
+  Alcotest.(check int) "latency recorded" 1 (Obs.Metrics.histogram_count "lat.t.boom");
+  Alcotest.(check int) "op counted" 1 (Obs.Metrics.counter_value "op.t.boom");
+  match Obs.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check: %s" e
+
+let test_fault_trip_mid_monitor_op () =
+  fresh ();
+  let w = boot_x86 () in
+  let d =
+    get_ok
+      (Tyche.Monitor.create_domain w.monitor ~caller:os ~name:"victim"
+         ~kind:Tyche.Domain.Sandbox)
+  in
+  let big = os_memory_cap w in
+  let piece =
+    get_ok
+      (Tyche.Monitor.carve w.monitor ~caller:os ~cap:big
+         ~subrange:(range ~base:0x400000 ~len:page))
+  in
+  Fault.with_plan (Fault.always "ept.map") (fun () ->
+      expect_error
+        (Tyche.Monitor.share w.monitor ~caller:os ~cap:piece ~to_:d
+           ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep ()));
+  (* The fault unwound through the ept.map span and the txn rollback:
+     accounting still balances, and the trip itself was recorded. *)
+  Alcotest.(check int) "open spans" 0 (Obs.open_spans ());
+  Alcotest.(check bool) "fault trip counted" true
+    (Obs.Metrics.counter_value "fault.trips" >= 1);
+  Alcotest.(check bool) "trip instant emitted" true
+    (List.exists
+       (fun e -> e.Obs.kind = Obs.Instant && e.Obs.op = "fault.ept.map")
+       (Obs.events ()));
+  Alcotest.(check bool) "rollback counted" true
+    (Obs.Metrics.counter_value "txn.rollback" >= 1);
+  match Obs.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check: %s" e
+
+(* --- registry semantics ----------------------------------------------- *)
+
+let test_reset_keeps_handles () =
+  fresh ();
+  let c = Obs.Metrics.counter "t.c" in
+  Obs.Metrics.incr ~by:5 c;
+  Obs.Profile.span "t.op" (fun () -> ());
+  Obs.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Metrics.counter_value "t.c");
+  Alcotest.(check int) "ring cleared" 0 (Obs.written ());
+  (* The pre-reset handle still feeds the same registry slot. *)
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "handle survives" 1 (Obs.Metrics.counter_value "t.c")
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Obs.set_enabled false;
+  let c = Obs.Metrics.counter "t.off" in
+  Obs.Metrics.incr c;
+  let v = Obs.Profile.span "t.off.op" (fun () -> 42) in
+  Obs.set_enabled true;
+  Alcotest.(check int) "span still runs f" 42 v;
+  Alcotest.(check int) "no events" 0 (Obs.written ());
+  Alcotest.(check int) "no counts" 0 (Obs.Metrics.counter_value "t.off")
+
+let test_trace_context () =
+  fresh ();
+  let t1 = Obs.new_trace () in
+  let t2 = Obs.new_trace () in
+  Alcotest.(check bool) "fresh ids differ" true (t1 <> t2);
+  Obs.with_trace t1 (fun () ->
+      Obs.instant "t.a";
+      Obs.with_trace t2 (fun () -> Obs.instant "t.b");
+      Obs.instant "t.c");
+  Alcotest.(check int) "context restored" 0 (Obs.current_trace ());
+  let trace_of op =
+    (List.find (fun e -> e.Obs.op = op) (Obs.events ())).Obs.trace
+  in
+  Alcotest.(check int) "outer" t1 (trace_of "t.a");
+  Alcotest.(check int) "inner" t2 (trace_of "t.b");
+  Alcotest.(check int) "outer restored" t1 (trace_of "t.c")
+
+let test_report_shape () =
+  fresh ();
+  let w = boot_x86 () in
+  let _ =
+    get_ok
+      (Tyche.Monitor.carve w.monitor ~caller:os ~cap:(os_memory_cap w)
+         ~subrange:(range ~base:0x400000 ~len:page))
+  in
+  let r = Tyche.Monitor.observe w.monitor in
+  Alcotest.(check int) "balanced" 0 r.Obs.r_open_spans;
+  Alcotest.(check bool) "txn commit counted" true
+    (match List.assoc_opt "txn.commit" r.Obs.r_counters with
+    | Some n -> n >= 1
+    | None -> false);
+  (* The JSON rendering must at least be parseable-shaped (smoke). *)
+  let js = Obs.report_to_json r in
+  Alcotest.(check bool) "json object" true
+    (String.length js > 2 && js.[0] = '{' && js.[String.length js - 1] = '}')
+
+let () =
+  Alcotest.run "obs"
+    [ ( "ring",
+        [ Alcotest.test_case "wraparound counts" `Quick test_wraparound_counts;
+          Alcotest.test_case "wraparound drops orphan ends" `Quick
+            test_wraparound_drops_orphan_ends;
+          Alcotest.test_case "capacity rounds to pow2" `Quick
+            test_capacity_rounds_to_pow2 ] );
+      ( "histograms",
+        [ Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          QCheck_alcotest.to_alcotest prop_bucket_bounds_roundtrip;
+          Alcotest.test_case "observe" `Quick test_histogram_observe ] );
+      ( "balance",
+        [ Alcotest.test_case "exception mid-span" `Quick test_exception_mid_span;
+          Alcotest.test_case "fault trip mid monitor op" `Quick
+            test_fault_trip_mid_monitor_op ] );
+      ( "registry",
+        [ Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "trace context" `Quick test_trace_context;
+          Alcotest.test_case "report shape" `Quick test_report_shape ] ) ]

@@ -13,10 +13,7 @@
 let ( let* ) = Result.bind
 let _ = ( let* )
 
-let base_seed =
-  match Sys.getenv_opt "TYCHE_FAULT_SEED" with
-  | Some s -> int_of_string s
-  | None -> 0xC4A5
+let base_seed = Testkit.chaos_seed ~default:0xC4A5
 
 let ops_per_run =
   match Sys.getenv_opt "TYCHE_CHAOS_OPS" with
@@ -24,10 +21,17 @@ let ops_per_run =
   | None -> 400
 
 let () =
-  Printf.printf "persist chaos seed: %d, %d ops/run (override with TYCHE_FAULT_SEED / TYCHE_CHAOS_OPS)\n%!"
-    base_seed ops_per_run
+  Testkit.chaos_banner ~suite:"persist" ~seed:base_seed
+    ~extra:(Printf.sprintf ", %d ops/run (TYCHE_CHAOS_OPS)" ops_per_run)
+    ()
 
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline (Testkit.chaos_replay_line ~suite:"persist" ~seed:base_seed);
+      prerr_endline ("FAIL: " ^ s);
+      exit 1)
+    fmt
 
 let firmware = "firmware-v1"
 let loader_blob = "loader-v1"
@@ -346,6 +350,10 @@ let () =
       Printf.printf "chaos (%s):\n%!" (arch_name arch);
       let a = run arch ~ops:ops_per_run ~seed:base_seed in
       let b = run arch ~ops:ops_per_run ~seed:base_seed in
-      if a <> b then fail "%s: two runs from seed %d diverged" (arch_name arch) base_seed)
+      if a <> b then fail "%s: two runs from seed %d diverged" (arch_name arch) base_seed;
+      (* Torn writes and mid-op kills unwound through every
+         instrumented layer; the span accounting must still balance. *)
+      Testkit.chaos_check_obs ~suite:"persist" ~seed:base_seed
+        ~where:(arch_name arch))
     [ X86; Riscv ];
   print_endline "persist chaos: all runs recovered consistently"

@@ -114,3 +114,35 @@ let check_no_violations monitor =
     Alcotest.failf "invariant violations: %s"
       (String.concat "; "
          (List.map (Format.asprintf "%a" Tyche.Invariants.pp_violation) vs))
+
+(* --- chaos-seed replay conventions -----------------------------------
+
+   Both chaos drivers (test_fault's fault-plan sweeps and
+   test_persist_chaos's crash-restart runs) announce their seed and
+   report failures through these helpers, so a red run always prints
+   the same one-line replay recipe regardless of which driver found it
+   (see README, "Reproducing a chaos failure"). *)
+
+let chaos_seed ~default =
+  match Sys.getenv_opt "TYCHE_FAULT_SEED" with
+  | Some s -> (match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let chaos_replay_line ~suite ~seed =
+  Printf.sprintf "chaos[%s]: failing seed=%d — replay with: TYCHE_FAULT_SEED=%d dune build @chaos"
+    suite seed seed
+
+let chaos_banner ?(extra = "") ~suite ~seed () =
+  Printf.printf "chaos[%s]: seed=%d%s (replay: TYCHE_FAULT_SEED=%d dune build @chaos)\n%!"
+    suite seed extra seed
+
+(* The unbalanced-span audit every chaos driver (and the [@coverage]
+   gate through them) runs after its workload: instrumentation must
+   stay balanced even when injected faults unwind mid-span. *)
+let chaos_check_obs ~suite ~seed ~where =
+  match Obs.check () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline (chaos_replay_line ~suite ~seed);
+    Printf.eprintf "FAIL: %s: obs self-audit: %s\n%!" where msg;
+    exit 1
