@@ -1445,6 +1445,223 @@ let e17 ?(smoke = false) () =
    starts allocating or scanning per event. *)
 let e17_ceiling op = if op = "e17 journaled pair, tracing on" then Some 1.2 else None
 
+(* E18: what durable *throughput* costs. Four row groups:
+   - "e18 group commit(64)": per-record cost of the redo log on a real
+     filesystem when 64 records share one fsync, against the per-op
+     fsync discipline the group queue replaces. Runs at the persist
+     layer so the ratio isolates the durability barrier, not monitor
+     op execution.
+   - "e18 ckpt pause@10k": the stop-the-world pause of an incremental
+     checkpoint at steady state (one dirty bucket) on a 10k-cap world,
+     against the full snapshot it replaces.
+   - "e18 ckpt bytes@10k": bytes appended to the snapshot/segment
+     streams by that incremental checkpoint vs the full snapshot
+     record.
+   - "e18 revoke cascade fanout=N": revocation-cascade latency with a
+     per-victim breakdown at fanouts 10/100/1000 (informational, no
+     twin — the per-victim histogram lives in Obs as
+     [revoke.cascade_cycles_per_victim]). *)
+let e18 ?(smoke = false) () =
+  if smoke then header "E18: durable throughput [smoke]"
+  else header "E18: durable throughput — group commit, incremental checkpoints";
+  let rows = ref [] in
+  let add size op ~fast ~baseline note =
+    rows := { size; op; indexed_ns = fast; reference_ns = baseline } :: !rows;
+    row3 op (Printf.sprintf "%.0f ns/op" fast) note
+  in
+  (* --- group commit on the file store --- *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tyche-bench-e18" in
+  let wipe () =
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  in
+  wipe ();
+  let payload = String.make 96 'r' in
+  let n_rec = if smoke then 2_000 else 20_000 in
+  let run_group max_batch =
+    let store = Persist.Store.file ~dir in
+    Persist.Store.reset store Persist.Store.wal_blob;
+    let g =
+      Persist.Group.create ~max_batch store ~blob:Persist.Store.wal_blob ~durable_seq:0
+    in
+    let seq = ref 0 in
+    let ns =
+      timed_loop ~n:n_rec (fun () ->
+          incr seq;
+          Persist.Group.append g ~seq:!seq payload)
+    in
+    Persist.Group.flush g;
+    ns
+  in
+  let per_op_ns = run_group 1 in
+  let batched_ns = run_group 64 in
+  wipe ();
+  if Sys.file_exists dir then Sys.rmdir dir;
+  add n_rec "e18 group commit(64) file store" ~fast:batched_ns ~baseline:per_op_ns
+    (Printf.sprintf "vs %.0f ns per-op fsync, %.1fx" per_op_ns (per_op_ns /. batched_ns));
+  (* --- incremental checkpoint vs full snapshot on a 10k-cap world ---
+     Smoke keeps the full 10k-cap world: building it is plain shares
+     (cheap), and the acceptance ratio is defined at 10k — a smaller
+     world shrinks the full-snapshot baseline while the incremental
+     pause stays constant, understating the ratio. Only the timed
+     iteration counts shrink in smoke. *)
+  let n_ops = 10_000 in
+  let w = boot ~mem_size:(128 * 1024 * 1024) () in
+  let m = w.monitor in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence m ~store ~snapshot_every:max_int ~fsync_every:1 ();
+  let fillers =
+    Array.init 7 (fun i ->
+        ok
+          (Tyche.Monitor.create_domain m ~caller:os ~name:(Printf.sprintf "c%d" i)
+             ~kind:Tyche.Domain.Sandbox))
+  in
+  let big = os_memory_cap w in
+  let next_page = ref 0 in
+  let share_one () =
+    let i = !next_page in
+    incr next_page;
+    ignore
+      (ok
+         (Tyche.Monitor.share m ~caller:os ~cap:big ~to_:fillers.(i mod 7)
+            ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+            ~subrange:(range ~base:(0x400000 + (i * page)) ~len:page) ()))
+  in
+  for _ = 1 to n_ops do
+    share_one ()
+  done;
+  (* Warm checkpoint: seeds the segment cache so the loop below measures
+     steady state (one dirty bucket per cycle), not the initial full
+     sweep. *)
+  Tyche.Monitor.checkpoint m;
+  let snap_seg_bytes () =
+    String.length (Persist.Store.read store Persist.Store.snap_blob)
+    + String.length (Persist.Store.read store Persist.Store.seg_blob)
+  in
+  (* Bytes: one mutate+checkpoint cycle, measured before the pause loop
+     so segment GC churn cannot land inside the window. *)
+  share_one ();
+  let b0 = snap_seg_bytes () in
+  Tyche.Monitor.checkpoint m;
+  let incr_bytes = float_of_int (snap_seg_bytes () - b0) in
+  (* Pause comparison: wall time over *equal-length windows*, min over
+     windows. bench-smoke runs under `dune runtest` next to other test
+     binaries, and preemption taxes a short section proportionally more
+     than a long one — timing single ~1 ms checkpoints against ~20 ms
+     snapshots deflates the ratio on a busy machine. A window of 10
+     mutate+checkpoint cycles is the same order of wall length as one
+     full snapshot, so ambient load inflates both sides alike and
+     cancels; the min then picks each side's calmest window. The
+     share_one inside the window costs ~3 µs against a ~1 ms
+     checkpoint — noise. (CPU time is no alternative: the full
+     snapshot's allocation burst spends a large fraction of its pause
+     in kernel time that Sys.time does not see.) *)
+  let ckpt_blocks = if smoke then 4 else 8 in
+  let cycles_per_block = 10 in
+  let incr_pause_ns =
+    let best = ref infinity in
+    for _ = 1 to ckpt_blocks do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to cycles_per_block do
+        share_one ();
+        Tyche.Monitor.checkpoint m
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int cycles_per_block in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e9
+  in
+  let snap_b0 = String.length (Persist.Store.read store Persist.Store.snap_blob) in
+  let full_iters = if smoke then 4 else 10 in
+  let full_pause_ns =
+    let best = ref infinity in
+    for _ = 1 to full_iters do
+      let t0 = Unix.gettimeofday () in
+      Tyche.Monitor.persist_snapshot m;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e9
+  in
+  let full_bytes =
+    (* The snapshot stream is append-only: growth per record is the full
+       record size. *)
+    let grown = String.length (Persist.Store.read store Persist.Store.snap_blob) - snap_b0 in
+    float_of_int (grown / full_iters)
+  in
+  add n_ops "e18 ckpt pause@10k" ~fast:incr_pause_ns ~baseline:full_pause_ns
+    (Printf.sprintf "vs %.0f ns full snapshot, %.1fx smaller" full_pause_ns
+       (full_pause_ns /. incr_pause_ns));
+  add n_ops "e18 ckpt bytes@10k" ~fast:incr_bytes ~baseline:full_bytes
+    (Printf.sprintf "%.0f B incremental vs %.0f B full, %.1fx smaller" incr_bytes full_bytes
+       (full_bytes /. incr_bytes));
+  (* --- revocation cascade, per-fanout breakdown --- *)
+  let wr = boot ~mem_size:(128 * 1024 * 1024) () in
+  let mr = wr.monitor in
+  let bigr = os_memory_cap wr in
+  let peers =
+    Array.init 8 (fun i ->
+        ok
+          (Tyche.Monitor.create_domain mr ~caller:os ~name:(Printf.sprintf "v%d" i)
+             ~kind:Tyche.Domain.Sandbox))
+  in
+  let next_base = ref 0x400000 in
+  let fanouts = if smoke then [ 10; 100 ] else [ 10; 100; 1000 ] in
+  List.iter
+    (fun fanout ->
+      let iters = if smoke then 3 else if fanout >= 1000 then 5 else 20 in
+      let total = ref 0.0 in
+      for _ = 1 to iters do
+        (* One parent share, [fanout] sub-shares hanging off it: the
+           revoke walks the whole subtree. *)
+        let base = !next_base in
+        next_base := base + ((fanout + 1) * page);
+        let parent =
+          ok
+            (Tyche.Monitor.share mr ~caller:os ~cap:bigr ~to_:peers.(0)
+               ~rights:Cap.Rights.rw ~cleanup:Cap.Revocation.Keep
+               ~subrange:(range ~base ~len:((fanout + 1) * page)) ())
+        in
+        for k = 0 to fanout - 1 do
+          ignore
+            (ok
+               (Tyche.Monitor.share mr ~caller:peers.(0) ~cap:parent
+                  ~to_:peers.(1 + (k mod 7)) ~rights:Cap.Rights.read_only
+                  ~cleanup:Cap.Revocation.Keep
+                  ~subrange:(range ~base:(base + (k * page)) ~len:page) ()))
+        done;
+        let t0 = Unix.gettimeofday () in
+        ok (Tyche.Monitor.revoke mr ~caller:os ~cap:parent);
+        total := !total +. (Unix.gettimeofday () -. t0)
+      done;
+      let ns = !total /. float_of_int iters *. 1e9 in
+      add fanout
+        (Printf.sprintf "e18 revoke cascade fanout=%d" fanout)
+        ~fast:ns ~baseline:Float.nan
+        (Printf.sprintf "%.0f ns/victim, %d victims" (ns /. float_of_int (fanout + 1))
+           (fanout + 1)))
+    fanouts;
+  List.rev !rows
+
+(* Floors for the E18 ratios (same busy-CI discipline as {!e16_floor}):
+   - group commit: 64 records per fsync amortizes the dominant barrier
+     cost; healthy runs sit far above 10x on a real filesystem, so 5x
+     only trips if batching stops deferring the fsync.
+   - ckpt pause: steady state re-serializes one dirty 64-id bucket out
+     of ~160; the full snapshot serializes every node. The acceptance
+     target is >= 10x smaller at 10k caps; smoke runs the same 10k
+     world with fewer timed iterations, so the floor guards the real
+     acceptance point.
+   - ckpt bytes: one manifest + one segment vs the full record. The
+     manifest's (bucket, hash) table keeps the ratio lower than the
+     pause ratio; 5x holds from 1k caps up.
+   - revoke cascade rows: informational (NaN reference). *)
+let e18_floor op =
+  if op = "e18 group commit(64) file store" then Some 5.0
+  else if op = "e18 ckpt pause@10k" then Some 10.0
+  else if op = "e18 ckpt bytes@10k" then Some 5.0
+  else None
+
 (* Smoke mode (`bench-smoke` alias, run under `dune runtest`): tiny
    iteration counts, no JSON, but hard assertions — the indexed paths
    must beat the scans and the attestation bodies must agree, so an
@@ -1514,6 +1731,17 @@ let capops_smoke () =
               r.indexed_ns r.reference_ns ceiling
             :: !failures)
     (e17 ~smoke:true ());
+  List.iter
+    (fun r ->
+      match e18_floor r.op with
+      | None -> ()
+      | Some floor ->
+        if r.reference_ns /. r.indexed_ns < floor then
+          failures :=
+            Printf.sprintf "%s: %.0f fast vs %.0f baseline (< %.1fx)" r.op r.indexed_ns
+              r.reference_ns floor
+            :: !failures)
+    (e18 ~smoke:true ());
   match !failures with
   | [] -> Printf.printf "\nbench-smoke: ok\n"
   | fs ->
@@ -1540,7 +1768,7 @@ let () =
     extensions ();
     micro ();
     let rows, _ = capops () in
-    let rows = rows @ e14 () @ e16 () @ e17 () in
+    let rows = rows @ e14 () @ e16 () @ e17 () @ e18 () in
     write_capops_json rows;
     Printf.printf "\nwrote %s (%d rows)\n" capops_json_file (List.length rows);
     Printf.printf "\nbench: done\n"

@@ -72,6 +72,11 @@ type t = {
   mutable mem_roots : (int * cap_id) IntMap.t;
   mutable segments : segment IntMap.t;
   mutable generation : int;
+  (* [seg_gens] maps bucket (id / seg_span) -> generation of its last
+     mutation, so incremental checkpoints serialize only dirty buckets.
+     Rollback does not unmark (over-marking is safe: a clean bucket that
+     was marked re-serializes to the same content-addressed segment). *)
+  seg_gens : (int, int) Hashtbl.t;
   mutable region_cache : (Hw.Addr.Range.t * domain_id list) list option;
   (* Undo journal for crash consistency. While [journaling], every
      mutation primitive prepends the exact inverse of its own effect
@@ -95,6 +100,7 @@ let create () =
     mem_roots = IntMap.empty;
     segments = IntMap.empty;
     generation = 0;
+    seg_gens = Hashtbl.create 16;
     region_cache = None;
     journal = [];
     journaling = false }
@@ -105,6 +111,17 @@ let segment_count t = IntMap.cardinal t.segments
 let touch t =
   t.generation <- t.generation + 1;
   t.region_cache <- None
+
+(* Bucket width for incremental snapshots: segment [b] covers ids in
+   [b*span, (b+1)*span). 64 nodes a segment keeps segments big enough to
+   amortize framing and small enough that one mutation re-serializes a
+   sliver of a 10k-cap tree. *)
+let seg_span = 64
+
+let mark_dirty t id = Hashtbl.replace t.seg_gens (id / seg_span) t.generation
+
+let bucket_generation t bucket =
+  match Hashtbl.find_opt t.seg_gens bucket with Some g -> g | None -> 0
 
 (* --- undo journal --------------------------------------------------- *)
 
@@ -318,6 +335,8 @@ let root_index_remove t (n : node) =
 
 let add_node t node =
   touch t;
+  mark_dirty t node.id;
+  (match node.parent with Some pid -> mark_dirty t pid | None -> ());
   Hashtbl.replace t.nodes node.id node;
   domain_index_add t node.owner node.id;
   index_activate t node;
@@ -393,6 +412,7 @@ let grant t id ~to_ ~rights ~cleanup =
   else begin
     let cid = fresh_id t in
     touch t;
+    mark_dirty t id;
     if t.journaling then
       record t (fun () ->
         n.state <- Active;
@@ -418,6 +438,7 @@ let split t id ~at =
     | None -> Error Bad_subrange
     | Some (left, right) ->
       touch t;
+      mark_dirty t id;
       if t.journaling then
         record t (fun () ->
           n.state <- Active;
@@ -493,6 +514,7 @@ let remove_and_collect t node =
   let effects =
     List.filter_map
       (fun (v : node) ->
+        mark_dirty t v.id;
         Hashtbl.remove t.nodes v.id;
         domain_index_remove t v.owner v.id;
         (match v.parent with None -> root_index_remove t v | Some _ -> ());
@@ -523,6 +545,7 @@ let remove_and_collect t node =
     match Hashtbl.find_opt t.nodes pid with
     | None -> effects
     | Some p ->
+      mark_dirty t pid;
       let old_children = p.children in
       if t.journaling then record t (fun () -> p.children <- old_children);
       p.children <- List.filter (fun c -> c <> node.id) p.children;
@@ -562,6 +585,7 @@ let owner t id = Option.map (fun n -> n.owner) (Hashtbl.find_opt t.nodes id)
 let resource t id = Option.map (fun n -> n.resource) (Hashtbl.find_opt t.nodes id)
 let rights t id = Option.map (fun n -> n.node_rights) (Hashtbl.find_opt t.nodes id)
 let cleanup t id = Option.map (fun n -> n.node_cleanup) (Hashtbl.find_opt t.nodes id)
+let origin t id = Option.map (fun n -> n.origin) (Hashtbl.find_opt t.nodes id)
 
 let is_active t id =
   match Hashtbl.find_opt t.nodes id with Some n -> n.state = Active | None -> false
@@ -972,21 +996,32 @@ type node_spec = {
 
 let next_id t = t.next_id
 
+let spec_of_node (n : node) =
+  { ns_id = n.id;
+    ns_resource = n.resource;
+    ns_rights = n.node_rights;
+    ns_owner = n.owner;
+    ns_cleanup = n.node_cleanup;
+    ns_parent = n.parent;
+    ns_origin = n.origin;
+    ns_state = n.state;
+    ns_children = n.children }
+
 let dump t =
-  Hashtbl.fold
-    (fun _ (n : node) acc ->
-      { ns_id = n.id;
-        ns_resource = n.resource;
-        ns_rights = n.node_rights;
-        ns_owner = n.owner;
-        ns_cleanup = n.node_cleanup;
-        ns_parent = n.parent;
-        ns_origin = n.origin;
-        ns_state = n.state;
-        ns_children = n.children }
-      :: acc)
-    t.nodes []
+  Hashtbl.fold (fun _ n acc -> spec_of_node n :: acc) t.nodes []
   |> List.sort (fun a b -> Int.compare a.ns_id b.ns_id)
+
+let dump_bucket t bucket =
+  (* [seg_span] point lookups, newest-id last: the result is sorted by
+     id, so concatenating buckets in order reproduces [dump]. *)
+  let lo = bucket * seg_span in
+  let acc = ref [] in
+  for id = lo + seg_span - 1 downto lo do
+    match Hashtbl.find_opt t.nodes id with
+    | Some n -> acc := spec_of_node n :: !acc
+    | None -> ()
+  done;
+  !acc
 
 let restore ~next_id ~generation specs =
   let t = create () in

@@ -227,6 +227,11 @@ type state =
   | Inactive_granted (** Transferred away; reactivates if the child is revoked. *)
   | Inactive_split (** Replaced by its split children. *)
 
+val origin : t -> cap_id -> origin option
+(** How the capability came to exist — lets policy distinguish access a
+    domain was *granted* exclusively from access it merely received via
+    a share (whose parent's owner kept theirs). *)
+
 type node_spec = {
   ns_id : cap_id;
   ns_resource : Resource.t;
@@ -241,6 +246,21 @@ type node_spec = {
 
 val dump : t -> node_spec list
 (** Every node, sorted by id (= creation order). *)
+
+val seg_span : int
+(** Bucket width for incremental snapshots: bucket [b] covers ids in
+    [b*seg_span, (b+1)*seg_span). *)
+
+val bucket_generation : t -> int -> int
+(** Generation at which the bucket was last mutated; [0] if never
+    (including on a freshly {!restore}d tree, whose buckets are all
+    considered clean until the next mutation). Over-approximates: a
+    rolled-back transaction leaves its buckets marked. *)
+
+val dump_bucket : t -> int -> node_spec list
+(** The nodes whose ids fall in the bucket, sorted by id.
+    Concatenating [dump_bucket t 0 .. dump_bucket t n] where
+    [n = (next_id t - 1) / seg_span] reproduces {!dump}. *)
 
 val next_id : t -> cap_id
 (** The id the next created capability will receive — snapshotted so

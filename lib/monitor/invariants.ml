@@ -49,74 +49,19 @@ let check_hardware_matches_tree m =
     (Monitor.domains m)
 
 let check_sealed_unextended m =
-  let tree = Monitor.tree m in
   List.concat_map
     (fun d ->
       if not (Domain.is_sealed d) then []
-      else begin
-        let id = Domain.id d in
-        List.concat_map
-          (fun range ->
-            let res = Cap.Resource.Memory range in
-            let holders = Cap.Captree.holders tree res in
-            (* Once the region has been revoked from the sealed domain,
-               it is no longer "in use" and the guarantee lapses. *)
-            if not (List.mem id holders) then []
-            else
-            List.filter_map
-              (fun h ->
-                if h = id then None
-                else begin
-                  (* A foreign holder is legitimate in two cases: its
-                     access descends from a capability the sealed domain
-                     owns (the sealed domain delegated it out), or the
-                     sealed domain's own capability descends from one the
-                     holder owns (the holder shared it *in* before
-                     sealing and naturally kept access). Anything else
-                     means the region was re-exposed behind the sealed
-                     domain's back. *)
-                  let rec chain_owned_by who c =
-                    (match Cap.Captree.owner tree c with
-                    | Some o -> o = who
-                    | None -> false)
-                    ||
-                    match Cap.Captree.parent tree c with
-                    | Some p -> chain_owned_by who p
-                    | None -> false
-                  in
-                  let caps_overlapping domain =
-                    List.filter
-                      (fun cap ->
-                        match Cap.Captree.resource tree cap with
-                        | Some r -> Cap.Resource.overlaps r res
-                        | None -> false)
-                      (Cap.Captree.caps_of_domain tree domain)
-                  in
-                  let delegated_out =
-                    List.exists
-                      (fun cap ->
-                        match Cap.Captree.parent tree cap with
-                        | Some p -> chain_owned_by id p
-                        | None -> false)
-                      (caps_overlapping h)
-                  in
-                  let shared_in =
-                    List.exists
-                      (fun cap ->
-                        match Cap.Captree.parent tree cap with
-                        | Some p -> chain_owned_by h p
-                        | None -> false)
-                      (caps_overlapping id)
-                  in
-                  if delegated_out || shared_in then None
-                  else
-                    Some (v "sealed-unextended"
-                            "sealed domain %d's measured region %s reachable by %d"
-                            id (Format.asprintf "%a" Hw.Addr.Range.pp range) h)
-                end)
-              holders)
-          (Domain.measured_ranges d)
-      end)
+      else
+        List.map
+          (fun (range, h) ->
+            v "sealed-unextended"
+              "sealed domain %d's measured region %s reachable by %d"
+              (Domain.id d)
+              (Format.asprintf "%a" Hw.Addr.Range.pp range)
+              h)
+          (Monitor.measured_exposures m ~domain:(Domain.id d)
+             (Domain.measured_ranges d)))
     (Monitor.domains m)
 
 let check_no_stale_tlb m =

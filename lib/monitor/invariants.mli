@@ -31,9 +31,12 @@ val check_hardware_matches_tree : Monitor.t -> violation list
     lost access. *)
 
 val check_sealed_unextended : Monitor.t -> violation list
-(** Sealed domains' measured regions must still be exclusively theirs
-    (refcount 1) unless they shared them out themselves — i.e. every
-    holder must be a tree descendant of the sealed domain's capability. *)
+(** Sealed domains' *exclusively held* measured regions (root/grant
+    lineage — no foreign share anywhere up the chain) must only be
+    reachable by tree descendants of the sealed domain's capabilities.
+    Regions the domain itself received via a foreign share were never
+    exclusive, so no guarantee attaches. Audits the same predicate
+    {!Monitor.seal} enforces ({!Monitor.measured_exposures}). *)
 
 val check_no_stale_tlb : Monitor.t -> violation list
 (** No TLB entry translates into memory its ASID's domain no longer

@@ -44,11 +44,28 @@ type attest_entry = {
 type persist_cfg = {
   p_store : Persist.Store.t;
   p_snapshot_every : int;
-  p_fsync_every : int;
+  (* Group-commit queue over the WAL blob: appends accumulate and one
+     fsync acknowledges the whole batch (its [durable_seq] is the
+     acknowledgement floor recovery must honor). *)
+  p_group : Persist.Group.t;
   mutable p_seq : int;
   mutable p_since_snapshot : int;
-  mutable p_since_fsync : int;
   mutable p_replaying : bool;
+  (* Incremental-checkpoint bookkeeping. [p_ckpt_gen] is the captree
+     generation the last checkpoint covered; a bucket is dirty iff its
+     [Captree.bucket_generation] is newer (or it was never serialized).
+     [p_seg_cache] maps bucket -> segment hash as of that checkpoint
+     ([""] marks an empty bucket); [p_seg_durable] is the set of segment
+     hashes known durable in the segment blob, the dedup filter. *)
+  mutable p_ckpt_gen : int;
+  p_seg_cache : (int, string) Hashtbl.t;
+  p_seg_durable : (string, unit) Hashtbl.t;
+  (* False when the snapshot/segment streams may end in a torn frame
+     (fresh store, or a checkpoint died mid-write). Checkpoints repair
+     the tails only then: the repair scan parses both blobs end to end,
+     which would otherwise put an O(total state) term in every
+     checkpoint pause. *)
+  mutable p_tails_ok : bool;
 }
 
 type t = {
@@ -316,24 +333,146 @@ let snapshot_state t seq =
     current = Array.to_list t.current;
     stacks = Array.to_list t.stacks }
 
-(* Checkpoint: make the snapshot durable FIRST, then retire the WAL it
-   subsumes. A crash between the two leaves both the snapshot and the
+(* A crash mid-snapshot-append leaves a torn frame at the blob's tail,
+   and the newest-valid scan cannot see past it — an append after the
+   tear would be durable but unreachable. Checkpoints repair the tail
+   first; retiring the WAL is only sound once the new record is
+   actually loadable. *)
+let repair_snap_tail cfg =
+  let scan = Persist.Wal.read cfg.p_store ~blob:Persist.Store.snap_blob in
+  if scan.Persist.Wal.truncated then
+    Persist.Store.truncate cfg.p_store Persist.Store.snap_blob
+      scan.Persist.Wal.valid_bytes
+
+(* The segment stream has the same hazard: a crash mid-segment-append
+   leaves a torn frame, and anything appended after it would be durable
+   but invisible to the CRC-framed parse — a later manifest would then
+   reference a segment recovery cannot find, poisoning the fallback
+   chain. Repair before appending. *)
+let repair_seg_tail cfg =
+  let scan = Persist.Wal.read cfg.p_store ~blob:Persist.Store.seg_blob in
+  if scan.Persist.Wal.truncated then
+    Persist.Store.truncate cfg.p_store Persist.Store.seg_blob
+      scan.Persist.Wal.valid_bytes
+
+(* Full checkpoint: make the snapshot durable FIRST, then retire the WAL
+   it subsumes. A crash between the two leaves both the snapshot and the
    (now-redundant) log — recovery replays records with seq ≤ snapshot
    seq as no-ops by filtering, so every window is benign. *)
 let write_snapshot t cfg =
-  (* A crash mid-snapshot-append leaves a torn frame at the blob's tail,
-     and the newest-valid scan cannot see past it — an append after the
-     tear would be durable but unreachable. Repair the tail first;
-     resetting the WAL below is only sound once the new snapshot is
-     actually loadable. *)
-  (let scan = Persist.Wal.read cfg.p_store ~blob:Persist.Store.snap_blob in
-   if scan.Persist.Wal.truncated then
-     Persist.Store.truncate cfg.p_store Persist.Store.snap_blob
-       scan.Persist.Wal.valid_bytes);
+  if not cfg.p_tails_ok then begin
+    repair_snap_tail cfg;
+    repair_seg_tail cfg
+  end;
+  (* Not-ok while this write is in flight: a crash inside it leaves a
+     torn tail the next writer must scan for. *)
+  cfg.p_tails_ok <- false;
   Persist.Snapshot.write cfg.p_store (snapshot_state t cfg.p_seq);
+  cfg.p_tails_ok <- true;
   Persist.Wal.reset cfg.p_store ~blob:Persist.Store.wal_blob;
+  Persist.Group.note_durable cfg.p_group ~seq:cfg.p_seq;
+  cfg.p_since_snapshot <- 0
+
+(* Incremental checkpoint. Crash-safe order:
+     1. serialize dirty buckets, append + fsync new segments;
+     2. append + fsync the version-2 manifest — the commit point;
+     3. compact the WAL prefix the manifest covers;
+     4. GC segment blobs the newest manifest no longer references.
+   A crash inside 1 leaves unreferenced garbage segments (harmless,
+   GC'd later); inside 2, a torn manifest the newest-valid scan skips;
+   inside 3 or 4, covered-but-present WAL records (replay filters them)
+   or an intact pre-GC segment blob. Every window recovers. *)
+let ckpt_pause_h = Obs.Metrics.histogram "persist.ckpt.pause_ns"
+let ckpt_bytes_h = Obs.Metrics.histogram "persist.ckpt.bytes"
+let ckpt_segs_h = Obs.Metrics.histogram "persist.ckpt.segments"
+let ckpt_c = Obs.Metrics.counter "persist.ckpt"
+let seg_gc_c = Obs.Metrics.counter "persist.seg_gc_dropped"
+
+let write_checkpoint t cfg =
+  let t0 = Sys.time () in
+  if not cfg.p_tails_ok then begin
+    repair_snap_tail cfg;
+    repair_seg_tail cfg
+  end;
+  cfg.p_tails_ok <- false;
+  let tree = t.tree in
+  let span = Cap.Captree.seg_span in
+  let max_bucket = (Cap.Captree.next_id tree - 1) / span in
+  let entries = ref [] and fresh = ref [] and bytes = ref 0 in
+  for b = 0 to max_bucket do
+    let dirty =
+      match Hashtbl.find_opt cfg.p_seg_cache b with
+      | None -> true
+      | Some _ -> Cap.Captree.bucket_generation tree b > cfg.p_ckpt_gen
+    in
+    if dirty then begin
+      match Cap.Captree.dump_bucket tree b with
+      | [] -> Hashtbl.replace cfg.p_seg_cache b ""
+      | nodes ->
+        let h, payload = Persist.Snapshot.seg_encode (List.map node_to_wire nodes) in
+        if not (Hashtbl.mem cfg.p_seg_durable h) then fresh := (b, h, payload) :: !fresh;
+        Hashtbl.replace cfg.p_seg_cache b h
+    end;
+    match Hashtbl.find_opt cfg.p_seg_cache b with
+    | Some "" | None -> ()
+    | Some h -> entries := (b, h) :: !entries
+  done;
+  let entries = List.rev !entries in
+  (match List.rev !fresh with
+  | [] -> ()
+  | fresh ->
+    List.iter
+      (fun (b, _, payload) ->
+        bytes := !bytes + String.length payload;
+        Persist.Snapshot.append_segment cfg.p_store ~bucket:b payload)
+      fresh;
+    Persist.Snapshot.fsync_segments cfg.p_store;
+    (* Only now are these hashes safe to dedup against: marking them
+       before the fsync could let a later manifest reference bytes a
+       crash threw away. *)
+    List.iter (fun (_, h, _) -> Hashtbl.replace cfg.p_seg_durable h ()) fresh);
+  let m =
+    { Persist.Snapshot.m_seq = cfg.p_seq;
+      m_next_domain = t.next_domain;
+      m_next_cap = Cap.Captree.next_id tree;
+      m_generation = Cap.Captree.generation tree;
+      m_domains = List.map domain_spec (domains t);
+      m_current = Array.to_list t.current;
+      m_stacks = Array.to_list t.stacks;
+      m_span = span;
+      m_segments = entries }
+  in
+  bytes := !bytes + String.length (Persist.Snapshot.encode_manifest m);
+  Persist.Snapshot.write_manifest cfg.p_store m;
+  cfg.p_tails_ok <- true;
+  cfg.p_ckpt_gen <- Cap.Captree.generation tree;
   cfg.p_since_snapshot <- 0;
-  cfg.p_since_fsync <- 0
+  Persist.Group.note_durable cfg.p_group ~seq:cfg.p_seq;
+  ignore
+    (Persist.Wal.compact cfg.p_store ~blob:Persist.Store.wal_blob ~upto:cfg.p_seq);
+  (* GC once dead blobs dominate: rewrite keeps exactly the hashes the
+     manifest just committed, so older manifests may stop materializing
+     — recovery then falls back past them, which the newest (durable)
+     manifest makes moot. *)
+  let live = Hashtbl.create (List.length entries) in
+  List.iter (fun (_, h) -> Hashtbl.replace live h ()) entries;
+  if Hashtbl.length cfg.p_seg_durable > (2 * Hashtbl.length live) + 8 then begin
+    let _kept, dropped =
+      Persist.Snapshot.gc_segments cfg.p_store ~live:(Hashtbl.mem live)
+    in
+    if dropped > 0 then begin
+      Obs.Metrics.incr ~by:dropped seg_gc_c;
+      Hashtbl.reset cfg.p_seg_durable;
+      List.iter (fun (_, h) -> Hashtbl.replace cfg.p_seg_durable h ()) entries
+    end
+  end;
+  Obs.Metrics.incr ckpt_c;
+  Obs.Metrics.observe ckpt_segs_h (List.length !fresh);
+  Obs.Metrics.observe ckpt_bytes_h !bytes;
+  (* Host CPU time, not simulated cycles: the checkpoint charges no
+     hardware events, and the pause we care about is real serialization
+     work. Observability only — never feeds back into control flow. *)
+  Obs.Metrics.observe ckpt_pause_h (int_of_float ((Sys.time () -. t0) *. 1e9))
 
 (* Log one committed operation. Called after the in-memory commit: if
    the append crashes, memory is ahead of the log by exactly the ops the
@@ -346,15 +485,9 @@ let log_op t op =
   | Some cfg ->
     let seq = cfg.p_seq + 1 in
     cfg.p_seq <- seq;
-    Persist.Wal.append cfg.p_store ~blob:Persist.Store.wal_blob ~seq
-      (Persist.Op.encode op);
-    cfg.p_since_fsync <- cfg.p_since_fsync + 1;
-    if cfg.p_since_fsync >= cfg.p_fsync_every then begin
-      Persist.Store.fsync cfg.p_store Persist.Store.wal_blob;
-      cfg.p_since_fsync <- 0
-    end;
+    Persist.Group.append cfg.p_group ~seq (Persist.Op.encode op);
     cfg.p_since_snapshot <- cfg.p_since_snapshot + 1;
-    if cfg.p_since_snapshot >= cfg.p_snapshot_every then write_snapshot t cfg
+    if cfg.p_since_snapshot >= cfg.p_snapshot_every then write_checkpoint t cfg
 
 (* Bracket one mutating API call: journal tree mutations and hardware
    effects, commit on success, roll BOTH back on a typed error or an
@@ -519,11 +652,78 @@ let mark_measured t ~caller ~domain range =
       Ok ()
     | Error e -> Error (Domain_config e)
 
+(* The sealed-unextended promise (enforced here, audited by fsck):
+   once a domain seals, a measured region it holds *exclusively* may
+   only become reachable by others through the domain's own
+   delegations. Exclusivity is a lineage property: if any of the
+   domain's overlapping capabilities descends through an [Orig_shared]
+   link under a foreign owner, the sharer kept concurrent access, the
+   region was never exclusively the domain's, and no promise attaches.
+   Exclusive (root/grant/split) lineage admits no such concurrent
+   holder, and because only active capabilities can be shared or
+   granted, new access can then enter solely through the sealed
+   domain's subtree — so refusing to seal over pre-existing exposure
+   keeps the invariant inductively. *)
+let rec chain_owned_by tree who c =
+  (match Cap.Captree.owner tree c with Some o -> o = who | None -> false)
+  ||
+  match Cap.Captree.parent tree c with
+  | Some p -> chain_owned_by tree who p
+  | None -> false
+
+let caps_overlapping tree domain res =
+  List.filter
+    (fun cap ->
+      match Cap.Captree.resource tree cap with
+      | Some r -> Cap.Resource.overlaps r res
+      | None -> false)
+    (Cap.Captree.caps_of_domain tree domain)
+
+let rec foreign_share_lineage tree ~domain c =
+  (match Cap.Captree.origin tree c, Cap.Captree.parent tree c with
+  | Some Cap.Captree.Orig_shared, Some p -> (
+    match Cap.Captree.owner tree p with Some o -> o <> domain | None -> false)
+  | _ -> false)
+  ||
+  match Cap.Captree.parent tree c with
+  | Some p -> foreign_share_lineage tree ~domain p
+  | None -> false
+
+let measured_exposures t ~domain ranges =
+  List.concat_map
+    (fun range ->
+      let res = Cap.Resource.Memory range in
+      let holders = Cap.Captree.holders t.tree res in
+      (* Revoked from the domain: no longer in use, promise lapses. *)
+      if not (List.mem domain holders) then []
+      else if
+        List.exists
+          (foreign_share_lineage t.tree ~domain)
+          (caps_overlapping t.tree domain res)
+      then []
+      else
+        List.filter_map
+          (fun h ->
+            if
+              h = domain
+              || List.exists
+                   (fun cap ->
+                     match Cap.Captree.parent t.tree cap with
+                     | Some p -> chain_owned_by t.tree domain p
+                     | None -> false)
+                   (caps_overlapping t.tree h res)
+            then None
+            else Some (range, h))
+          holders)
+    ranges
+
 let seal t ~caller ~domain =
   let* d = get_domain t domain in
   let* () = creator_or_self ~caller ~domain d in
   match Domain.entry_point d with
   | None -> Error (Domain_config "cannot seal a domain without an entry point")
+  | Some _ when measured_exposures t ~domain (Domain.measured_ranges d) <> [] ->
+    Error (Denied "a measured region is already reachable by a foreign domain")
   | Some entry ->
     let ranges =
       List.map
@@ -684,16 +884,40 @@ let cascade_shape t cap =
 
 let cascade_depth_h = Obs.Metrics.histogram "revoke.cascade_depth"
 let cascade_size_h = Obs.Metrics.histogram "revoke.cascade_size"
+let cascade_cycles_h = Obs.Metrics.histogram "revoke.cascade_cycles"
+let cascade_cycles_per_victim_h = Obs.Metrics.histogram "revoke.cascade_cycles_per_victim"
 
 let revoke t ~caller ~cap =
   let* () = may_revoke t ~caller cap in
+  (* Only actual cascades (derived children exist) are worth the cycle
+     reads and histogram observes; a leaf revoke under tracing must stay
+     as cheap as it was before the cascade breakdown existed. *)
+  let obs = ref false in
+  let size = ref 0 in
   if Obs.enabled () then begin
-    let size, depth = cascade_shape t cap in
-    Obs.Metrics.observe cascade_depth_h depth;
-    Obs.Metrics.observe cascade_size_h size
+    let s, depth = cascade_shape t cap in
+    if s > 1 then begin
+      obs := true;
+      size := s;
+      Obs.Metrics.observe cascade_depth_h depth;
+      Obs.Metrics.observe cascade_size_h s
+    end
   end;
-  with_txn ~op:(Persist.Op.Revoke { caller; cap }) t (fun () ->
-      cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)))
+  let obs = !obs in
+  (* Simulated hardware cost of the cascade: the detach/reattach effects
+     charge calibrated cycles, so the delta isolates how the per-victim
+     cost scales with fanout — deterministic, unlike wall time. *)
+  let c0 = if obs then Hw.Machine.cycles t.machine else 0 in
+  let r =
+    with_txn ~op:(Persist.Op.Revoke { caller; cap }) t (fun () ->
+        cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap)))
+  in
+  if obs && Result.is_ok r then begin
+    let dc = Hw.Machine.cycles t.machine - c0 in
+    Obs.Metrics.observe cascade_cycles_h dc;
+    if !size > 0 then Obs.Metrics.observe cascade_cycles_per_victim_h (dc / !size)
+  end;
+  r
 
 (* Transitions *)
 
@@ -1001,23 +1225,35 @@ let observe (_ : t) = Obs.report ()
 
 (* Durability: enable, checkpoint, recover (crash-restart). *)
 
-let enable_persistence t ~store ?(snapshot_every = 1000) ?(fsync_every = 1) () =
+let make_persist_cfg t ~store ~snapshot_every ~fsync_every ~latency_bound =
   if snapshot_every <= 0 then invalid_arg "Monitor.enable_persistence: snapshot_every";
   if fsync_every <= 0 then invalid_arg "Monitor.enable_persistence: fsync_every";
-  let cfg =
-    { p_store = store;
-      p_snapshot_every = snapshot_every;
-      p_fsync_every = fsync_every;
-      p_seq = 0;
-      p_since_snapshot = 0;
-      p_since_fsync = 0;
-      p_replaying = false }
+  if latency_bound <= 0 then invalid_arg "Monitor.enable_persistence: latency_bound";
+  let group =
+    Persist.Group.create ~max_batch:fsync_every ~latency_bound
+      ~now:(fun () -> Hw.Machine.cycles t.machine)
+      store ~blob:Persist.Store.wal_blob ~durable_seq:0
   in
+  { p_store = store;
+    p_snapshot_every = snapshot_every;
+    p_group = group;
+    p_seq = 0;
+    p_since_snapshot = 0;
+    p_replaying = false;
+    p_ckpt_gen = 0;
+    p_seg_cache = Hashtbl.create 32;
+    p_seg_durable = Hashtbl.create 32;
+    p_tails_ok = false }
+
+let enable_persistence t ~store ?(snapshot_every = 1000) ?(fsync_every = 1)
+    ?(latency_bound = max_int) () =
+  let cfg = make_persist_cfg t ~store ~snapshot_every ~fsync_every ~latency_bound in
   t.persist <- Some cfg;
-  (* Baseline snapshot at seq 0: from here on the store can always
+  (* Baseline checkpoint at seq 0: from here on the store can always
      answer "newest snapshot + WAL suffix", even before the first
-     cadence-driven checkpoint. *)
-  write_snapshot t cfg
+     cadence-driven checkpoint. Incremental, so it also seeds the
+     segment cache. *)
+  write_checkpoint t cfg
 
 let persist_seq t = match t.persist with Some cfg -> Some cfg.p_seq | None -> None
 
@@ -1025,6 +1261,21 @@ let persist_snapshot t =
   match t.persist with
   | None -> invalid_arg "Monitor.persist_snapshot: persistence is not enabled"
   | Some cfg -> write_snapshot t cfg
+
+let checkpoint t =
+  match t.persist with
+  | None -> invalid_arg "Monitor.checkpoint: persistence is not enabled"
+  | Some cfg -> write_checkpoint t cfg
+
+let flush t =
+  match t.persist with
+  | None -> ()
+  | Some cfg -> Persist.Group.flush cfg.p_group
+
+let durable_seq t =
+  match t.persist with
+  | Some cfg -> Some (Persist.Group.durable_seq cfg.p_group)
+  | None -> None
 
 type recovery_report = {
   rr_snapshot_seq : int;
@@ -1102,6 +1353,37 @@ let replay_op t (op : Persist.Op.t) =
   | Persist.Op.Ret { core } -> mon (ret t ~core)
   | Persist.Op.Timer_tick { core } -> mon (timer_tick t ~core)
 
+(* Child lists travel implicitly: the wire format carries only parent
+   pointers (Snapshot.node_spec.n_children is [] off the wire), because
+   ids ascend with creation time and every live list is most-recent
+   first — so one ascending scan that prepends each node onto its
+   parent rebuilds exactly the order the tree maintained. The chaos
+   harness pins this equivalence: recovered dumps must equal the shadow
+   model's byte-for-byte, children included. *)
+let reconstruct_children nodes =
+  let children = Hashtbl.create 256 in
+  let sorted =
+    List.sort
+      (fun (a : Persist.Snapshot.node_spec) (b : Persist.Snapshot.node_spec) ->
+        Int.compare a.n_id b.n_id)
+      nodes
+  in
+  List.iter
+    (fun (n : Persist.Snapshot.node_spec) ->
+      if n.n_parent >= 0 then
+        Hashtbl.replace children n.n_parent
+          (n.n_id
+          :: (match Hashtbl.find_opt children n.n_parent with
+             | Some l -> l
+             | None -> [])))
+    sorted;
+  List.map
+    (fun (n : Persist.Snapshot.node_spec) ->
+      { n with
+        n_children =
+          (match Hashtbl.find_opt children n.n_id with Some l -> l | None -> []) })
+    nodes
+
 (* Install a decoded snapshot into a fresh monitor shell. *)
 let restore_state t (s : Persist.Snapshot.t) =
   let rec conv_domains = function
@@ -1142,7 +1424,7 @@ let restore_state t (s : Persist.Snapshot.t) =
     Hashtbl.reset t.domains;
     let* () = conv_domains s.Persist.Snapshot.domains in
     t.next_domain <- s.Persist.Snapshot.next_domain;
-    let* specs = conv_nodes [] s.Persist.Snapshot.nodes in
+    let* specs = conv_nodes [] (reconstruct_children s.Persist.Snapshot.nodes) in
     t.tree <-
       Cap.Captree.restore ~next_id:s.Persist.Snapshot.next_cap
         ~generation:s.Persist.Snapshot.generation specs;
@@ -1286,22 +1568,29 @@ let replay_wal t cfg ~base_seq records =
       go (base_seq + 1) 0 records)
 
 let recover ?(signer_height = 6) ?keypool ?(snapshot_every = 1000) ?(fsync_every = 1)
-    machine ~store ~backend ~tpm ~rng ~monitor_range =
-  if snapshot_every <= 0 then invalid_arg "Monitor.recover: snapshot_every";
-  if fsync_every <= 0 then invalid_arg "Monitor.recover: fsync_every";
-  let snap, scanned, snap_torn = Persist.Snapshot.load_latest store in
+    ?(latency_bound = max_int) machine ~store ~backend ~tpm ~rng ~monitor_range =
+  let loaded = Persist.Snapshot.load_latest_ex store in
+  let snap = loaded.Persist.Snapshot.snapshot in
+  let scanned = loaded.Persist.Snapshot.scanned in
+  let snap_torn = loaded.Persist.Snapshot.torn in
   let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
   let t = make_monitor ~signer_height ?keypool machine ~backend ~tpm ~rng in
   Obs.set_clock (fun () -> Hw.Machine.cycles machine);
-  let cfg =
-    { p_store = store;
-      p_snapshot_every = snapshot_every;
-      p_fsync_every = fsync_every;
-      p_seq = 0;
-      p_since_snapshot = 0;
-      p_since_fsync = 0;
-      p_replaying = false }
-  in
+  let cfg = make_persist_cfg t ~store ~snapshot_every ~fsync_every ~latency_bound in
+  (* Seed the incremental-checkpoint caches from the durable segment
+     blob and the winning manifest, so the closing checkpoint below
+     re-serializes only what replay dirtied. A restored tree reports
+     every bucket clean ([bucket_generation] = 0), which is exactly
+     right: the manifest covers it. *)
+  Hashtbl.iter
+    (fun h _nodes -> Hashtbl.replace cfg.p_seg_durable h ())
+    (Persist.Snapshot.segment_index store);
+  List.iter
+    (fun (b, h) -> Hashtbl.replace cfg.p_seg_cache b h)
+    loaded.Persist.Snapshot.manifest_segments;
+  (match snap with
+  | Some s -> cfg.p_ckpt_gen <- s.Persist.Snapshot.generation
+  | None -> ());
   (* Reconstruction re-executes operations that already committed once;
      re-injecting API-level faults would fail them a second time and
      diverge from the durable history, so injection is masked — exactly
@@ -1339,8 +1628,10 @@ let recover ?(signer_height = 6) ?keypool ?(snapshot_every = 1000) ?(fsync_every
           m "recovery discarded a torn WAL tail after %d valid bytes"
             wal.Persist.Wal.valid_bytes);
     (* Checkpoint the recovered state so the store is snapshot-current
-       and the (possibly torn) WAL suffix is retired. *)
-    write_snapshot t cfg;
+       and the (possibly torn) WAL suffix is retired. Incremental: with
+       the caches seeded above, only buckets the replay dirtied are
+       re-serialized. *)
+    write_checkpoint t cfg;
     let report =
       { rr_snapshot_seq = (match snap with Some s -> s.Persist.Snapshot.seq | None -> -1);
         rr_snapshots_scanned = scanned;

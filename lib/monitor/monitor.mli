@@ -80,10 +80,23 @@ val mark_measured :
 (** Declare that a range counts toward the domain's measurement. The
     range must already be held by the domain. *)
 
+val measured_exposures :
+  t -> domain:Domain.id -> Hw.Addr.Range.t list -> (Hw.Addr.Range.t * Domain.id) list
+(** [(range, holder)] pairs where a foreign domain can reach one of the
+    given ranges even though the domain's own access to it is
+    exclusive-lineage (root/grant/split all the way up) and the holder's
+    access does not descend from the domain's capabilities. Empty for
+    ranges the domain no longer holds, and for ranges the domain itself
+    received through a foreign share (never exclusive, so the sealed
+    guarantee does not attach). [seal] refuses when non-empty;
+    [Invariants.check_sealed_unextended] audits the same predicate. *)
+
 val seal : t -> caller:Domain.id -> domain:Domain.id -> (unit, error) result
 (** Freeze the domain: measure its measured ranges (current memory
     content), fix the entry point, and refuse any future capability
-    attachment to it. Creator or self only. *)
+    attachment to it. Creator or self only. Refuses while a measured
+    region is exposed per {!measured_exposures} — exposure that exists
+    at seal time could never be retracted afterwards. *)
 
 val destroy_domain :
   t -> caller:Domain.id -> domain:Domain.id -> (unit, error) result
@@ -251,29 +264,67 @@ val transition_count : t -> int
 (** {2 Durability (crash-restart recovery)}
 
     A logical redo layer: every committed mutating API call appends a
-    CRC-framed record to a {!Persist.Store} WAL, and periodic snapshots
-    bound the replay distance. {!recover} rebuilds a monitor from the
-    newest valid snapshot plus the trusted WAL prefix — a torn tail
-    (power loss mid-write) is detected by the framing and discarded,
-    never trusted. Run {!Fsck.check} on the result before serving. *)
+    CRC-framed record to a {!Persist.Store} WAL through a group-commit
+    queue ({!Persist.Group}), and periodic checkpoints bound the replay
+    distance. Checkpoints are *incremental*: only captree buckets
+    dirtied since the previous checkpoint are re-serialized, as
+    content-addressed segments a version-2 manifest references; the WAL
+    prefix the manifest covers is compacted away and unreferenced
+    segments are GC'd. {!recover} rebuilds a monitor from the newest
+    valid snapshot or manifest plus the trusted WAL suffix — a torn
+    tail (power loss mid-write) is detected by the framing and
+    discarded, never trusted. Run {!Fsck.check} on the result before
+    serving. *)
 
 val enable_persistence :
-  t -> store:Persist.Store.t -> ?snapshot_every:int -> ?fsync_every:int -> unit -> unit
+  t ->
+  store:Persist.Store.t ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  ?latency_bound:int ->
+  unit ->
+  unit
 (** Arm the redo log (call right after {!boot} — the WAL's implicit
     starting state is the boot baseline, captured immediately as the
-    seq-0 snapshot). [snapshot_every] (default 1000) checkpoints and
-    retires the WAL every N committed operations; [fsync_every]
-    (default 1) makes every Nth record durable — a crash loses at most
-    the last [fsync_every - 1] committed operations, and the framing
-    guarantees the survivors are a consistent prefix. May raise
-    {!Persist.Store.Crash} under fault injection. *)
+    seq-0 checkpoint). [snapshot_every] (default 1000) checkpoints and
+    retires the WAL every N committed operations. [fsync_every]
+    (default 1) is the group-commit batch size: one fsync acknowledges
+    up to N committed records; [latency_bound] (default [max_int],
+    simulated cycles) caps how long the oldest unacknowledged record
+    may wait before the batch flushes anyway. A crash loses at most the
+    unacknowledged tail of one batch — {!durable_seq} is the floor
+    recovery honors, and the framing guarantees the survivors are a
+    consistent prefix. May raise {!Persist.Store.Crash} under fault
+    injection. *)
 
 val persist_seq : t -> int option
 (** Committed-operation index, [None] until persistence is enabled. *)
 
+val durable_seq : t -> int option
+(** Acknowledgement floor: the highest committed-operation index known
+    durable (group-commit batch fsynced or checkpoint written). Ops at
+    or below this seq survive any crash; ops above it may be lost but
+    never torn. [None] until persistence is enabled. *)
+
+val flush : t -> unit
+(** Make every pending group-commit record durable now — for
+    latency-sensitive callers and clean shutdown. After [flush],
+    [durable_seq = persist_seq]. No-op when persistence is off. May
+    raise {!Persist.Store.Crash} under fault injection. *)
+
 val persist_snapshot : t -> unit
-(** Force a checkpoint now (snapshot, then WAL reset — crash-safe in
-    that order). Raises [Invalid_argument] if persistence is off. *)
+(** Force a *full* (version-1, self-contained) checkpoint now
+    (snapshot, then WAL reset — crash-safe in that order). Raises
+    [Invalid_argument] if persistence is off. *)
+
+val checkpoint : t -> unit
+(** Force an *incremental* checkpoint now: serialize dirty captree
+    buckets as content-addressed segments, commit a manifest, compact
+    the covered WAL prefix, GC unreferenced segments. Raises
+    [Invalid_argument] if persistence is off. May raise
+    {!Persist.Store.Crash} at the [segment.write], [manifest.swap],
+    [snapshot.write] or [store.dir_fsync] fault points — every crash
+    window leaves a recoverable store. *)
 
 type recovery_report = {
   rr_snapshot_seq : int; (** Seq of the snapshot used; -1 = none found. *)
@@ -293,6 +344,7 @@ val recover :
   ?keypool:Crypto.Keypool.t ->
   ?snapshot_every:int ->
   ?fsync_every:int ->
+  ?latency_bound:int ->
   Hw.Machine.t ->
   store:Persist.Store.t ->
   backend:Backend_intf.t ->

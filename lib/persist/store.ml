@@ -12,10 +12,13 @@ type t = {
   fsync : string -> unit;
   reset : string -> unit;
   truncate : string -> int -> unit;
+  replace : string -> string -> unit;
+  power_fail : unit -> unit;
 }
 
 let wal_blob = "wal"
 let snap_blob = "snap"
+let seg_blob = "segs"
 
 let read t blob = t.read blob
 
@@ -28,19 +31,32 @@ let h_wal_append = Obs.Profile.handle "wal.append"
 let h_wal_fsync = Obs.Profile.handle "wal.fsync"
 let h_snap_write = Obs.Profile.handle "snapshot.write"
 let h_snap_fsync = Obs.Profile.handle "snapshot.fsync"
+let h_seg_write = Obs.Profile.handle "segment.write"
+let h_seg_fsync = Obs.Profile.handle "segment.fsync"
 
 let append t blob data =
   Obs.Profile.span_h
-    (if blob = wal_blob then h_wal_append else h_snap_write)
+    (if blob = wal_blob then h_wal_append
+     else if blob = seg_blob then h_seg_write
+     else h_snap_write)
     (fun () -> t.append blob data)
 
 let fsync t blob =
   Obs.Profile.span_h
-    (if blob = wal_blob then h_wal_fsync else h_snap_fsync)
+    (if blob = wal_blob then h_wal_fsync
+     else if blob = seg_blob then h_seg_fsync
+     else h_snap_fsync)
     (fun () -> t.fsync blob)
 
 let reset t blob = t.reset blob
 let truncate t blob keep = t.truncate blob keep
+let replace t blob contents = t.replace blob contents
+
+(* Power loss takes the whole device's write cache with it, not just
+   the blob whose operation was in flight: every crash path must drop
+   every pending buffer, or stale unacknowledged bytes from before the
+   crash would be flushed into the stream by a later fsync. *)
+let power_fail t = t.power_fail ()
 
 (* Power can fail while a write is in flight: the medium keeps an
    arbitrary prefix of the bytes being flushed (a torn sector). The
@@ -49,8 +65,20 @@ let truncate t blob keep = t.truncate blob keep
 let p_wal_append = Fault.register "wal.append"
 let p_wal_fsync = Fault.register "wal.fsync"
 let p_snapshot_write = Fault.register "snapshot.write"
+let p_segment_write = Fault.register "segment.write"
 
-let append_point blob = if blob = wal_blob then p_wal_append else p_snapshot_write
+(* Power failure between issuing a rename (or creating a file) and the
+   directory entry reaching the medium: the new name simply never
+   becomes visible. Firing this point models the un-fsynced-directory
+   window; the durable contents stay whatever they were before. *)
+let p_dir_fsync = Fault.register "store.dir_fsync"
+
+let c_dir_fsync = Obs.Metrics.counter "store.dir_fsync"
+
+let append_point blob =
+  if blob = wal_blob then p_wal_append
+  else if blob = seg_blob then p_segment_write
+  else p_snapshot_write
 
 let torn_len ~bytes ~trip = Hashtbl.hash (bytes, trip) mod (String.length bytes + 1)
 
@@ -77,16 +105,17 @@ let mem ?(wal = "") ?(snap = "") () =
       Hashtbl.replace tbl blob b;
       b
   in
+  let power_fail () = Hashtbl.iter (fun _ b -> Buffer.clear b) pending in
   let append blob data =
     let point = append_point blob in
     if Fault.fires point then begin
       (* Power failure mid-write: everything buffered for this blob,
          including the record being appended, races to the medium and
-         an arbitrary prefix wins. *)
+         an arbitrary prefix wins; every other blob's cache is gone. *)
       let p = buf pending blob in
       let bytes = Buffer.contents p ^ data in
-      Buffer.clear p;
       let keep = torn_len ~bytes ~trip:(Fault.trips point) in
+      power_fail ();
       Buffer.add_substring (buf durable blob) bytes 0 keep;
       raise (Crash (Fault.name point))
     end;
@@ -96,7 +125,7 @@ let mem ?(wal = "") ?(snap = "") () =
     if blob = wal_blob && Fault.fires p_wal_fsync then begin
       (* Power failure before the flush reached the medium: the pending
          bytes are simply gone. *)
-      Buffer.clear (buf pending blob);
+      power_fail ();
       raise (Crash (Fault.name p_wal_fsync))
     end;
     let p = buf pending blob in
@@ -104,15 +133,33 @@ let mem ?(wal = "") ?(snap = "") () =
     Buffer.clear p
   in
   let read blob = Buffer.contents (buf durable blob) in
+  let dir_barrier _blob =
+    (* The mem device has no directory, but the rename-durability window
+       is the same: if power fails before the "rename" is durable, the
+       durable bytes stay exactly what they were. *)
+    if Fault.fires p_dir_fsync then begin
+      power_fail ();
+      raise (Crash (Fault.name p_dir_fsync))
+    end
+  in
   let reset blob =
+    dir_barrier blob;
     Buffer.clear (buf durable blob);
     Buffer.clear (buf pending blob)
   in
   let truncate blob keep =
+    dir_barrier blob;
     let b = buf durable blob in
     if keep < Buffer.length b then Buffer.truncate b keep
   in
-  { store_name = "mem"; read; append; fsync; reset; truncate }
+  let replace blob contents =
+    dir_barrier blob;
+    let b = buf durable blob in
+    Buffer.clear b;
+    Buffer.add_string b contents;
+    Buffer.clear (buf pending blob)
+  in
+  { store_name = "mem"; read; append; fsync; reset; truncate; replace; power_fail }
 
 (* --- file-backed store ---------------------------------------------- *)
 
@@ -128,17 +175,41 @@ let file ~dir =
       Hashtbl.replace pending blob b;
       b
   in
-  let write_out blob data =
-    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (path blob) in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+  let dir_fsync () =
+    (* Renames and file creation mutate the directory, not the file;
+       without this barrier a freshly checkpointed blob can vanish on
+       power loss even though its own bytes were flushed. *)
+    Obs.Metrics.incr c_dir_fsync;
+    let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
   in
+  let write_out blob data =
+    (* Durable means fsynced: closing the channel only hands the bytes
+       to the OS page cache, which power loss takes with it. *)
+    let fresh = not (Sys.file_exists (path blob)) in
+    let fd =
+      Unix.openfile (path blob) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let b = Bytes.of_string data in
+        let n = Bytes.length b in
+        let written = ref 0 in
+        while !written < n do
+          written := !written + Unix.write fd b !written (n - !written)
+        done;
+        Unix.fsync fd);
+    if fresh then dir_fsync ()
+  in
+  let power_fail () = Hashtbl.iter (fun _ b -> Buffer.clear b) pending in
   let append blob data =
     let point = append_point blob in
     if Fault.fires point then begin
       let p = buf blob in
       let bytes = Buffer.contents p ^ data in
-      Buffer.clear p;
       let keep = torn_len ~bytes ~trip:(Fault.trips point) in
+      power_fail ();
       write_out blob (String.sub bytes 0 keep);
       raise (Crash (Fault.name point))
     end;
@@ -146,7 +217,7 @@ let file ~dir =
   in
   let fsync blob =
     if blob = wal_blob && Fault.fires p_wal_fsync then begin
-      Buffer.clear (buf blob);
+      power_fail ();
       raise (Crash (Fault.name p_wal_fsync))
     end;
     let p = buf blob in
@@ -163,6 +234,17 @@ let file ~dir =
     end
     else ""
   in
+  let rename_in blob tmp =
+    (* A crash before the rename is durable leaves the old name intact
+       and the tmp file as garbage — the new contents never happened. *)
+    if Fault.fires p_dir_fsync then begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      power_fail ();
+      raise (Crash (Fault.name p_dir_fsync))
+    end;
+    Sys.rename tmp (path blob);
+    dir_fsync ()
+  in
   let reset blob =
     (* Atomic truncation: a crash between writing the empty temp file
        and the rename leaves either the old blob or the new empty one,
@@ -170,7 +252,7 @@ let file ~dir =
     let tmp = path blob ^ ".tmp" in
     let oc = open_out_bin tmp in
     close_out oc;
-    Sys.rename tmp (path blob);
+    rename_in blob tmp;
     Buffer.clear (buf blob)
   in
   let truncate blob keep =
@@ -183,7 +265,13 @@ let file ~dir =
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (String.sub contents 0 keep));
-      Sys.rename tmp (path blob)
+      rename_in blob tmp
     end
   in
-  { store_name = "file:" ^ dir; read; append; fsync; reset; truncate }
+  let replace blob contents =
+    let tmp = path blob ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+    rename_in blob tmp
+  in
+  { store_name = "file:" ^ dir; read; append; fsync; reset; truncate; replace; power_fail }

@@ -1,24 +1,30 @@
 (** Durable byte stores for the monitor's redo layer.
 
     A store holds named append-only blobs — {!wal_blob} for the
-    write-ahead log, {!snap_blob} for the snapshot stream. Appends land
+    write-ahead log, {!snap_blob} for the snapshot/manifest stream,
+    {!seg_blob} for content-addressed snapshot segments. Appends land
     in a volatile pending buffer; {!fsync} moves pending bytes to the
     durable medium; {!read} returns durable bytes only (what a restart
     would actually find). {!reset} durably truncates a blob (the WAL
-    after a successful snapshot).
+    after a successful snapshot); {!replace} atomically substitutes a
+    blob's entire durable contents (segment GC).
 
     Two implementations:
     - {!mem}: an in-memory block device with *injectable torn writes*.
-      Three {!Fault} points model power loss at the worst moments:
-      [wal.append] and [snapshot.write] flush an arbitrary prefix of the
-      buffered bytes (a torn sector) and then raise {!Crash};
-      [wal.fsync] loses the pending buffer entirely and raises {!Crash}.
+      Five {!Fault} points model power loss at the worst moments:
+      [wal.append], [snapshot.write] and [segment.write] flush an
+      arbitrary prefix of the buffered bytes (a torn sector) and then
+      raise {!Crash}; [wal.fsync] loses the pending buffer entirely and
+      raises {!Crash}; [store.dir_fsync] drops a rename/truncation on
+      the floor (durable contents unchanged) and raises {!Crash}.
       The torn length is a deterministic function of the buffered bytes
       and the trip count, so chaos runs replay from their seed.
     - {!file}: a file-backed store (one file per blob under a
       directory), honoring the same fault points, so crash workloads can
-      also be run against a real filesystem. [reset] replaces the file
-      atomically via a rename.
+      also be run against a real filesystem. [reset], [truncate] and
+      [replace] swap the file atomically via a rename, and the parent
+      directory is fsynced after every rename and first file creation
+      so the swap cannot vanish on power loss.
 
     A simulated power failure raises {!Crash}: the in-memory monitor
     that was writing is dead — the only way forward is
@@ -34,13 +40,20 @@ type t = {
   fsync : string -> unit;
   reset : string -> unit;
   truncate : string -> int -> unit;
+  replace : string -> string -> unit;
+  power_fail : unit -> unit;
 }
 
 val wal_blob : string
 (** ["wal"] — the write-ahead log of committed operations. *)
 
 val snap_blob : string
-(** ["snap"] — the append-only snapshot stream (newest valid wins). *)
+(** ["snap"] — the append-only snapshot/manifest stream (newest valid
+    wins). *)
+
+val seg_blob : string
+(** ["segs"] — content-addressed captree segment stream referenced by
+    incremental-snapshot manifests. *)
 
 val read : t -> string -> string
 val append : t -> string -> string -> unit
@@ -55,6 +68,24 @@ val truncate : t -> string -> int -> unit
     prefix before appending. Pending (unflushed) bytes are untouched.
     File-backed stores use the same atomic-rename discipline as
     {!reset}. *)
+
+val replace : t -> string -> string -> unit
+(** [replace t blob contents] atomically substitutes the blob's entire
+    durable contents — the segment-GC primitive. A crash leaves either
+    the old bytes or the new bytes, never a mixture. *)
+
+val power_fail : t -> unit
+(** Drop every blob's pending (unflushed) buffer — what an actual power
+    loss does to the device's write cache. Every injected-crash path
+    calls this before raising {!Crash}: without it, stale
+    unacknowledged bytes from before the crash would survive the
+    "restart" and be flushed into the stream by a later [fsync],
+    corrupting the log with duplicated sequence ranges. *)
+
+val torn_len : bytes:string -> trip:int -> int
+(** Deterministic torn-prefix length for injected power failures —
+    exposed so other persistence layers (manifest swap) can tear their
+    writes with the same replayable rule. *)
 
 val mem : ?wal:string -> ?snap:string -> unit -> t
 (** Fresh in-memory store; [?wal]/[?snap] preload durable contents

@@ -45,3 +45,20 @@ let parse data =
 let append store ~blob ~seq payload = Store.append store blob (frame ~seq payload)
 let read store ~blob = parse (Store.read store blob)
 let reset store ~blob = Store.reset store blob
+
+let compact store ~blob ~upto =
+  let { records; _ } = read store ~blob in
+  let keep = List.filter (fun (seq, _) -> seq > upto) records in
+  let n_keep = List.length keep and n_all = List.length records in
+  if n_keep = 0 then begin
+    (* Everything (and any torn tail) is covered by the checkpoint. *)
+    if Store.read store blob <> "" then Store.reset store blob
+  end
+  else if n_keep < n_all then begin
+    (* Rewrite the suffix atomically: a crash leaves either the full log
+       or the compacted one, both of which recovery handles. *)
+    let b = Buffer.create 4096 in
+    List.iter (fun (seq, payload) -> Buffer.add_string b (frame ~seq payload)) keep;
+    Store.replace store blob (Buffer.contents b)
+  end;
+  n_all - n_keep

@@ -28,3 +28,12 @@ val append : Store.t -> blob:string -> seq:int -> string -> unit
 
 val read : Store.t -> blob:string -> read_result
 val reset : Store.t -> blob:string -> unit
+
+val compact : Store.t -> blob:string -> upto:int -> int
+(** [compact store ~blob ~upto] durably drops every record with
+    sequence number [<= upto] — the checkpoint already covers them —
+    and returns the number of records dropped. If every record is
+    covered the blob is reset (which also clears any torn tail); if
+    only a prefix is covered the surviving suffix is rewritten with an
+    atomic {!Store.replace}. May raise {!Store.Crash} at the
+    [store.dir_fsync] fault point. *)

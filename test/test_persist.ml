@@ -368,6 +368,228 @@ let test_destroy_and_snapshot_cadence arch () =
   check_fingerprint_eq fp (fingerprint m2);
   check_fsck m2
 
+(* --- group commit ----------------------------------------------------- *)
+
+let get_durable m =
+  match Tyche.Monitor.durable_seq m with
+  | Some d -> d
+  | None -> Alcotest.fail "durable_seq: persistence should be enabled"
+
+let test_group_commit_ack_floor arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  (* Batch of 4: the 10-op workload flushes after ops 4 and 8; 9 and 10
+     stay pending until the explicit flush. *)
+  Tyche.Monitor.enable_persistence w.monitor ~store ~fsync_every:4 ();
+  let _ = workload w in
+  Alcotest.(check int) "acked through the last full batch" 8 (get_durable w.monitor);
+  Tyche.Monitor.flush w.monitor;
+  Alcotest.(check int) "flush acknowledges the tail" workload_ops (get_durable w.monitor);
+  let fp = fingerprint w.monitor in
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check int) "every acknowledged op recovered" workload_ops
+    report.Tyche.Monitor.rr_seq;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+let test_group_commit_unacked_may_drop arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ~fsync_every:4 ();
+  let _ = workload w in
+  (* Crash without flushing: ops 9-10 were never acknowledged, so losing
+     them is within contract — but everything acknowledged must survive. *)
+  let acked = get_durable w.monitor in
+  Alcotest.(check int) "two ops pending at crash" 8 acked;
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check bool) "acked floor honored"
+    true
+    (report.Tyche.Monitor.rr_seq >= acked);
+  Alcotest.(check int) "exactly the durable batches recovered" acked
+    report.Tyche.Monitor.rr_seq;
+  check_fsck m2
+
+let test_group_commit_latency_bound arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  (* Huge batch, 1-cycle latency bound: the first append after any
+     simulated-cycle progress must flush the batch — the call at op 9
+     charges transition cycles, so by then everything is durable. *)
+  Tyche.Monitor.enable_persistence w.monitor ~store ~fsync_every:1000 ~latency_bound:1 ();
+  let _ = workload w in
+  let d = get_durable w.monitor in
+  if d < 9 || d > workload_ops then
+    Alcotest.failf "latency bound never flushed: durable_seq = %d" d
+
+(* --- incremental checkpoints, compaction, GC -------------------------- *)
+
+let test_wal_compaction arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ~snapshot_every:4 ();
+  let _ = workload w in
+  (* Cadence checkpoints at seq 4 and 8 compacted their prefixes: only
+     the suffix the newest manifest does not cover remains. *)
+  let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
+  Alcotest.(check (list int)) "wal holds only the uncovered suffix" [ 9; 10 ]
+    (List.map fst wal.Persist.Wal.records);
+  Tyche.Monitor.checkpoint w.monitor;
+  let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
+  Alcotest.(check int) "wal empty after explicit checkpoint" 0
+    (List.length wal.Persist.Wal.records);
+  let fp = fingerprint w.monitor in
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check int) "seq recovered" workload_ops report.Tyche.Monitor.rr_seq;
+  Alcotest.(check int) "manifest current, nothing to replay" 0
+    report.Tyche.Monitor.rr_replayed;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+let test_incremental_dedup arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  Tyche.Monitor.checkpoint w.monitor;
+  let segs_len () = String.length (Persist.Store.read store Persist.Store.seg_blob) in
+  let before = segs_len () in
+  (* No mutation between checkpoints: content addressing must recognize
+     every bucket and append zero new segment bytes. *)
+  Tyche.Monitor.checkpoint w.monitor;
+  Tyche.Monitor.checkpoint w.monitor;
+  Alcotest.(check int) "clean checkpoints append no segments" before (segs_len ());
+  (* A mutation dirties exactly one bucket: the delta is one segment,
+     not a full tree serialization. *)
+  get_ok (Tyche.Monitor.set_flush_policy w.monitor ~caller:os ~domain:os false);
+  Tyche.Monitor.checkpoint w.monitor;
+  Alcotest.(check int) "domain-only change writes no segments" before (segs_len ())
+
+let test_segment_gc arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  let peer =
+    get_ok
+      (Tyche.Monitor.create_domain w.monitor ~caller:os ~name:"gc-peer"
+         ~kind:Tyche.Domain.Sandbox)
+  in
+  let mem = os_memory_cap w in
+  (* Each round shares a fresh cap (new id -> new bucket contents) and
+     checkpoints: distinct segment versions pile up in the blob until
+     the GC threshold trips and the rewrite keeps only live hashes. *)
+  for _ = 1 to 14 do
+    let _ =
+      get_ok
+        (Tyche.Monitor.share w.monitor ~caller:os ~cap:mem ~to_:peer
+           ~rights:Cap.Rights.read_only ~cleanup:Cap.Revocation.Keep ())
+    in
+    Tyche.Monitor.checkpoint w.monitor
+  done;
+  let live = Hashtbl.length (Persist.Snapshot.segment_index store) in
+  if live > 6 then Alcotest.failf "segment GC never ran: %d segment versions durable" live;
+  let fp = fingerprint w.monitor in
+  let m2, _ = get_ok_str (recover_from arch store) in
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+let test_crash_mid_segment_write arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  let fp = fingerprint w.monitor in
+  (match
+     Fault.with_plan (Fault.always "segment.write") (fun () ->
+         Tyche.Monitor.checkpoint w.monitor)
+   with
+  | () -> Alcotest.fail "expected a crash during the segment write"
+  | exception Persist.Store.Crash _ -> ());
+  (* Torn segment bytes are unreferenced garbage: the old manifest and
+     the intact WAL reconstruct the exact pre-crash state. *)
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check int) "seq recovered" workload_ops report.Tyche.Monitor.rr_seq;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+let test_crash_mid_manifest_swap arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  let fp = fingerprint w.monitor in
+  (match
+     Fault.with_plan (Fault.always "manifest.swap") (fun () ->
+         Tyche.Monitor.checkpoint w.monitor)
+   with
+  | () -> Alcotest.fail "expected a crash during the manifest swap"
+  | exception Persist.Store.Crash _ -> ());
+  (* The manifest — the checkpoint's commit point — is torn: recovery
+     must skip it and fall back to the previous record plus the WAL. *)
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check int) "seq recovered" workload_ops report.Tyche.Monitor.rr_seq;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+(* --- directory-fsync crash window (store file backend) ---------------- *)
+
+let test_crash_on_dir_fsync arch () =
+  let w = boot_arch arch in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  let fp = fingerprint w.monitor in
+  (* The checkpoint's WAL retirement dies before its rename/truncation
+     is durable: snapshot new, WAL old. Replay filters the covered
+     records, so the double coverage is benign. *)
+  (match
+     Fault.with_plan (Fault.nth "store.dir_fsync" 1) (fun () ->
+         Tyche.Monitor.persist_snapshot w.monitor)
+   with
+  | () -> Alcotest.fail "expected a crash at the directory barrier"
+  | exception Persist.Store.Crash _ -> ());
+  let wal = Persist.Wal.read store ~blob:Persist.Store.wal_blob in
+  Alcotest.(check int) "wal survived un-retired" workload_ops
+    (List.length wal.Persist.Wal.records);
+  let m2, report = get_ok_str (recover_from arch store) in
+  Alcotest.(check int) "seq recovered" workload_ops report.Tyche.Monitor.rr_seq;
+  Alcotest.(check int) "covered records filtered, not replayed" 0
+    report.Tyche.Monitor.rr_replayed;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2
+
+let test_dir_fsync_on_file_store () =
+  let dir = "tyche-dirsync-test" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let w = boot_x86 () in
+  let store = Persist.Store.file ~dir in
+  let before = Obs.Metrics.counter_value "store.dir_fsync" in
+  Tyche.Monitor.enable_persistence w.monitor ~store ();
+  let _ = workload w in
+  Tyche.Monitor.persist_snapshot w.monitor;
+  (* File creation and every WAL-retiring rename must be followed by a
+     parent-directory fsync, or the checkpoint can vanish on power
+     loss — the counter proves the barrier actually ran. *)
+  let dir_fsyncs = Obs.Metrics.counter_value "store.dir_fsync" - before in
+  if dir_fsyncs < 2 then
+    Alcotest.failf "expected directory fsyncs on create+rename, saw %d" dir_fsyncs;
+  (* And the same crash window as the mem test, on the real filesystem. *)
+  let fp = fingerprint w.monitor in
+  (match
+     Fault.with_plan (Fault.nth "store.dir_fsync" 1) (fun () ->
+         Tyche.Monitor.persist_snapshot w.monitor)
+   with
+  | () -> Alcotest.fail "expected a crash at the directory barrier"
+  | exception Persist.Store.Crash _ -> ());
+  let reopened = Persist.Store.file ~dir in
+  let m2, report = get_ok_str (recover_from `X86 reopened) in
+  Alcotest.(check int) "seq recovered" workload_ops report.Tyche.Monitor.rr_seq;
+  check_fingerprint_eq fp (fingerprint m2);
+  check_fsck m2;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 let test_file_store_roundtrip () =
   let dir = "tyche-store-test" in
   if Sys.file_exists dir then
@@ -470,7 +692,8 @@ let test_store_points_registered () =
   let names = List.map Fault.name (Fault.points ()) in
   List.iter
     (fun n -> Alcotest.(check bool) n true (List.mem n names))
-    [ "wal.append"; "wal.fsync"; "snapshot.write" ]
+    [ "wal.append"; "wal.fsync"; "snapshot.write"; "segment.write"; "manifest.swap";
+      "store.dir_fsync" ]
 
 (* --- suite ------------------------------------------------------------ *)
 
@@ -499,6 +722,20 @@ let () =
         @ [ Alcotest.test_case "file store cold reopen" `Quick test_file_store_roundtrip;
             qt qcheck_monitor_truncation;
             qt qcheck_monitor_bitflip ] );
+      ( "group commit",
+        directed "ack floor + explicit flush" test_group_commit_ack_floor
+        @ directed "unacked batch may drop, never tear" test_group_commit_unacked_may_drop
+        @ directed "latency bound forces flush" test_group_commit_latency_bound );
+      ( "incremental checkpoints",
+        directed "wal compaction" test_wal_compaction
+        @ directed "content-addressed dedup" test_incremental_dedup
+        @ directed "segment gc" test_segment_gc
+        @ directed "crash mid segment write" test_crash_mid_segment_write
+        @ directed "crash mid manifest swap" test_crash_mid_manifest_swap );
+      ( "directory fsync",
+        directed "crash at the rename barrier" test_crash_on_dir_fsync
+        @ [ Alcotest.test_case "file backend fsyncs its directory" `Quick
+              test_dir_fsync_on_file_store ] );
       ( "fault re-entrancy",
         [ Alcotest.test_case "suspend nests" `Quick test_suspend_nests;
           Alcotest.test_case "suspend restores on raise" `Quick test_suspend_restores_on_raise;

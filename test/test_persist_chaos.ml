@@ -1,10 +1,15 @@
 (* Crash-restart chaos: drive a randomized mixed API workload against a
    persistent monitor, kill it at randomized fault points (torn WAL
-   appends, lost fsyncs, torn snapshot writes), recover onto a fresh
-   machine, and assert the recovered state is byte-identical to the
-   shadow history at the recovered sequence number. The whole schedule
-   is deterministic from one seed (TYCHE_FAULT_SEED to replay); each
-   arch runs twice and the two transcripts must match exactly.
+   appends, lost fsyncs, torn snapshot/segment writes, torn manifest
+   swaps, un-fsynced directory renames), recover onto a fresh machine,
+   and assert the recovered state is byte-identical to the shadow
+   history at the recovered sequence number — and never older than the
+   group-commit acknowledgement floor (acked ops are never lost;
+   unacked batched ops may drop but never tear). Runs the matrix over
+   both store backends (mem and file). The whole schedule is
+   deterministic from one seed (TYCHE_FAULT_SEED to replay); each
+   arch/backend cell runs twice and the two transcripts must match
+   exactly.
 
    Plain executable (exit 1 on failure): it rides `dune runtest` with a
    short run and `dune build @chaos` with the full-length one
@@ -41,6 +46,34 @@ let os = Tyche.Domain.initial
 type arch = X86 | Riscv
 
 let arch_name = function X86 -> "x86" | Riscv -> "riscv"
+
+type backend_kind = Mem | File
+
+let backend_name = function Mem -> "mem" | File -> "file"
+
+(* File-backend runs each get a private scratch directory so the two
+   transcript-compared runs start from identical (empty) media. *)
+let run_counter = ref 0
+
+let fresh_store = function
+  | Mem -> (Persist.Store.mem (), fun () -> ())
+  | File ->
+    incr run_counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tyche-chaos-%d" !run_counter)
+    in
+    let wipe () =
+      if Sys.file_exists dir then
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+    in
+    wipe ();
+    let cleanup () =
+      wipe ();
+      if Sys.file_exists dir then Sys.rmdir dir
+    in
+    (Persist.Store.file ~dir, cleanup)
 
 (* A machine + backend + monitor-range triple; recovery builds a fresh
    one each time the "power" comes back. *)
@@ -217,48 +250,74 @@ let random_op rng m ncores =
       ignore (Tyche.Monitor.destroy_domain m ~caller ~domain)
     | _ -> ())
 
-let crash_points = [| "wal.append"; "wal.fsync"; "snapshot.write" |]
+let crash_points =
+  [| "wal.append"; "wal.fsync"; "snapshot.write"; "segment.write";
+     "manifest.swap"; "store.dir_fsync" |]
+
+(* The checkpoint-window points only have a chance to fire while a
+   checkpoint is running, which the random schedule rarely lands on —
+   so the loop also forces periodic checkpoints under an armed plan. *)
+let ckpt_points = [| "segment.write"; "manifest.swap"; "store.dir_fsync" |]
 
 (* One full chaos run. Returns a transcript digest: the crash schedule
    that actually fired plus the final state fingerprint — two runs from
    the same seed must produce identical transcripts. *)
-let run arch ~ops ~seed =
+let run arch bk ~ops ~seed =
   Fault.reset_counters ();
-  let rng = Random.State.make [| seed; Hashtbl.hash (arch_name arch) |] in
+  let who = arch_name arch ^ "/" ^ backend_name bk in
+  let rng =
+    Random.State.make [| seed; Hashtbl.hash (arch_name arch); Hashtbl.hash (backend_name bk) |]
+  in
   let machine0, backend0, tpm0, rng0, monitor_range = fresh_target arch in
-  let fsync_every = match arch with X86 -> 1 | Riscv -> 2 in
+  (* x86 keeps the per-op-fsync discipline; riscv runs a real group
+     commit (batches of 4) so crashes land on unacknowledged batches. *)
+  let fsync_every = match arch with X86 -> 1 | Riscv -> 4 in
   let m =
     ref
       (Tyche.Monitor.boot machine0 ~backend:backend0 ~tpm:tpm0 ~rng:rng0 ~monitor_range)
   in
-  let store = Persist.Store.mem () in
+  let store, cleanup = fresh_store bk in
   Tyche.Monitor.enable_persistence !m ~store ~snapshot_every:50 ~fsync_every ();
   let ncores = match arch with X86 -> 4 | Riscv -> 2 in
   (* Shadow history: state digest per committed-operation index. *)
   let history = Hashtbl.create 1024 in
   Hashtbl.replace history 0 (fingerprint !m);
   let last_seq = ref 0 in
+  (* The group-commit acknowledgement floor: every op at or below it was
+     reported durable, so no recovery may ever land before it. *)
+  let acked = ref 0 in
+  let note_acked () =
+    match Tyche.Monitor.durable_seq !m with
+    | Some d -> if d > !acked then acked := d
+    | None -> ()
+  in
   let record_progress () =
     let seq = seq_of !m in
     if seq > !last_seq then begin
-      if seq <> !last_seq + 1 then fail "%s: seq jumped %d -> %d" (arch_name arch) !last_seq seq;
+      if seq <> !last_seq + 1 then fail "%s: seq jumped %d -> %d" who !last_seq seq;
       Hashtbl.replace history seq (fingerprint !m);
       last_seq := seq
-    end
+    end;
+    note_acked ()
   in
   let crashes = ref [] in
   let recover_and_check () =
     match
       let machine, backend, tpm, rng', _ = fresh_target arch in
       Tyche.Monitor.recover machine ~store ~backend ~tpm ~rng:rng' ~monitor_range
+        ~snapshot_every:50 ~fsync_every
     with
-    | Error e -> fail "%s: recovery failed: %s" (arch_name arch) e
+    | Error e -> fail "%s: recovery failed: %s" who e
     | Ok (m2, report) ->
       let rseq = report.Tyche.Monitor.rr_seq in
       if rseq > !last_seq then
-        fail "%s: recovered seq %d beyond history %d" (arch_name arch) rseq !last_seq;
+        fail "%s: recovered seq %d beyond history %d" who rseq !last_seq;
+      if rseq < !acked then
+        fail "%s: acknowledged op lost: recovered seq %d < acked floor %d (%s)" who rseq
+          !acked
+          (Format.asprintf "%a" Tyche.Monitor.pp_recovery_report report);
       (match Hashtbl.find_opt history rseq with
-      | None -> fail "%s: no shadow state for recovered seq %d" (arch_name arch) rseq
+      | None -> fail "%s: no shadow state for recovered seq %d" who rseq
       | Some expected ->
         let got = fingerprint m2 in
         if got <> expected then begin
@@ -280,18 +339,21 @@ let run arch ~ops ~seed =
           if dm1 <> dm2 then
             List.iter2 (fun a b -> if a <> b then
               let (i,_,_,_,_,_,_,_,_) = a in Printf.eprintf "  domain %d differs\n" i) dm1 dm2;
-          fail "%s: recovered state diverges from shadow at seq %d (%a)" (arch_name arch)
+          fail "%s: recovered state diverges from shadow at seq %d (%a)" who
             rseq
             (fun () r -> Format.asprintf "%a" Tyche.Monitor.pp_recovery_report r)
             report
         end);
       let fr = Tyche.Fsck.check m2 in
       if not (Tyche.Fsck.ok fr) then
-        fail "%s: fsck after recovery at seq %d: %s" (arch_name arch) rseq
+        fail "%s: fsck after recovery at seq %d: %s" who rseq
           (Format.asprintf "%a" Tyche.Fsck.pp fr);
       (* Ops beyond the recovered seq are lost future: forget them. *)
       Hashtbl.iter (fun s _ -> if s > rseq then Hashtbl.remove history s) (Hashtbl.copy history);
       last_seq := rseq;
+      (* Recovery closes with a checkpoint: everything replayed is
+         durable again, so the floor resets to the recovered seq. *)
+      acked := rseq;
       m := m2
   in
   for i = 1 to ops do
@@ -301,18 +363,29 @@ let run arch ~ops ~seed =
       else None
     in
     let exec () = random_op rng !m ncores in
-    match
-      match crash_plan with
-      | Some point -> Fault.with_plan (Fault.nth point 1) exec
-      | None -> exec ()
-    with
+    (match
+       match crash_plan with
+       | Some point -> Fault.with_plan (Fault.nth point 1) exec
+       | None -> exec ()
+     with
     | () -> record_progress ()
     | exception Persist.Store.Crash point ->
       (* The op committed in memory before the log write died; its state
          is the newest shadow entry iff the seq advanced. *)
       record_progress ();
       crashes := (i, point) :: !crashes;
-      recover_and_check ()
+      recover_and_check ());
+    if i mod 45 = 0 then begin
+      (* Force a checkpoint under an armed checkpoint-window fault so
+         crashes land mid-segment-write, mid-manifest-swap, and inside
+         the rename-durability window, on every backend. *)
+      let point = ckpt_points.(Random.State.int rng (Array.length ckpt_points)) in
+      match Fault.with_plan (Fault.nth point 1) (fun () -> Tyche.Monitor.checkpoint !m) with
+      | () -> note_acked ()
+      | exception Persist.Store.Crash p ->
+        crashes := (i, "ckpt:" ^ p) :: !crashes;
+        recover_and_check ()
+    end
   done;
   (* Final clean restart: everything still durable must round-trip, and
      a fresh attestation body over the recovered tree must match one
@@ -332,28 +405,32 @@ let run arch ~ops ~seed =
       sample
   in
   recover_and_check ();
-  if seq_of !m <> !last_seq then fail "%s: clean restart lost operations" (arch_name arch);
+  if seq_of !m <> !last_seq then fail "%s: clean restart lost operations" who;
   let fr = Tyche.Fsck.check ~baseline !m in
   if not (Tyche.Fsck.ok fr) then
-    fail "%s: final fsck with attest baseline: %s" (arch_name arch)
+    fail "%s: final fsck with attest baseline: %s" who
       (Format.asprintf "%a" Tyche.Fsck.pp fr);
   if List.length !crashes < 3 then
-    fail "%s: only %d crashes fired — chaos schedule too tame" (arch_name arch)
+    fail "%s: only %d crashes fired — chaos schedule too tame" who
       (List.length !crashes);
-  Printf.printf "  %s: %d ops, %d crashes, final seq %d\n%!" (arch_name arch) ops
+  Printf.printf "  %s: %d ops, %d crashes, final seq %d\n%!" who ops
     (List.length !crashes) !last_seq;
-  (List.rev !crashes, fingerprint !m, !last_seq)
+  let transcript = (List.rev !crashes, fingerprint !m, !last_seq) in
+  cleanup ();
+  transcript
 
 let () =
   List.iter
-    (fun arch ->
-      Printf.printf "chaos (%s):\n%!" (arch_name arch);
-      let a = run arch ~ops:ops_per_run ~seed:base_seed in
-      let b = run arch ~ops:ops_per_run ~seed:base_seed in
-      if a <> b then fail "%s: two runs from seed %d diverged" (arch_name arch) base_seed;
+    (fun (arch, bk) ->
+      Printf.printf "chaos (%s, %s store):\n%!" (arch_name arch) (backend_name bk);
+      let a = run arch bk ~ops:ops_per_run ~seed:base_seed in
+      let b = run arch bk ~ops:ops_per_run ~seed:base_seed in
+      if a <> b then
+        fail "%s/%s: two runs from seed %d diverged" (arch_name arch) (backend_name bk)
+          base_seed;
       (* Torn writes and mid-op kills unwound through every
          instrumented layer; the span accounting must still balance. *)
       Testkit.chaos_check_obs ~suite:"persist" ~seed:base_seed
-        ~where:(arch_name arch))
-    [ X86; Riscv ];
+        ~where:(arch_name arch ^ "/" ^ backend_name bk))
+    [ (X86, Mem); (X86, File); (Riscv, Mem); (Riscv, File) ];
   print_endline "persist chaos: all runs recovered consistently"
