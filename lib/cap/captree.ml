@@ -29,6 +29,8 @@ type origin = Orig_root | Orig_shared | Orig_granted | Orig_split
 
 type state = Active | Inactive_granted | Inactive_split
 
+module IntSet = Set.Make (Int)
+
 type node = {
   id : cap_id;
   resource : Resource.t;
@@ -37,9 +39,17 @@ type node = {
   node_cleanup : Revocation.t;
   parent : cap_id option;
   origin : origin;
-  mutable children : cap_id list; (* most-recent first; ids give creation order *)
+  (* Child ids. Fresh ids are monotonic, so the set's descending order
+     is exactly the old "most-recent first" list order — but unlinking
+     one child on revoke is O(log n) instead of the O(n) list filter
+     that made share+revoke superlinear in the parent's fan-out. *)
+  mutable children : IntSet.t;
   mutable state : state;
 }
+
+(* Most-recent first, matching the order the old list representation
+   maintained (ids descend because fresh ids ascend). *)
+let children_list (n : node) = IntSet.fold (fun c acc -> c :: acc) n.children []
 
 module IntMap = Map.Make (Int)
 
@@ -347,12 +357,13 @@ let add_node t node =
       index_deactivate t node);
   (match node.parent with
   | Some pid ->
-    (* Prepend: O(1) per share. Nothing depends on child order (ids
-       give creation order where needed). *)
+    (* O(log n) insert. Nothing depends on child order beyond the
+       descending-id order the set maintains (ids give creation order
+       where needed). *)
     let p = Hashtbl.find t.nodes pid in
-    p.children <- node.id :: p.children;
+    p.children <- IntSet.add node.id p.children;
     if t.journaling then
-      record t (fun () -> p.children <- List.filter (fun c -> c <> node.id) p.children)
+      record t (fun () -> p.children <- IntSet.remove node.id p.children)
   | None ->
     (* Prepend here too: the roots list is an unordered set; creation
        order, where a caller needs it, is materialized from ids. *)
@@ -379,7 +390,7 @@ let root t ~owner resource rights =
     let id = fresh_id t in
     add_node t
       { id; resource; node_rights = rights; owner; node_cleanup = Revocation.Keep;
-        parent = None; origin = Orig_root; children = []; state = Active };
+        parent = None; origin = Orig_root; children = IntSet.empty; state = Active };
     Ok (id, [ Attach { domain = owner; resource; perm = rights.Rights.perm } ])
   end
 
@@ -401,7 +412,7 @@ let share t id ~to_ ~rights ~cleanup ?subrange () =
     let cid = fresh_id t in
     add_node t
       { id = cid; resource; node_rights = rights; owner = to_; node_cleanup = cleanup;
-        parent = Some id; origin = Orig_shared; children = []; state = Active };
+        parent = Some id; origin = Orig_shared; children = IntSet.empty; state = Active };
     Ok (cid, [ Attach { domain = to_; resource; perm = rights.Rights.perm } ])
 
 let grant t id ~to_ ~rights ~cleanup =
@@ -422,7 +433,7 @@ let grant t id ~to_ ~rights ~cleanup =
     add_node t
       { id = cid; resource = n.resource; node_rights = rights; owner = to_;
         node_cleanup = cleanup; parent = Some id; origin = Orig_granted;
-        children = []; state = Active };
+        children = IntSet.empty; state = Active };
     Ok
       ( cid,
         [ Detach { domain = n.owner; resource = n.resource; cleanup = Revocation.Keep };
@@ -450,7 +461,7 @@ let split t id ~at =
         add_node t
           { id = cid; resource = Resource.Memory range; node_rights = n.node_rights;
             owner = n.owner; node_cleanup = n.node_cleanup; parent = Some id;
-            origin = Orig_split; children = []; state = Active };
+            origin = Orig_split; children = IntSet.empty; state = Active };
         cid
       in
       let l = make left in
@@ -502,7 +513,7 @@ let subtree_nodes_child_first t id =
       | None -> ()
       | Some n ->
         out := n :: !out;
-        stack := List.fold_left (fun s c -> c :: s) !stack n.children)
+        stack := IntSet.elements n.children @ !stack)
   done;
   (* [out] is the reversed visit order of a preorder walk, so every
      child precedes its parent. *)
@@ -548,8 +559,8 @@ let remove_and_collect t node =
       mark_dirty t pid;
       let old_children = p.children in
       if t.journaling then record t (fun () -> p.children <- old_children);
-      p.children <- List.filter (fun c -> c <> node.id) p.children;
-      if p.children = [] && p.state <> Active then begin
+      p.children <- IntSet.remove node.id p.children;
+      if IntSet.is_empty p.children && p.state <> Active then begin
         let old_state = p.state in
         if t.journaling then
           record t (fun () ->
@@ -575,7 +586,7 @@ let revoke_children t id =
         match Hashtbl.find_opt t.nodes cid with
         | Some c -> remove_and_collect t c
         | None -> [])
-      (List.map Fun.id n.children)
+      (children_list n)
   in
   Ok effects
 
@@ -593,7 +604,7 @@ let is_active t id =
 let parent t id = Option.bind (Hashtbl.find_opt t.nodes id) (fun n -> n.parent)
 
 let children t id =
-  match Hashtbl.find_opt t.nodes id with Some n -> n.children | None -> []
+  match Hashtbl.find_opt t.nodes id with Some n -> children_list n | None -> []
 
 let caps_of_domain t domain =
   match Hashtbl.find_opt t.by_domain domain with
@@ -680,7 +691,7 @@ let active_nodes_overlapping t resource =
         | Some n ->
           if Resource.overlaps n.resource resource then begin
             if n.state = Active then acc := n :: !acc;
-            stack := List.fold_left (fun s c -> c :: s) !stack n.children
+            stack := IntSet.elements n.children @ !stack
           end)
     done;
     !acc
@@ -833,7 +844,7 @@ let check_invariants t =
           match Hashtbl.find_opt t.nodes pid with
           | None -> fail "node %d has dangling parent %d" n.id pid
           | Some p ->
-            if not (List.mem n.id p.children) then
+            if not (IntSet.mem n.id p.children) then
               fail "node %d missing from parent %d's children" n.id pid
             else if not (Rights.attenuates ~parent:p.node_rights ~child:n.node_rights)
             then fail "node %d rights exceed parent %d's" n.id pid
@@ -857,7 +868,7 @@ let check_invariants t =
               match Hashtbl.find_opt t.nodes cid with
               | Some c when c.origin = Orig_split -> Resource.memory_range c.resource
               | _ -> None)
-            n.children
+            (children_list n)
         in
         let rec disjoint = function
           | [] -> true
@@ -867,7 +878,7 @@ let check_invariants t =
         in
         if not (disjoint split_children) then
           fail "split children of node %d overlap" n.id
-        else if n.state <> Active && n.children = [] then
+        else if n.state <> Active && IntSet.is_empty n.children then
           fail "inactive node %d has no children" n.id
         else
           (* Acyclicity: walking up must reach a root within node_count steps. *)
@@ -1005,7 +1016,7 @@ let spec_of_node (n : node) =
     ns_parent = n.parent;
     ns_origin = n.origin;
     ns_state = n.state;
-    ns_children = n.children }
+    ns_children = children_list n }
 
 let dump t =
   Hashtbl.fold (fun _ n acc -> spec_of_node n :: acc) t.nodes []
@@ -1042,7 +1053,7 @@ let restore ~next_id ~generation specs =
           node_cleanup = s.ns_cleanup;
           parent = s.ns_parent;
           origin = s.ns_origin;
-          children = s.ns_children;
+          children = IntSet.of_list s.ns_children;
           state = s.ns_state }
       in
       Hashtbl.replace t.nodes n.id n;

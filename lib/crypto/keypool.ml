@@ -10,6 +10,11 @@
 type t = {
   rng : Rng.t;
   stock : (Ots.secret_key * Ots.public_key) Queue.t;
+  (* Guards [stock], [hits] and [misses]: concurrent attests (one per
+     monitor shard) all take from one pool. Key *generation* never runs
+     under the lock — a take that misses and a replenish both generate
+     outside it, so the critical section is a queue pop or push. *)
+  lock : Mutex.t;
   target : int;
   low_water : int;
   mutable hits : int;    (* takes served from stock *)
@@ -35,39 +40,62 @@ let create ?low_water ?(target = default_target) rng =
   let low_water = match low_water with Some l -> l | None -> target / 2 in
   if low_water < 0 || low_water > target then
     invalid_arg "Keypool.create: low_water out of range";
-  let t = { rng; stock = Queue.create (); target; low_water; hits = 0; misses = 0 } in
+  let t =
+    { rng; stock = Queue.create (); lock = Mutex.create (); target; low_water;
+      hits = 0; misses = 0 }
+  in
   for _ = 1 to target do
     Queue.add (Ots.generate rng) t.stock
   done;
   t
 
-let size t = Queue.length t.stock
+let size t = Mutex.protect t.lock (fun () -> Queue.length t.stock)
 let low_water t = t.low_water
 let target t = t.target
 
 let take t =
   Obs.Profile.span "keypool.take" (fun () ->
-      match if Fault.fires take_fault then None else Queue.take_opt t.stock with
+      let faulted = Fault.fires take_fault in
+      let popped =
+        Mutex.protect t.lock (fun () ->
+            let p = if faulted then None else Queue.take_opt t.stock in
+            (match p with
+            | Some _ -> t.hits <- t.hits + 1
+            | None -> t.misses <- t.misses + 1);
+            p)
+      in
+      match popped with
       | Some pair ->
-          t.hits <- t.hits + 1;
           Obs.Metrics.incr hit_c;
           pair
       | None ->
-          t.misses <- t.misses + 1;
           Obs.Metrics.incr miss_c;
+          (* Miss: generate outside the lock, other takers keep going. *)
           Ots.generate t.rng)
 
 let replenish t =
   Obs.Profile.span "keypool.replenish" (fun () ->
       if Fault.fires replenish_fault then ()
-      else if Queue.length t.stock < t.low_water then
-        while Queue.length t.stock < t.target do
-          Queue.add (Ots.generate t.rng) t.stock
-        done;
-      Obs.Metrics.set_gauge stock_g (Queue.length t.stock))
+      else begin
+        let need =
+          Mutex.protect t.lock (fun () ->
+              let n = Queue.length t.stock in
+              if n < t.low_water then t.target - n else 0)
+        in
+        if need > 0 then begin
+          (* The expensive part (WOTS chain precomputation) runs outside
+             the lock: concurrent signers keep taking from the stock
+             while one of them rebuilds it. *)
+          let fresh = List.init need (fun _ -> Ots.generate t.rng) in
+          Mutex.protect t.lock (fun () ->
+              List.iter (fun pair -> Queue.add pair t.stock) fresh)
+        end
+      end;
+      Obs.Metrics.set_gauge stock_g (size t))
 
-let stats t = (t.hits, t.misses)
+let stats t = Mutex.protect t.lock (fun () -> (t.hits, t.misses))
 
 let miss_rate t =
-  let total = t.hits + t.misses in
-  if total = 0 then 0. else float_of_int t.misses /. float_of_int total
+  let hits, misses = stats t in
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int misses /. float_of_int total

@@ -3,9 +3,15 @@
    signature scheme in this repo rests on SHA-256 preimage resistance over
    secrets derived from seeds the tests control. *)
 
-type t = { mutable state : int64 }
+(* Domain-safe: the state is an atomic, and [next_int64] claims its
+   position in the sequence with a CAS loop — concurrent callers each
+   get a distinct element of the same SplitMix64 stream, and the
+   single-threaded sequence is bit-identical to the old mutable-field
+   implementation (reproducibility is load-bearing: chaos seeds and
+   recorded workloads replay through this). *)
+type t = { state : int64 Atomic.t }
 
-let create ~seed = { state = seed }
+let create ~seed = { state = Atomic.make seed }
 
 let of_string_seed s =
   let d = Sha256.to_raw (Sha256.string s) in
@@ -16,8 +22,12 @@ let of_string_seed s =
   create ~seed:!seed
 
 let next_int64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+  let rec claim () =
+    let cur = Atomic.get t.state in
+    let next = Int64.add cur 0x9E3779B97F4A7C15L in
+    if Atomic.compare_and_set t.state cur next then next else claim ()
+  in
+  let z = claim () in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)

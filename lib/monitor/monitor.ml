@@ -500,28 +500,47 @@ let log_op t op =
 let txn_commit_c = Obs.Metrics.counter "txn.commit"
 let txn_rollback_c = Obs.Metrics.counter "txn.rollback"
 
-let with_txn ?op t f =
+(* Explicit transaction bracket for multi-monitor coordinators (the
+   sharded front end's two-phase commit): [txn_begin] opens the captree
+   journal and the backend's undo log, [txn_commit]/[txn_rollback] close
+   them. While a bracket is open, [with_txn] detects the outer journal
+   ([Captree.in_txn]) and runs its body bare — no nested begin, no
+   commit, and crucially no [log_op]: the coordinator owns both the
+   atomicity decision and the redo record. *)
+let txn_begin t =
   Cap.Captree.txn_begin t.tree;
-  t.backend.Backend_intf.txn_begin ();
-  match f () with
-  | Ok _ as ok ->
-    t.backend.Backend_intf.txn_commit ();
-    Cap.Captree.txn_commit t.tree;
-    Obs.Metrics.incr txn_commit_c;
-    (match op with Some op -> log_op t op | None -> ());
-    ok
-  | Error _ as err ->
-    t.backend.Backend_intf.txn_rollback ();
-    Cap.Captree.txn_rollback t.tree;
-    Obs.Metrics.incr txn_rollback_c;
-    Obs.instant "txn.rollback";
-    err
-  | exception e ->
-    t.backend.Backend_intf.txn_rollback ();
-    Cap.Captree.txn_rollback t.tree;
-    Obs.Metrics.incr txn_rollback_c;
-    Obs.instant "txn.rollback";
-    raise e
+  t.backend.Backend_intf.txn_begin ()
+
+let txn_commit t =
+  t.backend.Backend_intf.txn_commit ();
+  Cap.Captree.txn_commit t.tree;
+  Obs.Metrics.incr txn_commit_c
+
+let txn_rollback t =
+  t.backend.Backend_intf.txn_rollback ();
+  Cap.Captree.txn_rollback t.tree;
+  Obs.Metrics.incr txn_rollback_c;
+  Obs.instant "txn.rollback"
+
+let with_txn ?op t f =
+  if Cap.Captree.in_txn t.tree then
+    (* Enlisted in an outer bracket: the coordinator's journal already
+       covers this mutation, and it decides commit/rollback/logging. *)
+    f ()
+  else begin
+    txn_begin t;
+    match f () with
+    | Ok _ as ok ->
+      txn_commit t;
+      (match op with Some op -> log_op t op | None -> ());
+      ok
+    | Error _ as err ->
+      txn_rollback t;
+      err
+    | exception e ->
+      txn_rollback t;
+      raise e
+  end
 
 (* The monitor shell: signer, TPM binding, empty tables. Shared by
    [boot] (which then endows domain 0) and [recover] (which instead
@@ -751,35 +770,49 @@ let running_on_some_core t domain =
   Array.exists (fun d -> d = domain) t.current
   || Array.exists (List.mem domain) t.stacks
 
-let destroy_domain t ~caller ~domain =
+(* Destruction is factored into three pieces so a multi-shard
+   coordinator can run them as phases of a two-phase commit: the guards
+   (read-only), the revocation cascade (journaled — must run inside a
+   transaction bracket), and the table removals (infallible, NOT
+   journaled — they must only run once the commit decision is final). *)
+let destroy_guard t ~caller ~domain =
   let* d = get_domain t domain in
   if domain = Domain.initial then Error (Denied "domain 0 cannot be destroyed")
   else if Domain.created_by d <> Some caller then
     Error (Denied "only the creator may destroy a domain")
   else if running_on_some_core t domain then
     Error (Denied "domain is running or on a return stack")
-  else
-    (* One transaction for the whole teardown: a fault in the middle of
-       the revocation cascade must leave every capability (and the
-       hardware) exactly as before the call. The table removals are
-       infallible and run last, so they need no undo. *)
-    with_txn ~op:(Persist.Op.Destroy_domain { caller; domain }) t (fun () ->
-        let rec revoke_all () =
-          (* Inactive capabilities too: delegations the domain made from
-             granted-away pieces must cascade with it. *)
-          match Cap.Captree.all_caps_of_domain t.tree domain with
-          | [] -> Ok ()
-          | cap :: _ ->
-            let* () =
-              cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap))
-            in
-            revoke_all ()
-        in
-        let* () = revoke_all () in
-        t.backend.Backend_intf.domain_destroyed d;
-        Hashtbl.remove t.domains domain;
-        Hashtbl.remove t.attest_cache domain;
-        Ok ())
+  else Ok d
+
+let revoke_all_of t ~domain =
+  let rec revoke_all () =
+    (* Inactive capabilities too: delegations the domain made from
+       granted-away pieces must cascade with it. *)
+    match Cap.Captree.all_caps_of_domain t.tree domain with
+    | [] -> Ok ()
+    | cap :: _ ->
+      let* () =
+        cap_result t (Result.map (fun e -> ((), e)) (Cap.Captree.revoke t.tree cap))
+      in
+      revoke_all ()
+  in
+  revoke_all ()
+
+let forget_domain t d =
+  t.backend.Backend_intf.domain_destroyed d;
+  Hashtbl.remove t.domains (Domain.id d);
+  Hashtbl.remove t.attest_cache (Domain.id d)
+
+let destroy_domain t ~caller ~domain =
+  let* d = destroy_guard t ~caller ~domain in
+  (* One transaction for the whole teardown: a fault in the middle of
+     the revocation cascade must leave every capability (and the
+     hardware) exactly as before the call. The table removals are
+     infallible and run last, so they need no undo. *)
+  with_txn ~op:(Persist.Op.Destroy_domain { caller; domain }) t (fun () ->
+      let* () = revoke_all_of t ~domain in
+      forget_domain t d;
+      Ok ())
 
 (* Capability operations *)
 
@@ -1140,6 +1173,13 @@ let memoized_body t d domain =
         at_regions = regions; at_cores = cores; at_devices = devices };
     body
 
+(* The memoized body alone, without signing: the sharded front end
+   collects one body per shard, translates them into the global
+   namespace and signs the concatenation once. *)
+let attest_body_of t ~domain =
+  let* d = get_domain t domain in
+  Ok (memoized_body t d domain)
+
 let attest t ~caller ~domain ~nonce =
   let* _ = get_domain t caller in
   let* d = get_domain t domain in
@@ -1311,6 +1351,12 @@ let replay_seal t ~caller ~domain ~measurement =
   if String.length measurement <> Crypto.Sha256.digest_size then
     Error "seal record carries a malformed digest"
   else Domain.seal d ~measurement:(Crypto.Sha256.of_raw measurement)
+
+(* Verbatim digest install for coordinators that measured elsewhere:
+   the sharded monitor measures each global range on its owning shard,
+   folds one digest at the front end and installs it on every shard.
+   Validation is identical to replay. *)
+let install_seal = replay_seal
 
 (* Re-execute one logged operation through the normal API (logging is
    muted by [p_replaying]). Every record was appended only after the

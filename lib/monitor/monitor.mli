@@ -364,6 +364,58 @@ val recover :
     machine disagree structurally (wrong core count, undecodable tree),
     not a torn log. *)
 
+(** {2 Multi-monitor coordination}
+
+    Hooks the sharded front end ({!Sharded}) builds on: an explicit
+    transaction bracket for two-phase commit across several monitors,
+    body-only attestation for cross-shard aggregation, and verbatim
+    digest installation for seals measured elsewhere. *)
+
+val txn_begin : t -> unit
+(** Open the captree journal and the backend undo log. While the
+    bracket is open, every mutating API call on this monitor enlists in
+    it — the call runs its body but performs no commit, no rollback and
+    no WAL append; the bracket owner decides all three. Brackets do not
+    nest. *)
+
+val txn_commit : t -> unit
+(** Close the bracket keeping every mutation made inside it. In-memory
+    and infallible — the commit decision is the caller's alone. *)
+
+val txn_rollback : t -> unit
+(** Close the bracket undoing every mutation made inside it (captree
+    journal and backend undo log), exactly like a failed call. *)
+
+val attest_body_of :
+  t ->
+  domain:Domain.id ->
+  (Attestation.region_report list * (int * int) list * (int * int) list, error) result
+(** The memoized attestation body — [(regions, (core, refcount) list,
+    (device, refcount) list)] — without signing it. Same cache as
+    {!attest}. *)
+
+val install_seal :
+  t -> caller:Domain.id -> domain:Domain.id -> measurement:string -> (unit, string) result
+(** Install a seal digest verbatim (creator-or-self and digest-length
+    checks, no re-measurement) — for coordinators that measured the
+    domain's ranges on other monitors, and for WAL replay. *)
+
+val destroy_guard :
+  t -> caller:Domain.id -> domain:Domain.id -> (Domain.t, error) result
+(** The {!destroy_domain} admission checks alone (exists, not domain 0,
+    creator only, not running), read-only. *)
+
+val revoke_all_of : t -> domain:Domain.id -> (unit, error) result
+(** Revoke every capability the domain holds or delegated (the
+    destruction cascade). Journaled tree/hardware work only — run it
+    inside a transaction bracket; on [Error] the bracket's rollback
+    restores everything. *)
+
+val forget_domain : t -> Domain.t -> unit
+(** Drop a destroyed domain's table entries and notify the backend.
+    Infallible but NOT journaled: a coordinator must call it only after
+    its commit decision is final. *)
+
 (** {2 Telemetry} *)
 
 type attest_telemetry = {

@@ -1,7 +1,12 @@
-(* Process-global observability. Single-writer by construction (the
-   simulated monitor is single-threaded), so "lock-free" here means the
-   ring is a set of plain column arrays plus a monotonic write index —
-   no coordination, and no allocation at all on the emit path. *)
+(* Process-global observability, domain-safe. Each OCaml Domain gets its
+   own trace ring (domain-local storage), so the emit path stays a set of
+   plain column stores plus a monotonic write index — no coordination and
+   no allocation — while concurrent emitters can never corrupt each
+   other. Readers merge the per-domain rings into one causal view by
+   (stamp, ring, seq) at read time; with a single ring (the historical
+   single-threaded monitor) every read-side function behaves exactly as
+   the old single-writer implementation did. Metrics are atomics: cheap
+   uncontended, exact under parallelism. *)
 
 type kind = Span_begin | Span_end | Instant
 
@@ -16,6 +21,13 @@ type event = {
   trace : int;
 }
 
+(* One lock guards every find-or-create table (interning, the metrics
+   registry, the per-op stats cache, the ring registry). These are
+   cold paths — hot call sites hoist handles and pre-interned ids — so
+   a single uncontended mutex is cheaper than finer-grained locking. *)
+let global_mutex = Mutex.create ()
+let locked f = Mutex.protect global_mutex f
+
 (* --- switches -------------------------------------------------------- *)
 
 let enabled_flag = ref true
@@ -24,30 +36,12 @@ let set_enabled b = enabled_flag := b
 
 (* Default clock: an internal tick, monotonic but meaningless — the
    monitor repoints it at the machine's simulated cycle counter. *)
-let internal_ticks = ref 0
+let internal_ticks = Atomic.make 0
 
-let default_clock () =
-  incr internal_ticks;
-  !internal_ticks
+let default_clock () = Atomic.fetch_and_add internal_ticks 1 + 1
 
 let clock = ref default_clock
 let set_clock f = clock := f
-
-(* --- trace context --------------------------------------------------- *)
-
-let trace_counter = ref 0
-let cur_trace = ref 0
-
-let new_trace () =
-  incr trace_counter;
-  !trace_counter
-
-let with_trace t f =
-  let saved = !cur_trace in
-  cur_trace := t;
-  Fun.protect ~finally:(fun () -> cur_trace := saved) f
-
-let current_trace () = !cur_trace
 
 (* --- name interning -------------------------------------------------- *)
 
@@ -59,13 +53,15 @@ let current_trace () = !cur_trace
 
 let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let intern_names = ref (Array.make 64 "")
-let intern_count = ref 0
+let intern_count = Atomic.make 0
 
-let intern s =
+(* The mutex is not reentrant; paths that already hold it (stats_for)
+   use this twin. *)
+let intern_unlocked s =
   match Hashtbl.find_opt intern_tbl s with
   | Some id -> id
   | None ->
-    let id = !intern_count in
+    let id = Atomic.get intern_count in
     if id >= Array.length !intern_names then begin
       let bigger = Array.make (2 * Array.length !intern_names) "" in
       Array.blit !intern_names 0 bigger 0 id;
@@ -73,22 +69,28 @@ let intern s =
     end;
     !intern_names.(id) <- s;
     Hashtbl.replace intern_tbl s id;
-    incr intern_count;
+    Atomic.incr intern_count;
     id
 
-let name_of id = if id >= 0 && id < !intern_count then !intern_names.(id) else ""
+let intern s = locked (fun () -> intern_unlocked s)
+
+let name_of id =
+  let names = !intern_names in
+  if id >= 0 && id < Atomic.get intern_count && id < Array.length names then names.(id)
+  else ""
 
 (* The empty name is id 0, so an omitted backend costs nothing. *)
 let () = ignore (intern "")
 
-(* --- the ring -------------------------------------------------------- *)
+(* --- per-domain rings ------------------------------------------------ *)
 
 (* Structure-of-arrays: emitting an event is six plain int stores and an
    increment — no record allocation, no write barrier, no GC pressure on
    the hot path. Event records only materialize on the (cold) read side;
    a slot's seq is recoverable from its position and its kind from the
    span column's sign (+sid begin, -sid end, 0 instant), so neither
-   needs a column of its own. *)
+   needs a column of its own. Each OCaml Domain owns one [ring]; only
+   its owner writes, so no column store ever races. *)
 
 let default_capacity = 4096
 
@@ -96,50 +98,117 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let capacity = ref default_capacity
-let r_stamp = ref (Array.make default_capacity 0)
-let r_op = ref (Array.make default_capacity 0)
-let r_span = ref (Array.make default_capacity 0)
-let r_domain = ref (Array.make default_capacity (-1))
-let r_trace = ref (Array.make default_capacity 0)
-let r_backend = ref (Array.make default_capacity 0)
-let written_count = ref 0
+type ring = {
+  ring_ord : int; (* registration order; merge tie-break across rings *)
+  mutable cap : int;
+  mutable r_stamp : int array;
+  mutable r_op : int array;
+  mutable r_span : int array;
+  mutable r_domain : int array;
+  mutable r_trace : int array;
+  mutable r_backend : int array;
+  mutable written : int;
+  mutable ring_open_spans : int;
+  mutable cur_trace : int; (* trace context is per emitting domain *)
+}
 
-let alloc_ring cap =
-  capacity := cap;
-  r_stamp := Array.make cap 0;
-  r_op := Array.make cap 0;
-  r_span := Array.make cap 0;
-  r_domain := Array.make cap (-1);
-  r_trace := Array.make cap 0;
-  r_backend := Array.make cap 0;
-  written_count := 0
+let default_cap = ref default_capacity
+let ring_ord_counter = Atomic.make 0
+let rings : ring list ref = ref []
 
-(* In-bounds by construction: [configure] keeps [capacity] equal to every
-   column's length and a power of two, so the masked index is < length.
-   [op] and [backend] are interned ids; [span] carries the kind in its
-   sign. *)
+let realloc r cap =
+  r.cap <- cap;
+  r.r_stamp <- Array.make cap 0;
+  r.r_op <- Array.make cap 0;
+  r.r_span <- Array.make cap 0;
+  r.r_domain <- Array.make cap (-1);
+  r.r_trace <- Array.make cap 0;
+  r.r_backend <- Array.make cap 0;
+  r.written <- 0
+
+let new_ring () =
+  let cap = !default_cap in
+  let r =
+    { ring_ord = Atomic.fetch_and_add ring_ord_counter 1;
+      cap;
+      r_stamp = Array.make cap 0;
+      r_op = Array.make cap 0;
+      r_span = Array.make cap 0;
+      r_domain = Array.make cap (-1);
+      r_trace = Array.make cap 0;
+      r_backend = Array.make cap 0;
+      written = 0;
+      ring_open_spans = 0;
+      cur_trace = 0 }
+  in
+  locked (fun () -> rings := !rings @ [ r ]);
+  r
+
+let ring_key = Domain.DLS.new_key new_ring
+
+let my_ring () = Domain.DLS.get ring_key
+
+(* Eager creation from the loading domain, so the historical "the" ring
+   exists (and is ring 0) before anything else registers. *)
+let () = ignore (my_ring ())
+
+let snapshot_rings () = locked (fun () -> !rings)
+
+(* In-bounds by construction: [cap] equals every column's length and is
+   a power of two, so the masked index is < length. [op] and [backend]
+   are interned ids; [span] carries the kind in its sign. *)
+let emit_into r ~stamp ~op ~span ~domain ~backend =
+  let i = r.written land (r.cap - 1) in
+  Array.unsafe_set r.r_stamp i stamp;
+  Array.unsafe_set r.r_op i op;
+  Array.unsafe_set r.r_span i span;
+  Array.unsafe_set r.r_domain i domain;
+  Array.unsafe_set r.r_trace i r.cur_trace;
+  Array.unsafe_set r.r_backend i backend;
+  r.written <- r.written + 1
+
 let emit ~stamp ~op ~span ~domain ~backend =
-  let i = !written_count land (!capacity - 1) in
-  Array.unsafe_set !r_stamp i stamp;
-  Array.unsafe_set !r_op i op;
-  Array.unsafe_set !r_span i span;
-  Array.unsafe_set !r_domain i domain;
-  Array.unsafe_set !r_trace i !cur_trace;
-  Array.unsafe_set !r_backend i backend;
-  incr written_count
+  emit_into (my_ring ()) ~stamp ~op ~span ~domain ~backend
 
+(* [configure] and [reset] re-baseline the whole facility: they keep
+   only the calling domain's ring registered, so accounting restarts
+   from a clean slate. Rings of still-running domains re-register on
+   their next emit is NOT possible (the DLS handle stays), so callers
+   must quiesce spawned domains first — which every test and the
+   sharded monitor's lifecycle already guarantee. *)
 let configure ?capacity:(cap = default_capacity) () =
-  alloc_ring (round_pow2 (max 1 cap))
+  let cap = round_pow2 (max 1 cap) in
+  default_cap := cap;
+  let r = my_ring () in
+  locked (fun () -> rings := [ r ]);
+  realloc r cap
 
-let written () = !written_count
-let dropped () = max 0 (!written_count - !capacity)
+let written () = List.fold_left (fun a r -> a + r.written) 0 (snapshot_rings ())
+
+let ring_dropped r = max 0 (r.written - r.cap)
+
+let dropped () = List.fold_left (fun a r -> a + ring_dropped r) 0 (snapshot_rings ())
+
+(* --- trace context --------------------------------------------------- *)
+
+let trace_counter = Atomic.make 0
+
+let new_trace () = Atomic.fetch_and_add trace_counter 1 + 1
+
+let with_trace t f =
+  let r = my_ring () in
+  let saved = r.cur_trace in
+  r.cur_trace <- t;
+  Fun.protect ~finally:(fun () -> r.cur_trace <- saved) f
+
+let current_trace () = (my_ring ()).cur_trace
 
 (* --- span bookkeeping ------------------------------------------------ *)
 
-let span_counter = ref 0
-let open_span_count = ref 0
-let open_spans () = !open_span_count
+let span_counter = Atomic.make 0
+
+let open_spans () =
+  List.fold_left (fun a r -> a + r.ring_open_spans) 0 (snapshot_rings ())
 
 let instant ?(domain = -1) ?(backend = "") op =
   if !enabled_flag then
@@ -152,9 +221,18 @@ module Metrics = struct
      2^(i-1) .. 2^i - 1. 63 buckets cover the whole int range. *)
   let n_buckets = 63
 
-  type hist = { mutable count : int; mutable sum : int; mutable max_v : int; buckets : int array }
-  type counter = int ref
-  type gauge = int ref
+  (* Atomics throughout: a counter bump or histogram sample from any
+     domain is exact, and uncontended atomic adds cost a few ns — the
+     E17 tracing-overhead ceiling still holds. *)
+  type hist = {
+    count : int Atomic.t;
+    sum : int Atomic.t;
+    max_v : int Atomic.t;
+    buckets : int Atomic.t array;
+  }
+
+  type counter = int Atomic.t
+  type gauge = int Atomic.t
   type histogram = hist
 
   type metric = Counter of counter | Gauge of gauge | Histogram of hist
@@ -166,61 +244,78 @@ module Metrics = struct
      instrumented modules may hoist the name lookup out of their hot
      paths once and keep the handle forever. *)
   let clear () =
-    Hashtbl.iter
-      (fun _ m ->
-        match m with
-        | Counter c -> c := 0
-        | Gauge g -> g := 0
-        | Histogram h ->
-          h.count <- 0;
-          h.sum <- 0;
-          h.max_v <- 0;
-          Array.fill h.buckets 0 (Array.length h.buckets) 0)
-      registry
+    locked (fun () ->
+        Hashtbl.iter
+          (fun _ m ->
+            match m with
+            | Counter c -> Atomic.set c 0
+            | Gauge g -> Atomic.set g 0
+            | Histogram h ->
+              Atomic.set h.count 0;
+              Atomic.set h.sum 0;
+              Atomic.set h.max_v 0;
+              Array.iter (fun b -> Atomic.set b 0) h.buckets)
+          registry)
 
-  let counter name =
+  let counter_unlocked name =
     match Hashtbl.find_opt registry name with
     | Some (Counter c) -> c
     | Some _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is not a counter")
     | None ->
-      let c = ref 0 in
+      let c = Atomic.make 0 in
       Hashtbl.replace registry name (Counter c);
       c
 
-  let incr ?(by = 1) c = if !enabled_flag then c := !c + by
+  let counter name = locked (fun () -> counter_unlocked name)
+
+  let incr ?(by = 1) c = if !enabled_flag then ignore (Atomic.fetch_and_add c by)
 
   let counter_value name =
-    match Hashtbl.find_opt registry name with Some (Counter c) -> !c | _ -> 0
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Counter c) -> Atomic.get c
+        | _ -> 0)
 
   let gauge name =
-    match Hashtbl.find_opt registry name with
-    | Some (Gauge g) -> g
-    | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
-    | None ->
-      let g = ref 0 in
-      Hashtbl.replace registry name (Gauge g);
-      g
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Gauge g) -> g
+        | Some _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is not a gauge")
+        | None ->
+          let g = Atomic.make 0 in
+          Hashtbl.replace registry name (Gauge g);
+          g)
 
-  let set_gauge g v = if !enabled_flag then g := v
+  let set_gauge g v = if !enabled_flag then Atomic.set g v
 
   let gauge_value name =
-    match Hashtbl.find_opt registry name with Some (Gauge g) -> !g | _ -> 0
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Gauge g) -> Atomic.get g
+        | _ -> 0)
 
-  let histogram name =
+  let histogram_unlocked name =
     match Hashtbl.find_opt registry name with
     | Some (Histogram h) -> h
     | Some _ -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is not a histogram")
     | None ->
-      let h = { count = 0; sum = 0; max_v = 0; buckets = Array.make n_buckets 0 } in
+      let h =
+        { count = Atomic.make 0;
+          sum = Atomic.make 0;
+          max_v = Atomic.make 0;
+          buckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+      in
       Hashtbl.replace registry name (Histogram h);
       h
+
+  let histogram name = locked (fun () -> histogram_unlocked name)
 
   let bucket_of v =
     if v <= 0 then 0
     else begin
       let b = ref 0 and v = ref v in
       while !v > 0 do
-        incr b;
+        Stdlib.incr b;
         v := !v lsr 1
       done;
       min !b (n_buckets - 1)
@@ -231,36 +326,47 @@ module Metrics = struct
     else if i >= n_buckets - 1 then (1 lsl (n_buckets - 2), max_int)
     else (1 lsl (i - 1), (1 lsl i) - 1)
 
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
   (* Unguarded twin for callers that already sit behind the enabled
      check (the Profile span path): re-testing the flag per sample is
      dead weight there. *)
   let observe_unguarded h v =
     let v = max 0 v in
-    h.count <- h.count + 1;
-    h.sum <- h.sum + v;
-    if v > h.max_v then h.max_v <- v;
+    ignore (Atomic.fetch_and_add h.count 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    atomic_max h.max_v v;
     let b = bucket_of v in
-    h.buckets.(b) <- h.buckets.(b) + 1
+    ignore (Atomic.fetch_and_add (Array.unsafe_get h.buckets b) 1)
 
   let observe h v = if !enabled_flag then observe_unguarded h v
 
   let find_hist name =
-    match Hashtbl.find_opt registry name with Some (Histogram h) -> Some h | _ -> None
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Histogram h) -> Some h
+        | _ -> None)
 
   let histogram_count name =
-    match find_hist name with Some h -> h.count | None -> 0
+    match find_hist name with Some h -> Atomic.get h.count | None -> 0
 
-  let histogram_sum name = match find_hist name with Some h -> h.sum | None -> 0
-  let histogram_max name = match find_hist name with Some h -> h.max_v | None -> 0
+  let histogram_sum name =
+    match find_hist name with Some h -> Atomic.get h.sum | None -> 0
+
+  let histogram_max name =
+    match find_hist name with Some h -> Atomic.get h.max_v | None -> 0
 
   let percentile_of h p =
-    if h.count = 0 then None
+    let total = Atomic.get h.count in
+    if total = 0 then None
     else begin
-      let target = max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
+      let target = max 1 (int_of_float (ceil (p *. float_of_int total))) in
       let cum = ref 0 and found = ref None in
       (try
          for i = 0 to n_buckets - 1 do
-           cum := !cum + h.buckets.(i);
+           cum := !cum + Atomic.get h.buckets.(i);
            if !cum >= target then begin
              found := Some (snd (bucket_bounds i));
              raise Exit
@@ -274,12 +380,14 @@ module Metrics = struct
     match find_hist name with None -> None | Some h -> percentile_of h p
 
   let sorted f =
-    Hashtbl.fold (fun k v acc -> match f v with Some x -> (k, x) :: acc | None -> acc)
-      registry []
+    locked (fun () ->
+        Hashtbl.fold
+          (fun k v acc -> match f v with Some x -> (k, x) :: acc | None -> acc)
+          registry [])
     |> List.sort compare
 
-  let counters () = sorted (function Counter c -> Some !c | _ -> None)
-  let gauges () = sorted (function Gauge g -> Some !g | _ -> None)
+  let counters () = sorted (function Counter c -> Some (Atomic.get c) | _ -> None)
+  let gauges () = sorted (function Gauge g -> Some (Atomic.get g) | _ -> None)
   let histograms () = sorted (function Histogram h -> Some h | _ -> None)
 end
 
@@ -298,7 +406,10 @@ type op_stats = {
   os_count : Metrics.counter;
   (* Per-domain op counts: domain ids are small ints in practice, so
      the common case is a direct array bump; the hashtable only catches
-     the long tail (domain >= small_domains). *)
+     the long tail (domain >= small_domains). The array bumps are plain
+     (racy-benign: a concurrent bump of the same cell from two OCaml
+     domains may lose a count, never corrupt); the tail hashtable is
+     mutex-guarded because concurrent structural mutation is not. *)
   os_dom_small : int array;
   os_domains : (int, int ref) Hashtbl.t;
 }
@@ -308,30 +419,31 @@ let small_domains = 64
 let op_cache : (string, op_stats) Hashtbl.t = Hashtbl.create 64
 
 let stats_for op =
-  match Hashtbl.find_opt op_cache op with
-  | Some st -> st
-  | None ->
-    let st =
-      { os_op = op;
-        os_id = intern op;
-        os_lat = Metrics.histogram ("lat." ^ op);
-        os_count = Metrics.counter ("op." ^ op);
-        os_dom_small = Array.make small_domains 0;
-        os_domains = Hashtbl.create 8 }
-    in
-    Hashtbl.replace op_cache op st;
-    st
+  locked (fun () ->
+      match Hashtbl.find_opt op_cache op with
+      | Some st -> st
+      | None ->
+        let st =
+          { os_op = op;
+            os_id = intern_unlocked op;
+            os_lat = Metrics.histogram_unlocked ("lat." ^ op);
+            os_count = Metrics.counter_unlocked ("op." ^ op);
+            os_dom_small = Array.make small_domains 0;
+            os_domains = Hashtbl.create 8 }
+        in
+        Hashtbl.replace op_cache op st;
+        st)
 
 let bump_domain_op st domain =
   if domain >= 0 then
     if domain < small_domains then
       Array.unsafe_set st.os_dom_small domain
         (Array.unsafe_get st.os_dom_small domain + 1)
-    else begin
-      match Hashtbl.find_opt st.os_domains domain with
-      | Some c -> incr c
-      | None -> Hashtbl.replace st.os_domains domain (ref 1)
-    end
+    else
+      locked (fun () ->
+          match Hashtbl.find_opt st.os_domains domain with
+          | Some c -> incr c
+          | None -> Hashtbl.replace st.os_domains domain (ref 1))
 
 (* --- profiling ------------------------------------------------------- *)
 
@@ -340,32 +452,33 @@ module Profile = struct
 
   let handle = stats_for
 
-  let finish st sid domain backend t0 =
+  let finish r st sid domain backend t0 =
     let t1 = !clock () in
-    emit ~stamp:t1 ~op:st.os_id ~span:(-sid) ~domain ~backend;
-    open_span_count := !open_span_count - 1;
+    emit_into r ~stamp:t1 ~op:st.os_id ~span:(-sid) ~domain ~backend;
+    r.ring_open_spans <- r.ring_open_spans - 1;
     (* Spans only start while enabled, so skip the per-sample flag
        re-checks that Metrics.observe/incr would do. *)
     Metrics.observe_unguarded st.os_lat (t1 - t0);
-    st.os_count := !(st.os_count) + 1;
+    ignore (Atomic.fetch_and_add st.os_count 1);
     bump_domain_op st domain
 
   (* Hand-rolled instead of [Fun.protect]: no [finally] closure on the
      hot path, same balance guarantee — the end event is emitted whether
-     [f] returns or raises. *)
+     [f] returns or raises. The ring is resolved once per span; begin
+     and end always land in the same (the caller's) ring. *)
   let run st domain backend f =
-    incr span_counter;
-    let sid = !span_counter in
-    incr open_span_count;
+    let r = my_ring () in
+    let sid = Atomic.fetch_and_add span_counter 1 + 1 in
+    r.ring_open_spans <- r.ring_open_spans + 1;
     let t0 = !clock () in
-    emit ~stamp:t0 ~op:st.os_id ~span:sid ~domain ~backend;
+    emit_into r ~stamp:t0 ~op:st.os_id ~span:sid ~domain ~backend;
     match f () with
     | v ->
-      finish st sid domain backend t0;
+      finish r st sid domain backend t0;
       v
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      finish st sid domain backend t0;
+      finish r st sid domain backend t0;
       Printexc.raise_with_backtrace e bt
 
   (* [backend] here is a pre-interned id (see {!intern}): hot call
@@ -380,28 +493,47 @@ end
 
 (* --- reading back ---------------------------------------------------- *)
 
-let raw_events () =
-  let total = !written_count in
-  let n = min total !capacity in
+let ring_raw r =
+  let total = r.written in
+  let n = min total r.cap in
   let start = total - n in
-  let mask = !capacity - 1 in
+  let mask = r.cap - 1 in
   List.init n (fun j ->
       let s = start + j in
       let i = s land mask in
-      let enc = !r_span.(i) in
-      { seq = s; stamp = !r_stamp.(i);
+      let enc = r.r_span.(i) in
+      { seq = s; stamp = r.r_stamp.(i);
         kind = (if enc > 0 then Span_begin else if enc < 0 then Span_end else Instant);
-        op = name_of !r_op.(i); span = abs enc; domain = !r_domain.(i);
-        backend = name_of !r_backend.(i); trace = !r_trace.(i) })
+        op = name_of r.r_op.(i); span = abs enc; domain = r.r_domain.(i);
+        backend = name_of r.r_backend.(i); trace = r.r_trace.(i) })
+
+(* Merge per-ring event lists into one causal view: order by stamp,
+   breaking ties by ring registration order then per-ring seq. With a
+   single ring this is exactly the per-ring order (stamps are
+   non-decreasing in seq — both clocks are monotonic), so the
+   historical single-writer read-back is unchanged. *)
+let merge_rings per_ring =
+  match per_ring with
+  | [ (_, evs) ] -> evs
+  | _ ->
+    per_ring
+    |> List.concat_map (fun (ord, evs) -> List.map (fun e -> (ord, e)) evs)
+    |> List.sort (fun (o1, e1) (o2, e2) ->
+           compare (e1.stamp, o1, e1.seq) (e2.stamp, o2, e2.seq))
+    |> List.map snd
 
 (* Wraparound coherence: a span-end whose begin fell off the ring is
    suppressed, so readers only ever see whole pairs (or a begin whose
-   end has not happened yet). *)
-let events () =
-  let evs = raw_events () in
+   end has not happened yet). Spans begin and end in one ring, so the
+   suppression is per ring, before merging. *)
+let ring_events r =
+  let evs = ring_raw r in
   let begins = Hashtbl.create 64 in
   List.iter (fun e -> if e.kind = Span_begin then Hashtbl.replace begins e.span ()) evs;
   List.filter (fun e -> e.kind <> Span_end || Hashtbl.mem begins e.span) evs
+
+let events () =
+  merge_rings (List.map (fun r -> (r.ring_ord, ring_events r)) (snapshot_rings ()))
 
 let kind_name = function
   | Span_begin -> "span_begin"
@@ -414,47 +546,57 @@ let event_to_json e =
     e.seq e.stamp (kind_name e.kind) e.op e.span e.domain e.backend e.trace
 
 let check () =
-  if !open_span_count <> 0 then
-    Error (Printf.sprintf "unbalanced spans: %d still open" !open_span_count)
+  let rs = snapshot_rings () in
+  let opens = List.fold_left (fun a r -> a + r.ring_open_spans) 0 rs in
+  if opens <> 0 then Error (Printf.sprintf "unbalanced spans: %d still open" opens)
   else begin
-    let raw = raw_events () in
-    let retained = List.length raw in
-    if retained + dropped () <> !written_count then
-      Error
-        (Printf.sprintf "event accounting mismatch: %d retained + %d dropped <> %d written"
-           retained (dropped ()) !written_count)
-    else begin
-      let orphans = retained - List.length (events ()) in
-      if !written_count <= !capacity && orphans > 0 then
-        Error (Printf.sprintf "%d orphan span ends without wraparound" orphans)
-      else begin
-        let rec mono = function
-          | a :: (b :: _ as rest) ->
-            if a.seq >= b.seq then
-              Error (Printf.sprintf "non-monotonic seq: %d then %d" a.seq b.seq)
-            else mono rest
-          | _ -> Ok ()
-        in
-        mono raw
-      end
-    end
+    let rec per_ring = function
+      | [] -> Ok ()
+      | r :: rest ->
+        let raw = ring_raw r in
+        let retained = List.length raw in
+        if retained + ring_dropped r <> r.written then
+          Error
+            (Printf.sprintf
+               "event accounting mismatch: %d retained + %d dropped <> %d written"
+               retained (ring_dropped r) r.written)
+        else begin
+          let orphans = retained - List.length (ring_events r) in
+          if r.written <= r.cap && orphans > 0 then
+            Error (Printf.sprintf "%d orphan span ends without wraparound" orphans)
+          else begin
+            let rec mono = function
+              | a :: (b :: _ as rest) ->
+                if a.seq >= b.seq then
+                  Error (Printf.sprintf "non-monotonic seq: %d then %d" a.seq b.seq)
+                else mono rest
+              | _ -> Ok ()
+            in
+            match mono raw with Error _ as e -> e | Ok () -> per_ring rest
+          end
+        end
+    in
+    per_ring rs
   end
 
 (* --- reset ----------------------------------------------------------- *)
 
 let reset () =
-  alloc_ring !capacity;
-  internal_ticks := 0;
-  span_counter := 0;
-  open_span_count := 0;
-  trace_counter := 0;
-  cur_trace := 0;
+  let r = my_ring () in
+  locked (fun () -> rings := [ r ]);
+  realloc r r.cap;
+  r.ring_open_spans <- 0;
+  r.cur_trace <- 0;
+  Atomic.set internal_ticks 0;
+  Atomic.set span_counter 0;
+  Atomic.set trace_counter 0;
   Metrics.clear ();
-  Hashtbl.iter
-    (fun _ st ->
-      Array.fill st.os_dom_small 0 small_domains 0;
-      Hashtbl.reset st.os_domains)
-    op_cache
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ st ->
+          Array.fill st.os_dom_small 0 small_domains 0;
+          Hashtbl.reset st.os_domains)
+        op_cache)
 
 (* --- report ---------------------------------------------------------- *)
 
@@ -480,22 +622,25 @@ type report = {
 
 let summarize (h : Metrics.hist) =
   let p q = Option.value ~default:0 (Metrics.percentile_of h q) in
-  { h_count = h.Metrics.count; h_sum = h.Metrics.sum; h_max = h.Metrics.max_v;
+  { h_count = Atomic.get h.Metrics.count;
+    h_sum = Atomic.get h.Metrics.sum;
+    h_max = Atomic.get h.Metrics.max_v;
     h_p50 = p 0.5; h_p90 = p 0.9; h_p99 = p 0.99 }
 
 let report () =
   let doms =
-    Hashtbl.fold
-      (fun op st acc ->
-        let acc =
-          Hashtbl.fold (fun d c acc -> (d, op, !c) :: acc) st.os_domains acc
-        in
-        let acc = ref acc in
-        Array.iteri
-          (fun d c -> if c > 0 then acc := (d, op, c) :: !acc)
-          st.os_dom_small;
-        !acc)
-      op_cache []
+    locked (fun () ->
+        Hashtbl.fold
+          (fun op st acc ->
+            let acc =
+              Hashtbl.fold (fun d c acc -> (d, op, !c) :: acc) st.os_domains acc
+            in
+            let acc = ref acc in
+            Array.iteri
+              (fun d c -> if c > 0 then acc := (d, op, c) :: !acc)
+              st.os_dom_small;
+            !acc)
+          op_cache [])
     |> List.sort compare
   in
   let grouped =
@@ -510,7 +655,7 @@ let report () =
   { r_enabled = !enabled_flag;
     r_written = written ();
     r_dropped = dropped ();
-    r_open_spans = !open_span_count;
+    r_open_spans = open_spans ();
     r_counters = Metrics.counters ();
     r_gauges = Metrics.gauges ();
     r_histograms = List.map (fun (n, h) -> (n, summarize h)) (Metrics.histograms ());

@@ -8,13 +8,16 @@
 
     Three pieces:
 
-    - a fixed-size ring buffer of structured {!event}s (span begin/end
-      with monotonic cycle stamps, domain id, op kind, backend). The
-      ring is single-writer, index-based, and stored as plain column
-      arrays — no locks and no allocation on the emit path; when it
-      wraps, the oldest events are overwritten and {!events} drops any
-      span-end whose begin was overwritten so readers never see half a
-      pair;
+    - fixed-size ring buffers of structured {!event}s (span begin/end
+      with monotonic cycle stamps, domain id, op kind, backend). Each
+      OCaml Domain writes its own ring (domain-local storage), so
+      concurrent emitters — the sharded monitor's worker Domains —
+      never contend or tear; readers merge the rings by
+      [(stamp, ring, seq)] into one causal view. Within a ring the
+      writer is single and index-based, plain column arrays — no locks
+      and no allocation on the emit path; when a ring wraps, the
+      oldest events are overwritten and {!events} drops any span-end
+      whose begin was overwritten so readers never see half a pair;
     - a typed metrics registry ({!Metrics}): counters, gauges, and
       histograms with log2-bucketed values (latencies in simulated
       cycles);

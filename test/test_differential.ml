@@ -140,6 +140,124 @@ let test_differential () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "obs self-audit after replay: %s" e
 
+(* ---------------- sharded vs. unsharded ----------------
+
+   The global-id encoding is shard-count invariant for shard 0: a
+   workload confined to shard 0's resources must produce identical
+   responses, attestation bodies and shard-0 captree fingerprints
+   whether the federation has 1 shard or 4. The trace is recorded on a
+   scratch 1-shard world (ops need real ids, as above) and replayed
+   verbatim through both. *)
+
+let sharded_dispatch t call = Tyche.Sharded.dispatch t ~caller:os ~core call
+
+let sharded_trace () =
+  let t = boot_sharded ~shards:1 () in
+  let trace = ref [] in
+  let run call =
+    trace := Tyche.Api.encode call :: !trace;
+    sharded_dispatch t call
+  in
+  let cap_of = function
+    | Ok (Tyche.Api.R_cap c) -> c
+    | _ -> Alcotest.fail "recording: expected a capability result"
+  in
+  let dom_of = function
+    | Ok (Tyche.Api.R_domain d) -> d
+    | _ -> Alcotest.fail "recording: expected a domain result"
+  in
+  let mem = sharded_os_memory_cap t ~shard:0 in
+  let sbx = dom_of (run (Create_domain { name = "diff-sbx"; kind = Tyche.Domain.Sandbox })) in
+  let piece = cap_of (run (Carve { cap = mem; subrange = Hw.Addr.Range.make ~base:0x400000 ~len:(2 * page) })) in
+  let left, _right =
+    match run (Split { cap = piece; at = 0x400000 + page }) with
+    | Ok (Tyche.Api.R_cap_pair (a, b)) -> (a, b)
+    | _ -> Alcotest.fail "recording: expected a cap pair"
+  in
+  let shared =
+    cap_of
+      (run
+         (Share
+            { cap = left; to_ = sbx; rights = Cap.Rights.rw;
+              cleanup = Cap.Revocation.Zero; subrange = None }))
+  in
+  ignore (run (Set_entry_point { domain = sbx; entry = 0x400000 }));
+  ignore (run (Mark_measured { domain = sbx; range = Hw.Addr.Range.make ~base:0x400000 ~len:page }));
+  ignore (run (Seal { domain = sbx }));
+  ignore (run (Attest { domain = sbx; nonce = "shard-nonce" }));
+  ignore (run (Call { target = sbx }));
+  ignore (run Return);
+  ignore (run (Revoke { cap = shared }));
+  (* A short-lived second domain: Destroy exercises the 2PC broadcast
+     path on the N-shard side and the degenerate 1-shard path. *)
+  let tmp = dom_of (run (Create_domain { name = "diff-tmp"; kind = Tyche.Domain.Sandbox })) in
+  (* Carving invalidated the old root: re-query the OS's largest piece
+     (deterministic, so the recorded id means the same on replay). *)
+  let mem2 = sharded_os_memory_cap t ~shard:0 in
+  let piece2 = cap_of (run (Carve { cap = mem2; subrange = Hw.Addr.Range.make ~base:0x100000 ~len:page })) in
+  ignore
+    (run
+       (Share
+          { cap = piece2; to_ = tmp; rights = Cap.Rights.read_only;
+            cleanup = Cap.Revocation.Keep; subrange = None }));
+  ignore (run (Destroy { domain = tmp }));
+  ignore (run (Attest { domain = sbx; nonce = "shard-nonce-2" }));
+  (* Denied calls must be denied identically at every shard count. *)
+  ignore (run (Seal { domain = 7777 }));
+  (sbx, List.rev !trace)
+
+type sharded_outcome = {
+  s_responses : string list;
+  s_attest_bodies : Tyche.Attestation.t list;
+  s_fingerprint : Cap.Captree.node_spec list * Cap.Captree.cap_id;
+  s_sbx_caps : Cap.Captree.cap_id list;
+}
+
+let sharded_replay t sbx trace =
+  let attests = ref [] in
+  let responses =
+    List.map
+      (fun bytes ->
+        let call = get_ok_str ~msg:"decode recorded call" (Tyche.Api.decode bytes) in
+        let resp = sharded_dispatch t call in
+        (match resp with
+        | Ok (Tyche.Api.R_attestation a) -> attests := a :: !attests
+        | _ -> ());
+        summarize_response resp)
+      trace
+  in
+  let tree = Tyche.Monitor.tree (Tyche.Sharded.shard_monitor t 0) in
+  { s_responses = responses;
+    s_attest_bodies = List.rev !attests;
+    s_fingerprint = (Cap.Captree.dump tree, Cap.Captree.next_id tree);
+    s_sbx_caps = Tyche.Sharded.caps_of t sbx }
+
+let test_sharded_differential () =
+  let sbx, trace = sharded_trace () in
+  let o1 = sharded_replay (boot_sharded ~shards:1 ()) sbx trace in
+  let o4 = sharded_replay (boot_sharded ~shards:4 ()) sbx trace in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "step %d: 1-shard answered %s, 4-shard answered %s" i a b)
+    (List.combine o1.s_responses o4.s_responses);
+  Alcotest.(check int) "attestation count" (List.length o1.s_attest_bodies)
+    (List.length o4.s_attest_bodies);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "attestation %d body identical" i)
+        true
+        (Tyche.Fsck.body_equal a b))
+    (List.combine o1.s_attest_bodies o4.s_attest_bodies);
+  Alcotest.(check bool) "shard-0 captree fingerprints agree" true
+    (o1.s_fingerprint = o4.s_fingerprint);
+  Alcotest.(check bool) "sandbox capability sets agree" true (o1.s_sbx_caps = o4.s_sbx_caps)
+
 let () =
   Alcotest.run "differential"
-    [ ("backends", [ Alcotest.test_case "x86 vs riscv replay" `Quick test_differential ]) ]
+    [
+      ("backends", [ Alcotest.test_case "x86 vs riscv replay" `Quick test_differential ]);
+      ( "sharding",
+        [ Alcotest.test_case "1 shard vs 4 shards replay" `Quick test_sharded_differential ] );
+    ]

@@ -49,6 +49,51 @@ let boot_riscv ?(seed = 0x51L) ?(cores = 2) ?(mem_size = 16 * 1024 * 1024) ?allo
   in
   { machine; tpm; rng; boot_report; backend; monitor }
 
+(* A sharded federation: [shards] independent x86 worlds behind one
+   global namespace. [devices] attach to shard 0 (the sharded monitor
+   routes device capabilities there). *)
+let boot_sharded ?(seed = 0x71L) ?(shards = 2) ?(cores = 2)
+    ?(mem_size = 8 * 1024 * 1024) ?(devices = []) () =
+  let rng = Crypto.Rng.create ~seed in
+  let mk ~shard =
+    let machine = Hw.Machine.create ~arch:Hw.Cpu.X86_64 ~cores ~mem_size () in
+    if shard = 0 then List.iter (Hw.Machine.attach_device machine) devices;
+    let srng = Crypto.Rng.create ~seed:(Int64.add seed (Int64.of_int (shard * 7919))) in
+    let tpm = Rot.Tpm.create srng in
+    let report =
+      Rot.Boot.measured_boot tpm machine ~firmware ~loader:loader_blob ~monitor_image
+    in
+    let backend = Backend_x86.create machine () in
+    (machine, backend, tpm, srng, report.Rot.Boot.monitor_range)
+  in
+  Tyche.Sharded.boot ~shards ~rng ~mk ()
+
+(* The OS's largest memory capability on one shard, as a global id. *)
+let sharded_os_memory_cap t ~shard =
+  let m = Tyche.Sharded.shard_monitor t shard in
+  let tree = Tyche.Monitor.tree m in
+  let size cap =
+    match Cap.Captree.resource tree cap with
+    | Some (Cap.Resource.Memory r) -> Hw.Addr.Range.len r
+    | _ -> 0
+  in
+  match Tyche.Monitor.caps_of m Tyche.Domain.initial with
+  | [] -> Alcotest.fail "domain 0 holds no capabilities on the shard"
+  | caps ->
+    Tyche.Sharded.gcap ~shard
+      (List.fold_left (fun best c -> if size c > size best then c else best) (List.hd caps) caps)
+
+(* The OS's capability for a (global) core id, as a global id. *)
+let sharded_os_core_cap t core =
+  let shard = core / Tyche.Sharded.cores_per_shard t in
+  let local = core mod Tyche.Sharded.cores_per_shard t in
+  let m = Tyche.Sharded.shard_monitor t shard in
+  let tree = Tyche.Monitor.tree m in
+  Tyche.Sharded.gcap ~shard
+    (List.find
+       (fun cap -> Cap.Captree.resource tree cap = Some (Cap.Resource.Cpu_core local))
+       (Tyche.Monitor.caps_of m Tyche.Domain.initial))
+
 let os = Tyche.Domain.initial
 
 (* The OS's largest memory capability (carves keep splitting it, so
