@@ -831,7 +831,9 @@ let extensions () =
   let link_ns =
     timed_loop ~n:2000 (fun () ->
         Distributed.Session.send a (String.make 256 'd');
-        match Distributed.Session.recv b with Ok _ -> () | Error e -> failwith e)
+        match Distributed.Session.recv b with
+        | Ok _ -> ()
+        | Error e -> failwith (Distributed.Session.recv_error_to_string e))
   in
   row3 "rdma link: 256 B send+recv (HMAC)" (Printf.sprintf "%.1f us" (link_ns /. 1e3))
     "wall clock"
@@ -1368,7 +1370,12 @@ let e16_floor op =
 let e17 ?(smoke = false) () =
   if smoke then header "E17: observability overhead [smoke]"
   else header "E17: observability overhead (tracing on vs off, journaled op path)";
-  let n = if smoke then 1_000 else 10_000 in
+  (* Same loop length in smoke and full: at 1k pairs the steady-state
+     base op runs ~25% faster than at 10k, and since tracing adds a
+     constant per-op cost, a faster denominator inflates the measured
+     *relative* overhead — the smoke gate was sitting at 1.15-1.22x
+     against the 1.2 ceiling while the full run measures ~1.1x. *)
+  let n = 10_000 in
   let reps = if smoke then 5 else 3 in
   let measure tracing =
     let was = Obs.enabled () in
@@ -1403,33 +1410,32 @@ let e17 ?(smoke = false) () =
     Obs.set_enabled was;
     ns
   in
-  (* Measure the two modes back-to-back and keep the median of the
-     per-pair ratios: a slow phase (GC major, noisy neighbor, core
-     migration) inflates both halves of a pair alike and cancels in
-     the ratio, where a min-vs-min comparison would charge it to
-     whichever side it happened to hit. If the median still looks over
-     the contract, run more rounds — more samples around a transient
-     can only sharpen the median, never flatter it. *)
-  let samples = ref [] in
+  (* Measure the two modes back-to-back and gate on min-vs-min across
+     all samples (the E18 trick): a slow phase — GC major, noisy
+     neighbor, core migration — can only ever *inflate* a sample, so
+     the min of several runs is the best estimate of each mode's true
+     cost. (A median of per-pair ratios was tried first, but the
+     measured windows are a few ms — far shorter than the scheduler
+     quanta of a loaded CI box — so noise does not hit both halves of
+     a pair alike, and a transient landing on two or three "on"
+     halves shifted the median past the ceiling intermittently.) If
+     the mins still look over the contract, run more rounds. *)
+  let ons = ref [] and offs = ref [] in
   let round () =
     for _ = 1 to reps do
-      let off = measure false in
-      let on = measure true in
-      samples := (on, off) :: !samples
+      offs := measure false :: !offs;
+      ons := measure true :: !ons
     done
   in
-  let ratio (on, off) = on /. off in
-  let median () =
-    let sorted = List.sort (fun a b -> compare (ratio a) (ratio b)) !samples in
-    List.nth sorted (List.length sorted / 2)
-  in
+  let best samples = List.fold_left Float.min infinity !samples in
+  let ratio () = best ons /. best offs in
   round ();
   let attempts = ref 1 in
-  while ratio (median ()) > 1.15 && !attempts < 3 do
+  while ratio () > 1.15 && !attempts < 3 do
     incr attempts;
     round ()
   done;
-  let on_ns, off_ns = median () in
+  let on_ns, off_ns = (best ons, best offs) in
   row3 "e17 journaled share+revoke, tracing on"
     (Printf.sprintf "%.0f ns/op" on_ns)
     (Printf.sprintf "vs %.0f ns off, %+.1f%% overhead" off_ns
@@ -1814,6 +1820,157 @@ let e19 ?(smoke = false) () =
    errors) — and the ratio is printed for information only. *)
 let e19_speedup_floor = 2.5
 
+(* E20: cross-machine delegation (fleet) costs. Two absolute rows plus
+   one ratio gate:
+   - delegate round-trip: Fleet.delegate on alpha, pump the (loss-free)
+     link until beta's import lands and the cumulative ack returns;
+   - revoke convergence: Fleet.revoke of a delegated page, pump until
+     the peer drops the import, acks, and the local cascade runs;
+   - outbox overhead: the full delegate+revoke pair with the fleet
+     outbox journaled in the store's "fleet" blob vs the same pair with
+     a volatile outbox (no Fleet store), monitor persistence on in both
+     — isolating what journal-then-ack adds on top of the already
+     journaled monitor ops and the two HMACs per message. *)
+let e20 ?(smoke = false) () =
+  if smoke then header "E20: cross-machine delegation [smoke]"
+  else header "E20: cross-machine delegation (round-trip, revoke convergence, outbox overhead)";
+  let n = if smoke then 150 else 2_000 in
+  let reps = 3 in
+  let mk_pair ~outbox =
+    let net = Distributed.Network.create () in
+    let wa = boot ~seed:0x20AL () in
+    let wb = boot ~seed:0x20BL () in
+    let attach w name =
+      let store = Persist.Store.mem () in
+      Tyche.Monitor.enable_persistence w.monitor ~store ~snapshot_every:max_int
+        ~fsync_every:1 ();
+      if outbox then Distributed.Fleet.create ~store ~monitor:w.monitor ~name ~net ()
+      else Distributed.Fleet.create ~monitor:w.monitor ~name ~net ()
+    in
+    let fa = attach wa "alpha" in
+    let fb = attach wb "beta" in
+    let key = "e20-fleet-session-key-0123456789" in
+    let conn f ~peer =
+      match Distributed.Fleet.connect f ~peer ~key with
+      | Ok _ -> ()
+      | Error e -> failwith ("e20 connect: " ^ Distributed.Fleet.error_to_string e)
+    in
+    conn fa ~peer:"beta";
+    conn fb ~peer:"alpha";
+    (wa, fa, fb)
+  in
+  let measure ~outbox =
+    let wa, fa, fb = mk_pair ~outbox in
+    let idle () = Distributed.Fleet.idle fa && Distributed.Fleet.idle fb in
+    let pump () =
+      ignore (Distributed.Fleet.poll fb);
+      ignore (Distributed.Fleet.poll fa);
+      let rounds = ref 0 in
+      while (not (idle ())) && !rounds < 64 do
+        incr rounds;
+        Distributed.Fleet.tick fa;
+        Distributed.Fleet.tick fb;
+        ignore (Distributed.Fleet.poll fb);
+        ignore (Distributed.Fleet.poll fa)
+      done;
+      if not (idle ()) then failwith "e20: no convergence on a loss-free link"
+    in
+    let big = os_memory_cap wa in
+    let slot = ref 0 in
+    let delegate_rt () =
+      (* 1024 distinct page slots, reused round-robin: live delegations
+         of the same page coexist fine (independent proxy caps), and the
+         revoke phase below retires them one by one. *)
+      let base = 0x400000 + (!slot mod 1024 * page) in
+      incr slot;
+      match
+        Distributed.Fleet.delegate fa ~caller:os ~cap:big ~peer:"beta"
+          ~subrange:(range ~base ~len:page) ~rights:Cap.Rights.rw ()
+      with
+      | Error e -> failwith ("e20 delegate: " ^ Distributed.Fleet.error_to_string e)
+      | Ok _ -> pump ()
+    in
+    let rt = timed_loop ~n delegate_rt in
+    (* Everything delegated above (timed and warm-up alike) is now live;
+       the revoke loop drains exactly that backlog, topping up on the
+       fly if the loop's warm-up count ever changes. *)
+    let retired = Queue.create () in
+    List.iter
+      (fun d -> Queue.add d.Distributed.Fleet.proxy_cap retired)
+      (Distributed.Fleet.delegations fa);
+    let revoke_conv () =
+      let cap =
+        match Queue.take_opt retired with
+        | Some c -> c
+        | None ->
+          delegate_rt ();
+          (match Distributed.Fleet.delegations fa with
+          | d :: _ -> d.Distributed.Fleet.proxy_cap
+          | [] -> failwith "e20: no delegation left to revoke")
+      in
+      match Distributed.Fleet.revoke fa ~caller:os ~cap with
+      | Error e -> failwith ("e20 revoke: " ^ Distributed.Fleet.error_to_string e)
+      | Ok () -> pump ()
+    in
+    let rv = timed_loop ~n revoke_conv in
+    (rt, rv)
+  in
+  (* The gate is a ratio and the per-measure window is short (a few ms
+     at smoke sizes), so scheduling noise does not hit paired runs
+     alike — instead take the min of several samples on *both* sides
+     (the E18 trick): noise only ever inflates a sample, so min-vs-min
+     compares the two configurations' true costs. *)
+  let d_samples = ref [] and v_samples = ref [] in
+  let round () =
+    for _ = 1 to reps do
+      v_samples := measure ~outbox:false :: !v_samples;
+      d_samples := measure ~outbox:true :: !d_samples
+    done
+  in
+  let best samples =
+    List.fold_left
+      (fun (brt, brv) (rt, rv) ->
+        if rt +. rv < brt +. brv then (rt, rv) else (brt, brv))
+      (infinity, infinity) !samples
+  in
+  let ratio () =
+    let d_rt, d_rv = best d_samples and v_rt, v_rv = best v_samples in
+    (d_rt +. d_rv) /. (v_rt +. v_rv)
+  in
+  round ();
+  let attempts = ref 1 in
+  while ratio () > 1.15 && !attempts < 3 do
+    incr attempts;
+    round ()
+  done;
+  let d_rt, d_rv = best d_samples and v_rt, v_rv = best v_samples in
+  row3 "e20 delegate round-trip" (Printf.sprintf "%.0f ns/op" d_rt)
+    "share+freeze+wire+journal, acked";
+  row3 "e20 revoke convergence" (Printf.sprintf "%.0f ns/op" d_rv)
+    "remote unimport acked, local cascade";
+  row3 "e20 outbox overhead, pair"
+    (Printf.sprintf "%.2fx" ((d_rt +. d_rv) /. (v_rt +. v_rv)))
+    (Printf.sprintf "journaled %.0f ns vs volatile %.0f ns" (d_rt +. d_rv) (v_rt +. v_rv));
+  [ { size = n; op = "e20 delegate round-trip"; indexed_ns = d_rt; reference_ns = nan };
+    { size = n; op = "e20 revoke convergence"; indexed_ns = d_rv; reference_ns = nan };
+    { size = n; op = "e20 outbox journal, delegate+revoke pair";
+      indexed_ns = d_rt +. d_rv; reference_ns = v_rt +. v_rv } ]
+
+(* Ceiling for the E20 ratio: the distributed contract (DESIGN.md §12)
+   prices the durable outbox at <= 1.2x over a volatile one on the full
+   delegate+revoke pair — the full-scale run measures 1.09x
+   (BENCH_capops.json). The pair already pays the monitor's own WAL
+   records plus four HMACs of wire traffic; the fleet journal adds a
+   handful of ~40-byte appends and mem-store fsyncs. The smoke gate
+   sits above the contract (same reasoning as the journaled-rows gate
+   in capops_smoke): smoke's few-ms windows on a loaded 1-CPU box
+   jitter the ratio up to ~1.3 when a slow phase lands on the journaled
+   side's extra allocation, while an actually pathological outbox —
+   fsyncing the whole blob per record, per-message allocation storms —
+   lands at >= 2x. *)
+let e20_ceiling op =
+  if op = "e20 outbox journal, delegate+revoke pair" then Some 1.5 else None
+
 (* Smoke mode (`bench-smoke` alias, run under `dune runtest`): tiny
    iteration counts, no JSON, but hard assertions — the indexed paths
    must beat the scans and the attestation bodies must agree, so an
@@ -1943,6 +2100,18 @@ let capops_smoke () =
           :: !failures
     end
   | _ -> failures := "e19 parallel throughput rows missing" :: !failures);
+  (* Cross-machine delegation: the durable outbox must stay cheap. *)
+  List.iter
+    (fun r ->
+      match e20_ceiling r.op with
+      | None -> ()
+      | Some ceiling ->
+        if r.indexed_ns /. r.reference_ns > ceiling then
+          failures :=
+            Printf.sprintf "%s: %.0f ns journaled vs %.0f ns volatile (> %.1fx)" r.op
+              r.indexed_ns r.reference_ns ceiling
+            :: !failures)
+    (e20 ~smoke:true ());
   match !failures with
   | [] -> Printf.printf "\nbench-smoke: ok\n"
   | fs ->
@@ -1969,7 +2138,7 @@ let () =
     extensions ();
     micro ();
     let rows, _ = capops () in
-    let rows = rows @ e14 () @ e16 () @ e17 () @ e18 () @ capops_scaling () @ e19 () in
+    let rows = rows @ e14 () @ e16 () @ e17 () @ e18 () @ capops_scaling () @ e19 () @ e20 () in
     write_capops_json rows;
     Printf.printf "\nwrote %s (%d rows)\n" capops_json_file (List.length rows);
     Printf.printf "\nbench: done\n"

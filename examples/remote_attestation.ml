@@ -15,6 +15,11 @@ let enclave_image () =
   in
   Result.get_ok (Image.Builder.finish (Image.Builder.set_entry b 0))
 
+let recv_str link =
+  match Distributed.Session.recv link with
+  | Ok v -> v
+  | Error e -> failwith (Distributed.Session.recv_error_to_string e)
+
 let deploy ~seed name =
   let w = boot ~seed () in
   let h =
@@ -67,17 +72,17 @@ let () =
   let b = Distributed.Session.connect net ~local:"beta" ~remote:"alpha" ~key in
   Distributed.Session.send a "state delta #1";
   Distributed.Session.send a "state delta #2";
-  say "beta received: %S" (ok_str (Distributed.Session.recv b));
-  say "beta received: %S" (ok_str (Distributed.Session.recv b));
+  say "beta received: %S" (recv_str b);
+  say "beta received: %S" (recv_str b);
 
   step "The adversary owns the wire. Let it try.";
   (* Capture a legitimate frame, let it deliver once, then replay it. *)
   Distributed.Session.send a "balance += 100";
   let captured = List.hd (Distributed.Network.eavesdrop net "beta") in
-  say "delivered once: %S" (ok_str (Distributed.Session.recv b));
+  say "delivered once: %S" (recv_str b);
   Distributed.Network.replay net ~to_:"beta" captured;
   (match Distributed.Session.recv b with
-  | Error e -> say "replayed frame: %s" e
+  | Error e -> say "replayed frame: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> failwith "replay undetected");
   (* Flip a byte of an in-flight frame. *)
   Distributed.Session.send a "balance -= 5";
@@ -86,16 +91,16 @@ let () =
       Bytes.set by 15 '9';
       Bytes.to_string by));
   (match Distributed.Session.recv b with
-  | Error e -> say "tampered frame: %s" e
+  | Error e -> say "tampered frame: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> failwith "tampering undetected");
   (* Forge from nothing. *)
   Distributed.Network.inject net ~to_:"beta" (String.make 64 'Z');
   (match Distributed.Session.recv b with
-  | Error e -> say "forged frame: %s" e
+  | Error e -> say "forged frame: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> failwith "forgery undetected");
   (* Legitimate traffic continues unaffected. *)
   Distributed.Session.send a "balance -= 5";
-  say "honest retransmission delivered: %S" (ok_str (Distributed.Session.recv b));
+  say "honest retransmission delivered: %S" (recv_str b);
 
   step "An impostor machine cannot join";
   let wc, hc = deploy ~seed:0xC33L "gamma (impostor hardware)" in

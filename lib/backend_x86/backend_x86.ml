@@ -288,7 +288,8 @@ let mode_for d =
   match Tyche.Domain.kind d with
   | Tyche.Domain.Os | Tyche.Domain.Confidential_vm ->
     Hw.Cpu.X86 { ring = 0; vmx_root = false }
-  | Tyche.Domain.Sandbox | Tyche.Domain.Enclave | Tyche.Domain.Io_domain ->
+  | Tyche.Domain.Sandbox | Tyche.Domain.Enclave | Tyche.Domain.Io_domain
+  | Tyche.Domain.Remote ->
     Hw.Cpu.X86 { ring = 3; vmx_root = false }
 
 let enter s ~core d =
@@ -390,7 +391,8 @@ let create machine ?(tlb_strategy = Full_shootdown) ?mktme () =
           (match Tyche.Domain.kind d with
           | Tyche.Domain.Enclave | Tyche.Domain.Confidential_vm ->
             Hashtbl.replace s.confidential id ()
-          | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain -> ());
+          | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain
+          | Tyche.Domain.Remote -> ());
           Hashtbl.replace s.epts id (Hw.Ept.create ~counter:machine.Hw.Machine.counter);
           Hashtbl.replace s.eptp_lists id (Hw.Ept.Eptp_list.create ()));
       domain_destroyed =

@@ -13,6 +13,7 @@ type error =
   | Grant_denied
   | Bad_subrange
   | Overlapping_root
+  | Frozen of cap_id
 
 let error_to_string = function
   | No_such_capability id -> Printf.sprintf "no such capability: %d" id
@@ -22,6 +23,8 @@ let error_to_string = function
   | Grant_denied -> "capability is not grantable"
   | Bad_subrange -> "invalid subrange or split point"
   | Overlapping_root -> "new root overlaps an existing root"
+  | Frozen id ->
+    Printf.sprintf "capability %d is frozen (remote revocation pending)" id
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
@@ -98,6 +101,14 @@ type t = {
      derived views. *)
   mutable journal : (unit -> unit) list;
   mutable journaling : bool;
+  (* Caps frozen by a pending cross-machine revocation (Fleet): every
+     mutation through the frozen cap or its subtree is refused until
+     [thaw]. Small (proportional to in-flight remote revokes), so the
+     guards iterate/walk it directly; the zero-size fast path keeps
+     machine-local workloads paying one [Hashtbl.length] per op. Not
+     serialized in snapshots — the fleet journal is the durable record
+     of pending revocations and re-freezes on recovery. *)
+  frozen : (cap_id, unit) Hashtbl.t;
 }
 
 let create () =
@@ -113,7 +124,8 @@ let create () =
     seg_gens = Hashtbl.create 16;
     region_cache = None;
     journal = [];
-    journaling = false }
+    journaling = false;
+    frozen = Hashtbl.create 4 }
 
 let generation t = t.generation
 let segment_count t = IntMap.cardinal t.segments
@@ -183,6 +195,48 @@ let fresh_id t =
   if t.journaling then record t (fun () -> t.next_id <- id);
   t.next_id <- id + 1;
   id
+
+(* --- frozen caps (pending cross-machine revocation) ----------------- *)
+
+let freeze t id =
+  let* _ = find t id in
+  if not (Hashtbl.mem t.frozen id) then begin
+    touch t;
+    if t.journaling then record t (fun () -> Hashtbl.remove t.frozen id);
+    Hashtbl.replace t.frozen id ()
+  end;
+  Ok ()
+
+let thaw t id =
+  if Hashtbl.mem t.frozen id then begin
+    touch t;
+    if t.journaling then record t (fun () -> Hashtbl.replace t.frozen id ());
+    Hashtbl.remove t.frozen id
+  end
+
+let is_frozen t id = Hashtbl.mem t.frozen id
+
+let frozen_caps t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.frozen [] |> List.sort Int.compare
+
+(* Walking up from [id] beats iterating the frozen set here: mutation
+   guards run on every share/grant/split, and the walk is bounded by
+   tree depth with an O(1) bail-out when nothing is frozen. *)
+let frozen_ancestor t id =
+  if Hashtbl.length t.frozen = 0 then None
+  else begin
+    let rec walk current =
+      if Hashtbl.mem t.frozen current then Some current
+      else
+        match Hashtbl.find_opt t.nodes current with
+        | Some { parent = Some p; _ } -> walk p
+        | _ -> None
+    in
+    walk id
+  end
+
+let check_not_frozen t id =
+  match frozen_ancestor t id with Some f -> Error (Frozen f) | None -> Ok ()
 
 (* --- segment index (delta-maintained region map) ------------------- *)
 
@@ -404,6 +458,7 @@ let narrowed_resource node subrange =
 
 let share t id ~to_ ~rights ~cleanup ?subrange () =
   let* n = find_active t id in
+  let* () = check_not_frozen t id in
   if not n.node_rights.Rights.can_share then Error Sharing_denied
   else if not (Rights.attenuates ~parent:n.node_rights ~child:rights) then
     Error Rights_exceeded
@@ -417,6 +472,7 @@ let share t id ~to_ ~rights ~cleanup ?subrange () =
 
 let grant t id ~to_ ~rights ~cleanup =
   let* n = find_active t id in
+  let* () = check_not_frozen t id in
   if not n.node_rights.Rights.can_grant then Error Grant_denied
   else if not (Rights.attenuates ~parent:n.node_rights ~child:rights) then
     Error Rights_exceeded
@@ -442,6 +498,7 @@ let grant t id ~to_ ~rights ~cleanup =
 
 let split t id ~at =
   let* n = find_active t id in
+  let* () = check_not_frozen t id in
   match n.resource with
   | Resource.Cpu_core _ | Resource.Device _ -> Error Bad_subrange
   | Resource.Memory r -> (
@@ -471,6 +528,7 @@ let split t id ~at =
 
 let carve t id ~subrange =
   let* n = find_active t id in
+  let* () = check_not_frozen t id in
   match n.resource with
   | Resource.Cpu_core _ | Resource.Device _ -> Error Bad_subrange
   | Resource.Memory r ->
@@ -574,12 +632,40 @@ let remove_and_collect t node =
       end
       else effects)
 
+(* A pending remote revocation anywhere inside the target subtree must
+   block local revocation: destroying the proxy's cap would erase the
+   only local record that a remote machine still holds the resource.
+   The frozen set is tiny, so walking up from each frozen id is cheap
+   (and free when nothing is frozen). *)
+let frozen_in_subtree t id =
+  if Hashtbl.length t.frozen = 0 then None
+  else
+    Hashtbl.fold
+      (fun f () acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let rec up current =
+            current = id
+            ||
+            match Hashtbl.find_opt t.nodes current with
+            | Some { parent = Some p; _ } -> up p
+            | _ -> false
+          in
+          if up f then Some f else None)
+      t.frozen None
+
 let revoke t id =
   let* n = find t id in
-  Ok (remove_and_collect t n)
+  match frozen_in_subtree t id with
+  | Some f -> Error (Frozen f)
+  | None -> Ok (remove_and_collect t n)
 
 let revoke_children t id =
   let* n = find t id in
+  match frozen_in_subtree t id with
+  | Some f -> Error (Frozen f)
+  | None ->
   let effects =
     List.concat_map
       (fun cid ->
@@ -893,7 +979,17 @@ let check_invariants t =
           in
           match walk n.id 0 with Error _ as e -> e | Ok () -> first_error rest))
   in
-  first_error nodes
+  let frozen_exist =
+    Hashtbl.fold
+      (fun id () acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if Hashtbl.mem t.nodes id then Ok ()
+          else fail "frozen capability %d does not exist" id)
+      t.frozen (Ok ())
+  in
+  match frozen_exist with Error _ as e -> e | Ok () -> first_error nodes
 
 (* Cross-check every incremental index against its full-scan reference.
    O(n log n); run by the judiciary sweep (Invariants.check_all) and by

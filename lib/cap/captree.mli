@@ -37,6 +37,10 @@ type error =
   | Bad_subrange (** Subrange outside the capability, or on a non-memory
                      resource, or a split point outside the range. *)
   | Overlapping_root (** A new root would alias an existing root. *)
+  | Frozen of cap_id
+    (** The capability (or an ancestor / a descendant, depending on the
+        operation) is frozen by a pending cross-machine revocation; the
+        operation is refused until {!thaw}. Carries the frozen id. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -93,6 +97,31 @@ val revoke : t -> cap_id -> (effect list, error) result
 
 val revoke_children : t -> cap_id -> (effect list, error) result
 (** Revoke every delegation made from this capability, keeping it. *)
+
+(** {2 Frozen capabilities (cross-machine revocation)}
+
+    While a revocation is in flight to a remote machine, the local cap
+    must neither be mutated (the remote holder's lineage would change
+    under it) nor revoked (the proxy node is the only local record that
+    a remote machine holds the resource). [Fleet] freezes the cap for
+    the duration: {!share}, {!grant}, {!split} and {!carve} refuse on a
+    frozen cap or any cap beneath a frozen ancestor, and {!revoke} /
+    {!revoke_children} refuse when any frozen cap lies inside the
+    target subtree — all with [Error (Frozen id)]. Freezing is
+    journaled under an open transaction like every other mutation, but
+    is {e not} serialized in snapshots: the fleet journal is the
+    durable record and re-freezes during recovery. *)
+
+val freeze : t -> cap_id -> (unit, error) result
+(** Idempotent; [Error (No_such_capability _)] if the id is unknown. *)
+
+val thaw : t -> cap_id -> unit
+(** Idempotent; unknown or unfrozen ids are ignored. *)
+
+val is_frozen : t -> cap_id -> bool
+
+val frozen_caps : t -> cap_id list
+(** Sorted ids of currently frozen caps (diagnostics and audits). *)
 
 (** {2 Transactions (crash consistency)}
 
@@ -198,8 +227,8 @@ val check_invariants : t -> (unit, string) result
 (** Verify: child resources are contained in their parent's; child
     rights attenuate; split children partition their parent exactly;
     inactive nodes have children or are roots whose resource moved;
-    the parent links are acyclic. Returns a description of the first
-    violation. *)
+    the parent links are acyclic; every frozen id names an existing
+    node. Returns a description of the first violation. *)
 
 val check_index_consistency : t -> (unit, string) result
 (** Cross-check every incremental index (per-domain cap sets, the

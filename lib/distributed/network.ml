@@ -4,13 +4,27 @@ type t = {
   queues : (endpoint, string Queue.t) Hashtbl.t;
   mutable total : int;
   mutable dropped : int;
+  mutable reordered : int;
+  mutable duplicated : int;
+  mutable partition_drops : int;
+  (* Active partition cuts, as normalized (min, max) endpoint pairs. *)
+  mutable cuts : (endpoint * endpoint) list;
 }
 
 (* Lossy-delivery point: a fired fault silently drops the message in
    flight, as a real lossy link would — senders cannot observe it. *)
 let deliver_fault = Fault.register "net.deliver"
 
-let create () = { queues = Hashtbl.create 8; total = 0; dropped = 0 }
+let create () =
+  {
+    queues = Hashtbl.create 8;
+    total = 0;
+    dropped = 0;
+    reordered = 0;
+    duplicated = 0;
+    partition_drops = 0;
+    cuts = [];
+  }
 
 let queue t ep =
   match Hashtbl.find_opt t.queues ep with
@@ -20,10 +34,24 @@ let queue t ep =
     Hashtbl.add t.queues ep q;
     q
 
+let norm_pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let partitioned t a b = List.mem (norm_pair a b) t.cuts
+
+let partition t a b =
+  let p = norm_pair a b in
+  if not (List.mem p t.cuts) then t.cuts <- p :: t.cuts
+
+let heal t a b =
+  let p = norm_pair a b in
+  t.cuts <- List.filter (fun c -> c <> p) t.cuts
+
+let heal_all t = t.cuts <- []
+
 let send t ~from_ ~to_ msg =
-  ignore from_;
   t.total <- t.total + 1;
-  if Fault.fires deliver_fault then t.dropped <- t.dropped + 1
+  if partitioned t from_ to_ then t.partition_drops <- t.partition_drops + 1
+  else if Fault.fires deliver_fault then t.dropped <- t.dropped + 1
   else Queue.add msg (queue t to_)
 
 let recv t ep = Queue.take_opt (queue t ep)
@@ -52,6 +80,56 @@ let inject t ~to_ msg =
 
 let replay = inject
 
+(* A tiny self-contained splitmix64 step: the adversary's permutation
+   choices must depend only on the caller's seed, never on global RNG
+   state, so chaos runs replay bit-identically from TYCHE_FAULT_SEED. *)
+let mix state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (* Keep 62 bits: [to_int] truncates to OCaml's 63-bit int, so a 63-bit
+     value could come out negative and poison the [mod] below. *)
+  to_int (shift_right_logical z 2)
+
+let reorder t ep ~seed =
+  let q = queue t ep in
+  let n = Queue.length q in
+  if n < 2 then false
+  else begin
+    let arr = Array.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    let state = ref (Int64.of_int seed) in
+    (* Fisher–Yates over the whole queue. *)
+    for i = n - 1 downto 1 do
+      let j = mix state mod (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.iter (fun m -> Queue.add m q) arr;
+    t.reordered <- t.reordered + n;
+    true
+  end
+
+let duplicate t ep ~seed =
+  let q = queue t ep in
+  let n = Queue.length q in
+  if n = 0 then false
+  else begin
+    let state = ref (Int64.of_int seed) in
+    let victim = mix state mod n in
+    let copy = List.nth (List.of_seq (Queue.to_seq q)) victim in
+    Queue.add copy q;
+    t.duplicated <- t.duplicated + 1;
+    true
+  end
+
 let total_messages t = t.total
 
 let dropped t = t.dropped
+let reordered t = t.reordered
+let duplicated t = t.duplicated
+let partition_drops t = t.partition_drops

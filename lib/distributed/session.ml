@@ -167,20 +167,34 @@ let send link payload =
   link.sent <- link.sent + 1;
   Network.send link.net ~from_:link.local ~to_:link.remote (frame ~key:link.key ~seq payload)
 
+type recv_error =
+  | Tampered
+  | Closed
+  | Decode of string
+
+let recv_error_to_string = function
+  | Tampered -> "authentication failed (forged, tampered or replayed frame)"
+  | Closed -> "no datagram pending"
+  | Decode e -> "malformed frame: " ^ e
+
 let recv link =
   match Network.recv link.net link.local with
-  | None -> Error "no datagram pending"
+  | None -> Error Closed
   | Some raw -> (
     match parse_frame raw with
-    | Error e -> Error ("malformed frame: " ^ e)
+    | Error e -> Error (Decode e)
     | Ok (seq, payload, mac) ->
       if
         not
           (Crypto.Hmac.verify ~key:link.key
              (Printf.sprintf "%d|%s" seq payload)
              (Crypto.Sha256.of_raw mac))
-      then Error "authentication failed (forged or tampered frame)"
-      else if seq <= link.last_recv then Error "stale sequence number (replay)"
+      then Error Tampered
+      else if seq <= link.last_recv then
+        (* A stale sequence number is a replay — an authentication
+           failure, not a decode failure: the MAC verified, but the
+           adversary re-injected an old frame. *)
+        Error Tampered
       else begin
         link.last_recv <- seq;
         link.received <- link.received + 1;

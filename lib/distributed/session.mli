@@ -97,10 +97,24 @@ val connect :
 val send : link -> string -> unit
 (** Frame = sequence number, payload, HMAC(key, seq || payload). *)
 
-val recv : link -> (string, string) result
-(** Returns the next in-sequence authenticated payload. Fails (with a
-    reason) on: empty queue, bad MAC (forgery/tamper), or a sequence
-    number at or below the last accepted one (replay / re-injection). *)
+(** Why {!recv} returned nothing, typed like PR 3's
+    {!establish_error} so callers can branch without string matching. *)
+type recv_error =
+  | Tampered
+  (** Bad MAC (forgery or in-flight tamper), or a sequence number at
+      or below the last accepted one (replay / re-injection). Both are
+      authentication failures: the frame is discarded and the link
+      state is unchanged. *)
+  | Closed
+  (** No datagram pending for this endpoint. *)
+  | Decode of string
+  (** The frame could not even be parsed (truncated or mis-framed);
+      carries the parser's reason. *)
+
+val recv_error_to_string : recv_error -> string
+
+val recv : link -> (string, recv_error) result
+(** Returns the next in-sequence authenticated payload. *)
 
 val sent : link -> int
 val received : link -> int

@@ -28,7 +28,8 @@ let padded_content seg =
 let default_flush kind =
   match kind with
   | Tyche.Domain.Enclave | Tyche.Domain.Confidential_vm -> true
-  | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain -> false
+  | Tyche.Domain.Os | Tyche.Domain.Sandbox | Tyche.Domain.Io_domain
+  | Tyche.Domain.Remote -> false
 
 let load monitor ~caller ~core ~memory_cap ~at ~image ~kind ?cores ?flush_on_transition
     ?(seal = true) () =

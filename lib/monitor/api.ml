@@ -205,6 +205,7 @@ let kind_code = function
   | Domain.Enclave -> 2
   | Domain.Confidential_vm -> 3
   | Domain.Io_domain -> 4
+  | Domain.Remote -> 5
 
 let kind_of_code = function
   | 0 -> Some Domain.Os
@@ -212,6 +213,7 @@ let kind_of_code = function
   | 2 -> Some Domain.Enclave
   | 3 -> Some Domain.Confidential_vm
   | 4 -> Some Domain.Io_domain
+  | 5 -> Some Domain.Remote
   | _ -> None
 
 let rights_byte (r : Cap.Rights.t) =

@@ -235,6 +235,7 @@ let of_wire wire =
         | "enclave" -> Domain.Enclave
         | "confidential-vm" -> Domain.Confidential_vm
         | "io-domain" -> Domain.Io_domain
+        | "remote" -> Domain.Remote
         | k -> fail ("unknown kind " ^ k)
       in
       let sealed =

@@ -2,7 +2,7 @@ type id = int
 
 let initial = 0
 
-type kind = Os | Sandbox | Enclave | Confidential_vm | Io_domain
+type kind = Os | Sandbox | Enclave | Confidential_vm | Io_domain | Remote
 
 let kind_to_string = function
   | Os -> "os"
@@ -10,6 +10,7 @@ let kind_to_string = function
   | Enclave -> "enclave"
   | Confidential_vm -> "confidential-vm"
   | Io_domain -> "io-domain"
+  | Remote -> "remote"
 
 let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
 

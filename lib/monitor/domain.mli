@@ -21,6 +21,13 @@ type kind =
   | Enclave (** Confidential compartment distrusting its creator. *)
   | Confidential_vm
   | Io_domain (** A device-backed domain (e.g. the paper's GPU). *)
+  | Remote
+    (** A proxy standing in for a peer machine in the capability tree:
+        [Fleet] creates one per connected peer, and cross-machine
+        delegations are shares {e to} it — so remote holders appear in
+        refcounts, holders lists and attestation bodies (C5 across
+        machines) without the monitor knowing anything about networks.
+        Never runs, never sealed, no entry point. *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val kind_to_string : kind -> string

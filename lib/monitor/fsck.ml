@@ -62,7 +62,8 @@ let check ?baseline t =
       of_violations "hardware" (Invariants.check_hardware_matches_tree t);
       of_violations "sealed" (Invariants.check_sealed_unextended t);
       of_violations "tlb" (Invariants.check_no_stale_tlb t);
-      of_violations "refcounts" (Invariants.check_refcounts t) ]
+      of_violations "refcounts" (Invariants.check_refcounts t);
+      of_violations "remote" (Invariants.check_remote t) ]
   in
   let items =
     match baseline with

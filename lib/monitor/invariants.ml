@@ -89,6 +89,35 @@ let check_refcounts m =
                 (Format.asprintf "%a" Hw.Addr.Range.pp seg) rc (List.length holders)))
     (Cap.Captree.region_map tree)
 
+(* Remote proxy domains are pure bookkeeping: they stand in for a peer
+   machine in the capability tree and must never acquire an execution
+   identity — no seal, no entry point, never scheduled on a core. Any
+   of those would let a "remote holder" run locally, silently widening
+   C5's cross-machine exclusivity claims. *)
+let check_remote m =
+  let cores =
+    let machine = Monitor.machine m in
+    List.init (Array.length machine.Hw.Machine.cores) (fun i -> i)
+  in
+  List.concat_map
+    (fun d ->
+      if Domain.kind d <> Domain.Remote then []
+      else
+        let id = Domain.id d in
+        (if Domain.is_sealed d then [ v "remote-inert" "remote proxy %d is sealed" id ]
+         else [])
+        @ (match Domain.entry_point d with
+          | Some ep ->
+            [ v "remote-inert" "remote proxy %d has entry point 0x%x" id ep ]
+          | None -> [])
+        @ List.filter_map
+            (fun core ->
+              if Monitor.current_domain m ~core = id then
+                Some (v "remote-inert" "remote proxy %d is running on core %d" id core)
+              else None)
+            cores)
+    (Monitor.domains m)
+
 let check_index m =
   match Cap.Captree.check_index_consistency (Monitor.tree m) with
   | Ok () -> []
@@ -97,3 +126,4 @@ let check_index m =
 let check_all m =
   check_tree m @ check_index m @ check_hardware_matches_tree m
   @ check_sealed_unextended m @ check_no_stale_tlb m @ check_refcounts m
+  @ check_remote m

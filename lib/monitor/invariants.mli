@@ -45,3 +45,8 @@ val check_no_stale_tlb : Monitor.t -> violation list
 val check_refcounts : Monitor.t -> violation list
 (** The region map's holder sets are consistent with per-resource
     refcounts (the eager/recomputed agreement of ablation a1). *)
+
+val check_remote : Monitor.t -> violation list
+(** Remote proxy domains (standing in for peer machines in cross-machine
+    delegation) stay inert: never sealed, no entry point, never
+    scheduled on a core. *)

@@ -124,6 +124,7 @@ let kind_to_int = function
   | Domain.Enclave -> 2
   | Domain.Confidential_vm -> 3
   | Domain.Io_domain -> 4
+  | Domain.Remote -> 5
 
 let kind_of_int = function
   | 0 -> Some Domain.Os
@@ -131,6 +132,7 @@ let kind_of_int = function
   | 2 -> Some Domain.Enclave
   | 3 -> Some Domain.Confidential_vm
   | 4 -> Some Domain.Io_domain
+  | 5 -> Some Domain.Remote
   | _ -> None
 
 let cleanup_to_int = function

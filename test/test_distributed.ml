@@ -154,17 +154,22 @@ let linked () =
   let b = Distributed.Session.connect net ~local:"beta" ~remote:"alpha" ~key in
   (net, a, b)
 
+let recv_ok link =
+  match Distributed.Session.recv link with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "recv: %s" (Distributed.Session.recv_error_to_string e)
+
 let test_link_roundtrip () =
   let _, a, b = linked () in
   Distributed.Session.send a "rdma write #1";
   Distributed.Session.send a "rdma write #2";
   Alcotest.(check string) "in order 1" "rdma write #1"
-    (get_ok_str (Distributed.Session.recv b));
+    (recv_ok b);
   Alcotest.(check string) "in order 2" "rdma write #2"
-    (get_ok_str (Distributed.Session.recv b));
+    (recv_ok b);
   Distributed.Session.send b "completion";
   Alcotest.(check string) "reverse direction" "completion"
-    (get_ok_str (Distributed.Session.recv a));
+    (recv_ok a);
   Alcotest.(check int) "counters" 2 (Distributed.Session.sent a);
   Alcotest.(check int) "counters" 2 (Distributed.Session.received b)
 
@@ -179,17 +184,25 @@ let test_link_detects_tampering () =
   in
   Alcotest.(check bool) "tampered on the wire" true tampered;
   (match Distributed.Session.recv b with
-  | Error e -> Alcotest.(check bool) "auth failure" true (contains_substring e "authentication")
+  | Error Distributed.Session.Tampered -> ()
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> Alcotest.fail "tampered frame accepted")
 
 let test_link_detects_replay () =
   let net, a, b = linked () in
   Distributed.Session.send a "pay $100";
   let captured = List.hd (Distributed.Network.eavesdrop net "beta") in
-  Alcotest.(check string) "delivered once" "pay $100" (get_ok_str (Distributed.Session.recv b));
+  Alcotest.(check string) "delivered once" "pay $100" (recv_ok b);
   Distributed.Network.replay net ~to_:"beta" captured;
   (match Distributed.Session.recv b with
-  | Error e -> Alcotest.(check bool) "replay named" true (contains_substring e "replay")
+  | Error Distributed.Session.Tampered ->
+    Alcotest.(check bool) "replay named" true
+      (contains_substring
+         (Distributed.Session.recv_error_to_string Distributed.Session.Tampered)
+         "replay")
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> Alcotest.fail "replayed frame accepted")
 
 let test_link_rejects_forgery () =
@@ -205,7 +218,10 @@ let test_link_rejects_forgery () =
   in
   Distributed.Session.send forger "trusted message, honest";
   match Distributed.Session.recv b with
-  | Error e -> Alcotest.(check bool) "wrong key fails" true (contains_substring e "authentication")
+  | Error Distributed.Session.Tampered -> ()
+  | Error e ->
+    Alcotest.failf "wrong key should fail authentication: %s"
+      (Distributed.Session.recv_error_to_string e)
   | Ok _ -> Alcotest.fail "wrong-key frame accepted"
 
 let test_link_eavesdropper_sees_no_key_material () =
