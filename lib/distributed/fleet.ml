@@ -76,6 +76,7 @@ let acks_rx_c = Obs.Metrics.counter "fleet.acks_rx"
 let drops_c = Obs.Metrics.counter "fleet.drops"
 let ack_drops_c = Obs.Metrics.counter "fleet.ack_drops"
 let reject_c = Obs.Metrics.counter "fleet.rejected"
+let aborted_c = Obs.Metrics.counter "fleet.revoke_aborted"
 let backlog_g = Obs.Metrics.gauge "fleet.backlog"
 let degraded_g = Obs.Metrics.gauge "fleet.degraded"
 let ack_lag_h = Obs.Metrics.histogram "fleet.ack_lag"
@@ -188,6 +189,12 @@ type jrec =
   | J_revoked of { del_id : int }
   | J_acked of { peer : string; upto : int }
   | J_done of { cap : int }
+  | J_chan of { peer : string; next_ : int; acked : int; applied : int }
+      (* Snapshot of a channel's counters, written only by compaction:
+         without it, a compacted journal whose completed delegations and
+         retired imports were pruned would lose [c_next] (seq reuse the
+         peer absorbs as duplicates) and [c_applied] (re-imported
+         revoked delegations). *)
 
 let encode_jrec r =
   let buf = Buffer.create 48 in
@@ -237,7 +244,13 @@ let encode_jrec r =
     Persist.Wire.i64 buf upto
   | J_done { cap } ->
     Persist.Wire.u8 buf 8;
-    Persist.Wire.i64 buf cap);
+    Persist.Wire.i64 buf cap
+  | J_chan { peer; next_; acked; applied } ->
+    Persist.Wire.u8 buf 9;
+    Persist.Wire.str buf peer;
+    Persist.Wire.i64 buf next_;
+    Persist.Wire.i64 buf acked;
+    Persist.Wire.i64 buf applied);
   Buffer.contents buf
 
 let decode_jrec payload =
@@ -287,6 +300,12 @@ let decode_jrec payload =
       let upto = Persist.Wire.get_i64 r in
       J_acked { peer; upto }
     | 8 -> J_done { cap = Persist.Wire.get_i64 r }
+    | 9 ->
+      let peer = Persist.Wire.get_str r in
+      let next_ = Persist.Wire.get_i64 r in
+      let acked = Persist.Wire.get_i64 r in
+      let applied = Persist.Wire.get_i64 r in
+      J_chan { peer; next_; acked; applied }
     | t -> raise (Persist.Wire.Corrupt (Printf.sprintf "unknown fleet journal tag %d" t))
   in
   Persist.Wire.expect_end r;
@@ -331,7 +350,7 @@ type channel = {
   mutable c_next : int; (* next data seq to assign *)
   mutable c_acked : int; (* peer's cumulative ack floor *)
   mutable c_applied : int; (* highest inbound seq applied *)
-  mutable outbox : outbox_entry list; (* ascending seq *)
+  outbox : outbox_entry Queue.t; (* ascending seq; acks pop a prefix *)
   mutable attempts : int; (* transmit rounds since last ack progress *)
   mutable backoff : int;
   mutable due : int; (* tick at which the next retransmit round runs *)
@@ -348,6 +367,7 @@ type t = {
   net : Network.t;
   store : Persist.Store.t option;
   mutable jseq : int;
+  mutable jrecs : int; (* records currently in the fleet blob *)
   channels : (Network.endpoint, channel) Hashtbl.t;
   dels : (int, delegation) Hashtbl.t;
   imports : (Network.endpoint * int, import) Hashtbl.t;
@@ -368,6 +388,7 @@ let journal t r =
   | None -> ()
   | Some s ->
     t.jseq <- t.jseq + 1;
+    t.jrecs <- t.jrecs + 1;
     Persist.Wal.append s ~blob:fleet_blob ~seq:t.jseq (encode_jrec r)
 
 let jsync t =
@@ -381,10 +402,10 @@ let jsync t =
     Persist.Store.fsync s fleet_blob
 
 let total_backlog t =
-  Hashtbl.fold (fun _ ch acc -> acc + List.length ch.outbox) t.channels 0
+  Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.outbox) t.channels 0
 
 let update_backlog t ch =
-  Obs.Metrics.set_gauge ch.l_backlog (List.length ch.outbox);
+  Obs.Metrics.set_gauge ch.l_backlog (Queue.length ch.outbox);
   Obs.Metrics.set_gauge backlog_g (total_backlog t)
 
 let degraded_count t =
@@ -402,7 +423,7 @@ let channel_of t peer =
         c_next = 1;
         c_acked = 0;
         c_applied = 0;
-        outbox = [];
+        outbox = Queue.create ();
         attempts = 0;
         backoff = base_backoff;
         due = 0;
@@ -428,7 +449,7 @@ let send_ack t ch =
 let enqueue t ch body =
   let seq = ch.c_next in
   ch.c_next <- seq + 1;
-  ch.outbox <- ch.outbox @ [ { ob_seq = seq; ob_body = body; ob_sent = t.clock } ];
+  Queue.add { ob_seq = seq; ob_body = body; ob_sent = t.clock } ch.outbox;
   update_backlog t ch;
   seq
 
@@ -554,9 +575,39 @@ let execute_pending t (p : pending_revoke) =
     match Tyche.Monitor.revoke t.monitor ~caller:p.pr_caller ~cap:p.pr_cap with
     | Ok () -> true
     | Error (Tyche.Monitor.Cap_error (Cap.Captree.No_such_capability _)) -> true
+    | Error (Tyche.Monitor.Denied _) ->
+      (* Deterministic refusal: the caller's authority over the cap was
+         checked when the revocation was journaled, so ownership moved
+         while the acks were in flight. Retrying can never succeed —
+         it would wedge the subtree frozen behind a pending record that
+         never clears. Abort instead: the peers already dropped their
+         imports (their acks are all in), so retire each proxy cap with
+         its delegator's authority — exactly like [reconcile] — so the
+         local tree stops claiming remote holders that no longer exist,
+         then let the pending record complete below. *)
+      Obs.Metrics.incr aborted_c;
+      let tr = tree t in
+      List.iter
+        (fun (_, del_id, _) ->
+          match Hashtbl.find_opt t.dels del_id with
+          | None -> ()
+          | Some d ->
+            let caller =
+              match Cap.Captree.parent tr d.proxy_cap with
+              | Some pid ->
+                Option.value (Cap.Captree.owner tr pid) ~default:Tyche.Domain.initial
+              | None -> Tyche.Domain.initial
+            in
+            (match Tyche.Monitor.revoke t.monitor ~caller ~cap:d.proxy_cap with
+            | Ok () -> ()
+            | Error (Tyche.Monitor.Cap_error (Cap.Captree.No_such_capability _)) -> ()
+            | Error _ -> Obs.Metrics.incr reject_c))
+        p.pr_dels;
+      true
     | Error _ ->
-      (* Rolled back (e.g. an injected backend fault): re-freeze and
-         leave the pending record; the next tick retries. *)
+      (* Transient (e.g. an injected backend fault rolled the cascade
+         back): re-freeze and leave the pending record; the next tick
+         retries. *)
       (match Cap.Captree.freeze (tree t) p.pr_cap with Ok () | Error _ -> ());
       List.iter
         (fun (_, del_id, _) ->
@@ -586,6 +637,17 @@ let revoke t ~caller ~cap =
       | Ok () -> Ok ()
       | Error e -> Error (Monitor_error e))
     | dels ->
+      (* Authorization first, before anything irreversible: peers drop
+         their imports the moment the Revoke datagram arrives — long
+         before the local cascade (and its own may_revoke check) runs —
+         so an unchecked caller could strip remote machines of their
+         delegations and leave the subtree frozen behind a pending
+         revocation that can only ever fail. *)
+      let* () =
+        Result.map_error
+          (fun e -> Monitor_error e)
+          (Tyche.Monitor.may_revoke t.monitor ~caller cap)
+      in
       (* Check every affected peer has a channel before mutating. *)
       let chans = List.map (fun d -> (d, channel_of t d.del_peer)) dels in
       (match Cap.Captree.freeze (tree t) cap with Ok () | Error _ -> ());
@@ -621,9 +683,17 @@ let on_ack t ch upto =
   Obs.Metrics.incr acks_rx_c;
   if upto > ch.c_acked then begin
     journal t (J_acked { peer = ch.ch_peer; upto });
-    let covered, rest = List.partition (fun e -> e.ob_seq <= upto) ch.outbox in
-    List.iter (fun e -> Obs.Metrics.observe ack_lag_h (t.clock - e.ob_sent)) covered;
-    ch.outbox <- rest;
+    (* A cumulative ack always covers an outbox prefix (ascending seq),
+       so draining pops from the front — O(covered), not O(window). *)
+    let rec drain () =
+      match Queue.peek_opt ch.outbox with
+      | Some e when e.ob_seq <= upto ->
+        ignore (Queue.pop ch.outbox);
+        Obs.Metrics.observe ack_lag_h (t.clock - e.ob_sent);
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ();
     update_backlog t ch;
     ch.c_acked <- upto;
     ch.attempts <- 0;
@@ -727,19 +797,92 @@ let poll t =
   done;
   !n
 
+(* --- journal compaction ---------------------------------------------- *)
+
+(* The journal is a redo log: completed delegations, retired imports and
+   superseded ack floors leave records behind that replay no longer
+   needs, so an append-only blob (and its recovery replay) would grow
+   without bound over the endpoint's life. Compaction appends a snapshot
+   of live state in replay order, makes it durable, then drops the
+   prefix it supersedes — the same checkpoint-then-compact shape as the
+   monitor WAL. A crash between the two steps leaves prefix + snapshot,
+   which replays to the same state (every snapshot record is idempotent
+   under replay). *)
+let snapshot_records t =
+  let recs = ref [] in
+  let add r = recs := r :: !recs in
+  Hashtbl.iter (fun peer proxy -> add (J_peer { peer; proxy })) t.proxies;
+  Hashtbl.iter
+    (fun peer ch ->
+      add (J_chan { peer; next_ = ch.c_next; acked = ch.c_acked; applied = ch.c_applied }))
+    t.channels;
+  let dels =
+    Hashtbl.fold (fun _ d acc -> d :: acc) t.dels []
+    |> List.sort (fun a b -> Int.compare a.del_id b.del_id)
+  in
+  List.iter
+    (fun d ->
+      add
+        (J_delegate
+           { del_id = d.del_id; peer = d.del_peer; proxy_cap = d.proxy_cap;
+             base = d.del_base; len = d.del_len; rights = d.del_rights;
+             seq = d.del_seq }))
+    dels;
+  Hashtbl.iter
+    (fun _ i ->
+      (* [applied = 0] is safe: replay folds applied floors with [max]
+         and the J_chan record above already carries the real one. *)
+      add
+        (J_import
+           { origin = i.imp_origin; del_id = i.imp_del_id; base = i.imp_base;
+             len = i.imp_len; rights = i.imp_rights; applied = 0 }))
+    t.imports;
+  Hashtbl.iter
+    (fun cap p -> add (J_pending { cap; caller = p.pr_caller; dels = p.pr_dels }))
+    t.pending;
+  List.iter
+    (fun d -> if d.del_state = Revoked then add (J_revoked { del_id = d.del_id }))
+    dels;
+  List.rev !recs
+
+let compact t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    let upto = t.jseq in
+    let recs = snapshot_records t in
+    List.iter (journal t) recs;
+    jsync t;
+    ignore (Persist.Wal.compact s ~blob:fleet_blob ~upto);
+    t.jrecs <- List.length recs
+
+(* Auto-compaction bounds: never bother below [compact_min] records, and
+   only rewrite once dead records dominate live state 4:1. *)
+let compact_min = 128
+
+let maybe_compact t =
+  if t.store <> None && t.jrecs >= compact_min then begin
+    let live =
+      Hashtbl.length t.proxies + Hashtbl.length t.channels + Hashtbl.length t.dels
+      + Hashtbl.length t.imports + Hashtbl.length t.pending
+    in
+    if t.jrecs > 4 * live then compact t
+  end
+
 (* --- retry / degraded mode ------------------------------------------ *)
 
 let tick t =
   t.clock <- t.clock + 1;
   Hashtbl.iter
     (fun _ ch ->
-      if ch.outbox <> [] && ch.ch_key <> None && t.clock >= ch.due then begin
+      if (not (Queue.is_empty ch.outbox)) && ch.ch_key <> None && t.clock >= ch.due
+      then begin
         if Fault.fires partition_point then
           (* The whole round vanishes: backoff still advances, exactly
              as if every datagram were dropped in flight. *)
           Obs.Metrics.incr drops_c
         else begin
-          List.iter
+          Queue.iter
             (fun e ->
               Obs.Metrics.incr retries_c;
               Obs.Metrics.incr ch.l_retries;
@@ -765,7 +908,8 @@ let tick t =
     Hashtbl.fold (fun _ p acc -> if p.pr_waiting = [] then p :: acc else acc) t.pending []
     |> List.sort (fun a b -> Int.compare a.pr_cap b.pr_cap)
   in
-  List.iter (execute_pending t) ready
+  List.iter (execute_pending t) ready;
+  maybe_compact t
 
 (* --- construction and recovery -------------------------------------- *)
 
@@ -808,13 +952,18 @@ let reconcile t =
     t.proxies
 
 let rebuild_outboxes t =
+  let staged = Hashtbl.create 4 in
+  let stage peer e =
+    let l = match Hashtbl.find_opt staged peer with Some l -> l | None -> [] in
+    Hashtbl.replace staged peer (e :: l)
+  in
   Hashtbl.iter
     (fun _ d ->
       let ch = channel_of t d.del_peer in
       (match d.del_state with
       | Active | Revoking ->
         if d.del_seq > ch.c_acked then
-          ch.outbox <-
+          stage d.del_peer
             { ob_seq = d.del_seq;
               ob_body =
                 Wire.encode_body ~origin:t.name ~seq:d.del_seq
@@ -822,20 +971,23 @@ let rebuild_outboxes t =
                      { del_id = d.del_id; base = d.del_base; len = d.del_len;
                        rights = d.del_rights });
               ob_sent = t.clock }
-            :: ch.outbox
       | Revoked -> ());
       if d.del_state = Revoking && d.revoke_seq > ch.c_acked then
-        ch.outbox <-
+        stage d.del_peer
           { ob_seq = d.revoke_seq;
             ob_body =
               Wire.encode_body ~origin:t.name ~seq:d.revoke_seq
                 (Wire.Revoke { del_id = d.del_id });
-            ob_sent = t.clock }
-          :: ch.outbox)
+            ob_sent = t.clock })
     t.dels;
   Hashtbl.iter
-    (fun _ ch ->
-      ch.outbox <- List.sort (fun a b -> Int.compare a.ob_seq b.ob_seq) ch.outbox;
+    (fun peer ch ->
+      (match Hashtbl.find_opt staged peer with
+      | None -> ()
+      | Some entries ->
+        List.iter
+          (fun e -> Queue.add e ch.outbox)
+          (List.sort (fun a b -> Int.compare a.ob_seq b.ob_seq) entries));
       update_backlog t ch)
     t.channels
 
@@ -856,6 +1008,7 @@ let replay t =
         records;
       Persist.Store.fsync s fleet_blob
     end;
+    t.jrecs <- List.length records;
     List.iter
       (fun (seq, payload) ->
         t.jseq <- max t.jseq seq;
@@ -910,6 +1063,11 @@ let replay t =
         | J_acked { peer; upto } ->
           let ch = channel_of t peer in
           ch.c_acked <- max ch.c_acked upto
+        | J_chan { peer; next_; acked; applied } ->
+          let ch = channel_of t peer in
+          ch.c_next <- max ch.c_next next_;
+          ch.c_acked <- max ch.c_acked acked;
+          ch.c_applied <- max ch.c_applied applied
         | J_done { cap } -> (
           match Hashtbl.find_opt t.pending cap with
           | Some p ->
@@ -925,6 +1083,7 @@ let create ?store ~monitor ~name ~net () =
       net;
       store;
       jseq = 0;
+      jrecs = 0;
       channels = Hashtbl.create 4;
       dels = Hashtbl.create 16;
       imports = Hashtbl.create 16;
@@ -970,7 +1129,7 @@ let pending_revokes t =
 
 let backlog t ~peer =
   match Hashtbl.find_opt t.channels peer with
-  | Some ch -> List.length ch.outbox
+  | Some ch -> Queue.length ch.outbox
   | None -> 0
 
 let applied t ~peer =

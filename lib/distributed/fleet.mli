@@ -98,11 +98,20 @@ val delegate :
 
 val revoke : t -> caller:Tyche.Domain.id -> cap:Cap.Captree.cap_id -> (unit, error) result
 (** Cascading revocation that crosses machines. If nothing below [cap]
-    is delegated, this is exactly [Monitor.revoke]. Otherwise [cap] is
-    frozen, a [Revoke] is journaled and sent for every delegation in the
-    subtree, and the local cascade runs only once every affected peer's
+    is delegated, this is exactly [Monitor.revoke]. Otherwise
+    authorization is checked {e first} ([Monitor.may_revoke]: the caller
+    must own [cap] or an ancestor — refused with [Monitor_error (Denied
+    _)] before anything is frozen, journaled or sent, because peers drop
+    their imports on receipt of the Revoke). Then [cap] is frozen, a
+    [Revoke] is journaled and sent for every delegation in the subtree,
+    and the local cascade runs only once every affected peer's
     cumulative ack confirms it dropped its import — at-least-once, so a
-    partition delays but never loses the revocation. *)
+    partition delays but never loses the revocation. If the caller's
+    authority disappears while acks are in flight (ownership moved), the
+    pending revocation is aborted rather than retried forever: the
+    orphaned proxy caps are retired with their delegators' authority and
+    the subtree is thawed (surfaced on the [fleet.revoke_aborted]
+    counter). *)
 
 val poll : t -> int
 (** Drain and handle every datagram pending for this endpoint; returns
@@ -110,8 +119,18 @@ val poll : t -> int
 
 val tick : t -> unit
 (** Advance logical time one step: retransmit due outboxes (capped
-    exponential backoff), demote silent peers to {!Degraded}, and retry
-    pending revocations whose acks are all in. *)
+    exponential backoff), demote silent peers to {!Degraded}, retry
+    pending revocations whose acks are all in, and compact the journal
+    when dead records dominate live state. *)
+
+val compact : t -> unit
+(** Rewrite the fleet journal to a snapshot of live state (peers,
+    channel counters, active delegations, imports, pending revocations),
+    dropping records that recovery no longer needs — completed
+    delegations, retired imports, superseded ack floors. Durable
+    (snapshot is fsynced before the old prefix is dropped); a no-op
+    without a store. {!tick} calls this automatically once the journal
+    exceeds a size floor and outnumbers live state 4:1. *)
 
 (** {2 Inspection} *)
 

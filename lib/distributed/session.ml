@@ -169,11 +169,17 @@ let send link payload =
 
 type recv_error =
   | Tampered
+  | Stale of { seq : int; last : int }
   | Closed
   | Decode of string
 
 let recv_error_to_string = function
-  | Tampered -> "authentication failed (forged, tampered or replayed frame)"
+  | Tampered -> "authentication failed (forged or tampered frame)"
+  | Stale { seq; last } ->
+    Printf.sprintf
+      "stale frame: seq %d at or below last accepted %d (replayed by the adversary, or \
+       legitimately reordered behind a later delivery)"
+      seq last
   | Closed -> "no datagram pending"
   | Decode e -> "malformed frame: " ^ e
 
@@ -191,10 +197,14 @@ let recv link =
              (Crypto.Sha256.of_raw mac))
       then Error Tampered
       else if seq <= link.last_recv then
-        (* A stale sequence number is a replay — an authentication
-           failure, not a decode failure: the MAC verified, but the
-           adversary re-injected an old frame. *)
-        Error Tampered
+        (* The MAC verified but the sequence number is at or below the
+           last accepted one. Cryptographically indistinguishable cases:
+           an adversary re-injected an old frame, or {!Network.reorder}
+           delivered a later frame first and this is the skipped
+           predecessor arriving late. Typed separately from [Tampered]
+           so callers can count reorder-induced loss apart from
+           forgery. *)
+        Error (Stale { seq; last = link.last_recv })
       else begin
         link.last_recv <- seq;
         link.received <- link.received + 1;

@@ -101,12 +101,20 @@ val send : link -> string -> unit
     {!establish_error} so callers can branch without string matching. *)
 type recv_error =
   | Tampered
-  (** Bad MAC (forgery or in-flight tamper), or a sequence number at
-      or below the last accepted one (replay / re-injection). Both are
-      authentication failures: the frame is discarded and the link
-      state is unchanged. *)
+  (** Bad MAC: forgery or in-flight tamper. The frame is discarded and
+      the link state is unchanged. *)
+  | Stale of { seq : int; last : int }
+  (** The MAC verified but [seq] is at or below [last], the highest
+      sequence number already accepted. Cryptographically this is
+      indistinguishable between an adversary replaying an old frame and
+      a legitimately reordered frame arriving after a later one was
+      accepted ({!recv} admits ahead-of-sequence frames, skipping gaps)
+      — typed apart from {!Tampered} so callers can count
+      reorder-induced loss separately from forgery. The frame is
+      discarded; the link state is unchanged. *)
   | Closed
-  (** No datagram pending for this endpoint. *)
+  (** Nothing to receive: no datagram is pending for this endpoint
+      (the queue is empty — not necessarily torn down). *)
   | Decode of string
   (** The frame could not even be parsed (truncated or mis-framed);
       carries the parser's reason. *)
@@ -114,7 +122,10 @@ type recv_error =
 val recv_error_to_string : recv_error -> string
 
 val recv : link -> (string, recv_error) result
-(** Returns the next in-sequence authenticated payload. *)
+(** Returns the next authenticated payload with a sequence number above
+    every previously accepted one. Gaps are skipped (the link has no
+    retransmission); a skipped frame arriving late surfaces as
+    {!Stale}. *)
 
 val sent : link -> int
 val received : link -> int

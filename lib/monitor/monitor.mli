@@ -145,6 +145,15 @@ val revoke :
     must own the capability or an ancestor of it; clean-up policies run
     before anything is reattached. *)
 
+val may_revoke :
+  t -> caller:Domain.id -> Cap.Captree.cap_id -> (unit, error) result
+(** The authorization check {!revoke} performs, by itself: [Ok ()] iff
+    [caller] owns the capability or an ancestor of it. Read-only.
+    Callers that must do irreversible work {e before} the local cascade
+    runs (e.g. cross-machine revocation, which tells remote holders to
+    drop their imports first) use this to refuse unauthorized requests
+    up front. *)
+
 (** {2 Transitions (mediated control transfers, §3.1)} *)
 
 val current_domain : t -> core:int -> Domain.id

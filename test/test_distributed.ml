@@ -196,14 +196,39 @@ let test_link_detects_replay () =
   Alcotest.(check string) "delivered once" "pay $100" (recv_ok b);
   Distributed.Network.replay net ~to_:"beta" captured;
   (match Distributed.Session.recv b with
-  | Error Distributed.Session.Tampered ->
+  | Error (Distributed.Session.Stale { seq; last } as e) ->
+    Alcotest.(check int) "replayed seq" 1 seq;
+    Alcotest.(check int) "last accepted" 1 last;
     Alcotest.(check bool) "replay named" true
-      (contains_substring
-         (Distributed.Session.recv_error_to_string Distributed.Session.Tampered)
-         "replay")
+      (contains_substring (Distributed.Session.recv_error_to_string e) "replay")
   | Error e ->
     Alcotest.failf "wrong error class: %s" (Distributed.Session.recv_error_to_string e)
   | Ok _ -> Alcotest.fail "replayed frame accepted")
+
+(* A reordered (not forged) frame: the later frame is accepted first, so
+   the skipped predecessor surfaces as [Stale], distinguishable from
+   [Tampered] — the MAC was fine, only the ordering was adversarial. *)
+let test_link_reorder_is_stale_not_tampered () =
+  let net, a, b = linked () in
+  Distributed.Session.send a "one";
+  Distributed.Session.send a "two";
+  let frames = Distributed.Network.eavesdrop net "beta" in
+  Alcotest.(check int) "two in flight" 2 (List.length frames);
+  ignore (Distributed.Network.drop_head net "beta");
+  ignore (Distributed.Network.drop_head net "beta");
+  (match frames with
+  | [ f1; f2 ] ->
+    Distributed.Network.inject net ~to_:"beta" f2;
+    Distributed.Network.inject net ~to_:"beta" f1
+  | _ -> Alcotest.fail "expected two frames");
+  Alcotest.(check string) "later frame accepted first" "two" (recv_ok b);
+  match Distributed.Session.recv b with
+  | Error (Distributed.Session.Stale { seq; last }) ->
+    Alcotest.(check int) "skipped seq" 1 seq;
+    Alcotest.(check int) "accepted ahead" 2 last
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Distributed.Session.recv_error_to_string e)
+  | Ok _ -> Alcotest.fail "out-of-order frame accepted twice"
 
 let test_link_rejects_forgery () =
   let net, _a, b = linked () in
@@ -247,5 +272,7 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_link_roundtrip;
           Alcotest.test_case "tamper detected" `Quick test_link_detects_tampering;
           Alcotest.test_case "replay detected" `Quick test_link_detects_replay;
+          Alcotest.test_case "reorder is stale, not tampered" `Quick
+            test_link_reorder_is_stale_not_tampered;
           Alcotest.test_case "forgery rejected" `Quick test_link_rejects_forgery;
           Alcotest.test_case "eavesdropper" `Quick test_link_eavesdropper_sees_no_key_material ] ) ]

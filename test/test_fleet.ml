@@ -207,6 +207,43 @@ let test_revoke_roundtrip () =
   check_clean a;
   check_clean b
 
+(* An unauthorized caller is refused before anything irreversible: no
+   freeze, no pending record, and — crucially — no Revoke datagram, so
+   the peer's import is untouched. (Peers drop imports on receipt, long
+   before the local cascade's own authorization check would run.) *)
+let test_unauthorized_revoke_refused_up_front () =
+  let _net, a, b = mk_pair () in
+  let _del, _sub = delegate_page a ~peer:"beta" ~page:15 in
+  pump a b;
+  Alcotest.(check int) "b imported" 1 (List.length (Distributed.Fleet.imports b.fleet));
+  let d = List.hd (Distributed.Fleet.delegations a.fleet) in
+  let evil =
+    Testkit.get_ok
+      (Tyche.Monitor.create_domain a.w.Testkit.monitor ~caller:os ~name:"evil"
+         ~kind:Tyche.Domain.Sandbox)
+  in
+  (match
+     Distributed.Fleet.revoke a.fleet ~caller:evil ~cap:d.Distributed.Fleet.proxy_cap
+   with
+  | Error (Distributed.Fleet.Monitor_error (Tyche.Monitor.Denied _)) -> ()
+  | Ok () -> Alcotest.fail "unauthorized revoke accepted"
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Distributed.Fleet.error_to_string e));
+  Alcotest.(check (list int)) "no pending revocation" []
+    (Distributed.Fleet.pending_revokes a.fleet);
+  Alcotest.(check int) "no Revoke queued" 0 (Distributed.Fleet.backlog a.fleet ~peer:"beta");
+  Alcotest.(check bool) "delegation still active" true
+    (d.Distributed.Fleet.del_state = Distributed.Fleet.Active);
+  pump a b;
+  Alcotest.(check int) "import survives" 1 (List.length (Distributed.Fleet.imports b.fleet));
+  (* The owner still can. *)
+  fok (Distributed.Fleet.revoke a.fleet ~caller:os ~cap:d.Distributed.Fleet.proxy_cap);
+  pump a b;
+  Alcotest.(check int) "import dropped by the owner" 0
+    (List.length (Distributed.Fleet.imports b.fleet));
+  check_clean a;
+  check_clean b
+
 let test_revoke_without_delegation_is_local () =
   let _net, a, _b = mk_pair () in
   let cap, r = os_mem_range a in
@@ -382,6 +419,56 @@ let test_importer_crash_redelivery () =
   check_clean a;
   check_clean b
 
+(* --- journal compaction ----------------------------------------------- *)
+
+let fleet_records node =
+  List.length (Persist.Wal.read node.store ~blob:"fleet").Persist.Wal.records
+
+(* Many delegate/revoke cycles leave only dead records behind; the
+   journal must not grow without bound, and a compacted journal must
+   still recover — including the channel counters (send seq, ack and
+   applied floors) that used to be implied by the pruned records. *)
+let test_journal_compaction_and_recovery () =
+  let net, a, b = mk_pair () in
+  for i = 1 to 25 do
+    let _del, _ = delegate_page a ~peer:"beta" ~page:(1 + (i mod 50)) in
+    pump a b;
+    let d = List.hd (Distributed.Fleet.delegations a.fleet) in
+    fok (Distributed.Fleet.revoke a.fleet ~caller:os ~cap:d.Distributed.Fleet.proxy_cap);
+    pump a b
+  done;
+  (* tick auto-compacts once dead records dominate; finish explicitly so
+     the bound is deterministic. *)
+  Distributed.Fleet.compact a.fleet;
+  Distributed.Fleet.compact b.fleet;
+  Alcotest.(check bool) "exporter journal bounded" true (fleet_records a < 20);
+  Alcotest.(check bool) "importer journal bounded" true (fleet_records b < 20);
+  (* Crash-restart both ends off the compacted journals. *)
+  let a = recover_node net "alpha" a in
+  let b = recover_node net "beta" b in
+  ignore (fok (Distributed.Fleet.connect a.fleet ~peer:"beta" ~key));
+  ignore (fok (Distributed.Fleet.connect b.fleet ~peer:"alpha" ~key));
+  Alcotest.(check int) "no delegations resurrected" 0
+    (List.length (Distributed.Fleet.delegations a.fleet));
+  Alcotest.(check int) "no imports resurrected" 0
+    (List.length (Distributed.Fleet.imports b.fleet));
+  (* The send counter survived compaction: a fresh delegation uses a
+     fresh seq (not one the peer would absorb as a duplicate), and the
+     peer's applied floor survived too. *)
+  let del, _ = delegate_page a ~peer:"beta" ~page:60 in
+  pump a b;
+  Alcotest.(check bool) "fresh delegation imported after compacted recovery" true
+    (List.exists
+       (fun i -> i.Distributed.Fleet.imp_del_id = del)
+       (Distributed.Fleet.imports b.fleet));
+  let d = List.hd (Distributed.Fleet.delegations a.fleet) in
+  fok (Distributed.Fleet.revoke a.fleet ~caller:os ~cap:d.Distributed.Fleet.proxy_cap);
+  pump a b;
+  Alcotest.(check int) "and revokes cleanly" 0
+    (List.length (Distributed.Fleet.imports b.fleet));
+  check_clean a;
+  check_clean b
+
 (* --- fleet attestation ------------------------------------------------ *)
 
 let test_fleet_attestation () =
@@ -484,6 +571,8 @@ let () =
       ( "revocation",
         [ Alcotest.test_case "cross-machine revoke round-trips" `Quick
             test_revoke_roundtrip;
+          Alcotest.test_case "unauthorized revoke refused up front" `Quick
+            test_unauthorized_revoke_refused_up_front;
           Alcotest.test_case "revoke without delegations is local" `Quick
             test_revoke_without_delegation_is_local ] );
       ( "faults",
@@ -496,7 +585,9 @@ let () =
           Alcotest.test_case "crash mid-revocation: converges after restart" `Quick
             test_crash_mid_revocation_converges;
           Alcotest.test_case "importer crash: at-least-once redelivery" `Quick
-            test_importer_crash_redelivery ] );
+            test_importer_crash_redelivery;
+          Alcotest.test_case "journal compaction bounds growth, survives recovery" `Quick
+            test_journal_compaction_and_recovery ] );
       ( "attestation",
         [ Alcotest.test_case "fleet root binds member attestations" `Quick
             test_fleet_attestation ] );
