@@ -7,6 +7,7 @@
      transitions  run a call/ret loop and print path statistics
      recover      run a workload, crash it at a fault point, recover
      fsck         recover from an on-disk store and audit the result
+     migrate      live-migrate a sealed enclave between two machines
      stats        run a journaled workload, print the observability report
      trace        run a journaled workload, dump the trace ring as JSON lines
      loc          print the trusted-computing-base line counts *)
@@ -407,6 +408,135 @@ let cmd_fsck =
           wrote it) and cross-check the recovered monitor against every invariant.")
     Term.(const run $ arch $ cores $ mem_mib $ store_dir)
 
+(* migrate *)
+
+let os_core_cap w core =
+  let tree = Tyche.Monitor.tree w.monitor in
+  match
+    List.find_opt
+      (fun c -> Cap.Captree.resource tree c = Some (Cap.Resource.Cpu_core core))
+      (Tyche.Monitor.caps_of w.monitor os)
+  with
+  | Some c -> c
+  | None -> failwith "no core capability"
+
+(* Two machines on one adversar-ready network, a sealed enclave built on
+   the first, migrated live to the second: the full protocol — offer /
+   need dedup, chunk streaming, manifest verification, fsck-verified
+   adoption, receipt, delegation-free commit — driven to convergence
+   in-process, with the wire priced against a full-image transfer. *)
+let cmd_migrate =
+  let pages_arg =
+    Arg.(value & opt int 64
+         & info [ "pages" ] ~docv:"N" ~doc:"Enclave image size in 4 KiB pages.")
+  in
+  let run arch cores mem_mib pages =
+    let net = Distributed.Network.create () in
+    let boot_node name =
+      let w = boot_world ~arch ~cores ~mem_mib in
+      let store = Persist.Store.mem () in
+      Tyche.Monitor.enable_persistence w.monitor ~store ();
+      let fleet = Distributed.Fleet.create ~store ~monitor:w.monitor ~name ~net () in
+      let mig = Distributed.Migrate.attach ~fleet ~store () in
+      (w, fleet, mig)
+    in
+    let wa, fa, ma = boot_node "alpha" in
+    let wb, fb, mb = boot_node "beta" in
+    let key = "cli-migrate-session-key" in
+    let fok = function
+      | Ok v -> v
+      | Error e -> Fmt.failwith "%s" (Distributed.Fleet.error_to_string e)
+    in
+    ignore (fok (Distributed.Fleet.connect fa ~peer:"beta" ~key));
+    ignore (fok (Distributed.Fleet.connect fb ~peer:"alpha" ~key));
+    Distributed.Migrate.set_peer_root mb ~peer:"alpha"
+      (Tyche.Monitor.attestation_root wa.monitor);
+    (* Build the traveller: [pages] private pages at 0x40000, a handful
+       written (the untouched zero pages dedup to one chunk, so wire
+       cost scales with distinct content, not image size). *)
+    let base = 0x40000 in
+    let written = min (pages / 2) 4 in
+    let d =
+      ok (Tyche.Monitor.create_domain wa.monitor ~caller:os ~name:"wanderer"
+            ~kind:Tyche.Domain.Enclave)
+    in
+    let sub = Hw.Addr.Range.make ~base ~len:(pages * page) in
+    let piece = ok (Tyche.Monitor.carve wa.monitor ~caller:os ~cap:(os_memory_cap wa) ~subrange:sub) in
+    for i = 0 to written - 1 do
+      ok (Tyche.Monitor.store_string wa.monitor ~core:0 (base + (i * page))
+            (Printf.sprintf "wanderer-page-%04d" i))
+    done;
+    ignore
+      (ok (Tyche.Monitor.grant wa.monitor ~caller:os ~cap:piece ~to_:d
+             ~rights:Cap.Rights.full ~cleanup:Cap.Revocation.Zero_and_flush));
+    ignore
+      (ok (Tyche.Monitor.share wa.monitor ~caller:os ~cap:(os_core_cap wa 0) ~to_:d
+             ~rights:Cap.Rights.exclusive_use ~cleanup:Cap.Revocation.Keep ()));
+    ok (Tyche.Monitor.set_entry_point wa.monitor ~caller:os ~domain:d base);
+    ok (Tyche.Monitor.mark_measured wa.monitor ~caller:os ~domain:d sub);
+    ok (Tyche.Monitor.seal wa.monitor ~caller:os ~domain:d);
+    Printf.printf "built sealed enclave 'wanderer' on alpha: %d pages (%d written) at 0x%x\n"
+      pages written base;
+    let wire0 = Distributed.Network.total_bytes net in
+    let mig = ok_str (Result.map_error Distributed.Migrate.error_to_string
+                        (Distributed.Migrate.start ma ~domain:d ~peer:"beta")) in
+    Printf.printf "migration %s: alpha -> beta\n" mig;
+    let rounds = ref 0 in
+    while
+      (not (Distributed.Migrate.idle ma && Distributed.Migrate.idle mb
+            && Distributed.Fleet.idle fa && Distributed.Fleet.idle fb))
+      && !rounds < 500
+    do
+      incr rounds;
+      Distributed.Fleet.tick fa; Distributed.Fleet.tick fb;
+      ignore (Distributed.Fleet.poll fa); ignore (Distributed.Fleet.poll fb);
+      Distributed.Migrate.tick ma; Distributed.Migrate.tick mb
+    done;
+    let wire = Distributed.Network.total_bytes net - wire0 in
+    let show name m =
+      List.iter
+        (fun (id, role, ph) ->
+          Printf.printf "  %s %s: %s, %s\n" name id
+            (match role with Distributed.Migrate.Source -> "source" | _ -> "target")
+            (Format.asprintf "%a" Distributed.Migrate.pp_phase ph))
+        (Distributed.Migrate.migrations m)
+    in
+    Printf.printf "converged in %d rounds:\n" !rounds;
+    show "alpha" ma;
+    show "beta" mb;
+    (match Distributed.Migrate.adopted_domain mb ~mig with
+    | Some ad ->
+      let dom = Option.get (Tyche.Monitor.find_domain wb.monitor ad) in
+      Printf.printf "beta hosts domain %d (%s), sealed=%b frozen=%b\n" ad
+        (Tyche.Domain.name dom) (Tyche.Domain.is_sealed dom)
+        (Tyche.Monitor.domain_frozen wb.monitor ~domain:ad)
+    | None -> print_endline "beta adopted nothing");
+    (match Distributed.Migrate.proxy_domain ma ~mig with
+    | Some p ->
+      Printf.printf "alpha holds proxy domain %d (%s)\n" p
+        (Tyche.Domain.name (Option.get (Tyche.Monitor.find_domain wa.monitor p)))
+    | None -> print_endline "alpha holds no proxy");
+    Printf.printf "receipt chain verifies on beta: %b\n"
+      (Distributed.Migrate.verify_receipt mb ~mig);
+    Printf.printf "bytes on wire %d vs full image %d (%.1fx saved by chunk dedup)\n"
+      wire (pages * page)
+      (float_of_int (pages * page) /. float_of_int (max 1 wire));
+    List.iter
+      (fun (name, w) ->
+        let fr = Tyche.Fsck.check w.monitor in
+        Printf.printf "%s fsck: %s\n" name (if Tyche.Fsck.ok fr then "clean" else "DIRTY");
+        if not (Tyche.Fsck.ok fr) then exit 1)
+      [ ("alpha", wa); ("beta", wb) ]
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Boot two machines on one network, build a sealed enclave on the first and \
+          live-migrate it to the second: content-addressed chunk streaming, \
+          attestation-bound manifest, fsck-verified adoption, receipt, and the \
+          remote proxy left behind.")
+    Term.(const run $ arch $ cores $ mem_mib $ pages_arg)
+
 (* stats / trace *)
 
 let dispatch_ok m call =
@@ -554,6 +684,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_boot; cmd_fig4; cmd_attest; cmd_transitions; cmd_recover; cmd_fsck;
-            cmd_stats; cmd_trace; cmd_loc ]))
+            cmd_migrate; cmd_stats; cmd_trace; cmd_loc ]))
 
 let _ = ok_str

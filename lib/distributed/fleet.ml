@@ -88,6 +88,12 @@ module Wire = struct
     | Delegate of { del_id : int; base : int; len : int; rights : int }
     | Revoke of { del_id : int }
     | Ack of { upto : int }
+    | Data of { chan : string; payload : string }
+        (* Opaque application frame, multiplexed by channel name. Same
+           seq space, outbox, journal and ack discipline as Delegate /
+           Revoke — at-least-once with idempotent replay — so a higher
+           protocol (live migration) inherits the delivery contract
+           instead of rebuilding it. *)
 
   (* Rights travel as a byte so the delegation survives codec evolution
      on either side of the link. *)
@@ -120,7 +126,11 @@ module Wire = struct
       Persist.Wire.i64 buf del_id
     | Ack { upto } ->
       Persist.Wire.u8 buf 3;
-      Persist.Wire.i64 buf upto);
+      Persist.Wire.i64 buf upto
+    | Data { chan; payload } ->
+      Persist.Wire.u8 buf 4;
+      Persist.Wire.str buf chan;
+      Persist.Wire.str buf payload);
     Buffer.contents buf
 
   let decode_body body =
@@ -138,6 +148,10 @@ module Wire = struct
           Delegate { del_id; base; len; rights }
         | 2 -> Revoke { del_id = Persist.Wire.get_i64 r }
         | 3 -> Ack { upto = Persist.Wire.get_i64 r }
+        | 4 ->
+          let chan = Persist.Wire.get_str r in
+          let payload = Persist.Wire.get_str r in
+          Data { chan; payload }
         | t -> raise (Persist.Wire.Corrupt (Printf.sprintf "unknown fleet tag %d" t))
       in
       Persist.Wire.expect_end r;
@@ -195,6 +209,15 @@ type jrec =
          retired imports were pruned would lose [c_next] (seq reuse the
          peer absorbs as duplicates) and [c_applied] (re-imported
          revoked delegations). *)
+  | J_send of { peer : string; seq : int; chan : string; payload : string }
+      (* An outbound data frame, durable before first transmission so a
+         recovering sender can rebuild its retransmission window. Pruned
+         from snapshots once the peer's cumulative ack covers [seq]. *)
+  | J_recv of { origin : string; applied : int }
+      (* Applied-floor advance for an inbound data frame. The payload is
+         not recorded here — the channel's handler journals its own
+         durable effect before this record is fsynced and the ack
+         leaves, and absorbs at-least-once redelivery idempotently. *)
 
 let encode_jrec r =
   let buf = Buffer.create 48 in
@@ -250,6 +273,16 @@ let encode_jrec r =
     Persist.Wire.str buf peer;
     Persist.Wire.i64 buf next_;
     Persist.Wire.i64 buf acked;
+    Persist.Wire.i64 buf applied
+  | J_send { peer; seq; chan; payload } ->
+    Persist.Wire.u8 buf 10;
+    Persist.Wire.str buf peer;
+    Persist.Wire.i64 buf seq;
+    Persist.Wire.str buf chan;
+    Persist.Wire.str buf payload
+  | J_recv { origin; applied } ->
+    Persist.Wire.u8 buf 11;
+    Persist.Wire.str buf origin;
     Persist.Wire.i64 buf applied);
   Buffer.contents buf
 
@@ -306,6 +339,16 @@ let decode_jrec payload =
       let acked = Persist.Wire.get_i64 r in
       let applied = Persist.Wire.get_i64 r in
       J_chan { peer; next_; acked; applied }
+    | 10 ->
+      let peer = Persist.Wire.get_str r in
+      let seq = Persist.Wire.get_i64 r in
+      let chan = Persist.Wire.get_str r in
+      let payload = Persist.Wire.get_str r in
+      J_send { peer; seq; chan; payload }
+    | 11 ->
+      let origin = Persist.Wire.get_str r in
+      let applied = Persist.Wire.get_i64 r in
+      J_recv { origin; applied }
     | t -> raise (Persist.Wire.Corrupt (Printf.sprintf "unknown fleet journal tag %d" t))
   in
   Persist.Wire.expect_end r;
@@ -361,11 +404,21 @@ type channel = {
   l_timeouts : Obs.Metrics.counter;
 }
 
+(* Compaction policy, tunable per endpoint (tests and the migration
+   journal exercise compaction without thousands of warm-up records). *)
+type config = {
+  compact_min : int; (* never compact below this many journal records *)
+  compact_ratio : int; (* rewrite once dead records outnumber live state this many to one *)
+}
+
+let default_config = { compact_min = 128; compact_ratio = 4 }
+
 type t = {
   monitor : Tyche.Monitor.t;
   name : Network.endpoint;
   net : Network.t;
   store : Persist.Store.t option;
+  config : config;
   mutable jseq : int;
   mutable jrecs : int; (* records currently in the fleet blob *)
   channels : (Network.endpoint, channel) Hashtbl.t;
@@ -373,6 +426,12 @@ type t = {
   imports : (Network.endpoint * int, import) Hashtbl.t;
   proxies : (Network.endpoint, Tyche.Domain.id) Hashtbl.t;
   pending : (Cap.Captree.cap_id, pending_revoke) Hashtbl.t;
+  (* Unacked outbound data frames, (peer, seq) -> (chan, payload):
+     mirrors the J_send records still live in the journal. *)
+  sends : (Network.endpoint * int, string * string) Hashtbl.t;
+  (* Inbound data dispatch by channel name; volatile like session keys —
+     re-register after recovery, before polling. *)
+  handlers : (string, Network.endpoint -> string -> unit) Hashtbl.t;
   mutable next_del : int;
   mutable clock : int;
 }
@@ -432,6 +491,14 @@ let channel_of t peer =
         l_backlog = Obs.Metrics.gauge ("fleet.link." ^ peer ^ ".backlog");
         l_timeouts = Obs.Metrics.counter ("fleet.link." ^ peer ^ ".timeouts") }
     in
+    (* The registry is process-global and the names are stable per peer,
+       so a channel recreated by crash-restart (or the next chaos
+       episode) would otherwise keep accumulating into its predecessor's
+       handles — double-counting retries and reporting a stale backlog.
+       A new channel starts its incarnation at zero. *)
+    Obs.Metrics.zero_counter ch.l_retries;
+    Obs.Metrics.zero_gauge ch.l_backlog;
+    Obs.Metrics.zero_counter ch.l_timeouts;
     Hashtbl.add t.channels peer ch;
     ch
 
@@ -677,6 +744,33 @@ let revoke t ~caller ~cap =
       List.iter (fun (_, ch, _, body) -> transmit t ch body) planned;
       Ok ())
 
+(* --- opaque data plane ----------------------------------------------- *)
+
+(* Higher protocols (live migration) ride the same channel as
+   delegations: a data frame is journaled (J_send) and fsynced before
+   its first transmission, retried until the peer's cumulative ack
+   covers it, and delivered to the receiving side's registered handler
+   exactly in sequence order — but at-least-once across crash-restarts,
+   so handlers must journal their own effects and absorb redelivery
+   idempotently. *)
+
+let send_data t ~peer ~chan payload =
+  match Hashtbl.find_opt t.channels peer with
+  | None -> Error (Unknown_peer peer)
+  | Some ch when ch.ch_key = None -> Error (No_session peer)
+  | Some ch ->
+    let body =
+      Wire.encode_body ~origin:t.name ~seq:ch.c_next (Wire.Data { chan; payload })
+    in
+    journal t (J_send { peer; seq = ch.c_next; chan; payload });
+    jsync t;
+    let seq = enqueue t ch body in
+    Hashtbl.replace t.sends (peer, seq) (chan, payload);
+    transmit t ch body;
+    Ok seq
+
+let set_data_handler t ~chan f = Hashtbl.replace t.handlers chan f
+
 (* --- receiving ------------------------------------------------------- *)
 
 let on_ack t ch upto =
@@ -689,6 +783,7 @@ let on_ack t ch upto =
       match Queue.peek_opt ch.outbox with
       | Some e when e.ob_seq <= upto ->
         ignore (Queue.pop ch.outbox);
+        Hashtbl.remove t.sends (ch.ch_peer, e.ob_seq);
         Obs.Metrics.observe ack_lag_h (t.clock - e.ob_sent);
         drain ()
       | Some _ | None -> ()
@@ -747,21 +842,44 @@ let apply_data t ch ~origin ~seq msg =
        sequence order, so the predecessor will arrive again. *)
     Obs.Metrics.incr gap_rx_c
   else begin
-    (match msg with
-    | Wire.Delegate { del_id; base; len; rights } ->
-      journal t (J_import { origin; del_id; base; len; rights; applied = seq });
-      jsync t;
-      Hashtbl.replace t.imports (origin, del_id)
-        { imp_origin = origin; imp_del_id = del_id; imp_base = base; imp_len = len;
-          imp_rights = rights }
-    | Wire.Revoke { del_id } ->
-      journal t (J_unimport { origin; del_id; applied = seq });
-      jsync t;
-      Hashtbl.remove t.imports (origin, del_id)
-    | Wire.Ack _ -> assert false);
-    ch.c_applied <- seq;
-    Obs.Metrics.incr delivered_c;
-    send_ack t ch
+    let applied =
+      match msg with
+      | Wire.Delegate { del_id; base; len; rights } ->
+        journal t (J_import { origin; del_id; base; len; rights; applied = seq });
+        jsync t;
+        Hashtbl.replace t.imports (origin, del_id)
+          { imp_origin = origin; imp_del_id = del_id; imp_base = base; imp_len = len;
+            imp_rights = rights };
+        true
+      | Wire.Revoke { del_id } ->
+        journal t (J_unimport { origin; del_id; applied = seq });
+        jsync t;
+        Hashtbl.remove t.imports (origin, del_id);
+        true
+      | Wire.Data { chan; payload } -> (
+        match Hashtbl.find_opt t.handlers chan with
+        | None ->
+          (* Handlers are volatile (re-registered after recovery, like
+             session keys): leave the applied floor alone so the
+             sender's retransmit redelivers once one is installed. *)
+          Obs.Metrics.incr reject_c;
+          false
+        | Some f ->
+          (* Handler first: its own durable effect (the migration
+             journal record) must hit the medium before the floor
+             advances and the ack leaves — a crash in between makes the
+             sender retransmit into the handler's idempotent dedup. *)
+          f origin payload;
+          journal t (J_recv { origin; applied = seq });
+          jsync t;
+          true)
+      | Wire.Ack _ -> assert false
+    in
+    if applied then begin
+      ch.c_applied <- seq;
+      Obs.Metrics.incr delivered_c;
+      send_ack t ch
+    end
   end
 
 let handle t raw =
@@ -783,7 +901,8 @@ let handle t raw =
             else
               match msg with
               | Wire.Ack { upto } -> on_ack t ch upto
-              | Wire.Delegate _ | Wire.Revoke _ -> apply_data t ch ~origin ~seq msg)))
+              | Wire.Delegate _ | Wire.Revoke _ | Wire.Data _ ->
+                apply_data t ch ~origin ~seq msg)))
 
 let poll t =
   let n = ref 0 in
@@ -838,6 +957,9 @@ let snapshot_records t =
              len = i.imp_len; rights = i.imp_rights; applied = 0 }))
     t.imports;
   Hashtbl.iter
+    (fun (peer, seq) (chan, payload) -> add (J_send { peer; seq; chan; payload }))
+    t.sends;
+  Hashtbl.iter
     (fun cap p -> add (J_pending { cap; caller = p.pr_caller; dels = p.pr_dels }))
     t.pending;
   List.iter
@@ -856,17 +978,16 @@ let compact t =
     ignore (Persist.Wal.compact s ~blob:fleet_blob ~upto);
     t.jrecs <- List.length recs
 
-(* Auto-compaction bounds: never bother below [compact_min] records, and
-   only rewrite once dead records dominate live state 4:1. *)
-let compact_min = 128
-
+(* Auto-compaction bounds, from the endpoint's {!config}: never bother
+   below [compact_min] records, and only rewrite once dead records
+   dominate live state [compact_ratio]:1. *)
 let maybe_compact t =
-  if t.store <> None && t.jrecs >= compact_min then begin
+  if t.store <> None && t.jrecs >= t.config.compact_min then begin
     let live =
       Hashtbl.length t.proxies + Hashtbl.length t.channels + Hashtbl.length t.dels
-      + Hashtbl.length t.imports + Hashtbl.length t.pending
+      + Hashtbl.length t.imports + Hashtbl.length t.pending + Hashtbl.length t.sends
     in
-    if t.jrecs > 4 * live then compact t
+    if t.jrecs > t.config.compact_ratio * live then compact t
   end
 
 (* --- retry / degraded mode ------------------------------------------ *)
@@ -957,6 +1078,23 @@ let rebuild_outboxes t =
     let l = match Hashtbl.find_opt staged peer with Some l -> l | None -> [] in
     Hashtbl.replace staged peer (e :: l)
   in
+  (* Data frames the peer already acked are dead — prune them so the
+     next compaction snapshot doesn't resurrect them; the rest rejoin
+     the retransmission window alongside delegations and revokes. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((peer, seq) as k) _ acc ->
+        if seq <= (channel_of t peer).c_acked then k :: acc else acc)
+      t.sends []
+  in
+  List.iter (Hashtbl.remove t.sends) stale;
+  Hashtbl.iter
+    (fun (peer, seq) (chan, payload) ->
+      stage peer
+        { ob_seq = seq;
+          ob_body = Wire.encode_body ~origin:t.name ~seq (Wire.Data { chan; payload });
+          ob_sent = t.clock })
+    t.sends;
   Hashtbl.iter
     (fun _ d ->
       let ch = channel_of t d.del_peer in
@@ -1068,6 +1206,13 @@ let replay t =
           ch.c_next <- max ch.c_next next_;
           ch.c_acked <- max ch.c_acked acked;
           ch.c_applied <- max ch.c_applied applied
+        | J_send { peer; seq; chan; payload } ->
+          let ch = channel_of t peer in
+          ch.c_next <- max ch.c_next (seq + 1);
+          Hashtbl.replace t.sends (peer, seq) (chan, payload)
+        | J_recv { origin; applied } ->
+          let ch = channel_of t origin in
+          ch.c_applied <- max ch.c_applied applied
         | J_done { cap } -> (
           match Hashtbl.find_opt t.pending cap with
           | Some p ->
@@ -1076,12 +1221,13 @@ let replay t =
           | None -> ()))
       records
 
-let create ?store ~monitor ~name ~net () =
+let create ?store ?(config = default_config) ~monitor ~name ~net () =
   let t =
     { monitor;
       name;
       net;
       store;
+      config;
       jseq = 0;
       jrecs = 0;
       channels = Hashtbl.create 4;
@@ -1089,6 +1235,8 @@ let create ?store ~monitor ~name ~net () =
       imports = Hashtbl.create 16;
       proxies = Hashtbl.create 4;
       pending = Hashtbl.create 4;
+      sends = Hashtbl.create 16;
+      handlers = Hashtbl.create 4;
       next_del = 1;
       clock = 0 }
   in

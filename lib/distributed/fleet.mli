@@ -54,8 +54,22 @@ val error_to_string : error -> string
 
 type t
 
+(** Journal-compaction policy. {!tick} rewrites the fleet journal to a
+    live-state snapshot once it holds at least [compact_min] records
+    {e and} dead records outnumber live state [compact_ratio]:1.
+    Tunable so tests and the migration journal can exercise compaction
+    without thousands of warm-up operations. *)
+type config = {
+  compact_min : int;
+  compact_ratio : int;
+}
+
+val default_config : config
+(** [{ compact_min = 128; compact_ratio = 4 }]. *)
+
 val create :
   ?store:Persist.Store.t ->
+  ?config:config ->
   monitor:Tyche.Monitor.t ->
   name:Network.endpoint ->
   net:Network.t ->
@@ -95,6 +109,26 @@ val delegate :
     [can_grant] stripped; the resulting proxy cap is immediately frozen,
     so only {!revoke} can retire it. The [Delegate] message is journaled
     and fsynced before it is first transmitted. *)
+
+val send_data :
+  t -> peer:Network.endpoint -> chan:string -> string -> (int, error) result
+(** Ship an opaque application frame to [peer] on logical channel
+    [chan], returning its sequence number. Same delivery contract as
+    delegations: journaled (and fsynced) before first transmission,
+    retried with capped exponential backoff until the peer's cumulative
+    ack covers it — at-least-once across crash-restarts. The live
+    migration protocol rides this. *)
+
+val set_data_handler :
+  t -> chan:string -> (Network.endpoint -> string -> unit) -> unit
+(** Register the inbound dispatch for [chan] ([handler origin payload]).
+    Called in strict sequence order per origin, {e before} the fleet
+    journals the applied floor and acks — so a handler must make its own
+    effects durable synchronously and absorb at-least-once redelivery
+    idempotently (a crash between the handler and the ack makes the
+    sender retransmit). Handlers are volatile, like session keys:
+    re-register after recovery before polling; frames arriving for an
+    unregistered channel are left unacked for the sender to retry. *)
 
 val revoke : t -> caller:Tyche.Domain.id -> cap:Cap.Captree.cap_id -> (unit, error) result
 (** Cascading revocation that crosses machines. If nothing below [cap]
@@ -207,6 +241,7 @@ module Wire : sig
     | Delegate of { del_id : int; base : int; len : int; rights : int }
     | Revoke of { del_id : int }
     | Ack of { upto : int }
+    | Data of { chan : string; payload : string }
 
   val rights_bits : Cap.Rights.t -> int
   val rights_of_bits : int -> Cap.Rights.t

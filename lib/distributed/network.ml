@@ -3,6 +3,7 @@ type endpoint = string
 type t = {
   queues : (endpoint, string Queue.t) Hashtbl.t;
   mutable total : int;
+  mutable bytes : int; (* payload bytes offered to [send]/[inject] *)
   mutable dropped : int;
   mutable reordered : int;
   mutable duplicated : int;
@@ -19,6 +20,7 @@ let create () =
   {
     queues = Hashtbl.create 8;
     total = 0;
+    bytes = 0;
     dropped = 0;
     reordered = 0;
     duplicated = 0;
@@ -50,6 +52,7 @@ let heal_all t = t.cuts <- []
 
 let send t ~from_ ~to_ msg =
   t.total <- t.total + 1;
+  t.bytes <- t.bytes + String.length msg;
   if partitioned t from_ to_ then t.partition_drops <- t.partition_drops + 1
   else if Fault.fires deliver_fault then t.dropped <- t.dropped + 1
   else Queue.add msg (queue t to_)
@@ -76,6 +79,7 @@ let drop_head t ep = Queue.take_opt (queue t ep) <> None
 
 let inject t ~to_ msg =
   t.total <- t.total + 1;
+  t.bytes <- t.bytes + String.length msg;
   Queue.add msg (queue t to_)
 
 let replay = inject
@@ -128,6 +132,7 @@ let duplicate t ep ~seed =
   end
 
 let total_messages t = t.total
+let total_bytes t = t.bytes
 
 let dropped t = t.dropped
 let reordered t = t.reordered

@@ -60,6 +60,12 @@ val partitioned : t -> endpoint -> endpoint -> bool
 val total_messages : t -> int
 (** Messages ever sent (statistics). *)
 
+val total_bytes : t -> int
+(** Payload bytes ever offered to {!send}/{!inject}, including messages
+    later dropped or partitioned away — what the wire would have
+    carried. Migration benches diff this around a transfer to price
+    bytes-on-wire. *)
+
 val dropped : t -> int
 (** Messages silently dropped in flight by an armed fault plan firing
     the ["net.deliver"] point (statistics). Senders cannot observe a

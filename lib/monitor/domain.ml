@@ -24,11 +24,16 @@ type t = {
   mutable measured : Hw.Addr.Range.t list;
   mutable flush_on_transition : bool;
   mutable measurement : Crypto.Sha256.digest option;
+  (* Volatile: a live-migration source sets this while the domain is
+     streamed out, so the monitor refuses runs/config/attach until the
+     transfer commits or aborts. Never serialized — a crash-restart
+     clears it, and the migration journal re-establishes it on resume. *)
+  mutable migrating : bool;
 }
 
 let make ~id ~name ~kind ~created_by =
   { id; name; kind; created_by; sealed = false; entry_point = None; measured = [];
-    flush_on_transition = false; measurement = None }
+    flush_on_transition = false; measurement = None; migrating = false }
 
 (* Recovery-only constructor: rebuilds a domain from a snapshot,
    including post-seal state [make] can never produce. [measured] is in
@@ -37,7 +42,7 @@ let make ~id ~name ~kind ~created_by =
 let restore ~id ~name ~kind ~created_by ~sealed ~entry_point ~measured
     ~flush_on_transition ~measurement =
   { id; name; kind; created_by; sealed; entry_point; measured = List.rev measured;
-    flush_on_transition; measurement }
+    flush_on_transition; measurement; migrating = false }
 
 let id t = t.id
 let name t = t.name
@@ -68,6 +73,8 @@ let seal t ~measurement =
   end
 
 let measurement t = t.measurement
+let is_migrating t = t.migrating
+let set_migrating t v = t.migrating <- v
 
 let pp fmt t =
   Format.fprintf fmt "domain#%d(%s,%a%s)" t.id t.name pp_kind t.kind

@@ -81,4 +81,11 @@ val seal : t -> measurement:Crypto.Sha256.digest -> (unit, string) result
 val measurement : t -> Crypto.Sha256.digest option
 (** The seal-time measurement; [None] until sealed. *)
 
+val is_migrating : t -> bool
+val set_migrating : t -> bool -> unit
+(** Volatile live-migration latch ({!Tyche.Monitor.freeze_domain} owns
+    it): while set, the monitor refuses to run, reconfigure or attach
+    capabilities to the domain. Never serialized — cleared by
+    crash-restart and re-established from the migration journal. *)
+
 val pp : Format.formatter -> t -> unit

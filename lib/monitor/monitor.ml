@@ -630,9 +630,18 @@ let creator_or_self ~caller ~domain d =
   if caller = domain || Domain.created_by d = Some caller then Ok ()
   else Error (Denied "only the domain or its creator may configure it")
 
+(* Configuration additionally stops while the domain is mid-migration:
+   the source monitor froze it so the streamed image cannot drift from
+   the live state between the final copy round and the commit. *)
+let configurable ~caller ~domain d =
+  let* () = creator_or_self ~caller ~domain d in
+  if Domain.is_migrating d then
+    Error (Denied "domain is mid-migration: configuration is frozen")
+  else Ok ()
+
 let set_entry_point t ~caller ~domain addr =
   let* d = get_domain t domain in
-  let* () = creator_or_self ~caller ~domain d in
+  let* () = configurable ~caller ~domain d in
   match Domain.set_entry_point d addr with
   | Ok () ->
     log_op t (Persist.Op.Set_entry_point { caller; domain; entry = addr });
@@ -641,7 +650,7 @@ let set_entry_point t ~caller ~domain addr =
 
 let set_flush_policy t ~caller ~domain flush =
   let* d = get_domain t domain in
-  let* () = creator_or_self ~caller ~domain d in
+  let* () = configurable ~caller ~domain d in
   if Domain.is_sealed d then Error (Domain_config "domain is sealed")
   else begin
     Domain.set_flush_on_transition d flush;
@@ -659,7 +668,7 @@ let domain_holds_range t ~domain range =
 
 let mark_measured t ~caller ~domain range =
   let* d = get_domain t domain in
-  let* () = creator_or_self ~caller ~domain d in
+  let* () = configurable ~caller ~domain d in
   if not (domain_holds_range t ~domain range) then
     Error (Denied "measured range not held by the domain")
   else
@@ -740,7 +749,7 @@ let measured_exposures t ~domain ranges =
 
 let seal t ~caller ~domain =
   let* d = get_domain t domain in
-  let* () = creator_or_self ~caller ~domain d in
+  let* () = configurable ~caller ~domain d in
   match Domain.entry_point d with
   | None -> Error (Domain_config "cannot seal a domain without an entry point")
   | Some _ when measured_exposures t ~domain (Domain.measured_ranges d) <> [] ->
@@ -784,6 +793,8 @@ let destroy_guard t ~caller ~domain =
     Error (Denied "only the creator may destroy a domain")
   else if running_on_some_core t domain then
     Error (Denied "domain is running or on a return stack")
+  else if Domain.is_migrating d then
+    Error (Denied "domain is mid-migration: only the migration may retire it")
   else Ok d
 
 let revoke_all_of t ~domain =
@@ -816,6 +827,37 @@ let destroy_domain t ~caller ~domain =
       forget_domain t d;
       Ok ())
 
+(* Live-migration freeze: the source (and, pre-commit, the target)
+   monitor latches the domain and freezes every capability it holds, so
+   nothing can run it, reconfigure it, attach to it, or mutate/revoke
+   its holdings while the image is in flight. The latch is volatile by
+   design — a crash clears it and the migration journal re-freezes on
+   resume — so [freeze_domain] must be idempotent. *)
+
+let freeze_domain t ~domain =
+  let* d = get_domain t domain in
+  if domain = Domain.initial then Error (Denied "domain 0 cannot migrate")
+  else if running_on_some_core t domain then
+    Error (Denied "domain is running or on a return stack")
+  else begin
+    Domain.set_migrating d true;
+    List.iter
+      (fun cap -> match Cap.Captree.freeze t.tree cap with Ok () | Error _ -> ())
+      (Cap.Captree.all_caps_of_domain t.tree domain);
+    Ok ()
+  end
+
+let thaw_domain t ~domain =
+  let* d = get_domain t domain in
+  Domain.set_migrating d false;
+  List.iter
+    (fun cap -> Cap.Captree.thaw t.tree cap)
+    (Cap.Captree.all_caps_of_domain t.tree domain);
+  Ok ()
+
+let domain_frozen t ~domain =
+  match get_domain t domain with Ok d -> Domain.is_migrating d | Error _ -> false
+
 (* Capability operations *)
 
 let caps_of t domain = Cap.Captree.caps_of_domain t.tree domain
@@ -832,7 +874,9 @@ let attach_target t ~caller ~to_ ~resource =
      confidentiality surface). Cores and devices stay dynamically
      delegable — scheduling and hot-plug are runtime decisions — and
      remain fully visible in attestation refcounts. *)
-  if Domain.is_sealed target && to_ <> caller && Cap.Resource.is_memory resource then
+  if Domain.is_migrating target then
+    Error (Denied "target domain is mid-migration: nothing can attach to it")
+  else if Domain.is_sealed target && to_ <> caller && Cap.Resource.is_memory resource then
     Error (Denied "target domain is sealed: its memory cannot be extended")
   else Ok target
 
@@ -994,6 +1038,8 @@ let call t ~core ~target =
   let* from_ = get_domain t from_id in
   let* to_ = get_domain t target in
   if target = from_id then Error (Bad_transition "domain is already running here")
+  else if Domain.is_migrating to_ then
+    Error (Bad_transition "target domain is mid-migration")
   else if not (Domain.is_sealed to_) && target <> Domain.initial then
     Error (Bad_transition "target domain is not sealed")
   else if Domain.entry_point to_ = None && target <> Domain.initial then
@@ -1359,6 +1405,20 @@ let replay_seal t ~caller ~domain ~measurement =
    folds one digest at the front end and installs it on every shard.
    Validation is identical to replay. *)
 let install_seal = replay_seal
+
+(* Seal an adopted (migrated-in) domain under the measurement the source
+   machine took: the bytes were copied verbatim, so re-measuring here
+   would only re-derive the same digest — but the *identity* must be the
+   one the transfer receipt binds. Unlike [install_seal] this is a
+   first-class logged operation: the target's own WAL replays it, so a
+   crash-restart of the adopting monitor recovers the sealed domain. *)
+let adopt_seal t ~caller ~domain ~measurement =
+  let raw = Crypto.Sha256.to_raw measurement in
+  match replay_seal t ~caller ~domain ~measurement:raw with
+  | Ok () ->
+    log_op t (Persist.Op.Seal { caller; domain; measurement = raw });
+    Ok ()
+  | Error e -> Error (Domain_config e)
 
 (* Re-execute one logged operation through the normal API (logging is
    muted by [p_replaying]). Every record was appended only after the

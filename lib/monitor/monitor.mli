@@ -103,6 +103,26 @@ val destroy_domain :
 (** Revoke every capability the domain holds (running clean-up policies)
     and delete it. Creator only; domain 0 is indestructible. *)
 
+(** {2 Live-migration freeze}
+
+    While a domain's image is being streamed to another monitor
+    ([Distributed.Migrate]), the local copy must be inert: frozen-but-
+    alive on the source until the target's verified commit, and parked
+    pre-commit on the target. {!freeze_domain} latches the domain
+    (volatile — crash-restart clears it; the migration journal
+    re-freezes on resume) and freezes every capability it holds, so
+    runs, configuration, attachment, destruction and revocation of (or
+    under) its holdings are all refused until {!thaw_domain}. *)
+
+val freeze_domain : t -> domain:Domain.id -> (unit, error) result
+(** Refused for domain 0 and for a domain currently running or on a
+    return stack. Idempotent. *)
+
+val thaw_domain : t -> domain:Domain.id -> (unit, error) result
+(** Release the latch and thaw the domain's capabilities. Idempotent. *)
+
+val domain_frozen : t -> domain:Domain.id -> bool
+
 (** {2 Capability operations (the legislative interface)} *)
 
 val caps_of : t -> Domain.id -> Cap.Captree.cap_id list
@@ -408,6 +428,17 @@ val install_seal :
 (** Install a seal digest verbatim (creator-or-self and digest-length
     checks, no re-measurement) — for coordinators that measured the
     domain's ranges on other monitors, and for WAL replay. *)
+
+val adopt_seal :
+  t ->
+  caller:Domain.id ->
+  domain:Domain.id ->
+  measurement:Crypto.Sha256.digest ->
+  (unit, error) result
+(** {!install_seal}, but logged as a first-class [Seal] operation so the
+    adopting monitor's own WAL replays it — used when a migrated-in
+    domain is reassembled from verbatim-copied bytes under the
+    measurement its transfer receipt binds. *)
 
 val destroy_guard :
   t -> caller:Domain.id -> domain:Domain.id -> (Domain.t, error) result

@@ -270,6 +270,13 @@ module Metrics = struct
 
   let incr ?(by = 1) c = if !enabled_flag then ignore (Atomic.fetch_and_add c by)
 
+  (* Per-handle zeroing, for metrics whose name outlives the thing it
+     measures (per-link fleet counters survive endpoint crash-restart):
+     the owner zeroes its own handles at (re)creation so post-recovery
+     numbers describe only the current incarnation. Unconditional — a
+     truthful zero must land even while recording is disabled. *)
+  let zero_counter c = Atomic.set c 0
+
   let counter_value name =
     locked (fun () ->
         match Hashtbl.find_opt registry name with
@@ -287,6 +294,7 @@ module Metrics = struct
           g)
 
   let set_gauge g v = if !enabled_flag then Atomic.set g v
+  let zero_gauge g = Atomic.set g 0
 
   let gauge_value name =
     locked (fun () ->

@@ -98,9 +98,18 @@ module Metrics : sig
   val incr : ?by:int -> counter -> unit
   val counter_value : string -> int
 
+  val zero_counter : counter -> unit
+  (** Reset one handle to 0 (even while recording is disabled). For
+      metrics whose registry name outlives the thing measured — e.g.
+      per-link fleet counters across endpoint crash-restarts — so a
+      recreated owner starts its incarnation at a truthful zero. *)
+
   val gauge : string -> gauge
   val set_gauge : gauge -> int -> unit
   val gauge_value : string -> int
+
+  val zero_gauge : gauge -> unit
+  (** Gauge twin of {!zero_counter}. *)
 
   val histogram : string -> histogram
 

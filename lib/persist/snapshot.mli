@@ -124,6 +124,17 @@ val seg_decode : string -> (string * node_spec list) option
 (** Validate a segment payload against its embedded hash. [None] on any
     mismatch or malformed body — never raises. *)
 
+val export_blob : string -> string * string
+(** [(raw hash, payload)] content-addressed envelope for opaque bytes —
+    the segment shape ([raw sha256 ^ body]) without the node-list
+    schema. Live migration ships memory pages this way; callers choose
+    the blob they append to, keeping these out of the checkpoint
+    segment GC. *)
+
+val import_blob : string -> (string * string) option
+(** Validate an {!export_blob} payload against its embedded hash.
+    [None] on mismatch or truncation — never raises. *)
+
 val append_segment : Store.t -> bucket:int -> string -> unit
 (** Append one segment payload to {!Store.seg_blob} (durable only after
     {!fsync_segments}). May raise {!Store.Crash} at [segment.write]. *)

@@ -1,0 +1,79 @@
+(* CLI `stats` smoke: the JSON and text renderings of one report must
+   list exactly the same counter set, and — now that the binary links
+   the distributed library — that set must include the fleet and
+   migration metrics (a regression here means the linker dropped the
+   module initializers again). Driven by a dune rule that feeds it the
+   two captured outputs. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("cli-stats: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* "counters:" section of the text report: indented "name value" lines
+   up to the next unindented header. *)
+let text_counters txt =
+  let rec skip = function
+    | [] -> fail "text report has no counters section"
+    | l :: rest -> if String.trim l = "counters:" then rest else skip rest
+  in
+  let rec take acc = function
+    | l :: rest when String.length l > 2 && l.[0] = ' ' -> (
+      match String.split_on_char ' ' (String.trim l) with
+      | name :: _ when name <> "" -> take (name :: acc) rest
+      | _ -> take acc rest)
+    | _ -> List.rev acc
+  in
+  take [] (skip (String.split_on_char '\n' txt))
+
+(* The flat "counters" object of the JSON report (no nested braces). *)
+let json_counters js =
+  let marker = {|"counters":{|} in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length js then fail "JSON report has no counters object"
+    else if String.sub js i mlen = marker then i + mlen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = String.index_from js start '}' in
+  let body = String.sub js start (stop - start) in
+  if String.trim body = "" then []
+  else
+    List.map
+      (fun kv ->
+        match String.index_opt kv ':' with
+        | Some c -> Scanf.sscanf (String.sub kv 0 c) " %S" (fun s -> s)
+        | None -> fail "malformed counter entry %S" kv)
+      (String.split_on_char ',' body)
+
+let () =
+  let json_path, text_path =
+    match Sys.argv with
+    | [| _; j; t |] -> (j, t)
+    | _ -> fail "usage: test_cli_stats <stats.json> <stats.txt>"
+  in
+  let from_json = List.sort compare (json_counters (read_file json_path)) in
+  let from_text = List.sort compare (text_counters (read_file text_path)) in
+  if from_json <> from_text then begin
+    let missing l r = List.filter (fun n -> not (List.mem n r)) l in
+    fail "counter sets diverge: only-in-json=[%s] only-in-text=[%s]"
+      (String.concat "," (missing from_json from_text))
+      (String.concat "," (missing from_text from_json))
+  end;
+  if from_json = [] then fail "no counters in the report";
+  let has prefix =
+    List.exists
+      (fun n -> String.length n >= String.length prefix
+                && String.sub n 0 (String.length prefix) = prefix)
+      from_json
+  in
+  if not (has "fleet.") then
+    fail "no fleet.* counters: the CLI lost its tyche.distributed linkage";
+  if not (has "migrate.") then
+    fail "no migrate.* counters: the CLI lost its migration linkage";
+  Printf.printf "cli stats: %d counters agree across JSON and text (fleet+migrate present)\n%!"
+    (List.length from_json)

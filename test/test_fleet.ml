@@ -469,6 +469,45 @@ let test_journal_compaction_and_recovery () =
   check_clean a;
   check_clean b
 
+(* The compaction thresholds are configuration, not baked-in constants:
+   an endpoint created with an aggressive config auto-compacts on plain
+   ticks, while a default-config endpoint running the same workload has
+   not compacted yet. *)
+let test_compaction_config () =
+  let cycles a b =
+    for i = 1 to 10 do
+      let _del, _ = delegate_page a ~peer:"beta" ~page:i in
+      pump a b;
+      let d = List.hd (Distributed.Fleet.delegations a.fleet) in
+      fok (Distributed.Fleet.revoke a.fleet ~caller:os ~cap:d.Distributed.Fleet.proxy_cap);
+      pump a b
+    done
+  in
+  let net = Distributed.Network.create () in
+  let w = Testkit.boot_x86 ~seed:0x71L () in
+  let store = Persist.Store.mem () in
+  Tyche.Monitor.enable_persistence w.Testkit.monitor ~store ();
+  let aggressive = { Distributed.Fleet.compact_min = 8; compact_ratio = 1 } in
+  let fleet =
+    Distributed.Fleet.create ~store ~config:aggressive ~monitor:w.Testkit.monitor
+      ~name:"alpha" ~net ()
+  in
+  let a = { w; fleet; store } in
+  let b = mk_node net "beta" 0x72L in
+  ignore (fok (Distributed.Fleet.connect a.fleet ~peer:"beta" ~key));
+  ignore (fok (Distributed.Fleet.connect b.fleet ~peer:"alpha" ~key));
+  cycles a b;
+  let _net2, a2, b2 = mk_pair () in
+  cycles a2 b2;
+  Alcotest.(check bool) "aggressive config compacted on tick" true (fleet_records a < 20);
+  Alcotest.(check bool) "default config has more journal left" true
+    (fleet_records a2 > fleet_records a);
+  Alcotest.(check bool) "defaults are lazier than the aggressive config" true
+    (Distributed.Fleet.default_config.Distributed.Fleet.compact_min
+     > aggressive.Distributed.Fleet.compact_min);
+  check_clean a;
+  check_clean b
+
 (* --- fleet attestation ------------------------------------------------ *)
 
 let test_fleet_attestation () =
@@ -504,7 +543,11 @@ let gen_msg =
             len = int_range 1 0x10_0000 st;
             rights = int_range 0 31 st });
       (fun st -> Distributed.Fleet.Wire.Revoke { del_id = int_range 0 1_000_000 st });
-      (fun st -> Distributed.Fleet.Wire.Ack { upto = int_range 0 1_000_000 st }) ]
+      (fun st -> Distributed.Fleet.Wire.Ack { upto = int_range 0 1_000_000 st });
+      (fun st ->
+        Distributed.Fleet.Wire.Data
+          { chan = string_size ~gen:printable (int_range 1 8) st;
+            payload = string_size (int_range 0 64) st }) ]
 
 let gen_envelope =
   QCheck.Gen.(
@@ -516,7 +559,9 @@ let print_envelope (origin, seq, msg) =
     | Distributed.Fleet.Wire.Delegate { del_id; base; len; rights } ->
       Printf.sprintf "Delegate{id=%d;base=%d;len=%d;rights=%d}" del_id base len rights
     | Distributed.Fleet.Wire.Revoke { del_id } -> Printf.sprintf "Revoke{id=%d}" del_id
-    | Distributed.Fleet.Wire.Ack { upto } -> Printf.sprintf "Ack{upto=%d}" upto)
+    | Distributed.Fleet.Wire.Ack { upto } -> Printf.sprintf "Ack{upto=%d}" upto
+    | Distributed.Fleet.Wire.Data { chan; payload } ->
+      Printf.sprintf "Data{chan=%S;payload=%S}" chan payload)
 
 let arb_envelope = QCheck.make ~print:print_envelope gen_envelope
 
@@ -587,7 +632,9 @@ let () =
           Alcotest.test_case "importer crash: at-least-once redelivery" `Quick
             test_importer_crash_redelivery;
           Alcotest.test_case "journal compaction bounds growth, survives recovery" `Quick
-            test_journal_compaction_and_recovery ] );
+            test_journal_compaction_and_recovery;
+          Alcotest.test_case "compaction thresholds are configurable" `Quick
+            test_compaction_config ] );
       ( "attestation",
         [ Alcotest.test_case "fleet root binds member attestations" `Quick
             test_fleet_attestation ] );
