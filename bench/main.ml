@@ -2208,6 +2208,36 @@ let e21 ?(smoke = false) () =
       reference_ns = clean_ns };
     { size = k; op = "e21 incremental transfer bytes"; indexed_ns = wire; reference_ns = full } ]
 
+
+(* E22: the byzantine domain-0 fuzzer as a measured experiment — how
+   many hostile episodes the monitor survives, how many attacks it
+   denies, and (the number that must stay zero) how many bugs the
+   audits catch. Reuses the same engine as `dune build @byzantine`, so
+   the JSON rows track the gate exactly. Units are counts, not ns
+   (like E21's byte rows). *)
+let e22 ?(smoke = false) () =
+  if smoke then header "E22: byzantine domain-0 fuzzer [smoke]"
+  else header "E22: byzantine domain-0 fuzzer (forged/stale handles, downgrades, squeezes)";
+  let episodes = if smoke then 6 else 60 in
+  let o = Byzkit.run ~seed:0xB12A ~episodes () in
+  let bugs = List.length o.Byzkit.o_found in
+  row3 "e22 byzantine episodes"
+    (Printf.sprintf "%d eps / %d steps" o.Byzkit.o_episodes o.Byzkit.o_steps)
+    "alternating x86/riscv, audit after every step";
+  row3 "e22 byzantine attacks denied"
+    (Printf.sprintf "%d/%d" o.Byzkit.o_denied o.Byzkit.o_attacks)
+    "forge, stale-replay, recycled-id, refcount, circular, squeeze, wire, downgrade, splice, freeze";
+  row3 "e22 byzantine bugs found" (string_of_int bugs)
+    (if bugs = 0 then "invariants + fsck + obs + taint oracle all green"
+     else String.concat " | " o.Byzkit.o_found);
+  [ { size = o.Byzkit.o_episodes; op = "e22 byzantine episode steps";
+      indexed_ns = float_of_int o.Byzkit.o_steps; reference_ns = nan };
+    { size = o.Byzkit.o_attacks; op = "e22 byzantine attacks denied";
+      indexed_ns = float_of_int o.Byzkit.o_denied;
+      reference_ns = float_of_int o.Byzkit.o_attacks };
+    { size = o.Byzkit.o_episodes; op = "e22 byzantine bugs found";
+      indexed_ns = float_of_int bugs; reference_ns = nan } ]
+
 (* The incremental floor: a content-addressed transfer of a mostly-zero
    domain must ship at least 3x fewer bytes than the full snapshot.
    Even at smoke sizes (64 pages, 8 distinct) a healthy dedup lands
@@ -2356,6 +2386,18 @@ let capops_smoke () =
               r.indexed_ns r.reference_ns ceiling
             :: !failures)
     (e20 ~smoke:true ());
+  (* The byzantine fuzzer must find nothing: any audit failure under
+     hostile domain-0 pressure is a real monitor bug. *)
+  (match
+     List.find_opt (fun r -> r.op = "e22 byzantine bugs found") (e22 ~smoke:true ())
+   with
+  | Some r ->
+    if r.indexed_ns > 0. then
+      failures :=
+        Printf.sprintf "e22: byzantine fuzzer found %.0f bug(s) in %d episodes"
+          r.indexed_ns r.size
+        :: !failures
+  | None -> failures := "e22 byzantine bugs row missing" :: !failures);
   (* Live migration: incremental transfer must beat the full snapshot. *)
   (match
      List.find_opt
@@ -2398,7 +2440,7 @@ let () =
     let rows, _ = capops () in
     let rows =
       rows @ e14 () @ e16 () @ e17 () @ e18 () @ capops_scaling () @ e19 () @ e20 ()
-      @ e21 ()
+      @ e21 () @ e22 ()
     in
     write_capops_json rows;
     Printf.printf "\nwrote %s (%d rows)\n" capops_json_file (List.length rows);

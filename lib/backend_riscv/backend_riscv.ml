@@ -217,6 +217,25 @@ let apply_effect_unsafe s = function
       !(devices_of s domain);
     reprogram_running s domain
   | Cap.Captree.Detach { domain; resource = Cap.Resource.Memory r; cleanup } ->
+    (* Taint the victim's residue before any clean-up runs: the
+       deferred Revocation.apply erases exactly the taint the policy
+       promises to clean, so surviving taint = a missing clean-up (see
+       Hw.Taint). No TLB surface on RISC-V — PMP checks every access. *)
+    let tt = s.machine.Hw.Machine.taint in
+    let u_pages =
+      Hw.Taint.taint_pages tt r ~prior:domain
+        ~guarded:(Cap.Revocation.zeroes_memory cleanup)
+    in
+    let u_lines =
+      Hw.Taint.taint_lines tt
+        (Hw.Cache.resident_lines_in s.machine.Hw.Machine.cache r)
+        ~prior:domain
+        ~guarded:(Cap.Revocation.flushes_cache cleanup)
+    in
+    if s.journaling then
+      record s (fun () ->
+        Hw.Taint.undo tt u_lines;
+        Hw.Taint.undo tt u_pages);
     journal_layout s domain;
     layout_remove s domain r;
     List.iter
@@ -311,10 +330,22 @@ let enter s ~core d =
     Ok ()
 
 let transition s ~core ~from_ ~to_ ~flush_microarch =
-  ignore from_;
   let counter = s.machine.Hw.Machine.counter in
   Hw.Cycles.charge counter Hw.Cycles.Cost.ecall_machine_mode;
-  if flush_microarch then Hw.Cache.flush_all s.machine.Hw.Machine.cache;
+  if flush_microarch then begin
+    (* The outgoing domain's resident lines are promised gone: taint
+       them guarded, then flush — surviving taint means the flush
+       regressed (see Hw.Taint). *)
+    let tt = s.machine.Hw.Machine.taint in
+    let from_id = Tyche.Domain.id from_ in
+    let u_lines =
+      Hw.Taint.taint_lines tt
+        (Hw.Cache.lines_of_tag s.machine.Hw.Machine.cache ~tag:from_id)
+        ~prior:from_id ~guarded:true
+    in
+    if s.journaling then record s (fun () -> Hw.Taint.undo tt u_lines);
+    Hw.Cache.flush_all s.machine.Hw.Machine.cache
+  end;
   match (try enter s ~core to_ with Fault.Injected _ as e -> Error (fault_error e)) with
   | Error _ as e -> e
   | Ok () ->

@@ -200,11 +200,44 @@ let flush_tlb_after_detach s domain =
     Hw.Tlb.shootdown s.machine.Hw.Machine.tlb ~remote_cores:remote
   | Asid_flush -> Hw.Tlb.flush_asid s.machine.Hw.Machine.tlb ~asid:domain
 
+(* Mark what the victim leaves behind — its pages, its resident cache
+   lines, its live translations — with its id before any clean-up runs.
+   The clean-up primitives the policy promises (deferred zero, cache
+   flush, TLB shootdown) erase exactly the taint they clean, so
+   whatever taint survives the transaction is clean-up that did not
+   happen — which the access paths and the fsck taint pass then catch
+   (see Hw.Taint). Must run before the unmap/flush below: the TLB
+   victim set has to be captured while the entries still exist. *)
+let taint_detach s domain range cleanup =
+  let m = s.machine in
+  let tt = m.Hw.Machine.taint in
+  let u_pages =
+    Hw.Taint.taint_pages tt range ~prior:domain
+      ~guarded:(Cap.Revocation.zeroes_memory cleanup)
+  in
+  let u_lines =
+    Hw.Taint.taint_lines tt
+      (Hw.Cache.resident_lines_in m.Hw.Machine.cache range)
+      ~prior:domain
+      ~guarded:(Cap.Revocation.flushes_cache cleanup)
+  in
+  let u_tlb =
+    Hw.Taint.taint_tlb tt
+      (Hw.Tlb.entries_into m.Hw.Machine.tlb ~asid:domain range)
+      ~prior:domain
+  in
+  if s.journaling then
+    record s (fun () ->
+      Hw.Taint.undo tt u_tlb;
+      Hw.Taint.undo tt u_lines;
+      Hw.Taint.undo tt u_pages)
+
 let detach_memory s domain range cleanup =
   Obs.Profile.span_h ~domain ~backend:bk_x86 h_ept_unmap @@ fun () ->
   match Hashtbl.find_opt s.epts domain with
   | None -> Error (Printf.sprintf "no EPT for domain %d" domain)
   | Some ept ->
+    taint_detach s domain range cleanup;
     if s.journaling then begin
       let victims = Hw.Ept.mappings_to ept range in
       record s (fun () ->
@@ -328,6 +361,26 @@ let transition s ~core ~from_ ~to_ ~flush_microarch =
       Hw.Cycles.charge counter Hw.Cycles.Cost.vmcall_roundtrip;
       s.trap <- s.trap + 1;
       if flush_microarch then begin
+        (* Everything the outgoing domain left in the caches and the
+           TLB is promised gone by this policy: taint it guarded, then
+           flush — surviving taint means the flush regressed. *)
+        let m = s.machine in
+        let tt = m.Hw.Machine.taint in
+        let u_lines =
+          Hw.Taint.taint_lines tt
+            (Hw.Cache.lines_of_tag m.Hw.Machine.cache ~tag:from_id)
+            ~prior:from_id ~guarded:true
+        in
+        let u_tlb =
+          Hw.Taint.taint_tlb tt
+            (Hw.Tlb.entries_into m.Hw.Machine.tlb ~asid:from_id
+               (Hw.Physmem.full_range m.Hw.Machine.mem))
+            ~prior:from_id
+        in
+        if s.journaling then
+          record s (fun () ->
+            Hw.Taint.undo tt u_tlb;
+            Hw.Taint.undo tt u_lines);
         Hw.Cache.flush_all s.machine.Hw.Machine.cache;
         Hw.Tlb.flush_asid s.machine.Hw.Machine.tlb ~asid:from_id
       end

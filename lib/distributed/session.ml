@@ -204,7 +204,10 @@ let recv link =
            predecessor arriving late. Typed separately from [Tampered]
            so callers can count reorder-induced loss apart from
            forgery. *)
-        Error (Stale { seq; last = link.last_recv })
+        begin
+          Obs.Metrics.incr (Obs.Metrics.counter "session.stale");
+          Error (Stale { seq; last = link.last_recv })
+        end
       else begin
         link.last_recv <- seq;
         link.received <- link.received + 1;

@@ -150,3 +150,25 @@ let fires point =
     trip
 
 let hit point = if fires point then raise (Injected { point = point.name; trip = point.trips })
+
+module Splitmix = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- splitmix64 t.state;
+    Int64.to_int (Int64.shift_right_logical t.state 2)
+
+  let below t n =
+    if n <= 0 then invalid_arg "Fault.Splitmix.below";
+    next t mod n
+
+  let chance t p =
+    t.state <- splitmix64 t.state;
+    Int64.to_float (Int64.shift_right_logical t.state 11) /. 9007199254740992. < p
+
+  let pick t = function
+    | [] -> invalid_arg "Fault.Splitmix.pick"
+    | l -> List.nth l (below t (List.length l))
+end

@@ -99,3 +99,32 @@ val hit : point -> unit
 (** Like {!fires} but raises {!Injected} when the plan trips — for
     operations (PMP/EPT/IOMMU writes) whose failure aborts the
     enclosing backend effect. *)
+
+(** {2 Deterministic streams (for adversarial drivers)}
+
+    The same splitmix64 generator that drives [`Rate] rules, exposed so
+    seed-replayable drivers (the byzantine fuzzer, chaos harnesses)
+    derive their attack streams from the one generator this library
+    already commits to — one seed, one stream discipline, identical
+    replay across machines. *)
+
+module Splitmix : sig
+  type t
+
+  val create : int -> t
+  (** Seed a stream. Equal seeds yield equal streams forever. *)
+
+  val next : t -> int
+  (** Next value, uniform over non-negative OCaml [int]s. *)
+
+  val below : t -> int -> int
+  (** [below t n]: uniform in [0, n).
+      @raise Invalid_argument if [n <= 0]. *)
+
+  val chance : t -> float -> bool
+  (** [chance t p]: true with probability [p]. *)
+
+  val pick : t -> 'a list -> 'a
+  (** Uniform element of a non-empty list.
+      @raise Invalid_argument on an empty list. *)
+end

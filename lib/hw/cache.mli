@@ -21,8 +21,22 @@ val lines_tagged : t -> tag:int -> int
 (** Lines whose last toucher was [tag] — what a co-resident attacker
     could probe. *)
 
+val resident_lines_in : t -> Addr.Range.t -> int list
+(** Indexes of resident lines inside a host-physical range — the
+    victim set a revocation's cache clean-up must cover. *)
+
+val lines_of_tag : t -> tag:int -> int list
+(** Indexes of resident lines last touched by [tag] — the victim set a
+    flushing domain transition must cover. *)
+
 val flush_range : t -> Addr.Range.t -> unit
-(** CLFLUSH the lines of a range (cost per line). *)
+(** CLFLUSH the lines of a range (cost per line). Clears any attached
+    line taint over the range. *)
 
 val flush_all : t -> unit
-(** WBINVD-style full flush. *)
+(** WBINVD-style full flush. Clears all attached line taint. *)
+
+val set_taint : t -> Taint.t -> unit
+(** Attach the machine's taint oracle (done once by {!Machine.create}):
+    flushes erase the line taint they clean, and {!touch} reports each
+    fill to {!Taint.observe_line} with the toucher as reader. *)

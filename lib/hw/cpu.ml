@@ -106,6 +106,7 @@ let load t mem ~tlb ~cache addr =
         Tlb.fill tlb ~asid:t.asid ~gpa:addr ~hpa;
       hpa
   in
+  Physmem.observe_taint mem ~reader:t.asid hpa;
   Cache.touch cache ~tag:t.asid hpa;
   Physmem.read_byte mem hpa
 
@@ -114,6 +115,9 @@ let store t mem ~tlb ~cache addr v =
   let hpa = translate t addr `Write in
   if t.arch = X86_64 && t.active_ept <> None then
     Tlb.fill tlb ~asid:t.asid ~gpa:addr ~hpa;
+  (* A store observes too: the write-allocate fill pulls the line's
+     prior contents into the writer's cache before the bytes land. *)
+  Physmem.observe_taint mem ~reader:t.asid hpa;
   Cache.touch cache ~tag:t.asid hpa;
   Physmem.write_byte mem hpa v
 

@@ -14,6 +14,9 @@ type t = {
   cache : Cache.t;
   interrupts : Interrupt.t;
   counter : Cycles.counter;
+  taint : Taint.t;
+      (** The information-flow oracle for clean-up policies, attached
+          to [mem]/[tlb]/[cache] at creation (see {!Taint}). *)
   mutable devices : Device.t list;
 }
 

@@ -1,11 +1,16 @@
-type t = { mem : Bytes.t }
+type t = { mem : Bytes.t; mutable taint : Taint.t option }
 
 exception Bus_error of Addr.t
 
 let create ~size =
   if size <= 0 || not (Addr.is_page_aligned size) then
     invalid_arg "Physmem.create: size must be positive and page-aligned";
-  { mem = Bytes.make size '\x00' }
+  { mem = Bytes.make size '\x00'; taint = None }
+
+let set_taint t taint = t.taint <- Some taint
+
+let observe_taint t ~reader addr =
+  match t.taint with None -> () | Some tt -> Taint.observe_page tt ~reader addr
 
 let size t = Bytes.length t.mem
 let full_range t = Addr.Range.make ~base:0 ~len:(size t)
@@ -31,7 +36,10 @@ let write t a s =
 
 let zero_range t r =
   check t (Addr.Range.base r) (Addr.Range.len r);
-  Bytes.fill t.mem (Addr.Range.base r) (Addr.Range.len r) '\x00'
+  Bytes.fill t.mem (Addr.Range.base r) (Addr.Range.len r) '\x00';
+  (* Zeroing is the clean-up the [Zero*] policies promise: the prior
+     owner's residue is gone, so its taint goes with it. *)
+  match t.taint with None -> () | Some tt -> Taint.clear_pages tt r
 
 let measure t r =
   check t (Addr.Range.base r) (Addr.Range.len r);

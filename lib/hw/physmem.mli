@@ -23,7 +23,18 @@ val read : t -> Addr.Range.t -> string
 val write : t -> Addr.t -> string -> unit
 
 val zero_range : t -> Addr.Range.t -> unit
-(** Clear a range; the revocation "zeroing" clean-up policy uses this. *)
+(** Clear a range; the revocation "zeroing" clean-up policy uses this.
+    Clears any attached page taint over the range ({!set_taint}). *)
+
+val set_taint : t -> Taint.t -> unit
+(** Attach the machine's taint oracle (done once by {!Machine.create}):
+    {!zero_range} then erases page taint it cleans, and checked CPU
+    accesses consult {!observe_taint}. *)
+
+val observe_taint : t -> reader:int -> Addr.t -> unit
+(** Report a checked access by [reader] (an ASID = domain id) to the
+    attached oracle — {!Taint.observe_page}. No-op when none is
+    attached. *)
 
 val measure : t -> Addr.Range.t -> Crypto.Sha256.digest
 (** Hash the current content of a range (attestation measurement). *)

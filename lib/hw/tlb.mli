@@ -31,3 +31,13 @@ val stale_for_hpa : t -> Addr.Range.t -> (int * Addr.t) list
 (** Entries still translating into the given host range, as
     [(asid, gpa)] pairs — the judiciary's smoking gun for a missing
     shootdown. *)
+
+val entries_into : t -> asid:int -> Addr.Range.t -> (int * Addr.t) list
+(** {!stale_for_hpa} restricted to one ASID — the victim set a
+    revocation's TLB clean-up must shoot down. *)
+
+val set_taint : t -> Taint.t -> unit
+(** Attach the machine's taint oracle (done once by {!Machine.create}):
+    flushes erase the TLB taint they clean, and {!lookup} reports each
+    hit to {!Taint.observe_tlb} — a hit on a tainted entry is a
+    revocation bypass (the hit path skips the EPT walk). *)

@@ -50,6 +50,34 @@ let check_attest_baseline t baseline =
     baseline;
   { f_name = "attest-body"; f_ok = !fail = []; f_detail = List.rev !fail }
 
+(* The clean-up oracle's quiescence pass: guarded taint is residue a
+   policy promised to clean — it may exist only inside the API call
+   that created it (the deferred zero/flush at commit erases it), so
+   any guarded entry visible here is a clean-up that never ran. A
+   nonzero leak count means some domain already *observed* foreign
+   guarded residue (in Record mode, where the oracle counts instead of
+   raising). *)
+let check_taint t =
+  let tt = (Monitor.machine t).Hw.Machine.taint in
+  let residue =
+    List.map
+      (fun (surface, addr, prior) ->
+        Printf.sprintf "guarded %s residue of domain %d at 0x%x"
+          (Hw.Taint.surface_to_string surface) prior addr)
+      (Hw.Taint.guarded_residue tt)
+  in
+  let st = Hw.Taint.stats tt in
+  let leaks =
+    if st.Hw.Taint.leaks = 0 then []
+    else
+      [ Printf.sprintf "%d cross-domain leak(s) observed%s" st.Hw.Taint.leaks
+          (match Hw.Taint.last_leak tt with
+          | Some l -> Format.asprintf " (last: %a)" Hw.Taint.pp_leak l
+          | None -> "") ]
+  in
+  let detail = residue @ leaks in
+  { f_name = "taint"; f_ok = detail = []; f_detail = detail }
+
 let check ?baseline t =
   let index_refs =
     match Cap.Captree.check_index_consistency (Monitor.tree t) with
@@ -63,7 +91,8 @@ let check ?baseline t =
       of_violations "sealed" (Invariants.check_sealed_unextended t);
       of_violations "tlb" (Invariants.check_no_stale_tlb t);
       of_violations "refcounts" (Invariants.check_refcounts t);
-      of_violations "remote" (Invariants.check_remote t) ]
+      of_violations "remote" (Invariants.check_remote t);
+      check_taint t ]
   in
   let items =
     match baseline with

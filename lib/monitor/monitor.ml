@@ -1309,7 +1309,24 @@ let attest_telemetry t =
    process-global — the monitor's own ops dominate it, but faults,
    keypool and store activity triggered outside an API call appear
    too, which is the point of attestation-adjacent accounting. *)
-let observe (_ : t) = Obs.report ()
+(* The taint oracle lives below the Obs dependency line (hw cannot see
+   obs), so its tallies are mirrored into gauges here, at report time —
+   [session.stale], [byz.*] and friends land in the same report via
+   the ordinary counter registry. *)
+let g_taint_pages = Obs.Metrics.gauge "taint.pages"
+let g_taint_lines = Obs.Metrics.gauge "taint.lines"
+let g_taint_tlb = Obs.Metrics.gauge "taint.tlb"
+let g_taint_leaks = Obs.Metrics.gauge "taint.leaks"
+let g_taint_sanctioned = Obs.Metrics.gauge "taint.sanctioned"
+
+let observe t =
+  let st = Hw.Taint.stats t.machine.Hw.Machine.taint in
+  Obs.Metrics.set_gauge g_taint_pages st.Hw.Taint.tainted_pages;
+  Obs.Metrics.set_gauge g_taint_lines st.Hw.Taint.tainted_lines;
+  Obs.Metrics.set_gauge g_taint_tlb st.Hw.Taint.tainted_tlb;
+  Obs.Metrics.set_gauge g_taint_leaks st.Hw.Taint.leaks;
+  Obs.Metrics.set_gauge g_taint_sanctioned st.Hw.Taint.sanctioned;
+  Obs.report ()
 
 (* Durability: enable, checkpoint, recover (crash-restart). *)
 

@@ -1,0 +1,38 @@
+(* Byzantine domain-0 fuzzer driver (see byzkit.ml for the attack
+   vocabulary). A short run rides `dune runtest`; the full-length run
+   (200 episodes, the ISSUE acceptance horizon) lives behind
+   `dune build @byzantine` and is also reached from @chaos and
+   @coverage. Seed-deterministic: a red run prints the TYCHE_FAULT_SEED
+   replay line shared with the other chaos drivers. *)
+
+open Testkit
+
+let episodes_env = "TYCHE_BYZ_EPISODES"
+
+let () =
+  let episodes =
+    match Sys.getenv_opt episodes_env with
+    | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> 12)
+    | None -> 12
+  in
+  let seed = chaos_seed ~default:0xB12A in
+  chaos_banner ~suite:"byzantine" ~seed
+    ~extra:(Printf.sprintf " episodes=%d (override with %s)" episodes episodes_env)
+    ();
+  let o = Byzkit.run ~seed ~episodes () in
+  Printf.printf
+    "byzantine: %d episodes, %d steps, %d attacks, %d denied, %d bug(s) found\n%!"
+    o.Byzkit.o_episodes o.Byzkit.o_steps o.Byzkit.o_attacks o.Byzkit.o_denied
+    (List.length o.Byzkit.o_found);
+  if o.Byzkit.o_found <> [] then begin
+    prerr_endline (chaos_replay_line ~suite:"byzantine" ~seed);
+    List.iter (fun b -> Printf.eprintf "FOUND: %s\n" b) o.Byzkit.o_found;
+    exit 1
+  end;
+  (* The engine never counts an attack without classifying it. *)
+  if o.Byzkit.o_attacks < o.Byzkit.o_denied then begin
+    Printf.eprintf "FAIL: denied (%d) exceeds attacks (%d)\n" o.Byzkit.o_denied
+      o.Byzkit.o_attacks;
+    exit 1
+  end;
+  chaos_check_obs ~suite:"byzantine" ~seed ~where:"end of run"

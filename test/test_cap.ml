@@ -515,6 +515,111 @@ let prop_revoke_all_restores_root =
         && Captree.check_invariants t = Ok ()
         && Captree.refcount t (Option.get (Captree.resource t root)) = 1)
 
+(* Property: the frozen set is exactly the live remote-delegation set.
+   Freeze marks a cap as delegated to another machine (Fleet's local
+   record); under arbitrary interleaved share/revoke/freeze/thaw the
+   tree's [frozen_caps] must track a reference model exactly — in
+   particular no revocation path may ever remove a frozen cap (the
+   remote machine still holds the resource), and thaw/revoke of
+   already-gone ids must stay no-ops. *)
+
+type fop = Fshare of int * int | Frevoke of int | Ffreeze of int | Fthaw of int
+
+let gen_fop =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun c d -> Fshare (c, d)) (0 -- 40) (0 -- 5));
+        (3, map (fun c -> Frevoke c) (0 -- 40));
+        (3, map (fun c -> Ffreeze c) (0 -- 40));
+        (2, map (fun c -> Fthaw c) (0 -- 40)) ])
+
+let print_fop = function
+  | Fshare (c, d) -> Printf.sprintf "Share(%d->%d)" c d
+  | Frevoke c -> Printf.sprintf "Revoke(%d)" c
+  | Ffreeze c -> Printf.sprintf "Freeze(%d)" c
+  | Fthaw c -> Printf.sprintf "Thaw(%d)" c
+
+let arb_fops =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map print_fop l))
+    QCheck.Gen.(list_size (0 -- 80) gen_fop)
+
+module IntSet = Set.Make (Int)
+
+let prop_frozen_tracks_delegations =
+  QCheck.Test.make ~name:"captree: frozen set = live remote-delegation set" ~count:200
+    arb_fops
+    (fun ops ->
+      let t = Captree.create () in
+      let root, _ =
+        Result.get_ok (Captree.root t ~owner:0 (mem ~base:0 ~len:0x100000) Rights.full)
+      in
+      let caps = ref [ root ] in
+      let model = ref IntSet.empty in
+      let pick i = List.nth !caps (i mod List.length !caps) in
+      List.iteri
+        (fun n op ->
+          (match (op, !caps) with
+          | _, [] -> () (* the root itself was revoked; nothing left to drive *)
+          | Fshare (c, d), _ -> (
+            match
+              Captree.share t (pick c) ~to_:d ~rights:Rights.full
+                ~cleanup:Revocation.Zero ()
+            with
+            | Ok (id, _) -> caps := id :: !caps
+            | Error _ -> ())
+          | Frevoke c, _ ->
+            let target = pick c in
+            (match Captree.revoke t target with
+            | Ok _ ->
+              (* The whole subtree is gone; the model must not have
+                 held any of it (revoke refuses on frozen content). *)
+              caps := List.filter (Captree.is_active t) !caps;
+              if
+                List.exists
+                  (fun f -> not (Captree.is_active t f))
+                  (IntSet.elements !model)
+              then
+                QCheck.Test.fail_reportf
+                  "after op %d (%s): revoke removed a frozen (delegated) cap" n
+                  (print_fop op)
+            | Error _ -> ())
+          | Ffreeze c, _ -> (
+            let target = pick c in
+            match Captree.freeze t target with
+            | Ok () -> model := IntSet.add target !model
+            | Error _ -> ())
+          | Fthaw c, _ ->
+            let target = pick c in
+            Captree.thaw t target;
+            model := IntSet.remove target !model);
+          let got = Captree.frozen_caps t in
+          let want = IntSet.elements !model in
+          if got <> want then
+            QCheck.Test.fail_reportf
+              "after op %d (%s): frozen_caps = [%s], model = [%s]" n (print_fop op)
+              (String.concat ";" (List.map string_of_int got))
+              (String.concat ";" (List.map string_of_int want));
+          match Captree.check_invariants t with
+          | Ok () -> ()
+          | Error e ->
+            QCheck.Test.fail_reportf "after op %d (%s): invariants: %s" n (print_fop op) e)
+        ops;
+      (* Round-trip: thaw everything — the delegation set must drain to
+         empty and full service must resume (sharing works again). *)
+      IntSet.iter (fun c -> Captree.thaw t c) !model;
+      if Captree.frozen_caps t <> [] then
+        QCheck.Test.fail_reportf "thawing every delegation left frozen caps behind";
+      (if Captree.is_active t root then
+         match
+           Captree.share t root ~to_:1 ~rights:Rights.full ~cleanup:Revocation.Zero ()
+         with
+         | Ok _ -> ()
+         | Error e ->
+           QCheck.Test.fail_reportf "share refused after full thaw: %s"
+             (Captree.error_to_string e));
+      true)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "cap"
@@ -547,4 +652,5 @@ let () =
           qt prop_invariants_hold;
           qt prop_refcount_consistent;
           qt prop_region_map_disjoint;
-          qt prop_revoke_all_restores_root ] ) ]
+          qt prop_revoke_all_restores_root;
+          qt prop_frozen_tracks_delegations ] ) ]

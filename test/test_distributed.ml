@@ -249,6 +249,35 @@ let test_link_rejects_forgery () =
       (Distributed.Session.recv_error_to_string e)
   | Ok _ -> Alcotest.fail "wrong-key frame accepted"
 
+(* Stale frames are adversary-visible noise (replay or reorder) that a
+   healthy link shrugs off — which is exactly why they must be counted:
+   a silent flood of them is an attack signature. The counter must
+   reach the operator through [Monitor.observe]. *)
+let test_link_stale_counter () =
+  let net, a, b = linked () in
+  let w = boot_x86 () in
+  let stale_count () =
+    match
+      List.assoc_opt "session.stale" (Tyche.Monitor.observe w.monitor).Obs.r_counters
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  let before = stale_count () in
+  Distributed.Session.send a "pay $100";
+  let captured = List.hd (Distributed.Network.eavesdrop net "beta") in
+  Alcotest.(check string) "delivered once" "pay $100" (recv_ok b);
+  Alcotest.(check int) "delivery bumps nothing" before (stale_count ());
+  Distributed.Network.replay net ~to_:"beta" captured;
+  Distributed.Network.replay net ~to_:"beta" captured;
+  (match Distributed.Session.recv b with
+  | Error (Distributed.Session.Stale _) -> ()
+  | _ -> Alcotest.fail "expected a stale frame");
+  (match Distributed.Session.recv b with
+  | Error (Distributed.Session.Stale _) -> ()
+  | _ -> Alcotest.fail "expected a second stale frame");
+  Alcotest.(check int) "each stale frame counted" (before + 2) (stale_count ())
+
 let test_link_eavesdropper_sees_no_key_material () =
   let net, a, _b = linked () in
   Distributed.Session.send a "hello";
@@ -275,4 +304,5 @@ let () =
           Alcotest.test_case "reorder is stale, not tampered" `Quick
             test_link_reorder_is_stale_not_tampered;
           Alcotest.test_case "forgery rejected" `Quick test_link_rejects_forgery;
+          Alcotest.test_case "stale frames counted" `Quick test_link_stale_counter;
           Alcotest.test_case "eavesdropper" `Quick test_link_eavesdropper_sees_no_key_material ] ) ]

